@@ -1,0 +1,48 @@
+//! Figure 9 (Criterion form): bucketing one numeric attribute of the
+//! §6.1 file-backed workload into 1000 buckets — Algorithm 3.1 vs the
+//! Vertical Split Sort and Naive Sort baselines. The `repro fig9`
+//! harness runs the full 8-attribute task at larger scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bucketing::{equi_depth_cuts, naive_sort_cuts, vertical_split_cuts, EquiDepthConfig};
+use optrules_relation::gen::{DataGenerator, UniformWorkload};
+use optrules_relation::NumAttr;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_bucketing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_bucketing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for &n in &[50_000u64, 200_000] {
+        let path = std::env::temp_dir().join(format!(
+            "optrules-bench-fig9-{}-{n}.rel",
+            std::process::id()
+        ));
+        let rel = UniformWorkload::paper()
+            .to_file(&path, n, 7)
+            .expect("workload written");
+        let attr = NumAttr(0);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("alg31_sampled", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    equi_depth_cuts(&rel, attr, &EquiDepthConfig::paper(1000, 3)).expect("ok"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("vertical_split", n), &n, |b, _| {
+            b.iter(|| black_box(vertical_split_cuts(&rel, attr, 1000).expect("ok")));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_sort", n), &n, |b, _| {
+            b.iter(|| black_box(naive_sort_cuts(&rel, attr, 1000).expect("ok")));
+        });
+        std::fs::remove_file(&path).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bucketing);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 10 (Criterion form): optimized-confidence rule computation vs
+//! bucket count, minimum support 5 %. Compares the paper's hull-tree
+//! algorithm, the sweep ablation, and the naive O(M²) baseline (capped
+//! — the quadratic baseline would dominate the bench run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bench::random_uv;
+use optrules_core::naive::optimize_confidence_naive;
+use optrules_core::optimize_confidence;
+use optrules_core::twopointer::optimize_confidence_sweep;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_confidence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_confidence");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &m in &[256usize, 1024, 4096, 16384, 65536] {
+        let (u, v) = random_uv(m, 10, m as u64);
+        let total: u64 = u.iter().sum();
+        let w = total / 20;
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("hull_alg42", m), &m, |b, _| {
+            b.iter(|| black_box(optimize_confidence(&u, &v, w).expect("valid")));
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", m), &m, |b, _| {
+            b.iter(|| black_box(optimize_confidence_sweep(&u, &v, w).expect("valid")));
+        });
+        if m <= 4096 {
+            group.bench_with_input(BenchmarkId::new("naive_quadratic", m), &m, |b, _| {
+                b.iter(|| black_box(optimize_confidence_naive(&u, &v, w).expect("valid")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_confidence);
+criterion_main!(benches);

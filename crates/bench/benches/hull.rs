@@ -1,0 +1,66 @@
+//! Ablation: what does Algorithm 4.1's hull *tree* buy over rebuilding
+//! suffix hulls from scratch?
+//!
+//! The tangent walk consumes the suffix hulls `U_0, U_1, …` in order.
+//! The hull tree materializes each in amortized O(1); the strawman
+//! rebuilds each suffix hull with a monotone chain — O(M²) total. This
+//! bench pins the gap, plus the raw cost of `HullTree::build`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_geometry::{upper_hull, HullTree, Point};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Point::new(i as f64, ((state >> 33) % 100_000) as f64)
+        })
+        .collect()
+}
+
+fn bench_hull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hull_tree_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &m in &[512usize, 2048, 8192] {
+        let points = random_points(m, 42);
+        group.throughput(Throughput::Elements(m as u64));
+        // The paper's way: one preparatory phase + full restoration walk.
+        group.bench_with_input(BenchmarkId::new("hull_tree_all_suffixes", m), &m, |b, _| {
+            b.iter(|| {
+                let mut tree = HullTree::build(&points);
+                let mut acc = 0usize;
+                for i in 0..points.len() {
+                    tree.advance_to(i);
+                    acc += tree.len();
+                }
+                black_box(acc)
+            });
+        });
+        // Strawman: monotone chain per suffix (quadratic).
+        group.bench_with_input(BenchmarkId::new("rebuild_each_suffix", m), &m, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for i in 0..points.len() {
+                    acc += upper_hull(&points[i..]).len();
+                }
+                black_box(acc)
+            });
+        });
+        // Raw preparatory phase.
+        group.bench_with_input(BenchmarkId::new("build_only", m), &m, |b, _| {
+            b.iter(|| black_box(HullTree::build(&points).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hull);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §1.3 (Criterion form): end-to-end mining cost — one attribute pair
+//! on planted bank data, and the all-pairs sweep on the §6.1 workload
+//! (8 numeric × 8 Boolean = 64 pairs, one bucketing + one counting scan
+//! per numeric attribute).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optrules_core::{Miner, MinerConfig, Ratio};
+use optrules_relation::gen::{BankGenerator, DataGenerator, UniformWorkload};
+use optrules_relation::{Condition, TupleScan};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_miner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miner_end_to_end");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let bank = BankGenerator::default().to_relation(50_000, 3);
+    let balance = bank.schema().numeric("Balance").expect("attr");
+    let loan = Condition::BoolIs(bank.schema().boolean("CardLoan").expect("attr"), true);
+    let miner = Miner::new(MinerConfig {
+        buckets: 500,
+        min_support: Ratio::percent(10),
+        min_confidence: Ratio::percent(60),
+        ..MinerConfig::default()
+    });
+    group.throughput(Throughput::Elements(bank.len()));
+    group.bench_function("single_pair_bank_50k", |b| {
+        b.iter(|| black_box(miner.mine(&bank, balance, loan.clone()).expect("ok")));
+    });
+
+    let wide = UniformWorkload::paper().to_relation(20_000, 5);
+    group.throughput(Throughput::Elements(wide.len()));
+    group.bench_function("all_pairs_8x8_20k", |b| {
+        b.iter(|| black_box(miner.mine_all_pairs(&wide).expect("ok")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_miner);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! §3.3 (Criterion form): Algorithm 3.2's partitioned counting scan at
+//! 1, 2 and 4 workers. On a multi-core host the speedup tracks core
+//! count (counting is communication-free); on a single-core CI box the
+//! bench documents the thread-management overhead instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bucketing::{
+    count_buckets, count_buckets_parallel, equi_depth_cuts, CountSpec, EquiDepthConfig,
+};
+use optrules_relation::gen::{DataGenerator, UniformWorkload};
+use optrules_relation::{BoolAttr, Condition, NumAttr};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_parallel(c: &mut Criterion) {
+    let n = 200_000u64;
+    let rel = UniformWorkload::paper().to_relation(n, 11);
+    let attr = NumAttr(0);
+    let spec = equi_depth_cuts(&rel, attr, &EquiDepthConfig::paper(1000, 3)).expect("ok");
+    let what = CountSpec {
+        attr,
+        presumptive: Condition::True,
+        bool_targets: (0..8)
+            .map(|i| Condition::BoolIs(BoolAttr(i), true))
+            .collect(),
+        sum_targets: vec![],
+    };
+    let mut group = c.benchmark_group("alg32_parallel_counting");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(n));
+    group.bench_function(BenchmarkId::new("threads", 1), |b| {
+        b.iter(|| black_box(count_buckets(&rel, &spec, &what).expect("ok")));
+    });
+    for &threads in &[2usize, 4] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| black_box(count_buckets_parallel(&rel, &spec, &what, threads).expect("ok")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

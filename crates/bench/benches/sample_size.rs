@@ -1,0 +1,36 @@
+//! Figure 1 (Criterion form): the cost of the binomial-tail machinery
+//! behind the `S = 40·M` rule — single `pe` evaluations, the full
+//! Figure 1 table, and the automated sample-size recommendation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optrules_stats::sample_size::SampleSizeTable;
+use optrules_stats::{bucketing_error_probability, recommended_sample_size, Binomial};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sample_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_sample_size");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &m in &[10u64, 1000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("pe_single", m), &m, |b, &m| {
+            b.iter(|| black_box(bucketing_error_probability(40, m, 0.5)));
+        });
+    }
+    group.bench_function("binomial_tail_s400k", |b| {
+        let bin = Binomial::new(400_000, 1.0 / 10_000.0);
+        b.iter(|| black_box(bin.deviation_probability(0.5)));
+    });
+    group.bench_function("figure1_full_table", |b| {
+        b.iter(|| black_box(SampleSizeTable::paper_figure1()));
+    });
+    group.bench_function("recommended_sample_size_m1000", |b| {
+        b.iter(|| black_box(recommended_sample_size(1000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_size);
+criterion_main!(benches);

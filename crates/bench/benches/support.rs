@@ -1,0 +1,35 @@
+//! Figure 11 (Criterion form): optimized-support rule computation vs
+//! bucket count, minimum confidence 50 % — Algorithms 4.3/4.4 against
+//! the naive O(M²) baseline (capped).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bench::random_uv;
+use optrules_core::naive::optimize_support_naive;
+use optrules_core::{optimize_support, Ratio};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_support(c: &mut Criterion) {
+    let theta = Ratio::percent(50);
+    let mut group = c.benchmark_group("fig11_support");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &m in &[256usize, 1024, 4096, 16384, 65536] {
+        let (u, v) = random_uv(m, 10, m as u64 + 1);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("alg43_44", m), &m, |b, _| {
+            b.iter(|| black_box(optimize_support(&u, &v, theta).expect("valid")));
+        });
+        if m <= 4096 {
+            group.bench_with_input(BenchmarkId::new("naive_quadratic", m), &m, |b, _| {
+                b.iter(|| black_box(optimize_support_naive(&u, &v, theta).expect("valid")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_support);
+criterion_main!(benches);

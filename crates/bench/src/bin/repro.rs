@@ -1,0 +1,630 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p optrules-bench --bin repro -- <target> [--full]
+//! ```
+//!
+//! | target    | reproduces                                            |
+//! |-----------|-------------------------------------------------------|
+//! | `fig1`    | Figure 1: pe vs S/M (δ = 0.5, M ∈ {5, 10, 10000})     |
+//! | `table1`  | Table I: bucket-count error bounds + empirical check  |
+//! | `fig9`    | Figure 9: bucketing algorithms on the §6.1 workload   |
+//! | `fig10`   | Figure 10: optimized-confidence vs naive O(M²)        |
+//! | `fig11`   | Figure 11: optimized-support vs naive O(M²)           |
+//! | `par`     | §3.3: parallel bucketing (Algorithm 3.2)              |
+//! | `kadane`  | §4.2: Kadane's max-gain ≠ optimized support           |
+//! | `avg`     | §5: average-operator ranges on bank data              |
+//! | `allpairs`| §1.3: all numeric × Boolean combinations              |
+//! | `samples` | ablation: bucket quality vs samples-per-bucket        |
+//! | `width`   | ablation: equi-depth vs equi-width (footnote 3)       |
+//! | `all`     | everything above at default scale                     |
+//!
+//! `--full` runs `fig9`/`fig10`/`fig11`/`allpairs` at the paper's data
+//! scales (minutes, hundreds of MB of temp files) instead of the
+//! CI-friendly defaults.
+
+use optrules_bench::{fmt_duration, random_uv, time_best_of, time_once};
+use optrules_bucketing::{
+    count_buckets, count_buckets_parallel, equi_depth_cuts, naive_sort_cuts, vertical_split_cuts,
+    BucketSpec, CountSpec, EquiDepthConfig,
+};
+use optrules_core::average::{maximum_average_range, maximum_support_range};
+use optrules_core::kadane::max_gain_range;
+use optrules_core::naive::{optimize_confidence_naive, optimize_support_naive};
+use optrules_core::twopointer::optimize_confidence_sweep;
+use optrules_core::{approx, optimize_confidence, optimize_support, Miner, MinerConfig, Ratio};
+use optrules_relation::gen::{
+    BankGenerator, DataGenerator, PlantedRangeGenerator, UniformWorkload,
+};
+use optrules_relation::{Condition, FileRelation, NumAttr, TupleScan};
+use optrules_stats::sample_size::SampleSizeTable;
+use optrules_stats::summary;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    match target {
+        "fig1" => fig1(),
+        "table1" => table1(),
+        "fig9" => fig9(full),
+        "fig10" => fig10(full),
+        "fig11" => fig11(full),
+        "par" => par(),
+        "kadane" => kadane(),
+        "avg" => avg(),
+        "allpairs" => allpairs(full),
+        "samples" => samples(),
+        "width" => width(),
+        "all" => {
+            fig1();
+            table1();
+            fig9(full);
+            fig10(full);
+            fig11(full);
+            par();
+            kadane();
+            avg();
+            allpairs(full);
+            samples();
+            width();
+        }
+        other => {
+            eprintln!("unknown target {other:?}; see the module docs for the list");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+// ---------------------------------------------------------------- fig1
+
+/// Figure 1: sample size and the probability of a bucket deviating by
+/// more than 50 %. The paper reads off pe < 0.3 % at S/M = 40.
+fn fig1() {
+    heading("Figure 1 — pe = Pr(|X − S/M| ≥ 0.5·S/M), X ~ B(S, 1/M)");
+    let table = SampleSizeTable::paper_figure1();
+    println!(
+        "{:>5}  {:>12}  {:>12}  {:>12}",
+        "S/M", "M=5", "M=10", "M=10000"
+    );
+    for row in table
+        .rows
+        .iter()
+        .filter(|r| r.samples_per_bucket % 5 == 0 || r.samples_per_bucket <= 5)
+    {
+        println!(
+            "{:>5}  {:>12.6}  {:>12.6}  {:>12.6}",
+            row.samples_per_bucket, row.pe[0], row.pe[1], row.pe[2]
+        );
+    }
+    for &m in &[5u64, 10, 10_000] {
+        let pe = optrules_stats::bucketing_error_probability(40, m, 0.5);
+        println!("pe at S/M = 40, M = {m:>5}: {pe:.5}  (paper: < 0.003)");
+    }
+    let s = optrules_stats::recommended_sample_size(1000);
+    println!("recommended sample size for M = 1000: S = {s} (paper: 40·M = 40000)");
+}
+
+// -------------------------------------------------------------- table1
+
+/// Table I: approximation error vs bucket count, analytic + empirical.
+fn table1() {
+    heading("Table I — error range of approximation vs number of buckets");
+    println!("analytic bounds for support_opt = 30 %, conf_opt = 70 %:");
+    println!(
+        "{:>8}  {:>22}  {:>22}  {:>22}",
+        "buckets", "support (paper)", "confidence (paper)", "confidence (mass)"
+    );
+    for row in approx::table1() {
+        println!(
+            "{:>8}  {:>9.2}% …{:>9.2}%  {:>9.2}% …{:>9.2}%  {:>9.2}% …{:>9.2}%",
+            row.buckets,
+            100.0 * row.paper.support_lo,
+            100.0 * row.paper.support_hi,
+            100.0 * row.paper.conf_lo,
+            100.0 * row.paper.conf_hi,
+            100.0 * row.mass.conf_lo,
+            100.0 * row.mass.conf_hi,
+        );
+    }
+
+    // Empirical: planted band with support 30 %, confidence 70 %.
+    let n = 200_000u64;
+    let theta = Ratio::percent(68);
+    let rel = PlantedRangeGenerator::table1().to_relation(n, 20240610);
+    let attr = NumAttr(0);
+    let what = CountSpec::simple(
+        attr,
+        Condition::BoolIs(optrules_relation::BoolAttr(0), true),
+    );
+
+    // Exact optimum at finest granularity (every distinct value its own
+    // bucket — feasible at this N).
+    let finest = optrules_bucketing::finest_cuts(&rel, attr).expect("non-empty");
+    let counts = count_buckets(&rel, &finest, &what).expect("counting succeeds");
+    let (_, cc) = counts.compact();
+    let exact = optimize_support(&cc.u, &cc.bool_v[0], theta)
+        .expect("valid series")
+        .expect("planted band is confident");
+    let (es, ec) = (exact.support(n), exact.confidence());
+    println!(
+        "\nempirical (N = {n}, θ = 68 %): exact optimum support {:.2}%, confidence {:.2}%",
+        100.0 * es,
+        100.0 * ec
+    );
+
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>14}  {:>14}",
+        "buckets", "approx sup", "approx conf", "sup err (≤2/Ms)", "conf err"
+    );
+    for m in [10usize, 50, 100, 500, 1000] {
+        let spec = equi_depth_cuts(&rel, attr, &EquiDepthConfig::paper(m, 99)).expect("buckets");
+        let counts = count_buckets(&rel, &spec, &what).expect("counting succeeds");
+        let (_, cc) = counts.compact();
+        let approx_opt = optimize_support(&cc.u, &cc.bool_v[0], theta).expect("valid series");
+        match approx_opt {
+            Some(r) => {
+                let (s_, c_) = (r.support(n), r.confidence());
+                println!(
+                    "{:>8}  {:>11.2}%  {:>11.2}%  {:>13.2}%  {:>13.2}%",
+                    m,
+                    100.0 * s_,
+                    100.0 * c_,
+                    100.0 * (s_ - es).abs() / es,
+                    100.0 * (c_ - ec).abs() / ec,
+                );
+            }
+            None => println!("{m:>8}  no confident range at this granularity"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- fig9
+
+/// Figure 9: bucketing time on the §6.1 workload — 8 numeric + 8
+/// Boolean attributes, 1000 buckets per numeric attribute, counts per
+/// Boolean attribute. Compares Algorithm 3.1, Vertical Split Sort and
+/// Naive Sort end to end (boundary construction + counting scan).
+fn fig9(full: bool) {
+    heading("Figure 9 — bucketing algorithms, §6.1 workload (72 B/tuple)");
+    let sizes: &[u64] = if full {
+        &[500_000, 1_000_000, 2_000_000, 5_000_000]
+    } else {
+        &[100_000, 200_000, 500_000]
+    };
+    println!(
+        "{:>10}  {:>12}  {:>14}  {:>12}  {:>8}  {:>8}",
+        "tuples", "Alg 3.1", "VertSplit", "NaiveSort", "vs naive", "vs vsplit"
+    );
+    for &n in sizes {
+        let path =
+            std::env::temp_dir().join(format!("optrules-fig9-{}-{n}.rel", std::process::id()));
+        let rel = UniformWorkload::paper()
+            .to_file(&path, n, 91)
+            .expect("workload written");
+        let schema = rel.schema().clone();
+        let bool_targets: Vec<Condition> = schema
+            .boolean_attrs()
+            .map(|b| Condition::BoolIs(b, true))
+            .collect();
+        let count_for = |rel: &FileRelation, attr: NumAttr, spec: &BucketSpec| {
+            let what = CountSpec {
+                attr,
+                presumptive: Condition::True,
+                bool_targets: bool_targets.clone(),
+                sum_targets: vec![],
+            };
+            count_buckets(rel, spec, &what).expect("counting succeeds")
+        };
+        // Each method performs the full task for all 8 numeric attrs.
+        let (_, alg31) = time_once(|| {
+            for attr in schema.numeric_attrs() {
+                let spec = equi_depth_cuts(&rel, attr, &EquiDepthConfig::paper(1000, 5))
+                    .expect("bucketing succeeds");
+                std::hint::black_box(count_for(&rel, attr, &spec));
+            }
+        });
+        let (_, vsplit) = time_once(|| {
+            for attr in schema.numeric_attrs() {
+                let spec = vertical_split_cuts(&rel, attr, 1000).expect("bucketing succeeds");
+                std::hint::black_box(count_for(&rel, attr, &spec));
+            }
+        });
+        let (_, naive) = time_once(|| {
+            for attr in schema.numeric_attrs() {
+                let spec = naive_sort_cuts(&rel, attr, 1000).expect("bucketing succeeds");
+                std::hint::black_box(count_for(&rel, attr, &spec));
+            }
+        });
+        println!(
+            "{:>10}  {:>12}  {:>14}  {:>12}  {:>7.1}x  {:>7.1}x",
+            n,
+            fmt_duration(alg31),
+            fmt_duration(vsplit),
+            fmt_duration(naive),
+            naive.as_secs_f64() / alg31.as_secs_f64(),
+            vsplit.as_secs_f64() / alg31.as_secs_f64(),
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    println!("(paper: Alg 3.1 ≥ 10x over Naive Sort, 2-4x over Vertical Split for N ≥ 10⁶;");
+    println!(" 1996 gaps were amplified by 96 MB RAM forcing out-of-core sorts)");
+}
+
+// --------------------------------------------------------------- fig10
+
+/// Figure 10: optimized-confidence rule computation vs bucket count,
+/// minimum support 5 %.
+fn fig10(full: bool) {
+    heading("Figure 10 — optimized-confidence rules, min support 5 %");
+    let ms: &[usize] = if full {
+        &[
+            100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+        ]
+    } else {
+        &[100, 500, 1_000, 5_000, 10_000, 100_000]
+    };
+    let naive_cap = if full { 50_000 } else { 10_000 };
+    println!(
+        "{:>9}  {:>12}  {:>12}  {:>12}  {:>9}",
+        "buckets", "hull (4.2)", "sweep", "naive", "speedup"
+    );
+    for &m in ms {
+        let (u, v) = random_uv(m, 10, m as u64);
+        let total: u64 = u.iter().sum();
+        let w = total / 20; // 5 %
+        let budget = Duration::from_millis(200);
+        let fast = time_best_of(budget, || {
+            std::hint::black_box(optimize_confidence(&u, &v, w).expect("valid series"));
+        });
+        let sweep = time_best_of(budget, || {
+            std::hint::black_box(optimize_confidence_sweep(&u, &v, w).expect("valid series"));
+        });
+        let naive = (m <= naive_cap).then(|| {
+            time_best_of(budget, || {
+                std::hint::black_box(optimize_confidence_naive(&u, &v, w).expect("valid series"));
+            })
+        });
+        // Results must agree (confidence as an exact fraction).
+        let a = optimize_confidence(&u, &v, w).unwrap();
+        if let Some(b) = (m <= naive_cap).then(|| optimize_confidence_naive(&u, &v, w).unwrap()) {
+            assert_eq!(a, b, "fast and naive disagree at M = {m}");
+        }
+        println!(
+            "{:>9}  {:>12}  {:>12}  {:>12}  {:>9}",
+            m,
+            fmt_duration(fast),
+            fmt_duration(sweep),
+            naive.map_or("-".into(), fmt_duration),
+            naive.map_or("-".into(), |n| format!(
+                "{:.0}x",
+                n.as_secs_f64() / fast.as_secs_f64()
+            )),
+        );
+    }
+    println!("(paper: > 10x over naive beyond ~500 buckets, linear growth;");
+    println!(" the 1996 slowdown above 800k buckets was paging on a 96 MB machine)");
+}
+
+// --------------------------------------------------------------- fig11
+
+/// Figure 11: optimized-support rule computation vs bucket count,
+/// minimum confidence 50 %.
+fn fig11(full: bool) {
+    heading("Figure 11 — optimized-support rules, min confidence 50 %");
+    let ms: &[usize] = if full {
+        &[
+            100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+        ]
+    } else {
+        &[100, 500, 1_000, 5_000, 10_000, 100_000]
+    };
+    let naive_cap = if full { 50_000 } else { 10_000 };
+    let theta = Ratio::percent(50);
+    println!(
+        "{:>9}  {:>12}  {:>12}  {:>9}",
+        "buckets", "Alg 4.3/4.4", "naive", "speedup"
+    );
+    for &m in ms {
+        let (u, v) = random_uv(m, 10, m as u64 + 1);
+        let budget = Duration::from_millis(200);
+        let fast = time_best_of(budget, || {
+            std::hint::black_box(optimize_support(&u, &v, theta).expect("valid series"));
+        });
+        let naive = (m <= naive_cap).then(|| {
+            time_best_of(budget, || {
+                std::hint::black_box(optimize_support_naive(&u, &v, theta).expect("valid series"));
+            })
+        });
+        let a = optimize_support(&u, &v, theta).unwrap();
+        if let Some(b) = (m <= naive_cap).then(|| optimize_support_naive(&u, &v, theta).unwrap()) {
+            assert_eq!(a, b, "fast and naive disagree at M = {m}");
+        }
+        println!(
+            "{:>9}  {:>12}  {:>12}  {:>9}",
+            m,
+            fmt_duration(fast),
+            naive.map_or("-".into(), fmt_duration),
+            naive.map_or("-".into(), |n| format!(
+                "{:.0}x",
+                n.as_secs_f64() / fast.as_secs_f64()
+            )),
+        );
+    }
+    println!("(paper: > 10x over naive beyond ~100 buckets, linear growth)");
+}
+
+// ----------------------------------------------------------------- par
+
+/// §3.3: Algorithm 3.2 — partitioned counting across worker threads.
+fn par() {
+    heading("§3.3 — parallel bucketing (Algorithm 3.2)");
+    let n = 500_000u64;
+    let rel = UniformWorkload::paper().to_relation(n, 11);
+    let attr = NumAttr(0);
+    let spec = equi_depth_cuts(&rel, attr, &EquiDepthConfig::paper(1000, 3)).expect("buckets");
+    let what = CountSpec {
+        attr,
+        presumptive: Condition::True,
+        bool_targets: (0..8)
+            .map(|i| Condition::BoolIs(optrules_relation::BoolAttr(i), true))
+            .collect(),
+        sum_targets: vec![],
+    };
+    let seq = count_buckets(&rel, &spec, &what).expect("counting succeeds");
+    println!("{:>8}  {:>12}  {:>8}", "threads", "count time", "speedup");
+    let base = time_best_of(Duration::from_millis(500), || {
+        std::hint::black_box(count_buckets(&rel, &spec, &what).expect("ok"));
+    });
+    println!("{:>8}  {:>12}  {:>8}", 1, fmt_duration(base), "1.0x");
+    for threads in [2usize, 4, 8] {
+        let par = count_buckets_parallel(&rel, &spec, &what, threads).expect("ok");
+        assert_eq!(par.u, seq.u, "parallel counts must equal sequential");
+        let t = time_best_of(Duration::from_millis(500), || {
+            std::hint::black_box(count_buckets_parallel(&rel, &spec, &what, threads).expect("ok"));
+        });
+        println!(
+            "{:>8}  {:>12}  {:>7.1}x",
+            threads,
+            fmt_duration(t),
+            base.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+    println!(
+        "(counting is communication-free; speedup tracks available cores — this host has {})",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+}
+
+// -------------------------------------------------------------- kadane
+
+/// §4.2: the max-gain range is not the optimized-support range.
+fn kadane() {
+    heading("§4.2 — Kadane's max-gain range vs optimized-support range");
+    let theta = Ratio::percent(50);
+    let u = [2u64, 2, 2];
+    let v = [2u64, 0, 1];
+    let k = max_gain_range(&u, &v, theta)
+        .expect("valid")
+        .expect("non-empty");
+    let o = optimize_support(&u, &v, theta)
+        .expect("valid")
+        .expect("confident");
+    println!("buckets (u, v): {:?}", u.iter().zip(&v).collect::<Vec<_>>());
+    println!(
+        "Kadane max-gain range   : buckets {}..={}  (gain {}, support {})",
+        k.s,
+        k.t,
+        k.gain,
+        u[k.s..=k.t].iter().sum::<u64>()
+    );
+    println!(
+        "optimized-support range : buckets {}..={}  (support {}, confidence {:.2})",
+        o.s,
+        o.t,
+        o.sup_count,
+        o.confidence()
+    );
+    println!("the confident superset wins on support — gain maximization is the wrong objective");
+}
+
+// ----------------------------------------------------------------- avg
+
+/// §5: maximum-average and maximum-support ranges on bank data.
+fn avg() {
+    heading("§5 — optimized ranges for the average operator");
+    let rel = BankGenerator::default().to_relation(200_000, 5);
+    let schema = rel.schema().clone();
+    let checking = schema.numeric("CheckingAccount").expect("attr");
+    let saving = schema.numeric("SavingAccount").expect("attr");
+    let spec = equi_depth_cuts(&rel, checking, &EquiDepthConfig::paper(1000, 17)).expect("ok");
+    let what = CountSpec::averaging(checking, saving);
+    let counts = count_buckets(&rel, &spec, &what).expect("ok");
+    let (_, cc) = counts.compact();
+    let n = counts.total_rows;
+
+    for min_sup_pct in [5u64, 10, 25] {
+        let w = Ratio::percent(min_sup_pct).min_count(n);
+        let r = maximum_average_range(&cc.u, &cc.sums[0], w)
+            .expect("valid")
+            .expect("ample range exists");
+        println!(
+            "max-average range, support ≥ {min_sup_pct:>2}%: CheckingAccount in [{:.0}, {:.0}], avg(Saving) = {:.0}",
+            cc.ranges[r.s].0,
+            cc.ranges[r.t].1,
+            r.average()
+        );
+    }
+    for min_avg in [8_000.0, 10_000.0, 14_000.0] {
+        match maximum_support_range(&cc.u, &cc.sums[0], min_avg).expect("valid") {
+            Some(r) => println!(
+                "max-support range, avg ≥ {min_avg:>6.0}: CheckingAccount in [{:.0}, {:.0}], support {:.1}%",
+                cc.ranges[r.s].0,
+                cc.ranges[r.t].1,
+                100.0 * r.support(n)
+            ),
+            None => println!("max-support range, avg ≥ {min_avg:>6.0}: none"),
+        }
+    }
+}
+
+// ------------------------------------------------------------ allpairs
+
+/// §1.3: "a complete set of optimized rules for all combinations of
+/// hundreds of numeric and Boolean attributes in a reasonable time".
+fn allpairs(full: bool) {
+    heading("§1.3 — all-pairs mining sweep");
+    let (n_num, n_bool, rows) = if full {
+        (50, 50, 200_000)
+    } else {
+        (20, 20, 50_000)
+    };
+    let workload = UniformWorkload::new(n_num, n_bool, (0.0, 1_000_000.0), 0.5);
+    let rel = workload.to_relation(rows, 31);
+    let miner = Miner::new(MinerConfig {
+        buckets: 200,
+        min_support: Ratio::percent(10),
+        min_confidence: Ratio::percent(55),
+        ..MinerConfig::default()
+    });
+    let (pairs, took) = time_once(|| miner.mine_all_pairs(&rel).expect("mining succeeds"));
+    let found: usize = pairs
+        .iter()
+        .filter(|p| p.optimized_support.is_some() || p.optimized_confidence.is_some())
+        .count();
+    println!(
+        "{} numeric x {} boolean attributes over {} rows: {} pairs mined in {}",
+        n_num,
+        n_bool,
+        rows,
+        pairs.len(),
+        fmt_duration(took)
+    );
+    println!(
+        "pairs with at least one rule: {found} (independent data ⇒ optimized-confidence rules \
+         exist at ~50 %, optimized-support rules appear only from sampling noise)"
+    );
+    let per_pair = took / pairs.len() as u32;
+    println!("per-pair cost: {}", fmt_duration(per_pair));
+}
+
+// --------------------------------------------------------------- width
+
+/// Ablation for footnote 3: equi-depth vs equi-width buckets under
+/// value skew. The planted band lives in the dense region; equi-width
+/// buckets blur it away while equi-depth resolves it.
+fn width() {
+    heading("ablation — equi-depth vs equi-width buckets (footnote 3)");
+    // Skewed attribute: planted band inside a dense region near zero
+    // plus a long sparse tail. Support of band ≈ 30 % with conf 70 %.
+    let n = 100_000u64;
+    let schema = optrules_relation::Schema::builder()
+        .numeric("A")
+        .boolean("C")
+        .build();
+    let mut rel = optrules_relation::Relation::with_capacity(schema, n as usize);
+    {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..n {
+            // 90 % of the mass in [0, 10), 10 % spread over [10, 1000).
+            let a = if rng.gen_bool(0.9) {
+                rng.gen_range(0.0..10.0)
+            } else {
+                rng.gen_range(10.0..1000.0)
+            };
+            let in_band = (3.0..6.0).contains(&a); // ≈ 27 % of all tuples
+            let c = rng.gen_bool(if in_band { 0.70 } else { 0.10 });
+            rel.push_row(&[a], &[c]).expect("schema matches");
+        }
+    }
+    let attr = NumAttr(0);
+    let what = CountSpec::simple(
+        attr,
+        Condition::BoolIs(optrules_relation::BoolAttr(0), true),
+    );
+    let theta = Ratio::percent(65);
+    println!(
+        "{:>12}  {:>8}  {:>12}  {:>12}  {:>18}",
+        "bucketing", "buckets", "approx sup", "approx conf", "recovered range"
+    );
+    for m in [20usize, 100] {
+        for (name, spec) in [
+            (
+                "equi-depth",
+                equi_depth_cuts(&rel, attr, &EquiDepthConfig::paper(m, 9)).expect("ok"),
+            ),
+            (
+                "equi-width",
+                optrules_bucketing::equi_width_cuts(&rel, attr, m).expect("ok"),
+            ),
+        ] {
+            let counts = count_buckets(&rel, &spec, &what).expect("ok");
+            let (_, cc) = counts.compact();
+            match optimize_support(&cc.u, &cc.bool_v[0], theta).expect("valid") {
+                Some(r) => println!(
+                    "{:>12}  {:>8}  {:>11.2}%  {:>11.2}%  [{:.2}, {:.2}]",
+                    name,
+                    m,
+                    100.0 * r.support(n),
+                    100.0 * r.confidence(),
+                    cc.ranges[r.s].0,
+                    cc.ranges[r.t].1,
+                ),
+                None => println!(
+                    "{name:>12}  {m:>8}  band invisible at this granularity (no confident range)"
+                ),
+            }
+        }
+    }
+    println!("(planted: A in [3, 6), support ≈ 27 %, confidence 70 %; equi-width buckets");
+    println!(" spend almost all their resolution on the sparse tail)");
+}
+
+// ------------------------------------------------------------- samples
+
+/// Ablation: bucket-size quality vs samples-per-bucket (§3.2's S = 40·M
+/// rule in practice).
+fn samples() {
+    heading("ablation — bucket quality vs samples per bucket (M = 1000)");
+    let n = 500_000u64;
+    let rel = UniformWorkload::new(1, 0, (0.0, 1.0), 0.5).to_relation(n, 3);
+    let attr = NumAttr(0);
+    let what = CountSpec::simple(attr, Condition::True);
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>12}",
+        "S/M", "size CV", "max dev", "pe(δ=0.5)"
+    );
+    for spb in [5u64, 10, 20, 40, 80] {
+        let cfg = EquiDepthConfig {
+            buckets: 1000,
+            samples_per_bucket: spb,
+            seed: 1234,
+            method: optrules_bucketing::SamplingMethod::WithReplacement,
+        };
+        let spec = equi_depth_cuts(&rel, attr, &cfg).expect("buckets");
+        let counts = count_buckets(&rel, &spec, &what).expect("counting succeeds");
+        let sizes: Vec<f64> = counts.u.iter().map(|&u| u as f64).collect();
+        let pe = optrules_stats::bucketing_error_probability(spb, 1000, 0.5);
+        println!(
+            "{:>6}  {:>10.4}  {:>9.1}%  {:>12.6}",
+            spb,
+            summary::coeff_of_variation(&sizes),
+            100.0 * summary::max_relative_deviation(&sizes),
+            pe
+        );
+    }
+    println!("(the paper picks S/M = 40: the knee where pe < 0.3 %)");
+}

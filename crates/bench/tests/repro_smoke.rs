@@ -1,0 +1,49 @@
+//! Smoke tests for the `repro` figure/table harness: the fast targets
+//! must run to completion and print their headline numbers. (The heavy
+//! targets — fig9/fig10/fig11 at scale — are exercised manually and in
+//! benches; re-running them per test invocation would dominate CI.)
+
+use std::process::Command;
+
+fn run(target: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg(target)
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "repro {target} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8")
+}
+
+#[test]
+fn fig1_reports_the_forty_rule() {
+    let out = run("fig1");
+    assert!(out.contains("Figure 1"), "{out}");
+    // The paper's headline: pe < 0.3 % at S/M = 40 for every M.
+    for m in ["M =     5", "M =    10", "M = 10000"] {
+        assert!(out.contains(m), "{out}");
+    }
+    assert!(out.contains("recommended sample size"), "{out}");
+}
+
+#[test]
+fn kadane_demonstrates_inequivalence() {
+    let out = run("kadane");
+    assert!(out.contains("Kadane max-gain range"), "{out}");
+    assert!(out.contains("optimized-support range"), "{out}");
+    // The optimized range must report the larger support (6 vs 2).
+    assert!(out.contains("support 6"), "{out}");
+}
+
+#[test]
+fn unknown_target_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("nonsense")
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown target"));
+}

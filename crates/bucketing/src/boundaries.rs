@@ -1,0 +1,114 @@
+//! Bucket boundaries from a sorted sample (Algorithm 3.1, step 3).
+//!
+//! "Scan the sorted sample and set the `i(S/M)`-th smallest sample to
+//! `p_i` for each `i = 1, …, M−1`. Let `p_0` be `−∞` and `p_M` be `+∞`."
+//! The resulting cuts are the sample's `i/M` quantiles; if the sample
+//! has heavy value repetition, adjacent quantiles can coincide and
+//! [`crate::bucket::BucketSpec::from_cuts`] merges them (fewer, still
+//! non-empty buckets) rather than emitting empty buckets.
+
+use crate::bucket::BucketSpec;
+use crate::error::{BucketingError, Result};
+
+/// Extracts `m`-bucket cuts from a sample. The sample is sorted in
+/// place (step 2 of Algorithm 3.1: "Sort the sample in O(S log S)").
+///
+/// # Errors
+///
+/// Fails if the sample is empty or `m` is zero.
+pub fn cuts_from_sample(sample: &mut [f64], m: usize) -> Result<BucketSpec> {
+    if m == 0 {
+        return Err(BucketingError::ZeroBuckets);
+    }
+    if sample.is_empty() {
+        return Err(BucketingError::EmptySample);
+    }
+    sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    Ok(cuts_from_sorted_sample(sample, m))
+}
+
+/// Like [`cuts_from_sample`] but requires `sample` already sorted.
+///
+/// # Panics
+///
+/// Debug-panics if the sample is not sorted.
+pub fn cuts_from_sorted_sample(sample: &[f64], m: usize) -> BucketSpec {
+    debug_assert!(sample.windows(2).all(|w| w[0] <= w[1]), "sample not sorted");
+    assert!(m >= 1 && !sample.is_empty());
+    let s = sample.len();
+    let mut cuts = Vec::with_capacity(m.saturating_sub(1));
+    for i in 1..m {
+        // The i(S/M)-th smallest element, 1-indexed → index i·S/M − 1.
+        // Integer arithmetic keeps ranks exact when S is a multiple of M
+        // (the S = 40·M default).
+        let rank = (i * s) / m;
+        let idx = rank.saturating_sub(1).min(s - 1);
+        cuts.push(sample[idx]);
+    }
+    BucketSpec::from_cuts(cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_ramp() {
+        // Sample 1..=40, M = 4: cuts at the 10th, 20th, 30th smallest.
+        let mut sample: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+        let spec = cuts_from_sample(&mut sample, 4).unwrap();
+        assert_eq!(spec.cuts(), &[10.0, 20.0, 30.0]);
+        // Each bucket then holds exactly 10 of the sample values.
+        let mut counts = [0usize; 4];
+        for i in 1..=40 {
+            counts[spec.bucket_of(i as f64)] += 1;
+        }
+        assert_eq!(counts, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let mut sample = vec![5.0, 1.0, 3.0, 2.0, 4.0, 6.0];
+        let spec = cuts_from_sample(&mut sample, 2).unwrap();
+        assert_eq!(spec.cuts(), &[3.0]);
+    }
+
+    #[test]
+    fn single_bucket_no_cuts() {
+        let mut sample = vec![1.0, 2.0];
+        let spec = cuts_from_sample(&mut sample, 1).unwrap();
+        assert_eq!(spec.bucket_count(), 1);
+    }
+
+    #[test]
+    fn repeated_values_merge_buckets() {
+        // A sample that is 90 % one value: most quantiles coincide.
+        let mut sample = vec![7.0; 90];
+        sample.extend((0..10).map(|i| i as f64));
+        let spec = cuts_from_sample(&mut sample, 10).unwrap();
+        // Far fewer than 10 buckets survive, but none can be empty by
+        // construction of the dedup.
+        assert!(spec.bucket_count() < 10);
+        assert!(spec.bucket_count() >= 2);
+    }
+
+    #[test]
+    fn m_larger_than_sample() {
+        let mut sample = vec![1.0, 2.0, 3.0];
+        let spec = cuts_from_sample(&mut sample, 10).unwrap();
+        // At most one bucket per distinct sample value.
+        assert!(spec.bucket_count() <= 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            cuts_from_sample(&mut [], 4),
+            Err(BucketingError::EmptySample)
+        ));
+        assert!(matches!(
+            cuts_from_sample(&mut [1.0], 0),
+            Err(BucketingError::ZeroBuckets)
+        ));
+    }
+}

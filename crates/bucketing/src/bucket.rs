@@ -1,0 +1,264 @@
+//! Bucket boundaries and counts (Definitions 2.5, 2.6).
+//!
+//! A bucket sequence is determined by `M − 1` cut values
+//! `c_0 < c_1 < … < c_{M−2}`: bucket 0 covers `(−∞, c_0]`, bucket `j`
+//! covers `(c_{j−1}, c_j]`, and bucket `M−1` covers `(c_{M−2}, +∞)` —
+//! the paper's assignment rule "find `i` such that `p_{i−1} < x ≤ p_i`".
+
+/// Bucket boundaries over one numeric attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketSpec {
+    /// Strictly increasing cut values; `cuts.len() + 1` buckets.
+    cuts: Vec<f64>,
+}
+
+impl BucketSpec {
+    /// Creates a spec from cut values, sorting and deduplicating.
+    /// Duplicate or unordered cuts can arise from sample quantiles on
+    /// heavily repeated values; deduplication merges the would-be-empty
+    /// buckets they delimit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cut is NaN.
+    pub fn from_cuts(mut cuts: Vec<f64>) -> Self {
+        assert!(cuts.iter().all(|c| !c.is_nan()), "NaN bucket cut");
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("checked non-NaN"));
+        cuts.dedup();
+        Self { cuts }
+    }
+
+    /// A single bucket covering everything (no cuts).
+    pub fn single() -> Self {
+        Self { cuts: Vec::new() }
+    }
+
+    /// Number of buckets (`M`).
+    pub fn bucket_count(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The cut values.
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// Bucket index of value `x`: the unique `i` with
+    /// `c_{i−1} < x ≤ c_i` (binary search, O(log M)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optrules_bucketing::BucketSpec;
+    /// let spec = BucketSpec::from_cuts(vec![10.0, 20.0]);
+    /// assert_eq!(spec.bucket_of(5.0), 0);
+    /// assert_eq!(spec.bucket_of(10.0), 0);  // boundary belongs left
+    /// assert_eq!(spec.bucket_of(10.5), 1);
+    /// assert_eq!(spec.bucket_of(25.0), 2);
+    /// ```
+    #[inline]
+    pub fn bucket_of(&self, x: f64) -> usize {
+        self.cuts.partition_point(|&c| c < x)
+    }
+
+    /// The half-open value interval `(lo, hi]` covered by bucket `i`,
+    /// with `±∞` at the extremes.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bucket_count(), "bucket {i} out of range");
+        let lo = if i == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.cuts[i - 1]
+        };
+        let hi = if i == self.cuts.len() {
+            f64::INFINITY
+        } else {
+            self.cuts[i]
+        };
+        (lo, hi)
+    }
+}
+
+/// Per-bucket counts produced by a counting scan (Definition 2.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketCounts {
+    /// `u_i`: tuples assigned to bucket `i` (after the presumptive
+    /// filter, if any).
+    pub u: Vec<u64>,
+    /// `v_i` per Boolean target: tuples in bucket `i` also meeting the
+    /// target condition. Indexed `[target][bucket]`.
+    pub bool_v: Vec<Vec<u64>>,
+    /// Per-bucket value sums per numeric target (Section 5's `Σ t[B]`).
+    /// Indexed `[target][bucket]`.
+    pub sums: Vec<Vec<f64>>,
+    /// Observed `[min, max]` attribute value per bucket; empty buckets
+    /// hold `(∞, −∞)`.
+    pub ranges: Vec<(f64, f64)>,
+    /// Total rows scanned (the relation's `N`, before any filter).
+    pub total_rows: u64,
+}
+
+impl BucketCounts {
+    /// Creates zeroed counts for `buckets` buckets, `n_bool` Boolean
+    /// targets and `n_sum` sum targets.
+    pub fn zeroed(buckets: usize, n_bool: usize, n_sum: usize) -> Self {
+        Self {
+            u: vec![0; buckets],
+            bool_v: vec![vec![0; buckets]; n_bool],
+            sums: vec![vec![0.0; buckets]; n_sum],
+            ranges: vec![(f64::INFINITY, f64::NEG_INFINITY); buckets],
+            total_rows: 0,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.u.len()
+    }
+
+    /// Tuples counted across all buckets (`Σ u_i`).
+    pub fn counted(&self) -> u64 {
+        self.u.iter().sum()
+    }
+
+    /// Merges another count set into this one (used by Algorithm 3.2's
+    /// coordinator; the partitions are disjoint so counts just add).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &BucketCounts) {
+        assert_eq!(self.u.len(), other.u.len(), "bucket count mismatch");
+        assert_eq!(self.bool_v.len(), other.bool_v.len());
+        assert_eq!(self.sums.len(), other.sums.len());
+        for (a, b) in self.u.iter_mut().zip(&other.u) {
+            *a += b;
+        }
+        for (va, vb) in self.bool_v.iter_mut().zip(&other.bool_v) {
+            for (a, b) in va.iter_mut().zip(vb) {
+                *a += b;
+            }
+        }
+        for (sa, sb) in self.sums.iter_mut().zip(&other.sums) {
+            for (a, b) in sa.iter_mut().zip(sb) {
+                *a += b;
+            }
+        }
+        for (ra, rb) in self.ranges.iter_mut().zip(&other.ranges) {
+            ra.0 = ra.0.min(rb.0);
+            ra.1 = ra.1.max(rb.1);
+        }
+        self.total_rows += other.total_rows;
+    }
+
+    /// Drops empty buckets (`u_i = 0`), which arise when sample
+    /// quantiles leave a gap with no tuples. The rule algorithms assume
+    /// `u_i ≥ 1` (slopes need strictly increasing cumulative x), so
+    /// callers compact before optimizing. Returns the kept original
+    /// bucket indices alongside the compacted counts.
+    pub fn compact(&self) -> (Vec<usize>, BucketCounts) {
+        let kept: Vec<usize> = (0..self.u.len()).filter(|&i| self.u[i] > 0).collect();
+        let pick_u64 = |xs: &Vec<u64>| kept.iter().map(|&i| xs[i]).collect::<Vec<_>>();
+        let compacted = BucketCounts {
+            u: pick_u64(&self.u),
+            bool_v: self.bool_v.iter().map(pick_u64).collect(),
+            sums: self
+                .sums
+                .iter()
+                .map(|xs| kept.iter().map(|&i| xs[i]).collect())
+                .collect(),
+            ranges: kept.iter().map(|&i| self.ranges[i]).collect(),
+            total_rows: self.total_rows,
+        };
+        (kept, compacted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_boundaries() {
+        let spec = BucketSpec::from_cuts(vec![0.0, 1.0, 2.0]);
+        assert_eq!(spec.bucket_count(), 4);
+        assert_eq!(spec.bucket_of(-5.0), 0);
+        assert_eq!(spec.bucket_of(0.0), 0);
+        assert_eq!(spec.bucket_of(1e-9), 1);
+        assert_eq!(spec.bucket_of(1.0), 1);
+        assert_eq!(spec.bucket_of(2.0), 2);
+        assert_eq!(spec.bucket_of(2.1), 3);
+    }
+
+    #[test]
+    fn from_cuts_sorts_and_dedups() {
+        let spec = BucketSpec::from_cuts(vec![3.0, 1.0, 3.0, 2.0, 1.0]);
+        assert_eq!(spec.cuts(), &[1.0, 2.0, 3.0]);
+        assert_eq!(spec.bucket_count(), 4);
+    }
+
+    #[test]
+    fn single_bucket_spec() {
+        let spec = BucketSpec::single();
+        assert_eq!(spec.bucket_count(), 1);
+        assert_eq!(spec.bucket_of(f64::MIN), 0);
+        assert_eq!(spec.bucket_of(f64::MAX), 0);
+        assert_eq!(spec.bucket_bounds(0), (f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn bucket_bounds_cover_line() {
+        let spec = BucketSpec::from_cuts(vec![10.0, 20.0]);
+        assert_eq!(spec.bucket_bounds(0), (f64::NEG_INFINITY, 10.0));
+        assert_eq!(spec.bucket_bounds(1), (10.0, 20.0));
+        assert_eq!(spec.bucket_bounds(2), (20.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = BucketCounts::zeroed(2, 1, 1);
+        a.u = vec![1, 2];
+        a.bool_v[0] = vec![1, 0];
+        a.sums[0] = vec![0.5, 1.5];
+        a.ranges = vec![(0.0, 1.0), (2.0, 3.0)];
+        a.total_rows = 3;
+        let mut b = BucketCounts::zeroed(2, 1, 1);
+        b.u = vec![10, 20];
+        b.bool_v[0] = vec![5, 5];
+        b.sums[0] = vec![1.0, 1.0];
+        b.ranges = vec![(-1.0, 0.5), (2.5, 4.0)];
+        b.total_rows = 30;
+        a.merge(&b);
+        assert_eq!(a.u, vec![11, 22]);
+        assert_eq!(a.bool_v[0], vec![6, 5]);
+        assert_eq!(a.sums[0], vec![1.5, 2.5]);
+        assert_eq!(a.ranges, vec![(-1.0, 1.0), (2.0, 4.0)]);
+        assert_eq!(a.total_rows, 33);
+    }
+
+    #[test]
+    fn compact_removes_empty() {
+        let mut c = BucketCounts::zeroed(4, 1, 0);
+        c.u = vec![3, 0, 5, 0];
+        c.bool_v[0] = vec![1, 0, 2, 0];
+        c.ranges = vec![
+            (0.0, 1.0),
+            (f64::INFINITY, f64::NEG_INFINITY),
+            (2.0, 3.0),
+            (f64::INFINITY, f64::NEG_INFINITY),
+        ];
+        c.total_rows = 8;
+        let (kept, cc) = c.compact();
+        assert_eq!(kept, vec![0, 2]);
+        assert_eq!(cc.u, vec![3, 5]);
+        assert_eq!(cc.bool_v[0], vec![1, 2]);
+        assert_eq!(cc.ranges, vec![(0.0, 1.0), (2.0, 3.0)]);
+        assert_eq!(cc.total_rows, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_cut_rejected() {
+        let _ = BucketSpec::from_cuts(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the bucketing subsystem.
+
+use optrules_relation::RelationError;
+use std::fmt;
+
+/// Errors produced while building or counting buckets.
+#[derive(Debug)]
+pub enum BucketingError {
+    /// Underlying storage error.
+    Relation(RelationError),
+    /// The relation has no rows, so no buckets can be formed.
+    EmptyRelation,
+    /// Requested bucket count is zero.
+    ZeroBuckets,
+    /// The sample was empty (can only happen with an empty relation).
+    EmptySample,
+}
+
+impl fmt::Display for BucketingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Relation(e) => write!(f, "storage error: {e}"),
+            Self::EmptyRelation => write!(f, "cannot bucket an empty relation"),
+            Self::ZeroBuckets => write!(f, "bucket count must be at least 1"),
+            Self::EmptySample => write!(f, "sample is empty"),
+        }
+    }
+}
+
+impl std::error::Error for BucketingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for BucketingError {
+    fn from(e: RelationError) -> Self {
+        Self::Relation(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, BucketingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(BucketingError::EmptyRelation.to_string().contains("empty"));
+        assert!(BucketingError::ZeroBuckets.source().is_none());
+        let wrapped = BucketingError::from(RelationError::UnknownAttribute("x".into()));
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("storage error"));
+    }
+}

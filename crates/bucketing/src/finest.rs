@@ -1,0 +1,98 @@
+//! Finest buckets (Definition 2.5, Example 2.4).
+//!
+//! A bucket is *finest* when it covers exactly one value, `B = [x, x]`.
+//! With finest buckets every possible range is a union of consecutive
+//! buckets, so optimizing over them yields the **exact** optimal rule —
+//! feasible when the attribute's domain is small (the paper's age
+//! example: 121 finest buckets) or, in tests, when N is small enough to
+//! sort outright. The Table I reproduction uses finest buckets as the
+//! exact-optimum reference that coarse bucketings are compared against.
+
+use crate::bucket::BucketSpec;
+use crate::error::{BucketingError, Result};
+use optrules_relation::{NumAttr, TupleScan};
+
+/// Builds one finest bucket per distinct value of `attr`.
+///
+/// Cuts are the distinct values themselves (all but the largest), so
+/// bucket `i` covers `(v_{i−1}, v_i]` and contains exactly the tuples
+/// with value `v_i`.
+///
+/// # Errors
+///
+/// Fails on an empty relation or storage errors.
+pub fn finest_cuts<T: TupleScan + ?Sized>(rel: &T, attr: NumAttr) -> Result<BucketSpec> {
+    if rel.is_empty() {
+        return Err(BucketingError::EmptyRelation);
+    }
+    let mut values: Vec<f64> = Vec::with_capacity(rel.len() as usize);
+    rel.for_each_row(&mut |_, nums, _| values.push(nums[attr.0]))?;
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN attribute value"));
+    values.dedup();
+    // Drop the largest value: the last bucket is open above.
+    values.pop();
+    Ok(BucketSpec::from_cuts(values))
+}
+
+/// Builds finest buckets for a known small integer domain `lo..=hi`
+/// without scanning (Example 2.4's "121 finest buckets for age").
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn finest_cuts_for_integer_domain(lo: i64, hi: i64) -> BucketSpec {
+    assert!(lo <= hi, "empty domain {lo}..={hi}");
+    BucketSpec::from_cuts((lo..hi).map(|v| v as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optrules_relation::{Relation, Schema};
+
+    #[test]
+    fn one_bucket_per_distinct_value() {
+        let schema = Schema::builder().numeric("Age").build();
+        let mut rel = Relation::new(schema);
+        for &age in &[30.0, 18.0, 30.0, 42.0, 18.0, 55.0] {
+            rel.push_row(&[age], &[]).unwrap();
+        }
+        let spec = finest_cuts(&rel, NumAttr(0)).unwrap();
+        assert_eq!(spec.bucket_count(), 4); // 18, 30, 42, 55
+        assert_eq!(spec.bucket_of(18.0), 0);
+        assert_eq!(spec.bucket_of(30.0), 1);
+        assert_eq!(spec.bucket_of(42.0), 2);
+        assert_eq!(spec.bucket_of(55.0), 3);
+        // Values between the distinct ones map to the bucket above.
+        assert_eq!(spec.bucket_of(25.0), 1);
+    }
+
+    #[test]
+    fn integer_domain_age_example() {
+        // Example 2.4: ages 0..=120 → 121 finest buckets.
+        let spec = finest_cuts_for_integer_domain(0, 120);
+        assert_eq!(spec.bucket_count(), 121);
+        assert_eq!(spec.bucket_of(0.0), 0);
+        assert_eq!(spec.bucket_of(120.0), 120);
+        assert_eq!(spec.bucket_of(64.0), 64);
+    }
+
+    #[test]
+    fn single_distinct_value() {
+        let schema = Schema::builder().numeric("X").build();
+        let mut rel = Relation::new(schema);
+        rel.push_row(&[3.0], &[]).unwrap();
+        rel.push_row(&[3.0], &[]).unwrap();
+        let spec = finest_cuts(&rel, NumAttr(0)).unwrap();
+        assert_eq!(spec.bucket_count(), 1);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let rel = Relation::new(Schema::builder().numeric("X").build());
+        assert!(matches!(
+            finest_cuts(&rel, NumAttr(0)),
+            Err(BucketingError::EmptyRelation)
+        ));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the bucketing subsystem: quantile-cut invariants,
+//! counting conservation across methods, baseline agreement, and error
+//! propagation under injected storage failures.
+
+use optrules_bucketing::{
+    boundaries::cuts_from_sample, count_buckets, count_buckets_parallel, equi_depth_cuts,
+    naive_sort_cuts, vertical_split_cuts, BucketSpec, BucketingError, CountSpec, EquiDepthConfig,
+};
+use optrules_relation::{Condition, NumAttr, Relation, RelationError, Schema, TupleScan};
+use proptest::prelude::*;
+use std::ops::Range;
+
+fn rel_from_values(values: &[f64]) -> Relation {
+    let schema = Schema::builder().numeric("X").boolean("C").build();
+    let mut rel = Relation::new(schema);
+    for (i, &x) in values.iter().enumerate() {
+        rel.push_row(&[x], &[i % 2 == 0]).unwrap();
+    }
+    rel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sample cuts are sorted, deduplicated, and never exceed M buckets.
+    #[test]
+    fn sample_cuts_invariants(mut sample in prop::collection::vec(-1e3f64..1e3, 1..300),
+                              m in 1usize..40) {
+        let spec = cuts_from_sample(&mut sample, m).unwrap();
+        prop_assert!(spec.bucket_count() <= m.max(1));
+        let cuts = spec.cuts();
+        prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]), "cuts not strictly sorted");
+    }
+
+    /// Counting is conservative regardless of the bucketing method that
+    /// produced the cuts, and all methods agree on totals.
+    #[test]
+    fn counting_conserves_across_methods(values in prop::collection::vec(-50.0f64..50.0, 1..250),
+                                         m in 1usize..20) {
+        let rel = rel_from_values(&values);
+        let what = CountSpec::simple(NumAttr(0), Condition::True);
+        let specs = [
+            equi_depth_cuts(&rel, NumAttr(0), &EquiDepthConfig::paper(m, 3)).unwrap(),
+            naive_sort_cuts(&rel, NumAttr(0), m).unwrap(),
+            vertical_split_cuts(&rel, NumAttr(0), m).unwrap(),
+        ];
+        for spec in &specs {
+            let counts = count_buckets(&rel, spec, &what).unwrap();
+            prop_assert_eq!(counts.counted(), values.len() as u64);
+        }
+    }
+
+    /// Naive Sort and Vertical Split Sort produce identical cuts — they
+    /// differ only in how they pay for the sort.
+    #[test]
+    fn sort_baselines_agree(values in prop::collection::vec(-1e4f64..1e4, 1..300),
+                            m in 1usize..25) {
+        let rel = rel_from_values(&values);
+        prop_assert_eq!(
+            naive_sort_cuts(&rel, NumAttr(0), m).unwrap(),
+            vertical_split_cuts(&rel, NumAttr(0), m).unwrap()
+        );
+    }
+
+    /// Parallel counting equals sequential for arbitrary data and
+    /// thread counts.
+    #[test]
+    fn parallel_equals_sequential(values in prop::collection::vec(-10.0f64..10.0, 1..400),
+                                  threads in 1usize..6,
+                                  cuts in prop::collection::vec(-10.0f64..10.0, 0..6)) {
+        let rel = rel_from_values(&values);
+        let spec = BucketSpec::from_cuts(cuts);
+        let what = CountSpec::simple(NumAttr(0), Condition::BoolIs(optrules_relation::BoolAttr(0), true));
+        let seq = count_buckets(&rel, &spec, &what).unwrap();
+        let par = count_buckets_parallel(&rel, &spec, &what, threads).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+}
+
+/// A scan that fails after a fixed number of rows — exercises error
+/// propagation through counting, sequential and parallel.
+struct FailingScan {
+    schema: Schema,
+    rows: u64,
+    fail_at: u64,
+}
+
+impl TupleScan for FailingScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn len(&self) -> u64 {
+        self.rows
+    }
+    fn for_each_row_in(
+        &self,
+        range: Range<u64>,
+        f: &mut dyn FnMut(u64, &[f64], &[bool]),
+    ) -> Result<(), RelationError> {
+        for row in range.start..range.end.min(self.rows) {
+            if row >= self.fail_at {
+                return Err(RelationError::Io(std::io::Error::other(
+                    "injected failure",
+                )));
+            }
+            f(row, &[row as f64], &[false]);
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn injected_scan_failure_propagates_sequential() {
+    let scan = FailingScan {
+        schema: Schema::builder().numeric("X").boolean("C").build(),
+        rows: 100,
+        fail_at: 37,
+    };
+    let spec = BucketSpec::from_cuts(vec![50.0]);
+    let what = CountSpec::simple(NumAttr(0), Condition::True);
+    match count_buckets(&scan, &spec, &what) {
+        Err(BucketingError::Relation(RelationError::Io(e))) => {
+            assert!(e.to_string().contains("injected failure"));
+        }
+        other => panic!("expected injected I/O error, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_scan_failure_propagates_parallel() {
+    let scan = FailingScan {
+        schema: Schema::builder().numeric("X").boolean("C").build(),
+        rows: 1000,
+        fail_at: 900, // fails in the last partition only
+    };
+    let spec = BucketSpec::from_cuts(vec![500.0]);
+    let what = CountSpec::simple(NumAttr(0), Condition::True);
+    for threads in [2usize, 4] {
+        match count_buckets_parallel(&scan, &spec, &what, threads) {
+            Err(BucketingError::Relation(RelationError::Io(_))) => {}
+            other => panic!("expected injected I/O error at {threads} threads, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn failure_before_any_row_still_clean() {
+    let scan = FailingScan {
+        schema: Schema::builder().numeric("X").boolean("C").build(),
+        rows: 10,
+        fail_at: 0,
+    };
+    let spec = BucketSpec::single();
+    let what = CountSpec::simple(NumAttr(0), Condition::True);
+    assert!(count_buckets(&scan, &spec, &what).is_err());
+}

@@ -1,0 +1,185 @@
+//! Bucket-granularity error bounds (Section 3.4, Table I).
+//!
+//! With `M` equi-depth buckets each holding support `1/M`, the optimal
+//! range is approximated by one of four bucket-aligned ranges (Fig. 2),
+//! shifting each endpoint by at most one bucket. The paper bounds the
+//! resulting error:
+//!
+//! ```text
+//! |sup_app − sup_opt| / sup_opt   ≤  2 / (M·sup_opt)
+//! |conf_app − conf_opt| / conf_opt ≤ 2 / (M·sup_opt − 2)
+//! ```
+//!
+//! This module evaluates those bounds (and the tighter *mass-transfer*
+//! bounds used for the small-M rows of the printed Table I), clamped to
+//! the valid probability range. The `repro table1` harness combines
+//! them with an empirical measurement on planted data.
+
+/// Error bounds for a bucket-granularity approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBounds {
+    /// Lowest possible approximate support (fraction).
+    pub support_lo: f64,
+    /// Highest possible approximate support (fraction).
+    pub support_hi: f64,
+    /// Lowest possible approximate confidence (fraction).
+    pub conf_lo: f64,
+    /// Highest possible approximate confidence (fraction).
+    pub conf_hi: f64,
+}
+
+/// The paper's §3.4 relative-error bounds for `m` buckets around an
+/// optimum with support `support_opt` and confidence `conf_opt`,
+/// clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics unless `m ≥ 1` and both optima are in `(0, 1]`.
+pub fn paper_bounds(m: usize, support_opt: f64, conf_opt: f64) -> ErrorBounds {
+    assert!(m >= 1);
+    assert!(support_opt > 0.0 && support_opt <= 1.0);
+    assert!(conf_opt > 0.0 && conf_opt <= 1.0);
+    let ms = m as f64 * support_opt;
+    let sup_rel = 2.0 / ms;
+    // The confidence bound degenerates when M·s ≤ 2 (the denominator
+    // crosses zero); the clamp below keeps the output meaningful.
+    let conf_rel = if ms > 2.0 {
+        2.0 / (ms - 2.0)
+    } else {
+        f64::INFINITY
+    };
+    ErrorBounds {
+        support_lo: (support_opt * (1.0 - sup_rel)).max(0.0),
+        support_hi: (support_opt * (1.0 + sup_rel)).min(1.0),
+        conf_lo: (conf_opt * (1.0 - conf_rel)).max(0.0),
+        conf_hi: (conf_opt * (1.0 + conf_rel)).min(1.0),
+    }
+}
+
+/// Tighter mass-transfer bounds: growing the range by at most two
+/// zero-hit buckets dilutes confidence to
+/// `conf·s / (s + 2/M)`; shrinking it by at most two zero-hit buckets
+/// concentrates it to at most `conf·s / (s − 2/M)`. These explain the
+/// small-M entries of the printed Table I (e.g. 42 % at M = 10).
+///
+/// # Panics
+///
+/// Same domain requirements as [`paper_bounds`].
+pub fn mass_transfer_bounds(m: usize, support_opt: f64, conf_opt: f64) -> ErrorBounds {
+    assert!(m >= 1);
+    assert!(support_opt > 0.0 && support_opt <= 1.0);
+    assert!(conf_opt > 0.0 && conf_opt <= 1.0);
+    let two_buckets = 2.0 / m as f64;
+    let hits_mass = conf_opt * support_opt;
+    let conf_lo = hits_mass / (support_opt + two_buckets);
+    let conf_hi = if support_opt > two_buckets {
+        (hits_mass / (support_opt - two_buckets)).min(1.0)
+    } else {
+        1.0
+    };
+    ErrorBounds {
+        support_lo: (support_opt - two_buckets).max(0.0),
+        support_hi: (support_opt + two_buckets).min(1.0),
+        conf_lo: conf_lo.max(0.0),
+        conf_hi,
+    }
+}
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Number of buckets.
+    pub buckets: usize,
+    /// The paper's formula bounds.
+    pub paper: ErrorBounds,
+    /// The mass-transfer bounds.
+    pub mass: ErrorBounds,
+}
+
+/// The analytic Table I: bucket counts {10, 50, 100, 500, 1000} around
+/// the paper's `support_opt = 30 %`, `conf_opt = 70 %` configuration.
+pub fn table1() -> Vec<Table1Row> {
+    [10usize, 50, 100, 500, 1000]
+        .into_iter()
+        .map(|buckets| Table1Row {
+            buckets,
+            paper: paper_bounds(buckets, 0.30, 0.70),
+            mass: mass_transfer_bounds(buckets, 0.30, 0.70),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 5e-4
+    }
+
+    /// The printed Table I digits the formulas reproduce. The 1996/1999
+    /// table mixes the two bound families (see DESIGN.md); each printed
+    /// entry matches one of them.
+    #[test]
+    fn matches_printed_table_rows() {
+        // M = 10: support 10 % … 50 % (paper formula), confidence lower
+        // bound 42 % (mass transfer), upper clamped to 100 %.
+        let r10p = paper_bounds(10, 0.30, 0.70);
+        assert!(close(r10p.support_lo, 0.10), "{r10p:?}");
+        assert!(close(r10p.support_hi, 0.50), "{r10p:?}");
+        let r10m = mass_transfer_bounds(10, 0.30, 0.70);
+        assert!(close(r10m.conf_lo, 0.42), "{r10m:?}");
+        assert!(close(r10m.conf_hi, 1.00), "{r10m:?}");
+
+        // M = 50: support 26 % … 34 %, confidence 59.2 % … 80.8 %
+        // (paper formula: 2/(15−2) = 15.38 % relative).
+        let r50 = paper_bounds(50, 0.30, 0.70);
+        assert!(close(r50.support_lo, 0.26), "{r50:?}");
+        assert!(close(r50.support_hi, 0.34), "{r50:?}");
+        assert!(close(r50.conf_lo, 0.5923), "{r50:?}");
+        assert!(close(r50.conf_hi, 0.8077), "{r50:?}");
+
+        // M = 1000: support 29.8 % … 30.2 %, confidence ≈ 69.5 … 70.5.
+        let r1000 = paper_bounds(1000, 0.30, 0.70);
+        assert!(close(r1000.support_lo, 0.298), "{r1000:?}");
+        assert!(close(r1000.support_hi, 0.302), "{r1000:?}");
+        assert!(close(r1000.conf_lo, 0.6953), "{r1000:?}");
+        assert!(close(r1000.conf_hi, 0.7047), "{r1000:?}");
+    }
+
+    #[test]
+    fn bounds_tighten_with_more_buckets() {
+        let rows = table1();
+        for w in rows.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(b.paper.support_lo >= a.paper.support_lo);
+            assert!(b.paper.support_hi <= a.paper.support_hi);
+            assert!(b.paper.conf_lo >= a.paper.conf_lo);
+            assert!(b.paper.conf_hi <= a.paper.conf_hi);
+        }
+        // At 1000 buckets the window is essentially the optimum itself.
+        let last = rows.last().unwrap();
+        assert!(last.paper.support_hi - last.paper.support_lo < 0.005);
+    }
+
+    #[test]
+    fn mass_bounds_always_contain_optimum() {
+        for m in [3usize, 10, 100, 1000] {
+            for &(s, c) in &[(0.05, 0.9), (0.3, 0.7), (0.9, 0.2)] {
+                let b = mass_transfer_bounds(m, s, c);
+                assert!(b.support_lo <= s && s <= b.support_hi, "m={m} s={s}");
+                assert!(b.conf_lo <= c && c <= b.conf_hi, "m={m} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_small_m_clamps() {
+        // M·s ≤ 2 ⇒ the paper's confidence bound is vacuous; outputs
+        // must still be valid probabilities.
+        let b = paper_bounds(3, 0.3, 0.7);
+        assert_eq!(b.conf_lo, 0.0);
+        assert_eq!(b.conf_hi, 1.0);
+        assert!(b.support_lo >= 0.0 && b.support_hi <= 1.0);
+    }
+}

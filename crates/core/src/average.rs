@@ -1,0 +1,312 @@
+//! Optimized ranges for the average operator (Section 5).
+//!
+//! Bankers want the range of `CheckingAccount` whose customers have the
+//! highest average `SavingAccount`. With `u_i` the bucket tuple counts
+//! and `v_i = Σ_{t ∈ B_i} t[B]` the per-bucket sums of the target
+//! attribute:
+//!
+//! * the **maximum average range** maximizes `avg(s,t) = Σv/Σu` subject
+//!   to a minimum support — an optimal *slope* pair, computed with the
+//!   very same tangent machinery as optimized-confidence rules;
+//! * the **maximum support range** maximizes support subject to a
+//!   minimum average threshold — an optimal *support* pair, computed
+//!   with Algorithms 4.3/4.4 on the float gains `v_i − θ·u_i`.
+//!
+//! If the average threshold is not above the global average the paper
+//! notes the answer is trivially the whole domain; that case falls out
+//! naturally here (the full range qualifies and has maximal support).
+
+use crate::error::{validate_series, CoreError, Result};
+use crate::rule::AvgRange;
+use crate::support::optimize_support_gains;
+use optrules_geometry::point::frac_cmp;
+use optrules_geometry::{max_slope_with_min_span, Point};
+use std::cmp::Ordering;
+
+/// Builds cumulative points with float sums as y.
+fn cumulative_sum_points(u: &[u64], sums: &[f64]) -> Vec<Point> {
+    let mut points = Vec::with_capacity(u.len() + 1);
+    points.push(Point::new(0.0, 0.0));
+    let (mut cx, mut cy) = (0u64, 0.0f64);
+    for (&ui, &vi) in u.iter().zip(sums) {
+        cx += ui;
+        cy += vi;
+        points.push(Point::new(cx as f64, cy));
+    }
+    points
+}
+
+fn validate_sums(u: &[u64], sums: &[f64]) -> Result<()> {
+    validate_series(u, sums.len())?;
+    if let Some(bad) = sums.iter().find(|s| !s.is_finite()) {
+        return Err(CoreError::BadThreshold(format!(
+            "bucket sum {bad} is not finite"
+        )));
+    }
+    Ok(())
+}
+
+/// Maximum average range: among ranges with at least
+/// `min_support_count` tuples, the one maximizing the target average
+/// (Definition 5.2). `None` if no range is ample.
+///
+/// # Errors
+///
+/// Fails on length mismatch, empty buckets, or non-finite sums.
+///
+/// # Examples
+///
+/// ```
+/// use optrules_core::average::maximum_average_range;
+/// let u = [10, 10, 10];
+/// let sums = [100.0, 900.0, 200.0];  // bucket averages 10, 90, 20
+/// let best = maximum_average_range(&u, &sums, 10).unwrap().unwrap();
+/// assert_eq!((best.s, best.t), (1, 1));
+/// assert_eq!(best.average(), 90.0);
+/// ```
+pub fn maximum_average_range(
+    u: &[u64],
+    sums: &[f64],
+    min_support_count: u64,
+) -> Result<Option<AvgRange>> {
+    validate_sums(u, sums)?;
+    let points = cumulative_sum_points(u, sums);
+    let (pair, _) = max_slope_with_min_span(&points, min_support_count as f64);
+    Ok(pair.map(|p| AvgRange {
+        s: p.m,
+        t: p.n - 1,
+        sup_count: (points[p.n].x - points[p.m].x) as u64,
+        sum: points[p.n].y - points[p.m].y,
+    }))
+}
+
+/// Maximum support range: among ranges whose target average is at least
+/// `min_average`, the one maximizing support (Definition 5.3). `None`
+/// if no range qualifies.
+///
+/// # Errors
+///
+/// Fails on length mismatch, empty buckets, non-finite sums, or a
+/// non-finite threshold.
+pub fn maximum_support_range(
+    u: &[u64],
+    sums: &[f64],
+    min_average: f64,
+) -> Result<Option<AvgRange>> {
+    validate_sums(u, sums)?;
+    if !min_average.is_finite() {
+        return Err(CoreError::BadThreshold(format!(
+            "minimum average must be finite, got {min_average}"
+        )));
+    }
+    let gains: Vec<f64> = u
+        .iter()
+        .zip(sums)
+        .map(|(&ui, &vi)| vi - min_average * ui as f64)
+        .collect();
+    Ok(optimize_support_gains(u, &gains).map(|(s, t)| AvgRange {
+        s,
+        t,
+        sup_count: u[s..=t].iter().sum(),
+        sum: sums[s..=t].iter().sum(),
+    }))
+}
+
+/// Exhaustive reference for [`maximum_average_range`] using the same
+/// cross-product comparisons (tests only, O(M²)).
+pub fn maximum_average_range_naive(
+    u: &[u64],
+    sums: &[f64],
+    min_support_count: u64,
+) -> Result<Option<AvgRange>> {
+    validate_sums(u, sums)?;
+    let points = cumulative_sum_points(u, sums);
+    let mut best: Option<(usize, usize)> = None;
+    for m in 0..points.len() {
+        for n in (m + 1)..points.len() {
+            if points[n].x - points[m].x < min_support_count as f64 {
+                continue;
+            }
+            best = Some(match best {
+                None => (m, n),
+                Some((bm, bn)) => {
+                    let ord = frac_cmp(
+                        points[n].y - points[m].y,
+                        points[n].x - points[m].x,
+                        points[bn].y - points[bm].y,
+                        points[bn].x - points[bm].x,
+                    )
+                    .then_with(|| {
+                        (points[n].x - points[m].x)
+                            .partial_cmp(&(points[bn].x - points[bm].x))
+                            .expect("finite")
+                    });
+                    if ord == Ordering::Greater {
+                        (m, n)
+                    } else {
+                        (bm, bn)
+                    }
+                }
+            });
+        }
+    }
+    Ok(best.map(|(m, n)| AvgRange {
+        s: m,
+        t: n - 1,
+        sup_count: (points[n].x - points[m].x) as u64,
+        sum: points[n].y - points[m].y,
+    }))
+}
+
+/// Exhaustive reference for [`maximum_support_range`]. Gains are
+/// accumulated per bucket in the same order as the fast path so the
+/// float threshold decisions agree bit for bit (tests only, O(M²)).
+pub fn maximum_support_range_naive(
+    u: &[u64],
+    sums: &[f64],
+    min_average: f64,
+) -> Result<Option<AvgRange>> {
+    validate_sums(u, sums)?;
+    let gains: Vec<f64> = u
+        .iter()
+        .zip(sums)
+        .map(|(&ui, &vi)| vi - min_average * ui as f64)
+        .collect();
+    // Prefix sums in the same left-to-right order as the fast path.
+    let mut f_cum = vec![0.0f64];
+    for &g in &gains {
+        f_cum.push(f_cum.last().unwrap() + g);
+    }
+    let mut best: Option<(usize, usize, u64)> = None;
+    for s in 0..u.len() {
+        let mut sup = 0u64;
+        for t in s..u.len() {
+            sup += u[t];
+            if f_cum[t + 1] - f_cum[s] < 0.0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bs, bt, bsup)) => {
+                    let ord = sup.cmp(&bsup).then_with(|| {
+                        let ga = f_cum[t + 1] - f_cum[s];
+                        let gb = f_cum[bt + 1] - f_cum[bs];
+                        (ga * bsup as f64)
+                            .partial_cmp(&(gb * sup as f64))
+                            .expect("finite")
+                    });
+                    ord == Ordering::Greater
+                }
+            };
+            if better {
+                best = Some((s, t, sup));
+            }
+        }
+    }
+    Ok(best.map(|(s, t, sup)| AvgRange {
+        s,
+        t,
+        sup_count: sup,
+        sum: sums[s..=t].iter().sum(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bankers_example_shape() {
+        // Section 5: an "excellent customers" band with far higher
+        // average savings.
+        let u = [100, 100, 100, 100, 100];
+        let sums = [5_000.0, 15_000.0, 80_000.0, 12_000.0, 6_000.0];
+        let best = maximum_average_range(&u, &sums, 100).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (2, 2));
+        assert!((best.average() - 800.0).abs() < 1e-9);
+        // Requiring 30 % support (150 tuples) forces widening.
+        let best = maximum_average_range(&u, &sums, 150).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (1, 2));
+    }
+
+    #[test]
+    fn max_support_above_threshold() {
+        let u = [10, 10, 10, 10];
+        let sums = [100.0, 400.0, 300.0, 50.0];
+        // θ = 20: ranges with avg ≥ 20. Whole range avg = 850/40 = 21.25.
+        let best = maximum_support_range(&u, &sums, 20.0).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (0, 3));
+        // θ = 30: buckets 1-2 have avg 700/20 = 35; adding bucket 0
+        // gives 800/30 ≈ 26.7 < 30.
+        let best = maximum_support_range(&u, &sums, 30.0).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (1, 2));
+    }
+
+    #[test]
+    fn threshold_below_global_average_returns_whole_range() {
+        // The paper's triviality remark (Definition 5.3).
+        let u = [5, 5];
+        let sums = [50.0, 70.0];
+        let best = maximum_support_range(&u, &sums, 1.0).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (0, 1));
+        assert_eq!(best.sup_count, 10);
+    }
+
+    #[test]
+    fn negative_sums_supported() {
+        // Attribute values may be negative (e.g. overdrawn balances).
+        let u = [10, 10, 10];
+        let sums = [-500.0, 200.0, -100.0];
+        let best = maximum_average_range(&u, &sums, 10).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (1, 1));
+        let none = maximum_support_range(&u, &sums, 100.0).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut rng = StdRng::seed_from_u64(555);
+        for trial in 0..300 {
+            let m = rng.gen_range(1..30);
+            let u: Vec<u64> = (0..m).map(|_| rng.gen_range(1..20)).collect();
+            let sums: Vec<f64> = u
+                .iter()
+                .map(|&ui| (0..ui).map(|_| rng.gen_range(-50.0..150.0)).sum())
+                .collect();
+            let total: u64 = u.iter().sum();
+            let w = rng.gen_range(1..=total);
+            let fast = maximum_average_range(&u, &sums, w).unwrap().unwrap();
+            let naive = maximum_average_range_naive(&u, &sums, w).unwrap().unwrap();
+            assert_eq!(
+                (fast.s, fast.t),
+                (naive.s, naive.t),
+                "avg trial {trial}: u={u:?} sums={sums:?} w={w}"
+            );
+
+            let theta = rng.gen_range(-20.0..120.0);
+            let fast = maximum_support_range(&u, &sums, theta).unwrap();
+            let naive = maximum_support_range_naive(&u, &sums, theta).unwrap();
+            match (fast, naive) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        (a.s, a.t, a.sup_count),
+                        (b.s, b.t, b.sup_count),
+                        "sup trial {trial}: u={u:?} sums={sums:?} θ={theta}"
+                    );
+                }
+                (a, b) => panic!("trial {trial}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(maximum_average_range(&[1], &[1.0, 2.0], 1).is_err());
+        assert!(maximum_average_range(&[0], &[1.0], 1).is_err());
+        assert!(maximum_average_range(&[1], &[f64::NAN], 1).is_err());
+        assert!(maximum_support_range(&[1], &[1.0], f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Optimized-confidence rules (Section 4.1).
+//!
+//! Among ranges whose support reaches a minimum number of tuples `W`,
+//! find the one maximizing confidence. With cumulative points
+//! `Q_k = (Σ_{i≤k} u_i, Σ_{i≤k} v_i)`, confidence of buckets
+//! `(m+1 ..= n)` is the slope of `Q_m Q_n` and the optimum is an
+//! *optimal slope pair* — computed in O(M) by the hull tree +
+//! tangent walk of `optrules-geometry` (Algorithms 4.1/4.2,
+//! Theorem 4.1).
+//!
+//! Ties follow Definition 4.2: among equal-confidence ranges the one
+//! with the larger support wins; any remaining tie goes to the leftmost
+//! range.
+
+use crate::error::{validate_series, Result};
+use crate::rule::OptRange;
+use optrules_geometry::{max_slope_with_min_span, Point, TangentStats};
+
+/// Computes the optimized-confidence range: maximal confidence among
+/// ranges with at least `min_support_count` tuples. Returns `None` when
+/// no range is ample (i.e. `Σ u_i < min_support_count`).
+///
+/// # Errors
+///
+/// Fails if `u`/`v` lengths differ or any bucket is empty (`u_i = 0`) —
+/// compact counts first.
+///
+/// # Examples
+///
+/// ```
+/// use optrules_core::optimize_confidence;
+/// // Bucket confidences: 0.2, 0.9, 0.5.
+/// let u = [10, 10, 10];
+/// let v = [2, 9, 5];
+/// // One bucket of support suffices: pick the 0.9 bucket.
+/// let best = optimize_confidence(&u, &v, 10).unwrap().unwrap();
+/// assert_eq!((best.s, best.t), (1, 1));
+/// // Forcing 2 buckets of support: buckets 1-2 yield (9+5)/20 = 0.7.
+/// let best = optimize_confidence(&u, &v, 20).unwrap().unwrap();
+/// assert_eq!((best.s, best.t), (1, 2));
+/// assert_eq!(best.hits, 14);
+/// ```
+pub fn optimize_confidence(
+    u: &[u64],
+    v: &[u64],
+    min_support_count: u64,
+) -> Result<Option<OptRange>> {
+    optimize_confidence_with_stats(u, v, min_support_count).map(|(r, _)| r)
+}
+
+/// Like [`optimize_confidence`] but also returns the tangent-walk work
+/// counters, letting benchmarks and tests verify the O(M) bound.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize_confidence`].
+pub fn optimize_confidence_with_stats(
+    u: &[u64],
+    v: &[u64],
+    min_support_count: u64,
+) -> Result<(Option<OptRange>, TangentStats)> {
+    let m = validate_series(u, v.len())?;
+    let points = cumulative_points(u, v);
+    let (pair, stats) = max_slope_with_min_span(&points, min_support_count as f64);
+    let range = pair.map(|p| {
+        debug_assert!(p.n > p.m && p.n <= m);
+        OptRange {
+            s: p.m,     // paper's bucket m+1, 0-based
+            t: p.n - 1, // paper's bucket n, 0-based
+            sup_count: (points[p.n].x - points[p.m].x) as u64,
+            hits: (points[p.n].y - points[p.m].y) as u64,
+        }
+    });
+    Ok((range, stats))
+}
+
+/// Builds the cumulative points `Q_0 … Q_M` of Definition 4.2.
+pub(crate) fn cumulative_points(u: &[u64], v: &[u64]) -> Vec<Point> {
+    let mut points = Vec::with_capacity(u.len() + 1);
+    points.push(Point::new(0.0, 0.0));
+    let (mut cx, mut cy) = (0u64, 0u64);
+    for (&ui, &vi) in u.iter().zip(v) {
+        cx += ui;
+        cy += vi;
+        points.push(Point::new(cx as f64, cy as f64));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::optimize_confidence_naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_and_unsatisfiable() {
+        assert_eq!(optimize_confidence(&[], &[], 1).unwrap(), None);
+        let u = [5, 5];
+        let v = [1, 2];
+        assert_eq!(optimize_confidence(&u, &v, 11).unwrap(), None);
+        // Threshold zero: every range qualifies; best single bucket wins.
+        let best = optimize_confidence(&u, &v, 0).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (1, 1));
+    }
+
+    #[test]
+    fn whole_range_when_forced() {
+        let u = [4, 4, 4];
+        let v = [1, 3, 2];
+        let best = optimize_confidence(&u, &v, 12).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (0, 2));
+        assert_eq!(best.sup_count, 12);
+        assert_eq!(best.hits, 6);
+    }
+
+    #[test]
+    fn example_2_3_shape() {
+        // Example 2.3's counter-intuitive fact: a superset range can have
+        // higher confidence than its subset. Construct buckets where
+        // extending a range raises confidence.
+        let u = [10, 10, 10];
+        let v = [9, 2, 9];
+        // Range [0,0] has conf 0.9; [0,2] has conf 20/30 ≈ 0.67;
+        // with W = 30 the whole range is forced and still confident-ish.
+        let best = optimize_confidence(&u, &v, 30).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (0, 2));
+        // With W = 20 the best pair is NOT the middle — it is the two
+        // outer buckets joined through the middle? No: ranges are
+        // consecutive, so candidates are [0,1] (11/20) and [1,2] (11/20)
+        // and [0,2] (20/30). Tie between [0,1] and [1,2] at 0.55 < 0.667
+        // — wait, 20/30 = 0.667 > 0.55, so [0,2] wins despite wider span.
+        let best = optimize_confidence(&u, &v, 20).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (0, 2));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(optimize_confidence(&[1, 2], &[0], 1).is_err());
+        assert!(optimize_confidence(&[1, 0], &[0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn agrees_with_naive_randomized() {
+        let mut rng = StdRng::seed_from_u64(404);
+        for trial in 0..400 {
+            let m = rng.gen_range(1..40);
+            let u: Vec<u64> = (0..m).map(|_| rng.gen_range(1..30)).collect();
+            let v: Vec<u64> = u.iter().map(|&ui| rng.gen_range(0..=ui)).collect();
+            let total: u64 = u.iter().sum();
+            let w = rng.gen_range(0..=total + 2);
+            let fast = optimize_confidence(&u, &v, w).unwrap();
+            let naive = optimize_confidence_naive(&u, &v, w).unwrap();
+            assert_eq!(fast, naive, "trial {trial}: u={u:?} v={v:?} w={w}");
+        }
+    }
+
+    /// Work stays linear (Theorem 4.1) even under the adversarial input
+    /// where every cumulative point is a hull vertex (strictly
+    /// decreasing bucket confidence ⇒ concave cumulative curve).
+    #[test]
+    fn linear_work_when_every_point_on_hull() {
+        let m = 5000usize;
+        let u: Vec<u64> = vec![m as u64; m];
+        // v_i strictly decreasing: bucket confidences fall from ~1 to 0,
+        // making the cumulative polyline strictly concave.
+        let v: Vec<u64> = (0..m).map(|i| (m - i) as u64).collect();
+        let total: u64 = u.iter().sum();
+        let (r, stats) = optimize_confidence_with_stats(&u, &v, total / 10).unwrap();
+        assert!(r.is_some());
+        assert!(
+            stats.total_steps() <= 3 * (m as u64 + 1),
+            "steps {}",
+            stats.total_steps()
+        );
+    }
+}

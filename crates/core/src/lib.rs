@@ -1,0 +1,62 @@
+//! Optimized association rules for numeric attributes — the primary
+//! contribution of Fukuda, Morimoto, Morishita & Tokuyama (PODS 1996).
+//!
+//! Given bucket counts `u_i` (tuples) and `v_i` (tuples also meeting an
+//! objective condition `C`) over a numeric attribute `A`, this crate
+//! computes, in **O(M)** time over `M` buckets:
+//!
+//! * the **optimized-confidence rule** ([`confidence`]) — among ranges
+//!   with support ≥ a minimum support threshold, the range maximizing
+//!   the rule's confidence (Section 4.1: optimal slope pairs via convex
+//!   hull tangents, Theorem 4.1);
+//! * the **optimized-support rule** ([`support`]) — among ranges with
+//!   confidence ≥ a minimum confidence threshold, the range maximizing
+//!   support (Section 4.2: effective indices + the `top(s)` backward
+//!   scan, Algorithms 4.3/4.4, Theorem 4.2);
+//! * the **maximum-average** and **maximum-support** ranges for the
+//!   average operator of Section 5 ([`average`]), where `v_i` is a
+//!   per-bucket value *sum* instead of a hit count.
+//!
+//! Supporting modules:
+//!
+//! * [`naive`] — O(M²) exhaustive references with identical tie-breaking
+//!   (the baselines of Figures 10/11 and the ground truth for tests);
+//! * [`twopointer`] — a simpler O(M) alternative for the confidence
+//!   problem (incremental lower hull + monotone pointer), used as an
+//!   ablation against the paper's hull-tree algorithm;
+//! * [`kadane`] — Bentley's max-gain range and the demonstration that it
+//!   does **not** solve the optimized-support problem (Section 4.2's
+//!   closing remark);
+//! * [`ratio`] — exact rational thresholds so that optimality is decided
+//!   by integer cross-multiplication, never floating-point division;
+//! * [`approx`] — the bucket-granularity error bounds of Section 3.4
+//!   (Table I);
+//! * [`rule`], [`miner`] — end-to-end mining: relation → buckets →
+//!   instantiated rules, for one attribute pair or all pairs
+//!   (the paper's "hundreds of attributes" scenario, §1.3);
+//! * [`region2d`] — the §1.4 extension to two numeric attributes with
+//!   rectangular regions (O(nx²·ny) over an nx × ny bucket grid).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod average;
+pub mod confidence;
+pub mod error;
+pub mod kadane;
+pub mod miner;
+pub mod naive;
+pub mod ratio;
+pub mod region2d;
+pub mod report;
+pub mod rule;
+pub mod support;
+pub mod twopointer;
+
+pub use confidence::optimize_confidence;
+pub use error::CoreError;
+pub use miner::{MinedPair, Miner, MinerConfig};
+pub use ratio::Ratio;
+pub use rule::{OptRange, RangeRule, RuleKind};
+pub use support::optimize_support;

@@ -1,0 +1,170 @@
+//! O(M²) exhaustive references.
+//!
+//! "There are trivial ways of computing optimized support rules and
+//! optimized confidence rules in O(N²) time" — these are those trivial
+//! ways, kept for two purposes: they are the baselines the paper
+//! benchmarks against in Figures 10 and 11, and they are the ground
+//! truth that the O(M) algorithms are property-tested against. The
+//! tie-breaking order is *identical* to the fast implementations
+//! (confidence: max conf, then max support, then leftmost; support:
+//! max support, then max conf, then leftmost), so results must match
+//! exactly on integer inputs.
+
+use crate::error::{validate_series, Result};
+use crate::ratio::{cmp_fractions, Ratio};
+use crate::rule::OptRange;
+use std::cmp::Ordering;
+
+/// Exhaustive optimized-confidence search (the Figure 10 baseline).
+///
+/// # Errors
+///
+/// Fails if `u`/`v` lengths differ or any bucket is empty (`u_i = 0`).
+pub fn optimize_confidence_naive(
+    u: &[u64],
+    v: &[u64],
+    min_support_count: u64,
+) -> Result<Option<OptRange>> {
+    let m = validate_series(u, v.len())?;
+    let mut best: Option<OptRange> = None;
+    for s in 0..m {
+        let (mut sup, mut hits) = (0u64, 0u64);
+        for t in s..m {
+            sup += u[t];
+            hits += v[t];
+            if sup < min_support_count {
+                continue;
+            }
+            let cand = OptRange {
+                s,
+                t,
+                sup_count: sup,
+                hits,
+            };
+            best = Some(match best {
+                None => cand,
+                Some(cur) => {
+                    let ord = cmp_fractions(cand.hits, cand.sup_count, cur.hits, cur.sup_count)
+                        .then_with(|| cand.sup_count.cmp(&cur.sup_count));
+                    // Strictly better only: scanning order (s, then t)
+                    // already favours the leftmost on full ties.
+                    if ord == Ordering::Greater {
+                        cand
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+    }
+    Ok(best)
+}
+
+/// Exhaustive optimized-support search (the Figure 11 baseline).
+///
+/// # Errors
+///
+/// Fails if `u`/`v` lengths differ or any bucket is empty (`u_i = 0`).
+pub fn optimize_support_naive(u: &[u64], v: &[u64], min_conf: Ratio) -> Result<Option<OptRange>> {
+    let m = validate_series(u, v.len())?;
+    let mut best: Option<OptRange> = None;
+    for s in 0..m {
+        let (mut sup, mut hits) = (0u64, 0u64);
+        for t in s..m {
+            sup += u[t];
+            hits += v[t];
+            if !min_conf.le_fraction(hits, sup) {
+                continue;
+            }
+            let cand = OptRange {
+                s,
+                t,
+                sup_count: sup,
+                hits,
+            };
+            best = Some(match best {
+                None => cand,
+                Some(cur) => {
+                    let ord = cand.sup_count.cmp(&cur.sup_count).then_with(|| {
+                        cmp_fractions(cand.hits, cand.sup_count, cur.hits, cur.sup_count)
+                    });
+                    if ord == Ordering::Greater {
+                        cand
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_naive_basics() {
+        let u = [10, 10, 10];
+        let v = [2, 9, 5];
+        let best = optimize_confidence_naive(&u, &v, 10).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (1, 1));
+        assert_eq!(optimize_confidence_naive(&u, &v, 31).unwrap(), None);
+    }
+
+    #[test]
+    fn support_naive_basics() {
+        let u = [10, 10, 10, 10];
+        let v = [9, 4, 6, 0];
+        // Whole range: 19/40 < 50 %; buckets 0-2: 19/30 ≥ 50 %.
+        let best = optimize_support_naive(&u, &v, Ratio::percent(50))
+            .unwrap()
+            .unwrap();
+        assert_eq!((best.s, best.t), (0, 2));
+        assert_eq!(
+            optimize_support_naive(&u, &v, Ratio::percent(99)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn confidence_tie_prefers_wider_then_leftmost() {
+        // Buckets 0 and 2 both have confidence 1.0; bucket 2 is wider.
+        let u = [2, 5, 4];
+        let v = [2, 0, 4];
+        let best = optimize_confidence_naive(&u, &v, 1).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (2, 2));
+        // Make widths equal: leftmost wins.
+        let u = [4, 5, 4];
+        let v = [4, 0, 4];
+        let best = optimize_confidence_naive(&u, &v, 1).unwrap().unwrap();
+        assert_eq!((best.s, best.t), (0, 0));
+    }
+
+    #[test]
+    fn support_tie_prefers_confident_then_leftmost() {
+        // Two disjoint single buckets with support 10 each, both ≥ 50 %:
+        // bucket 0 at 60 %, bucket 2 at 90 % — equal support, bucket 2
+        // more confident.
+        let u = [10, 10, 10];
+        let v = [6, 0, 9];
+        let best = optimize_support_naive(&u, &v, Ratio::percent(55))
+            .unwrap()
+            .unwrap();
+        assert_eq!((best.s, best.t), (2, 2));
+        // Equal confidence too: leftmost wins. θ = 80 % keeps the
+        // spanning range (0,2) below threshold (18/30 = 60 %).
+        let v = [9, 0, 9];
+        let best = optimize_support_naive(&u, &v, Ratio::percent(80))
+            .unwrap()
+            .unwrap();
+        assert_eq!((best.s, best.t), (0, 0));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(optimize_confidence_naive(&[1], &[1, 1], 0).is_err());
+        assert!(optimize_support_naive(&[1, 0], &[1, 0], Ratio::percent(10)).is_err());
+    }
+}

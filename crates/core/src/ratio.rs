@@ -1,0 +1,163 @@
+//! Exact rational thresholds.
+//!
+//! Confidence comparisons decide optimality, so they must not suffer
+//! floating-point division error: `conf(s,t) ≥ θ` is evaluated as the
+//! integer test `q·Σv ≥ p·Σu` for `θ = p/q`, and two confidences are
+//! compared by cross-multiplication in `i128`. This keeps the O(M)
+//! algorithms and the O(M²) baselines in *exact* agreement, which the
+//! property tests rely on.
+
+use crate::error::{CoreError, Result};
+use std::cmp::Ordering;
+
+/// A non-negative rational threshold `num/den`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates `num/den`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `den` is zero.
+    pub fn new(num: u64, den: u64) -> Result<Self> {
+        if den == 0 {
+            return Err(CoreError::BadThreshold("denominator is zero".into()));
+        }
+        Ok(Self { num, den })
+    }
+
+    /// Creates a percentage, e.g. `Ratio::percent(50)` = 1/2.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (denominator is fixed at 100).
+    pub fn percent(p: u64) -> Self {
+        Self { num: p, den: 100 }
+    }
+
+    /// Approximates an `f64` in `[0, u32::MAX]` with denominator 10⁹.
+    ///
+    /// # Errors
+    ///
+    /// Fails on negative or non-finite input.
+    pub fn from_f64_approx(x: f64) -> Result<Self> {
+        if !x.is_finite() || x < 0.0 {
+            return Err(CoreError::BadThreshold(format!(
+                "threshold must be finite and non-negative, got {x}"
+            )));
+        }
+        const DEN: u64 = 1_000_000_000;
+        Ok(Self {
+            num: (x * DEN as f64).round() as u64,
+            den: DEN,
+        })
+    }
+
+    /// Numerator.
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// Denominator (never zero).
+    pub fn den(&self) -> u64 {
+        self.den
+    }
+
+    /// The value as `f64` (for reporting only).
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact test `hits/total ≥ self`, i.e. `den·hits ≥ num·total`.
+    #[inline]
+    pub fn le_fraction(&self, hits: u64, total: u64) -> bool {
+        (self.den as u128) * (hits as u128) >= (self.num as u128) * (total as u128)
+    }
+
+    /// The gain of a bucket with counts `(u, v)` under this threshold:
+    /// `den·v − num·u`, the integer-scaled `v − θ·u` of Section 4.2.
+    #[inline]
+    pub fn gain(&self, u: u64, v: u64) -> i128 {
+        (self.den as i128) * (v as i128) - (self.num as i128) * (u as i128)
+    }
+
+    /// Smallest integer `W` with `W/n ≥ self` — the minimum tuple count
+    /// that makes a range's support reach the threshold over `n` rows
+    /// (`ceil(num·n / den)`).
+    pub fn min_count(&self, n: u64) -> u64 {
+        let prod = (self.num as u128) * (n as u128);
+        prod.div_ceil(self.den as u128) as u64
+    }
+}
+
+/// Compares two fractions `a_num/a_den ? b_num/b_den` (denominators
+/// positive) exactly via `i128` cross-multiplication.
+#[inline]
+pub fn cmp_fractions(a_num: u64, a_den: u64, b_num: u64, b_den: u64) -> Ordering {
+    debug_assert!(a_den > 0 && b_den > 0);
+    let lhs = (a_num as u128) * (b_den as u128);
+    let rhs = (b_num as u128) * (a_den as u128);
+    lhs.cmp(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Ratio::percent(50).as_f64(), 0.5);
+        assert!(Ratio::new(1, 0).is_err());
+        let r = Ratio::from_f64_approx(0.3).unwrap();
+        assert!((r.as_f64() - 0.3).abs() < 1e-9);
+        assert!(Ratio::from_f64_approx(-0.1).is_err());
+        assert!(Ratio::from_f64_approx(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn le_fraction_exact() {
+        let half = Ratio::percent(50);
+        assert!(half.le_fraction(1, 2));
+        assert!(half.le_fraction(2, 3));
+        assert!(!half.le_fraction(1, 3));
+        // Boundary with big numbers that would round in f64.
+        let third = Ratio::new(1, 3).unwrap();
+        let big = (1u64 << 60) / 3;
+        assert!(!third.le_fraction(big, 1 << 60)); // big < 2^60/3 exactly
+        assert!(third.le_fraction(big + 1, 1 << 60));
+    }
+
+    #[test]
+    fn gain_signs() {
+        let theta = Ratio::percent(50);
+        assert!(theta.gain(2, 2) > 0); // conf 1 > 0.5
+        assert_eq!(theta.gain(2, 1), 0); // conf exactly 0.5
+        assert!(theta.gain(2, 0) < 0);
+    }
+
+    #[test]
+    fn min_count_is_ceiling() {
+        let r = Ratio::percent(30);
+        assert_eq!(r.min_count(10), 3);
+        assert_eq!(r.min_count(11), 4); // 3.3 → 4
+        assert_eq!(r.min_count(0), 0);
+        let half = Ratio::percent(50);
+        assert_eq!(half.min_count(7), 4);
+    }
+
+    #[test]
+    fn fraction_comparison() {
+        assert_eq!(cmp_fractions(1, 2, 2, 4), Ordering::Equal);
+        assert_eq!(cmp_fractions(2, 3, 1, 2), Ordering::Greater);
+        assert_eq!(cmp_fractions(1, 3, 1, 2), Ordering::Less);
+        // Values that collide in f64: 10^17+1 / 10^17 vs 1.
+        assert_eq!(
+            cmp_fractions(100_000_000_000_000_001, 100_000_000_000_000_000, 1, 1),
+            Ordering::Greater
+        );
+    }
+}

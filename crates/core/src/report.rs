@@ -1,0 +1,182 @@
+//! Text reports for mined results.
+//!
+//! The paper's system is interactive — an analyst inspects "a complete
+//! set of optimized rules for all combinations" (§1.3). This module
+//! renders [`MinedPair`] collections as aligned text tables, sorted so
+//! the strongest associations surface first, with weak pairs (nothing
+//! cleared a threshold, or only noise-level support) pushed down.
+
+use crate::miner::MinedPair;
+use crate::rule::RangeRule;
+use std::fmt::Write as _;
+
+/// How to order pairs in a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortBy {
+    /// Strongest optimized-support rule first (largest support).
+    #[default]
+    Support,
+    /// Strongest optimized-confidence rule first (highest confidence).
+    Confidence,
+    /// Keep the miner's numeric-major order.
+    Unsorted,
+}
+
+/// Renders mined pairs as an aligned table. Pairs with no rule at all
+/// are summarized in a trailing count instead of emitting empty rows.
+///
+/// # Examples
+///
+/// ```
+/// use optrules_core::report::{render_pairs, SortBy};
+/// let table = render_pairs(&[], SortBy::Support);
+/// assert!(table.contains("0 rules"));
+/// ```
+pub fn render_pairs(pairs: &[MinedPair], sort: SortBy) -> String {
+    let mut with_rules: Vec<&MinedPair> = pairs
+        .iter()
+        .filter(|p| p.optimized_support.is_some() || p.optimized_confidence.is_some())
+        .collect();
+    match sort {
+        SortBy::Support => with_rules.sort_by(|a, b| {
+            key_support(b)
+                .partial_cmp(&key_support(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }),
+        SortBy::Confidence => with_rules.sort_by(|a, b| {
+            key_confidence(b)
+                .partial_cmp(&key_confidence(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }),
+        SortBy::Unsorted => {}
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:<24} {:>24} {:>10} {:>11}  {}",
+        "attribute", "objective", "range", "support", "confidence", "kind"
+    );
+    for pair in &with_rules {
+        for (label, rule) in [
+            ("sup", pair.optimized_support.as_ref()),
+            ("conf", pair.optimized_confidence.as_ref()),
+        ] {
+            if let Some(rule) = rule {
+                let _ = writeln!(out, "{}", render_row(pair, rule, label));
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} pairs, {} rules ({} pairs below thresholds)",
+        pairs.len(),
+        with_rules
+            .iter()
+            .map(|p| p.optimized_support.is_some() as usize
+                + p.optimized_confidence.is_some() as usize)
+            .sum::<usize>(),
+        pairs.len() - with_rules.len(),
+    );
+    out
+}
+
+fn key_support(p: &MinedPair) -> f64 {
+    p.optimized_support.as_ref().map_or(0.0, RangeRule::support)
+}
+
+fn key_confidence(p: &MinedPair) -> f64 {
+    p.optimized_confidence
+        .as_ref()
+        .map_or(0.0, RangeRule::confidence)
+}
+
+fn render_row(pair: &MinedPair, rule: &RangeRule, kind: &str) -> String {
+    format!(
+        "{:<18} {:<24} [{:>9.2}, {:>9.2}] {:>9.2}% {:>10.2}%  {kind}",
+        truncate(&pair.attr_name, 18),
+        truncate(&pair.objective_desc, 24),
+        rule.value_range.0,
+        rule.value_range.1,
+        100.0 * rule.support(),
+        100.0 * rule.confidence(),
+    )
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleKind;
+
+    fn pair(attr: &str, sup: Option<f64>, conf: Option<f64>) -> MinedPair {
+        let mk = |kind, support: f64, confidence: f64| RangeRule {
+            kind,
+            bucket_range: (0, 1),
+            value_range: (1.0, 2.0),
+            sup_count: (support * 1000.0) as u64,
+            hits: (support * confidence * 1000.0) as u64,
+            total_rows: 1000,
+        };
+        MinedPair {
+            attr_name: attr.to_string(),
+            objective_desc: "(C = yes)".to_string(),
+            optimized_support: sup.map(|s| mk(RuleKind::OptimizedSupport, s, 0.6)),
+            optimized_confidence: conf.map(|c| mk(RuleKind::OptimizedConfidence, 0.1, c)),
+            buckets_used: 10,
+            total_rows: 1000,
+        }
+    }
+
+    #[test]
+    fn sorts_by_support() {
+        let pairs = vec![
+            pair("Small", Some(0.1), None),
+            pair("Big", Some(0.5), None),
+        ];
+        let table = render_pairs(&pairs, SortBy::Support);
+        let big = table.find("Big").unwrap();
+        let small = table.find("Small").unwrap();
+        assert!(big < small, "{table}");
+    }
+
+    #[test]
+    fn sorts_by_confidence() {
+        let pairs = vec![
+            pair("Weak", None, Some(0.3)),
+            pair("Strong", None, Some(0.9)),
+        ];
+        let table = render_pairs(&pairs, SortBy::Confidence);
+        assert!(table.find("Strong").unwrap() < table.find("Weak").unwrap());
+    }
+
+    #[test]
+    fn counts_ruleless_pairs() {
+        let pairs = vec![pair("A", Some(0.2), Some(0.7)), pair("B", None, None)];
+        let table = render_pairs(&pairs, SortBy::Unsorted);
+        assert!(table.contains("2 pairs, 2 rules (1 pairs below thresholds)"), "{table}");
+        assert!(!table.contains('B') || table.contains("below"), "{table}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let table = render_pairs(&[], SortBy::Support);
+        assert!(table.contains("0 pairs, 0 rules"), "{table}");
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(truncate("short", 10), "short");
+        let t = truncate("averyveryverylongname", 8);
+        assert!(t.chars().count() <= 8, "{t}");
+        assert!(t.ends_with('…'));
+    }
+}

@@ -1,0 +1,204 @@
+//! Rule and range types shared across the optimizers and the miner.
+
+/// Which optimization produced a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Maximizes support subject to a minimum confidence (§4.2).
+    OptimizedSupport,
+    /// Maximizes confidence subject to a minimum support (§4.1).
+    OptimizedConfidence,
+    /// Maximizes the average of a target attribute subject to a minimum
+    /// support (§5).
+    MaximumAverage,
+    /// Maximizes support subject to a minimum target-attribute average
+    /// (§5).
+    MaximumSupportAverage,
+}
+
+/// An optimal bucket range with integer hit counts — the output of the
+/// confidence/support optimizers, before value instantiation.
+///
+/// Bucket indices are 0-based and inclusive on both ends: the range
+/// covers buckets `s ..= t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptRange {
+    /// First bucket of the range (0-based, inclusive).
+    pub s: usize,
+    /// Last bucket of the range (0-based, inclusive).
+    pub t: usize,
+    /// Tuples in the range (`Σ u_i`).
+    pub sup_count: u64,
+    /// Tuples in the range meeting the objective (`Σ v_i`).
+    pub hits: u64,
+}
+
+impl OptRange {
+    /// The rule's confidence `hits / sup_count`.
+    pub fn confidence(&self) -> f64 {
+        if self.sup_count == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.sup_count as f64
+        }
+    }
+
+    /// The range's support relative to `total_rows`.
+    pub fn support(&self, total_rows: u64) -> f64 {
+        if total_rows == 0 {
+            0.0
+        } else {
+            self.sup_count as f64 / total_rows as f64
+        }
+    }
+
+    /// Number of buckets covered.
+    pub fn width(&self) -> usize {
+        self.t - self.s + 1
+    }
+}
+
+/// An optimal bucket range for the average operator (§5), where the
+/// accumulated quantity is a value sum rather than a hit count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvgRange {
+    /// First bucket (0-based, inclusive).
+    pub s: usize,
+    /// Last bucket (0-based, inclusive).
+    pub t: usize,
+    /// Tuples in the range.
+    pub sup_count: u64,
+    /// Sum of the target attribute over the range.
+    pub sum: f64,
+}
+
+impl AvgRange {
+    /// The range's target-attribute average.
+    pub fn average(&self) -> f64 {
+        if self.sup_count == 0 {
+            0.0
+        } else {
+            self.sum / self.sup_count as f64
+        }
+    }
+
+    /// The range's support relative to `total_rows`.
+    pub fn support(&self, total_rows: u64) -> f64 {
+        if total_rows == 0 {
+            0.0
+        } else {
+            self.sup_count as f64 / total_rows as f64
+        }
+    }
+}
+
+/// A fully instantiated mined rule: bucket range mapped back to actual
+/// attribute values, with counts for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeRule {
+    /// Which optimization produced this rule.
+    pub kind: RuleKind,
+    /// Bucket span in the *compacted* bucket sequence used for
+    /// optimization (0-based, inclusive).
+    pub bucket_range: (usize, usize),
+    /// Observed attribute-value interval `[v1, v2]` covered by the
+    /// range (min of first bucket, max of last bucket).
+    pub value_range: (f64, f64),
+    /// Tuples in the range.
+    pub sup_count: u64,
+    /// Tuples in the range meeting the objective.
+    pub hits: u64,
+    /// Relation size the support is measured against.
+    pub total_rows: u64,
+}
+
+impl RangeRule {
+    /// Support of the range (fraction of all rows).
+    pub fn support(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.sup_count as f64 / self.total_rows as f64
+        }
+    }
+
+    /// Confidence of the rule.
+    pub fn confidence(&self) -> f64 {
+        if self.sup_count == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.sup_count as f64
+        }
+    }
+
+    /// Renders the rule in the paper's notation, e.g.
+    /// `(Balance in [3004, 7998]) => (CardLoan = yes)  [support 24.9%, confidence 64.8%]`.
+    pub fn describe(&self, attr_name: &str, objective: &str) -> String {
+        format!(
+            "({} in [{:.4}, {:.4}]) => {}  [support {:.2}%, confidence {:.2}%]",
+            attr_name,
+            self.value_range.0,
+            self.value_range.1,
+            objective,
+            100.0 * self.support(),
+            100.0 * self.confidence(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_range_accessors() {
+        let r = OptRange {
+            s: 2,
+            t: 4,
+            sup_count: 50,
+            hits: 30,
+        };
+        assert_eq!(r.confidence(), 0.6);
+        assert_eq!(r.support(200), 0.25);
+        assert_eq!(r.width(), 3);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let r = OptRange {
+            s: 0,
+            t: 0,
+            sup_count: 0,
+            hits: 0,
+        };
+        assert_eq!(r.confidence(), 0.0);
+        assert_eq!(r.support(0), 0.0);
+    }
+
+    #[test]
+    fn avg_range_accessors() {
+        let r = AvgRange {
+            s: 1,
+            t: 2,
+            sup_count: 4,
+            sum: 42.0,
+        };
+        assert_eq!(r.average(), 10.5);
+        assert_eq!(r.support(16), 0.25);
+    }
+
+    #[test]
+    fn describe_format() {
+        let rule = RangeRule {
+            kind: RuleKind::OptimizedConfidence,
+            bucket_range: (0, 3),
+            value_range: (1000.0, 2000.0),
+            sup_count: 25,
+            hits: 20,
+            total_rows: 100,
+        };
+        let text = rule.describe("Balance", "(CardLoan = yes)");
+        assert!(text.contains("Balance in [1000.0000, 2000.0000]"), "{text}");
+        assert!(text.contains("support 25.00%"), "{text}");
+        assert!(text.contains("confidence 80.00%"), "{text}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Optimized-support rules (Section 4.2).
+//!
+//! Among ranges whose confidence reaches a threshold `θ`, find the one
+//! maximizing support. Define the *gain* of bucket `i` as
+//! `g_i = v_i − θ·u_i` (integer-scaled through [`Ratio::gain`], so the
+//! test `avg(s,t) ≥ θ` is the exact integer test `Σ g_i ≥ 0`).
+//!
+//! * **Algorithm 4.3** computes the *effective* start indices: `s` is
+//!   effective iff every range ending at `s−1` has average below `θ`
+//!   (`w = g_{s−1} + max(0, w) < 0`). By Lemma 4.1 an optimal range must
+//!   start at an effective index.
+//! * **Algorithm 4.4** finds `top(s)` — the largest `t ≥ s` with
+//!   `avg(s,t) ≥ θ` — by one backward scan: Lemma 4.2 guarantees
+//!   `top` is monotone over effective indices, so a single pointer
+//!   suffices and the whole computation is O(M) (Theorem 4.2).
+//!
+//! Ties: among equal-support ranges the higher confidence wins, then
+//! the leftmost range (the paper does not specify; the naive baseline
+//! mirrors this exactly).
+
+use crate::error::{validate_series, Result};
+use crate::ratio::Ratio;
+use crate::rule::OptRange;
+use std::cmp::Ordering;
+
+/// Gain arithmetic shared by the integer (rule-mining) and floating
+/// (average-operator) instantiations of Algorithms 4.3/4.4.
+pub(crate) trait Gain: Copy + PartialOrd {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Addition.
+    fn add(self, other: Self) -> Self;
+    /// Subtraction (for cumulative-table differences).
+    fn sub(self, other: Self) -> Self;
+    /// Compares `a/ua` with `b/ub` (averages) without dividing.
+    fn cmp_avg(a: Self, ua: u64, b: Self, ub: u64) -> Ordering;
+}
+
+impl Gain for i128 {
+    const ZERO: Self = 0;
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    fn sub(self, other: Self) -> Self {
+        self - other
+    }
+    fn cmp_avg(a: Self, ua: u64, b: Self, ub: u64) -> Ordering {
+        // Counts ≤ 2^63 and gains ≤ 2^80 keep products inside i128 for
+        // all realistic relations (gain ≤ den·N ≤ 10⁹·2^40).
+        (a * ub as i128).cmp(&(b * ua as i128))
+    }
+}
+
+impl Gain for f64 {
+    const ZERO: Self = 0.0;
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    fn sub(self, other: Self) -> Self {
+        self - other
+    }
+    fn cmp_avg(a: Self, ua: u64, b: Self, ub: u64) -> Ordering {
+        (a * ub as f64)
+            .partial_cmp(&(b * ua as f64))
+            .expect("finite gains")
+    }
+}
+
+/// Algorithm 4.3 on raw gains: returns all effective indices (0-based),
+/// in increasing order. Index 0 is always effective.
+pub(crate) fn effective_indices_gains<G: Gain>(g: &[G]) -> Vec<usize> {
+    let mut eff = Vec::with_capacity(g.len());
+    if g.is_empty() {
+        return eff;
+    }
+    eff.push(0);
+    // w tracks max_{j<s} Σ_{i=j}^{s−1} g_i via w := g_{s−1} + max(0, w).
+    let mut w = G::ZERO;
+    for s in 1..g.len() {
+        w = if w > G::ZERO {
+            g[s - 1].add(w)
+        } else {
+            g[s - 1]
+        };
+        if w < G::ZERO {
+            eff.push(s);
+        }
+    }
+    eff
+}
+
+/// Algorithms 4.3 + 4.4 on raw gains: the optimal support pair, as
+/// `(s, t)` bucket indices (0-based, inclusive), maximizing `Σ u` over
+/// ranges with `Σ g ≥ 0`. Ties: max average, then leftmost.
+pub(crate) fn optimize_support_gains<G: Gain>(u: &[u64], g: &[G]) -> Option<(usize, usize)> {
+    let m = g.len();
+    if m == 0 {
+        return None;
+    }
+    let eff = effective_indices_gains(g);
+    // Cumulative tables: F[j] = Σ_{i≤j} g_i and U[j] = Σ_{i≤j} u_i, with
+    // virtual F[-1] = U[-1] = 0 handled by index shifting.
+    let mut f_cum = Vec::with_capacity(m + 1);
+    let mut u_cum = Vec::with_capacity(m + 1);
+    f_cum.push(G::ZERO);
+    u_cum.push(0u64);
+    for i in 0..m {
+        let fl = *f_cum.last().expect("non-empty");
+        f_cum.push(fl.add(g[i]));
+        u_cum.push(u_cum[i] + u[i]);
+    }
+    // avg(s, t) ≥ θ  ⇔  F[t] − F[s−1] ≥ 0 (shifted: f_cum[t+1] − f_cum[s]).
+    let gain_of = |s: usize, t: usize| f_cum[t + 1].sub(f_cum[s]);
+    let sup_of = |s: usize, t: usize| u_cum[t + 1] - u_cum[s];
+
+    let mut best: Option<(usize, usize)> = None;
+    let mut i = m as isize - 1;
+    for &s in eff.iter().rev() {
+        while i >= s as isize && gain_of(s, i as usize) < G::ZERO {
+            i -= 1;
+        }
+        if i < s as isize {
+            // No top for this s; the pointer stays (Lemma 4.2 ensures no
+            // smaller effective index has a top beyond it either).
+            continue;
+        }
+        let cand = (s, i as usize);
+        best = Some(match best {
+            None => cand,
+            Some(cur) => {
+                // Iterating s downward: on full ties prefer the smaller
+                // (later-visited) s, so replace on Equal as well.
+                let by_sup = sup_of(cand.0, cand.1).cmp(&sup_of(cur.0, cur.1));
+                let ord = by_sup.then_with(|| {
+                    G::cmp_avg(
+                        gain_of(cand.0, cand.1),
+                        sup_of(cand.0, cand.1),
+                        gain_of(cur.0, cur.1),
+                        sup_of(cur.0, cur.1),
+                    )
+                });
+                if ord != Ordering::Less {
+                    cand
+                } else {
+                    cur
+                }
+            }
+        });
+    }
+    best
+}
+
+/// Computes the optimized-support range: maximal support among ranges
+/// with confidence at least `min_conf`. Returns `None` when no range is
+/// confident.
+///
+/// # Errors
+///
+/// Fails if `u`/`v` lengths differ or any bucket is empty (`u_i = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use optrules_core::{optimize_support, Ratio};
+/// let u = [10, 10, 10, 10];
+/// let v = [9, 4, 6, 0];
+/// // θ = 50 %: the whole range has 19/40 < θ, but buckets 0-2 reach
+/// // 19/30 ≥ θ with support 30.
+/// let best = optimize_support(&u, &v, Ratio::percent(50)).unwrap().unwrap();
+/// assert_eq!((best.s, best.t), (0, 2));
+/// assert_eq!(best.sup_count, 30);
+/// // θ = 90 %: only bucket 0 qualifies.
+/// let best = optimize_support(&u, &v, Ratio::percent(90)).unwrap().unwrap();
+/// assert_eq!((best.s, best.t), (0, 0));
+/// ```
+pub fn optimize_support(u: &[u64], v: &[u64], min_conf: Ratio) -> Result<Option<OptRange>> {
+    validate_series(u, v.len())?;
+    let gains: Vec<i128> = u
+        .iter()
+        .zip(v)
+        .map(|(&ui, &vi)| min_conf.gain(ui, vi))
+        .collect();
+    Ok(optimize_support_gains(u, &gains).map(|(s, t)| OptRange {
+        s,
+        t,
+        sup_count: u[s..=t].iter().sum(),
+        hits: v[s..=t].iter().sum(),
+    }))
+}
+
+/// Algorithm 4.3's effective indices for `(u, v, θ)` — exposed for
+/// tests and the paper's worked discussion.
+///
+/// # Errors
+///
+/// Fails if `u`/`v` lengths differ or any bucket is empty (`u_i = 0`).
+pub fn effective_indices(u: &[u64], v: &[u64], min_conf: Ratio) -> Result<Vec<usize>> {
+    validate_series(u, v.len())?;
+    let gains: Vec<i128> = u
+        .iter()
+        .zip(v)
+        .map(|(&ui, &vi)| min_conf.gain(ui, vi))
+        .collect();
+    Ok(effective_indices_gains(&gains))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::optimize_support_naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn whole_range_when_globally_confident() {
+        // Overall confidence 0.6 ≥ 0.5 ⇒ the entire range is optimal.
+        let u = [10, 10];
+        let v = [8, 4];
+        let best = optimize_support(&u, &v, Ratio::percent(50))
+            .unwrap()
+            .unwrap();
+        assert_eq!((best.s, best.t), (0, 1));
+        assert_eq!(best.sup_count, 20);
+    }
+
+    #[test]
+    fn none_when_unsatisfiable() {
+        let u = [10, 10];
+        let v = [1, 2];
+        assert_eq!(optimize_support(&u, &v, Ratio::percent(90)).unwrap(), None);
+    }
+
+    #[test]
+    fn effectiveness_definition_holds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let m = rng.gen_range(1..25);
+            let u: Vec<u64> = (0..m).map(|_| rng.gen_range(1..10)).collect();
+            let v: Vec<u64> = u.iter().map(|&ui| rng.gen_range(0..=ui)).collect();
+            let theta = Ratio::percent(rng.gen_range(1..100));
+            let eff = effective_indices(&u, &v, theta).unwrap();
+            // Definition 4.5: s effective ⇔ avg(j, s−1) < θ for all j < s.
+            for s in 0..m {
+                let is_eff = eff.contains(&s);
+                let mut any_ge = false;
+                for j in 0..s {
+                    let su: u64 = u[j..s].iter().sum();
+                    let sv: u64 = v[j..s].iter().sum();
+                    if theta.le_fraction(sv, su) {
+                        any_ge = true;
+                    }
+                }
+                assert_eq!(is_eff, !any_ge, "u={u:?} v={v:?} θ={theta:?} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_monotonicity_lemma_4_2() {
+        // For effective s < s′ with tops defined, top(s) ≤ top(s′).
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let m = rng.gen_range(2..20);
+            let u: Vec<u64> = (0..m).map(|_| rng.gen_range(1..8)).collect();
+            let v: Vec<u64> = u.iter().map(|&ui| rng.gen_range(0..=ui)).collect();
+            let theta = Ratio::percent(rng.gen_range(10..90));
+            let eff = effective_indices(&u, &v, theta).unwrap();
+            let top = |s: usize| -> Option<usize> {
+                (s..m)
+                    .filter(|&t| {
+                        let su: u64 = u[s..=t].iter().sum();
+                        let sv: u64 = v[s..=t].iter().sum();
+                        theta.le_fraction(sv, su)
+                    })
+                    .max()
+            };
+            let tops: Vec<(usize, usize)> =
+                eff.iter().filter_map(|&s| top(s).map(|t| (s, t))).collect();
+            for w in tops.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].1,
+                    "tops not monotone: {tops:?} for u={u:?} v={v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_randomized() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for trial in 0..400 {
+            let m = rng.gen_range(1..40);
+            let u: Vec<u64> = (0..m).map(|_| rng.gen_range(1..30)).collect();
+            let v: Vec<u64> = u.iter().map(|&ui| rng.gen_range(0..=ui)).collect();
+            let theta = Ratio::percent(rng.gen_range(1..=100));
+            let fast = optimize_support(&u, &v, theta).unwrap();
+            let naive = optimize_support_naive(&u, &v, theta).unwrap();
+            assert_eq!(fast, naive, "trial {trial}: u={u:?} v={v:?} θ={theta:?}");
+        }
+    }
+
+    #[test]
+    fn zero_threshold_takes_everything() {
+        let u = [3, 4, 5];
+        let v = [0, 0, 0];
+        let best = optimize_support(&u, &v, Ratio::percent(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!((best.s, best.t), (0, 2));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(optimize_support(&[1], &[1, 2], Ratio::percent(50)).is_err());
+        assert!(optimize_support(&[0], &[0], Ratio::percent(50)).is_err());
+    }
+}

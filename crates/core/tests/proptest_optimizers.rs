@@ -1,0 +1,160 @@
+//! Property tests for the optimizers under adversarial regimes: large
+//! counts near the exact-f64 window, degenerate confidences, heavy
+//! ties, and threshold boundary values.
+
+use optrules_core::kadane::max_gain_range;
+use optrules_core::naive::{optimize_confidence_naive, optimize_support_naive};
+use optrules_core::region2d::{
+    optimize_confidence_rectangle, optimize_rectangle_naive, optimize_support_rectangle, GridCounts,
+};
+use optrules_core::twopointer::optimize_confidence_sweep;
+use optrules_core::{optimize_confidence, optimize_support, Ratio};
+use proptest::prelude::*;
+
+/// Large-count buckets: u up to 2^20 per bucket stresses the integer
+/// windows of both the f64 cross products and the i128 gains.
+fn big_uv() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    prop::collection::vec((1u64..=(1 << 20), 0.0f64..=1.0), 1..24).prop_map(|pairs| {
+        let u: Vec<u64> = pairs.iter().map(|&(ui, _)| ui).collect();
+        let v: Vec<u64> = pairs
+            .iter()
+            .map(|&(ui, f)| ((ui as f64) * f) as u64)
+            .collect();
+        (u, v)
+    })
+}
+
+/// Degenerate-heavy buckets: confidences drawn from {0, θ-ish, 1} to
+/// force ties everywhere.
+fn tie_heavy_uv() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    prop::collection::vec((1u64..=8, 0usize..3), 1..32).prop_map(|pairs| {
+        let u: Vec<u64> = pairs.iter().map(|&(ui, _)| ui * 2).collect();
+        let v: Vec<u64> = pairs
+            .iter()
+            .map(|&(ui, kind)| match kind {
+                0 => 0,
+                1 => ui, // exactly 50 %
+                _ => ui * 2,
+            })
+            .collect();
+        (u, v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn confidence_exact_at_large_counts((u, v) in big_uv(), frac in 0.0f64..=1.0) {
+        let total: u64 = u.iter().sum();
+        let w = (total as f64 * frac) as u64;
+        prop_assert_eq!(
+            optimize_confidence(&u, &v, w).unwrap(),
+            optimize_confidence_naive(&u, &v, w).unwrap()
+        );
+    }
+
+    #[test]
+    fn support_exact_at_large_counts((u, v) in big_uv(), theta_pct in 0u64..=100) {
+        let theta = Ratio::percent(theta_pct);
+        prop_assert_eq!(
+            optimize_support(&u, &v, theta).unwrap(),
+            optimize_support_naive(&u, &v, theta).unwrap()
+        );
+    }
+
+    #[test]
+    fn confidence_ties_resolved_identically((u, v) in tie_heavy_uv(), frac in 0.0f64..=1.0) {
+        let total: u64 = u.iter().sum();
+        let w = (total as f64 * frac) as u64;
+        prop_assert_eq!(
+            optimize_confidence(&u, &v, w).unwrap(),
+            optimize_confidence_naive(&u, &v, w).unwrap()
+        );
+    }
+
+    #[test]
+    fn support_ties_resolved_identically((u, v) in tie_heavy_uv()) {
+        let theta = Ratio::percent(50); // sits exactly on the plateau
+        prop_assert_eq!(
+            optimize_support(&u, &v, theta).unwrap(),
+            optimize_support_naive(&u, &v, theta).unwrap()
+        );
+    }
+
+    /// The sweep ablation achieves the same optimum value as the paper
+    /// algorithm on every input.
+    #[test]
+    fn sweep_achieves_same_optimum((u, v) in tie_heavy_uv(), frac in 0.0f64..=1.0) {
+        let total: u64 = u.iter().sum();
+        let w = (total as f64 * frac) as u64;
+        let a = optimize_confidence(&u, &v, w).unwrap();
+        let b = optimize_confidence_sweep(&u, &v, w).unwrap();
+        match (a, b) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.hits as u128 * b.sup_count as u128,
+                                b.hits as u128 * a.sup_count as u128,
+                                "confidence values differ: {:?} vs {:?}", a, b);
+                prop_assert_eq!(a.sup_count, b.sup_count);
+            }
+            (a, b) => prop_assert!(false, "feasibility mismatch {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Kadane's range always has non-negative gain when any confident
+    /// range exists, and never more support than the optimized rule.
+    #[test]
+    fn kadane_relationships((u, v) in tie_heavy_uv(), theta_pct in 1u64..=99) {
+        let theta = Ratio::percent(theta_pct);
+        let opt = optimize_support(&u, &v, theta).unwrap();
+        let kad = max_gain_range(&u, &v, theta).unwrap().unwrap();
+        if let Some(o) = opt {
+            prop_assert!(kad.gain >= 0, "confident range exists but max gain {} < 0", kad.gain);
+            let k_sup: u64 = u[kad.s..=kad.t].iter().sum();
+            prop_assert!(o.sup_count >= k_sup);
+        } else {
+            // No confident range ⇒ every range has negative gain.
+            prop_assert!(kad.gain < 0);
+        }
+    }
+
+    /// 2-D rectangles agree with the exhaustive prefix-sum baseline.
+    #[test]
+    fn rectangles_match_naive(cells in prop::collection::vec((0u64..6, 0.0f64..=1.0), 9..36)) {
+        // Arrange cells into the squarest grid that fits.
+        let n = cells.len();
+        let nx = (1..=n).filter(|d| n % d == 0).min_by_key(|&d| {
+            (d as i64 - (n as f64).sqrt() as i64).abs()
+        }).unwrap();
+        let ny = n / nx;
+        let u: Vec<u64> = cells.iter().map(|&(ui, _)| ui).collect();
+        let v: Vec<u64> = cells.iter().map(|&(ui, f)| ((ui as f64) * f) as u64).collect();
+        let grid = GridCounts::from_cells(nx, ny, u, v).unwrap();
+        let total: u64 = (0..nx).flat_map(|i| (0..ny).map(move |j| (i, j)))
+            .map(|(i, j)| grid.at(i, j).0).sum();
+        prop_assume!(total > 0);
+
+        let w = (total / 3).max(1);
+        let fast = optimize_confidence_rectangle(&grid, w).unwrap();
+        let naive = optimize_rectangle_naive(&grid, Some(w), None, false);
+        match (fast, naive) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.hits as u128 * b.sup_count as u128,
+                                b.hits as u128 * a.sup_count as u128);
+                prop_assert_eq!(a.sup_count, b.sup_count);
+            }
+            (a, b) => prop_assert!(false, "mismatch {a:?} vs {b:?}"),
+        }
+
+        let theta = Ratio::percent(50);
+        let fast = optimize_support_rectangle(&grid, theta).unwrap();
+        let naive = optimize_rectangle_naive(&grid, None, Some(theta), true);
+        match (fast, naive) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert_eq!(a.sup_count, b.sup_count),
+            (a, b) => prop_assert!(false, "mismatch {a:?} vs {b:?}"),
+        }
+    }
+}

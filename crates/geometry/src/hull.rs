@@ -1,0 +1,148 @@
+//! Static upper/lower convex hulls by monotone chain.
+//!
+//! These are the textbook O(n) hulls over x-sorted points (Preparata &
+//! Shamos, the paper's reference [16]). They serve two roles:
+//!
+//! * ground truth for property-testing the incremental
+//!   [`crate::hull_tree::HullTree`];
+//! * the building block of the two-pointer alternative confidence
+//!   optimizer used as an ablation baseline in `optrules-core`.
+//!
+//! Interior collinear points are **excluded** (only extreme vertices are
+//! kept), matching the hull tree's pop rule `slope ≤ slope ⇒ pop`.
+
+use crate::point::{cross, Point};
+
+/// Indices of the upper-hull vertices of `points`, left to right.
+///
+/// `points` must be sorted by strictly increasing x.
+///
+/// # Panics
+///
+/// Debug-panics if x-coordinates are not strictly increasing.
+///
+/// # Examples
+///
+/// ```
+/// use optrules_geometry::{upper_hull, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 2.0),
+///     Point::new(2.0, 1.0),
+///     Point::new(3.0, 3.0),
+/// ];
+/// assert_eq!(upper_hull(&pts), vec![0, 1, 3]);
+/// ```
+pub fn upper_hull(points: &[Point]) -> Vec<usize> {
+    hull_impl(points, |o, a, b| cross(o, a, b) >= 0.0)
+}
+
+/// Indices of the lower-hull vertices of `points`, left to right.
+///
+/// `points` must be sorted by strictly increasing x.
+pub fn lower_hull(points: &[Point]) -> Vec<usize> {
+    hull_impl(points, |o, a, b| cross(o, a, b) <= 0.0)
+}
+
+/// Shared monotone chain; `pop_if(o, a, b)` returns true when the middle
+/// vertex `a` must be removed given predecessor `o` and new point `b`.
+fn hull_impl(points: &[Point], pop_if: impl Fn(Point, Point, Point) -> bool) -> Vec<usize> {
+    debug_assert!(
+        points.windows(2).all(|w| w[0].x < w[1].x),
+        "hull input must be sorted by strictly increasing x"
+    );
+    let mut hull: Vec<usize> = Vec::with_capacity(points.len().min(16));
+    for (i, &p) in points.iter().enumerate() {
+        while hull.len() >= 2 {
+            let a = points[hull[hull.len() - 1]];
+            let o = points[hull[hull.len() - 2]];
+            if pop_if(o, a, p) {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn single_and_pair() {
+        let p = pts(&[(0.0, 5.0)]);
+        assert_eq!(upper_hull(&p), vec![0]);
+        let p = pts(&[(0.0, 5.0), (1.0, -3.0)]);
+        assert_eq!(upper_hull(&p), vec![0, 1]);
+        assert_eq!(lower_hull(&p), vec![0, 1]);
+    }
+
+    #[test]
+    fn collinear_interior_points_removed() {
+        let p = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        assert_eq!(upper_hull(&p), vec![0, 3]);
+        assert_eq!(lower_hull(&p), vec![0, 3]);
+    }
+
+    #[test]
+    fn zigzag() {
+        let p = pts(&[
+            (0.0, 0.0),
+            (1.0, 3.0),
+            (2.0, 1.0),
+            (3.0, 4.0),
+            (4.0, 0.0),
+            (5.0, 2.0),
+        ]);
+        assert_eq!(upper_hull(&p), vec![0, 1, 3, 5]);
+        assert_eq!(lower_hull(&p), vec![0, 4, 5]);
+    }
+
+    /// The defining property: every point lies on or below every upper
+    /// hull edge, and hull slopes strictly decrease.
+    #[test]
+    fn upper_hull_dominates_all_points() {
+        // Deterministic pseudo-random points via a simple LCG.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64
+        };
+        let points: Vec<Point> = (0..200).map(|i| Point::new(i as f64, next())).collect();
+        let hull = upper_hull(&points);
+        // Slopes strictly decrease along the hull.
+        for w in hull.windows(3) {
+            let (a, b, c) = (points[w[0]], points[w[1]], points[w[2]]);
+            assert!(cross(a, b, c) < 0.0, "hull not strictly convex at {w:?}");
+        }
+        // Every point is on/below each hull edge spanning it.
+        for w in hull.windows(2) {
+            let (a, b) = (points[w[0]], points[w[1]]);
+            for p in &points {
+                if p.x >= a.x && p.x <= b.x {
+                    // p on or below segment a-b ⇔ cross(a, b, p) ≤ 0
+                    assert!(
+                        cross(a, b, *p) <= 0.0,
+                        "point {p:?} above hull edge {a:?}-{b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_is_mirror_of_upper() {
+        let points = pts(&[(0.0, 2.0), (1.0, 5.0), (2.0, 3.0), (3.0, 8.0), (4.0, 1.0)]);
+        let mirrored: Vec<Point> = points.iter().map(|p| Point::new(p.x, -p.y)).collect();
+        assert_eq!(lower_hull(&points), upper_hull(&mirrored));
+    }
+}

@@ -1,0 +1,262 @@
+//! The convex hull tree of Algorithm 4.1.
+//!
+//! Let `U_i` denote the upper hull of the suffix point set
+//! `{Q_i, …, Q_M}`. The tangent walk of Algorithm 4.2 needs `U_{r(m)}`
+//! for `m = 0, 1, …` with `r` non-decreasing — i.e. it consumes the
+//! hulls `U_0, U_1, …` *in order*. Recomputing each hull would cost
+//! O(M²); the paper instead maintains all of them in one stack `S` plus
+//! per-node branch stacks `D_i`:
+//!
+//! * **Preparatory phase** (`i = M … 0`): build `U_i` from `U_{i+1}` by
+//!   the clockwise-search pop rule; nodes popped while inserting `Q_i`
+//!   are recorded in `D_i`. Ends with `S = U_0`.
+//! * **Restoration phase** (`advance_to`): to turn `U_i` into `U_{i+1}`,
+//!   pop `Q_i` (the leftmost node of `U_i` is always `Q_i`) and push the
+//!   nodes of `D_i` back. Every node is pushed and popped O(1) times in
+//!   each phase, so the whole lifecycle is O(M) time and space.
+//!
+//! Stack orientation: index 0 (bottom) holds the **rightmost** hull node
+//! (`Q_M`); the last element (top) holds the **leftmost** node (`Q_i`).
+//! "Clockwise" traversal of the upper hull — leftmost to rightmost — is
+//! therefore a walk from the top of the stack downward.
+
+use crate::point::{slope_cmp, Point};
+use std::cmp::Ordering;
+
+/// Convex hull tree over points `Q_0 … Q_M` (Algorithm 4.1).
+#[derive(Debug)]
+pub struct HullTree<'a> {
+    points: &'a [Point],
+    /// `S`: the current hull, bottom = rightmost.
+    stack: Vec<u32>,
+    /// `D_i`: nodes popped while inserting `Q_i`, in pop order
+    /// (increasing x). Consumed (moved out) during restoration.
+    branches: Vec<Vec<u32>>,
+    /// The hull currently materialized: `stack == U_current`.
+    current: usize,
+}
+
+impl<'a> HullTree<'a> {
+    /// Runs the preparatory phase over `points` (which must be sorted by
+    /// strictly increasing x) and returns the tree positioned at `U_0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty; debug-panics if x is not strictly
+    /// increasing.
+    pub fn build(points: &'a [Point]) -> Self {
+        assert!(!points.is_empty(), "hull tree needs at least one point");
+        debug_assert!(
+            points.windows(2).all(|w| w[0].x < w[1].x),
+            "hull tree input must be sorted by strictly increasing x"
+        );
+        let m = points.len() - 1;
+        let mut stack: Vec<u32> = Vec::with_capacity(points.len());
+        let mut branches: Vec<Vec<u32>> = vec![Vec::new(); points.len()];
+        for i in (0..=m).rev() {
+            let qi = points[i];
+            // Clockwise search: pop while the top is not on U_i.
+            while stack.len() >= 2 {
+                let top = stack[stack.len() - 1] as usize;
+                let second = stack[stack.len() - 2] as usize;
+                // slope(Q_i, top) ≤ slope(Q_i, second) ⇒ top leaves the hull.
+                if slope_cmp(qi, points[top], points[second]) != Ordering::Greater {
+                    let popped = stack.pop().expect("len checked");
+                    branches[i].push(popped);
+                } else {
+                    break;
+                }
+            }
+            stack.push(i as u32);
+        }
+        Self {
+            points,
+            stack,
+            branches,
+            current: 0,
+        }
+    }
+
+    /// The index `i` such that the stack currently stores `U_i`.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Restoration phase: advances the materialized hull to `U_target`.
+    /// One-way — `target` must be ≥ [`Self::current`] and ≤ M.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` moves backwards or beyond the last point.
+    pub fn advance_to(&mut self, target: usize) {
+        assert!(
+            target >= self.current,
+            "hull tree cannot rewind: current {} target {target}",
+            self.current
+        );
+        assert!(
+            target < self.points.len(),
+            "advance_to({target}) beyond last point {}",
+            self.points.len() - 1
+        );
+        while self.current < target {
+            let popped = self.stack.pop().expect("U_i always contains Q_i");
+            debug_assert_eq!(popped as usize, self.current, "top of U_i must be Q_i");
+            // Push back D_i in top-to-bottom order: largest x first, so
+            // the new top ends up the leftmost node of U_{i+1}.
+            let branch = std::mem::take(&mut self.branches[self.current]);
+            self.stack.extend(branch.iter().rev());
+            self.current += 1;
+        }
+    }
+
+    /// Number of nodes on the current hull.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether the current hull is empty (never true for a built tree).
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Point index of the hull node at stack position `pos`
+    /// (0 = bottom = rightmost; `len()-1` = top = leftmost).
+    #[inline]
+    pub fn node_at(&self, pos: usize) -> usize {
+        self.stack[pos] as usize
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &'a [Point] {
+        self.points
+    }
+
+    /// Hull node indices in left-to-right (clockwise) order — for tests
+    /// and debugging; the tangent walk uses positional access instead.
+    pub fn hull_left_to_right(&self) -> Vec<usize> {
+        self.stack.iter().rev().map(|&i| i as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::upper_hull;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    /// Deterministic pseudo-random y values.
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                Point::new(i as f64, ((state >> 33) % 1000) as f64)
+            })
+            .collect()
+    }
+
+    /// Reference: U_i via monotone chain on the suffix.
+    fn suffix_hull(points: &[Point], i: usize) -> Vec<usize> {
+        upper_hull(&points[i..])
+            .into_iter()
+            .map(|k| k + i)
+            .collect()
+    }
+
+    #[test]
+    fn initial_hull_is_u0() {
+        let points = random_points(50, 7);
+        let tree = HullTree::build(&points);
+        assert_eq!(tree.hull_left_to_right(), suffix_hull(&points, 0));
+    }
+
+    #[test]
+    fn restoration_produces_every_suffix_hull() {
+        for seed in [1u64, 2, 3, 99] {
+            let points = random_points(80, seed);
+            let mut tree = HullTree::build(&points);
+            for i in 0..points.len() {
+                tree.advance_to(i);
+                assert_eq!(
+                    tree.hull_left_to_right(),
+                    suffix_hull(&points, i),
+                    "seed {seed}, U_{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_advance_matches_stepwise() {
+        let points = random_points(60, 21);
+        let mut jumping = HullTree::build(&points);
+        jumping.advance_to(17);
+        assert_eq!(jumping.hull_left_to_right(), suffix_hull(&points, 17));
+        jumping.advance_to(55);
+        assert_eq!(jumping.hull_left_to_right(), suffix_hull(&points, 55));
+    }
+
+    #[test]
+    fn last_hull_is_single_node() {
+        let points = random_points(10, 3);
+        let mut tree = HullTree::build(&points);
+        tree.advance_to(9);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.node_at(0), 9);
+    }
+
+    #[test]
+    fn collinear_points_keep_extremes_only() {
+        let points = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        let tree = HullTree::build(&points);
+        assert_eq!(tree.hull_left_to_right(), vec![0, 3]);
+    }
+
+    #[test]
+    fn monotone_increasing_points() {
+        // Convex increasing: every point on the hull.
+        let points = pts(&[(0.0, 0.0), (1.0, 10.0), (2.0, 15.0), (3.0, 18.0)]);
+        let tree = HullTree::build(&points);
+        assert_eq!(tree.hull_left_to_right(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn rewind_rejected() {
+        let points = random_points(5, 1);
+        let mut tree = HullTree::build(&points);
+        tree.advance_to(3);
+        tree.advance_to(2);
+    }
+
+    #[test]
+    fn single_point() {
+        let points = pts(&[(0.0, 5.0)]);
+        let tree = HullTree::build(&points);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.current(), 0);
+    }
+
+    /// Example 4.1 / Figure 4-5 sanity: restoration visits branches in
+    /// the same order the preparatory phase recorded them, and the total
+    /// push/pop work is linear. We assert the structural invariant that
+    /// every node appears in at most one branch.
+    #[test]
+    fn each_node_in_at_most_one_branch() {
+        let points = random_points(200, 11);
+        let tree = HullTree::build(&points);
+        let mut seen = vec![false; points.len()];
+        for branch in &tree.branches {
+            for &n in branch {
+                assert!(!seen[n as usize], "node {n} in two branches");
+                seen[n as usize] = true;
+            }
+        }
+    }
+}

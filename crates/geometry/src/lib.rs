@@ -1,0 +1,43 @@
+//! Computational-geometry substrate for `optrules`.
+//!
+//! Section 4.1 of Fukuda et al. reduces the **optimized-confidence rule**
+//! to a geometric problem: with `Q_k = (Σ_{i≤k} u_i, Σ_{i≤k} v_i)`, the
+//! confidence of the range `(m+1 .. n)` is the slope of segment
+//! `Q_m Q_n`, and the optimum is a max-slope *tangent* from some `Q_m`
+//! to the upper hull of the suffix point set `{Q_{r(m)}, …, Q_M}`.
+//!
+//! This crate implements that machinery exactly as the paper describes:
+//!
+//! * [`point`] — points and the exact-in-practice slope/orientation
+//!   predicates everything else is built on;
+//! * [`hull`] — static monotone-chain upper/lower hulls (used as ground
+//!   truth in tests and by the two-pointer alternative algorithm);
+//! * [`hull_tree`] — **Algorithm 4.1**: the convex hull tree maintained
+//!   with a stack `S` and per-node branch stacks `D_i`, with its
+//!   preparatory (`i = M…0`) and restoration (`m = 0…M−1`) phases;
+//! * [`tangent`] — **Algorithm 4.2**: the amortized-linear max-slope
+//!   tangent walk with the `L`-line skip test and resumed
+//!   clockwise/counterclockwise searches.
+//!
+//! # Numeric model
+//!
+//! Coordinates are `f64`. All predicates are sign-of-cross-product
+//! tests: for the mining workloads (x = cumulative tuple counts,
+//! y = cumulative hit counts or value sums) the products stay within
+//! `f64`'s 53-bit exact-integer window for relations up to ~90 million
+//! tuples, so comparisons are *exact* on integer inputs; the unit and
+//! property tests exploit this to demand bit-exact agreement with naive
+//! O(M²) search.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hull;
+pub mod hull_tree;
+pub mod point;
+pub mod tangent;
+
+pub use hull::{lower_hull, upper_hull};
+pub use hull_tree::HullTree;
+pub use point::Point;
+pub use tangent::{max_slope_with_min_span, SlopePair, TangentStats};

@@ -1,0 +1,146 @@
+//! Points and slope/orientation predicates.
+
+use std::cmp::Ordering;
+
+/// A point in the cumulative-count plane of Section 4.1.
+///
+/// For rule mining, `x` is a cumulative tuple count (`Σ u_i`) and `y` a
+/// cumulative hit count or value sum (`Σ v_i`); the slope of a segment
+/// between two such points is exactly the confidence (or average) of the
+/// bucket range between them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Cumulative x (strictly increasing across a bucket sequence,
+    /// because every bucket holds at least one tuple).
+    pub x: f64,
+    /// Cumulative y.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Slope of the segment from `self` to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the two x-coordinates coincide; bucket
+    /// sequences guarantee strictly increasing x.
+    #[inline]
+    pub fn slope_to(&self, other: &Point) -> f64 {
+        debug_assert!(
+            other.x != self.x,
+            "slope undefined for equal x: {self:?} vs {other:?}"
+        );
+        (other.y - self.y) / (other.x - self.x)
+    }
+}
+
+/// Cross product `(a − o) × (b − o)`.
+///
+/// Positive ⇒ `o → a → b` turns counterclockwise (b is left of ray o→a);
+/// negative ⇒ clockwise; zero ⇒ collinear. Exact whenever all coordinate
+/// differences and their products are exactly representable (true for
+/// integer-valued inputs below 2^26, the mining regime).
+#[inline]
+pub fn cross(o: Point, a: Point, b: Point) -> f64 {
+    (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+}
+
+/// Compares `slope(o, a)` with `slope(o, b)` without dividing, assuming
+/// `a.x > o.x` and `b.x > o.x` (both to the right of the origin point).
+///
+/// # Examples
+///
+/// ```
+/// use optrules_geometry::point::{slope_cmp, Point};
+/// use std::cmp::Ordering;
+/// let o = Point::new(0.0, 0.0);
+/// let a = Point::new(1.0, 2.0); // slope 2
+/// let b = Point::new(2.0, 3.0); // slope 1.5
+/// assert_eq!(slope_cmp(o, a, b), Ordering::Greater);
+/// ```
+#[inline]
+pub fn slope_cmp(o: Point, a: Point, b: Point) -> Ordering {
+    debug_assert!(a.x > o.x && b.x > o.x, "slope_cmp needs points right of o");
+    // slope(o,a) ? slope(o,b)  ⇔  (a.y−o.y)(b.x−o.x) ? (b.y−o.y)(a.x−o.x)
+    let lhs = (a.y - o.y) * (b.x - o.x);
+    let rhs = (b.y - o.y) * (a.x - o.x);
+    lhs.partial_cmp(&rhs).expect("finite coordinates")
+}
+
+/// Compares two slopes given as (dy, dx) fractions with positive dx,
+/// without dividing: `dy1/dx1 ? dy2/dx2`.
+#[inline]
+pub fn frac_cmp(dy1: f64, dx1: f64, dy2: f64, dx2: f64) -> Ordering {
+    debug_assert!(dx1 > 0.0 && dx2 > 0.0);
+    (dy1 * dx2)
+        .partial_cmp(&(dy2 * dx1))
+        .expect("finite coordinates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 2.0);
+        assert_eq!(a.slope_to(&b), 0.5);
+        assert_eq!(b.slope_to(&a), 0.5);
+    }
+
+    #[test]
+    fn cross_orientation() {
+        let o = Point::new(0.0, 0.0);
+        let a = Point::new(1.0, 0.0);
+        let up = Point::new(1.0, 1.0);
+        let down = Point::new(1.0, -1.0);
+        assert!(cross(o, a, up) > 0.0); // counterclockwise
+        assert!(cross(o, a, down) < 0.0); // clockwise
+        assert_eq!(cross(o, a, Point::new(2.0, 0.0)), 0.0); // collinear
+    }
+
+    #[test]
+    fn slope_cmp_agrees_with_division() {
+        let o = Point::new(3.0, 7.0);
+        let pts = [
+            Point::new(4.0, 7.0),
+            Point::new(5.0, 10.0),
+            Point::new(10.0, 8.0),
+            Point::new(4.0, 9.0),
+            Point::new(6.0, 13.0), // collinear with (4,9) through o
+        ];
+        for &a in &pts {
+            for &b in &pts {
+                let via_cmp = slope_cmp(o, a, b);
+                let via_div = o.slope_to(&a).partial_cmp(&o.slope_to(&b)).expect("finite");
+                assert_eq!(via_cmp, via_div, "a={a:?} b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn slope_cmp_exact_on_collinear_integers() {
+        // (1,1), (2,2), (3,3) through origin: exactly equal slopes.
+        let o = Point::new(0.0, 0.0);
+        let a = Point::new(2.0, 2.0);
+        let b = Point::new(3.0, 3.0);
+        assert_eq!(slope_cmp(o, a, b), Ordering::Equal);
+    }
+
+    #[test]
+    fn frac_cmp_matches_slope_cmp() {
+        let o = Point::new(1.0, 2.0);
+        let a = Point::new(4.0, 11.0);
+        let b = Point::new(6.0, 3.0);
+        assert_eq!(
+            frac_cmp(a.y - o.y, a.x - o.x, b.y - o.y, b.x - o.x),
+            slope_cmp(o, a, b)
+        );
+    }
+}

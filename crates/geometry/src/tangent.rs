@@ -1,0 +1,387 @@
+//! The max-slope tangent walk of Algorithm 4.2.
+//!
+//! Given cumulative points `Q_0 … Q_M` and a minimum x-span `W` (the
+//! ample condition: `support(m+1, n) ≥ minsup` becomes
+//! `x_n − x_m ≥ W = minsup·N`), find the pair `m < n` with
+//! `x_n − x_m ≥ W` maximizing the slope of `Q_m Q_n`; among equal
+//! slopes, maximize the span (the paper's "select a pair that maximizes
+//! the support"); among remaining ties, the smallest `m` wins.
+//!
+//! For each `m`, the best `n` is the terminating point of the max-slope
+//! tangent from `Q_m` to the upper hull `U_{r(m)}` of
+//! `{Q_{r(m)}, …, Q_M}`, where `r(m)` is the first ample partner. The
+//! walk over `m` maintains:
+//!
+//! * the hull tree (Algorithm 4.1) positioned at `U_{r(m)}`;
+//! * the last computed tangent line `L` (through `Q_k` and its
+//!   terminating point `Q_t`). If `Q_m` lies **on or above** `L`, every
+//!   tangent from `Q_m` has slope ≤ slope(L) and `m` is skipped
+//!   outright — the core trick that makes the total work linear;
+//! * otherwise a **clockwise** search from the hull's left end (when `L`
+//!   no longer touches the current hull, i.e. `t < r(m)`) or a
+//!   **counterclockwise** search resumed from `Q_t`'s stack position
+//!   finds the new terminating point. Each hull edge is scanned at most
+//!   once over the whole run (Theorem 4.1), which [`TangentStats`]
+//!   exposes so tests can assert the O(M) bound empirically.
+
+use crate::hull_tree::HullTree;
+use crate::point::{cross, frac_cmp, slope_cmp, Point};
+use std::cmp::Ordering;
+
+/// An optimal slope pair `(m, n)`: the bucket range `m+1 ..= n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlopePair {
+    /// Left endpoint (exclusive): the range starts at bucket `m+1`.
+    pub m: usize,
+    /// Right endpoint (inclusive).
+    pub n: usize,
+}
+
+/// Work counters for the tangent walk, used to verify the amortized
+/// O(M) bound empirically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TangentStats {
+    /// Steps taken by clockwise searches.
+    pub cw_steps: u64,
+    /// Steps taken by counterclockwise searches.
+    pub ccw_steps: u64,
+    /// Number of `m` skipped by the `L`-line test.
+    pub skips: u64,
+    /// Number of tangents actually computed.
+    pub tangents: u64,
+}
+
+impl TangentStats {
+    /// Total hull-edge scanning work.
+    pub fn total_steps(&self) -> u64 {
+        self.cw_steps + self.ccw_steps
+    }
+}
+
+/// Finds the maximum-slope pair with x-span at least `min_span`
+/// (Algorithm 4.2). Returns `None` when no pair satisfies the span
+/// constraint. `points` must be sorted by strictly increasing x.
+///
+/// # Examples
+///
+/// ```
+/// use optrules_geometry::{max_slope_with_min_span, Point};
+/// // Cumulative points of buckets with (u, v):
+/// // (2,0) (2,2) (2,1): confidences 0, 1, 0.5.
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(4.0, 2.0),
+///     Point::new(6.0, 3.0),
+/// ];
+/// // Require span ≥ 2 (one bucket): best is bucket 2 alone, slope 1.
+/// let (pair, _) = max_slope_with_min_span(&pts, 2.0);
+/// let pair = pair.unwrap();
+/// assert_eq!((pair.m, pair.n), (1, 2));
+/// // Require span ≥ 4: buckets 2-3, slope (3-0)/(6-2) = 0.75.
+/// let (pair, _) = max_slope_with_min_span(&pts, 4.0);
+/// let pair = pair.unwrap();
+/// assert_eq!((pair.m, pair.n), (1, 3));
+/// ```
+pub fn max_slope_with_min_span(
+    points: &[Point],
+    min_span: f64,
+) -> (Option<SlopePair>, TangentStats) {
+    let mut stats = TangentStats::default();
+    if points.len() < 2 {
+        return (None, stats);
+    }
+    let m_last = points.len() - 1;
+    let mut tree = HullTree::build(points);
+
+    // Best pair so far, ordered by (slope, span) with earlier m on ties.
+    let mut best: Option<SlopePair> = None;
+    // L: the last computed tangent, as (k, t).
+    let mut line: Option<(usize, usize)> = None;
+    // Stack position of t within the hull tree (valid while t ≥ current).
+    let mut t_pos = 0usize;
+    // r(m) two-pointer: r is non-decreasing because x is increasing.
+    let mut r = 1usize;
+
+    for m in 0..m_last {
+        if r < m + 1 {
+            r = m + 1;
+        }
+        while r <= m_last && points[r].x - points[m].x < min_span {
+            r += 1;
+        }
+        if r > m_last {
+            // support(m+1, M) < minsup; larger m only shrinks the span.
+            break;
+        }
+        tree.advance_to(r);
+        let qm = points[m];
+
+        let new_tangent = match line {
+            None => {
+                // Base step: full clockwise search from the hull's left end.
+                Some(cw_search(&tree, qm, &mut stats))
+            }
+            Some((k, t)) => {
+                // Skip test: Q_m on or above L ⇒ tangent slope ≤ slope(L).
+                if cross(points[k], points[t], qm) >= 0.0 {
+                    stats.skips += 1;
+                    None
+                } else if t < tree.current() {
+                    // L's terminating point fell off the hull: its edges
+                    // here are freshly exposed, scan from the left end.
+                    Some(cw_search(&tree, qm, &mut stats))
+                } else {
+                    // L still touches U_{r(m)} at Q_t: resume leftwards.
+                    debug_assert_eq!(tree.node_at(t_pos), t, "stale t position");
+                    Some(ccw_search(&tree, qm, t_pos, &mut stats))
+                }
+            }
+        };
+
+        if let Some(pos) = new_tangent {
+            stats.tangents += 1;
+            let n = tree.node_at(pos);
+            line = Some((m, n));
+            t_pos = pos;
+            best = Some(better(points, best, SlopePair { m, n }));
+        }
+    }
+    (best, stats)
+}
+
+/// Clockwise search: walk from the hull's leftmost node rightwards while
+/// the slope from `qm` does not decrease (ties advance, so the
+/// terminating point has maximal x). Returns the stack position.
+fn cw_search(tree: &HullTree<'_>, qm: Point, stats: &mut TangentStats) -> usize {
+    let points = tree.points();
+    let mut pos = tree.len() - 1; // top = leftmost
+    while pos > 0 {
+        let cur = points[tree.node_at(pos)];
+        let right = points[tree.node_at(pos - 1)];
+        if slope_cmp(qm, right, cur) == Ordering::Less {
+            break;
+        }
+        pos -= 1;
+        stats.cw_steps += 1;
+    }
+    pos
+}
+
+/// Counterclockwise search: walk leftwards from `start` while the slope
+/// from `qm` strictly improves (so ties stay at the larger x). Returns
+/// the stack position.
+fn ccw_search(tree: &HullTree<'_>, qm: Point, start: usize, stats: &mut TangentStats) -> usize {
+    let points = tree.points();
+    let mut pos = start;
+    while pos + 1 < tree.len() {
+        let cur = points[tree.node_at(pos)];
+        let left = points[tree.node_at(pos + 1)];
+        if slope_cmp(qm, left, cur) != Ordering::Greater {
+            break;
+        }
+        pos += 1;
+        stats.ccw_steps += 1;
+    }
+    pos
+}
+
+/// Picks the better of two pairs by (slope, span); keeps `old` on full
+/// ties (earlier m wins because pairs arrive in increasing m).
+fn better(points: &[Point], old: Option<SlopePair>, new: SlopePair) -> SlopePair {
+    let Some(old) = old else { return new };
+    let (po_m, po_n) = (points[old.m], points[old.n]);
+    let (pn_m, pn_n) = (points[new.m], points[new.n]);
+    match frac_cmp(
+        pn_n.y - pn_m.y,
+        pn_n.x - pn_m.x,
+        po_n.y - po_m.y,
+        po_n.x - po_m.x,
+    ) {
+        Ordering::Greater => new,
+        Ordering::Less => old,
+        Ordering::Equal => {
+            let span_old = po_n.x - po_m.x;
+            let span_new = pn_n.x - pn_m.x;
+            if span_new > span_old {
+                new
+            } else {
+                old
+            }
+        }
+    }
+}
+
+/// Reference O(M²) search with the identical (slope, span, earliest m)
+/// ordering — ground truth for tests and the naive baseline of the
+/// paper's Figure 10.
+pub fn max_slope_naive(points: &[Point], min_span: f64) -> Option<SlopePair> {
+    let mut best: Option<SlopePair> = None;
+    for m in 0..points.len() {
+        for n in (m + 1)..points.len() {
+            if points[n].x - points[m].x < min_span {
+                continue;
+            }
+            let cand = SlopePair { m, n };
+            best = Some(match best {
+                None => cand,
+                Some(_) => better(points, best, cand),
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cumulative(uv: &[(u64, u64)]) -> Vec<Point> {
+        let mut pts = vec![Point::new(0.0, 0.0)];
+        let (mut x, mut y) = (0u64, 0u64);
+        for &(u, v) in uv {
+            x += u;
+            y += v;
+            pts.push(Point::new(x as f64, y as f64));
+        }
+        pts
+    }
+
+    fn assert_matches_naive(uv: &[(u64, u64)], min_span: f64) {
+        let pts = cumulative(uv);
+        let (fast, _) = max_slope_with_min_span(&pts, min_span);
+        let naive = max_slope_naive(&pts, min_span);
+        assert_eq!(fast, naive, "uv={uv:?} span={min_span}");
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let (p, _) = max_slope_with_min_span(&[], 1.0);
+        assert_eq!(p, None);
+        let (p, _) = max_slope_with_min_span(&[Point::new(0.0, 0.0)], 1.0);
+        assert_eq!(p, None);
+        // Two points, span satisfied.
+        let pts = [Point::new(0.0, 0.0), Point::new(3.0, 2.0)];
+        let (p, _) = max_slope_with_min_span(&pts, 2.0);
+        assert_eq!(p, Some(SlopePair { m: 0, n: 1 }));
+        // Two points, span unsatisfiable.
+        let (p, _) = max_slope_with_min_span(&pts, 4.0);
+        assert_eq!(p, None);
+    }
+
+    #[test]
+    fn single_best_bucket() {
+        // Bucket confidences 0.2, 0.9, 0.5 with equal sizes.
+        let pts = cumulative(&[(10, 2), (10, 9), (10, 5)]);
+        let (p, _) = max_slope_with_min_span(&pts, 10.0);
+        assert_eq!(p, Some(SlopePair { m: 1, n: 2 }));
+    }
+
+    #[test]
+    fn span_forces_wider_range() {
+        let pts = cumulative(&[(10, 2), (10, 9), (10, 5)]);
+        // Span ≥ 20 forces two buckets; best is buckets 2-3:
+        // (9+5)/20 = 0.7 vs (2+9)/20 = 0.55.
+        let (p, _) = max_slope_with_min_span(&pts, 20.0);
+        assert_eq!(p, Some(SlopePair { m: 1, n: 3 }));
+    }
+
+    #[test]
+    fn tie_broken_by_span() {
+        // Two disjoint ranges with identical confidence 1.0 but
+        // different widths: (u=2) vs (u=4).
+        let pts = cumulative(&[(2, 2), (3, 0), (4, 4), (5, 0)]);
+        let (p, _) = max_slope_with_min_span(&pts, 1.0);
+        // Bucket 3 alone: slope 1 with span 4 beats bucket 1 (span 2).
+        assert_eq!(p, Some(SlopePair { m: 2, n: 3 }));
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_cases() {
+        assert_matches_naive(&[(1, 1)], 1.0);
+        assert_matches_naive(&[(5, 1), (5, 4), (5, 2), (5, 5), (5, 0)], 5.0);
+        assert_matches_naive(&[(5, 1), (5, 4), (5, 2), (5, 5), (5, 0)], 12.0);
+        assert_matches_naive(&[(1, 0), (1, 1), (1, 0), (1, 1), (1, 0), (1, 1)], 2.0);
+        // All-zero hits.
+        assert_matches_naive(&[(3, 0), (4, 0), (5, 0)], 3.0);
+        // All-full hits (confidence 1 everywhere).
+        assert_matches_naive(&[(3, 3), (4, 4), (5, 5)], 3.0);
+        // Uneven bucket sizes.
+        assert_matches_naive(&[(1, 1), (100, 10), (2, 2), (50, 45), (7, 0)], 55.0);
+    }
+
+    #[test]
+    fn matches_naive_randomized() {
+        let mut state = 0xdead_beef_u64;
+        let mut next = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for trial in 0..300 {
+            let m = 2 + (next(40) as usize);
+            let uv: Vec<(u64, u64)> = (0..m)
+                .map(|_| {
+                    let u = 1 + next(20);
+                    let v = next(u + 1);
+                    (u, v)
+                })
+                .collect();
+            let total: u64 = uv.iter().map(|&(u, _)| u).sum();
+            let span = (next(total) + 1) as f64;
+            let pts = cumulative(&uv);
+            let (fast, _) = max_slope_with_min_span(&pts, span);
+            let naive = max_slope_naive(&pts, span);
+            assert_eq!(fast, naive, "trial {trial}: uv={uv:?} span={span}");
+        }
+    }
+
+    /// Theorem 4.1: total work is O(M). Checked empirically — scanning
+    /// steps never exceed a small multiple of the point count.
+    #[test]
+    fn linear_work_bound() {
+        let mut state = 42u64;
+        let mut next = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for &m in &[100usize, 1000, 10_000] {
+            let uv: Vec<(u64, u64)> = (0..m)
+                .map(|_| {
+                    let u = 1 + next(10);
+                    (u, next(u + 1))
+                })
+                .collect();
+            let pts = cumulative(&uv);
+            let total: f64 = pts.last().unwrap().x;
+            for frac in [0.01, 0.05, 0.5] {
+                let (pair, stats) = max_slope_with_min_span(&pts, total * frac);
+                assert!(pair.is_some());
+                assert!(
+                    stats.total_steps() <= 3 * (m as u64 + 1),
+                    "M={m} frac={frac}: {} steps",
+                    stats.total_steps()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_y_values_supported() {
+        // Gains can be negative (Section 5 average targets after
+        // centering); slopes just work.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, -4.0),
+            Point::new(4.0, -1.0),
+            Point::new(6.0, -9.0),
+        ];
+        let (fast, _) = max_slope_with_min_span(&pts, 2.0);
+        assert_eq!(fast, max_slope_naive(&pts, 2.0));
+        // Best single step is (2,4)->(4,-1): slope 1.5.
+        assert_eq!(fast, Some(SlopePair { m: 1, n: 2 }));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the geometry substrate: hull tree vs monotone
+//! chain, tangent walk vs exhaustive search, and the linear work bound,
+//! over adversarial point configurations (collinear runs, plateaus,
+//! extreme slopes).
+
+use optrules_geometry::point::cross;
+use optrules_geometry::tangent::max_slope_naive;
+use optrules_geometry::{max_slope_with_min_span, upper_hull, HullTree, Point};
+use proptest::prelude::*;
+
+/// Cumulative points from bucket pairs: x strictly increasing, y
+/// non-decreasing — the rule-mining shape.
+fn cumulative(uv: &[(u64, u64)]) -> Vec<Point> {
+    let mut pts = vec![Point::new(0.0, 0.0)];
+    let (mut x, mut y) = (0u64, 0u64);
+    for &(u, v) in uv {
+        x += u;
+        y += v;
+        pts.push(Point::new(x as f64, y as f64));
+    }
+    pts
+}
+
+fn uv_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((1u64..=16, 0u64..=16), 1..64)
+        .prop_map(|v| v.into_iter().map(|(u, vv)| (u, vv.min(u))).collect())
+}
+
+/// Arbitrary y values (any sign pattern once cumulated): exercises the
+/// Section 5 average-target regime.
+fn signed_points() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(-100i64..=100, 2..64).prop_map(|ys| {
+        ys.into_iter()
+            .enumerate()
+            .map(|(i, y)| Point::new(i as f64, y as f64))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn hull_tree_matches_monotone_chain_everywhere(points in signed_points()) {
+        let mut tree = HullTree::build(&points);
+        for i in 0..points.len() {
+            tree.advance_to(i);
+            let want: Vec<usize> = upper_hull(&points[i..]).into_iter().map(|k| k + i).collect();
+            prop_assert_eq!(tree.hull_left_to_right(), want, "suffix {}", i);
+        }
+    }
+
+    #[test]
+    fn tangent_matches_naive_on_mining_inputs(uv in uv_strategy(), span_frac in 0.0f64..=1.05) {
+        let pts = cumulative(&uv);
+        let total = pts.last().unwrap().x;
+        let span = total * span_frac;
+        let (fast, _) = max_slope_with_min_span(&pts, span);
+        let naive = max_slope_naive(&pts, span);
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn tangent_matches_naive_on_signed_inputs(points in signed_points(), span in 1usize..20) {
+        // x spacing is 1, so span is a bucket count here.
+        let (fast, _) = max_slope_with_min_span(&points, span as f64);
+        let naive = max_slope_naive(&points, span as f64);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// Theorem 4.1 empirically: scanning work stays within 3 steps per
+    /// point for every input.
+    #[test]
+    fn tangent_work_is_linear(uv in uv_strategy(), span_frac in 0.0f64..=1.0) {
+        let pts = cumulative(&uv);
+        let total = pts.last().unwrap().x;
+        let (_, stats) = max_slope_with_min_span(&pts, total * span_frac);
+        prop_assert!(
+            stats.total_steps() <= 3 * pts.len() as u64,
+            "{} steps for {} points",
+            stats.total_steps(),
+            pts.len()
+        );
+    }
+
+    /// Hull validity: every input point lies on or below every hull edge.
+    #[test]
+    fn hull_dominates_points(points in signed_points()) {
+        let hull = upper_hull(&points);
+        for w in hull.windows(2) {
+            let (a, b) = (points[w[0]], points[w[1]]);
+            for p in &points {
+                if p.x >= a.x && p.x <= b.x {
+                    prop_assert!(cross(a, b, *p) <= 0.0, "{:?} above edge {:?}-{:?}", p, a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Conditions on tuples (Definition 2.1).
+//!
+//! Primitive conditions are `A = yes` / `A = no` for a Boolean attribute
+//! and `A = v` / `A ∈ [v1, v2]` for a numeric attribute; compound
+//! conditions are conjunctions. These appear in two places:
+//!
+//! * as the **objective** condition `C` of a rule
+//!   `(A ∈ [v1, v2]) ⇒ C`, and
+//! * as the instantiated Boolean statements `C1`, `C2` of the
+//!   generalized rules `(A ∈ [v1, v2]) ∧ C1 ⇒ C2` of Section 4.3.
+
+use crate::schema::{BoolAttr, NumAttr, Schema};
+
+/// A condition on a single tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Always true — the neutral element for conjunction; using it as the
+    /// presumptive filter `C1` recovers plain `(A ∈ I) ⇒ C2` rules.
+    True,
+    /// `A = yes` (`true`) or `A = no` (`false`) for a Boolean attribute.
+    BoolIs(BoolAttr, bool),
+    /// `A = v` for a numeric attribute (exact equality).
+    NumEq(NumAttr, f64),
+    /// `A ∈ [lo, hi]` (inclusive on both ends, as in the paper).
+    NumInRange(NumAttr, f64, f64),
+    /// Conjunction of sub-conditions.
+    And(Vec<Condition>),
+}
+
+impl Condition {
+    /// Evaluates the condition on a tuple given as parallel slices of
+    /// numeric and Boolean values (in schema column order).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optrules_relation::{Condition, schema::{BoolAttr, NumAttr}};
+    /// let c = Condition::And(vec![
+    ///     Condition::NumInRange(NumAttr(0), 10.0, 20.0),
+    ///     Condition::BoolIs(BoolAttr(0), true),
+    /// ]);
+    /// assert!(c.eval(&[15.0], &[true]));
+    /// assert!(!c.eval(&[15.0], &[false]));
+    /// assert!(!c.eval(&[25.0], &[true]));
+    /// ```
+    pub fn eval(&self, numeric: &[f64], boolean: &[bool]) -> bool {
+        match self {
+            Self::True => true,
+            Self::BoolIs(attr, want) => boolean[attr.0] == *want,
+            Self::NumEq(attr, v) => numeric[attr.0] == *v,
+            Self::NumInRange(attr, lo, hi) => {
+                let x = numeric[attr.0];
+                *lo <= x && x <= *hi
+            }
+            Self::And(parts) => parts.iter().all(|p| p.eval(numeric, boolean)),
+        }
+    }
+
+    /// Conjunction of two conditions, flattening nested `And`s and
+    /// dropping `True`s.
+    pub fn and(self, other: Condition) -> Condition {
+        let mut parts = Vec::new();
+        let mut add = |c: Condition| match c {
+            Condition::True => {}
+            Condition::And(mut inner) => parts.append(&mut inner),
+            other => parts.push(other),
+        };
+        add(self);
+        add(other);
+        match parts.len() {
+            0 => Condition::True,
+            1 => parts.pop().expect("len checked"),
+            _ => Condition::And(parts),
+        }
+    }
+
+    /// Human-readable rendering against a schema (used in rule reports).
+    pub fn display(&self, schema: &Schema) -> String {
+        match self {
+            Self::True => "true".to_string(),
+            Self::BoolIs(attr, v) => format!(
+                "({} = {})",
+                schema.boolean_name(*attr),
+                if *v { "yes" } else { "no" }
+            ),
+            Self::NumEq(attr, v) => format!("({} = {v})", schema.numeric_name(*attr)),
+            Self::NumInRange(attr, lo, hi) => {
+                format!("({} in [{lo}, {hi}])", schema.numeric_name(*attr))
+            }
+            Self::And(parts) => parts
+                .iter()
+                .map(|p| p.display(schema))
+                .collect::<Vec<_>>()
+                .join(" AND "),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .numeric("Balance")
+            .numeric("Age")
+            .boolean("CardLoan")
+            .boolean("AutoWithdraw")
+            .build()
+    }
+
+    #[test]
+    fn primitives() {
+        let nums = [5000.0, 34.0];
+        let bools = [true, false];
+        assert!(Condition::True.eval(&nums, &bools));
+        assert!(Condition::BoolIs(BoolAttr(0), true).eval(&nums, &bools));
+        assert!(!Condition::BoolIs(BoolAttr(1), true).eval(&nums, &bools));
+        assert!(Condition::NumEq(NumAttr(1), 34.0).eval(&nums, &bools));
+        assert!(!Condition::NumEq(NumAttr(1), 35.0).eval(&nums, &bools));
+        // Range is inclusive on both ends.
+        assert!(Condition::NumInRange(NumAttr(0), 5000.0, 5000.0).eval(&nums, &bools));
+        assert!(!Condition::NumInRange(NumAttr(0), 5000.1, 6000.0).eval(&nums, &bools));
+    }
+
+    #[test]
+    fn conjunction_flattens() {
+        let a = Condition::BoolIs(BoolAttr(0), true);
+        let b = Condition::NumInRange(NumAttr(0), 0.0, 1.0);
+        let c = Condition::True.and(a.clone());
+        assert_eq!(c, a);
+        let d = a.clone().and(b.clone()).and(Condition::True);
+        match &d {
+            Condition::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert_eq!(Condition::True.and(Condition::True), Condition::True);
+        // Nested Ands flatten.
+        let e = d.clone().and(Condition::NumEq(NumAttr(1), 3.0));
+        match &e {
+            Condition::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_rendering() {
+        let s = schema();
+        let c = Condition::BoolIs(BoolAttr(0), true).and(Condition::NumInRange(
+            NumAttr(0),
+            1000.0,
+            2000.0,
+        ));
+        let text = c.display(&s);
+        assert!(text.contains("CardLoan = yes"), "{text}");
+        assert!(text.contains("Balance in [1000, 2000]"), "{text}");
+        assert!(text.contains(" AND "), "{text}");
+        assert_eq!(Condition::True.display(&s), "true");
+    }
+}

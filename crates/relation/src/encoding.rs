@@ -1,0 +1,186 @@
+//! Fixed-width record encoding for the file-backed store.
+//!
+//! Each record is `8·n_num + n_bool` bytes: the numeric attributes as
+//! little-endian IEEE-754 doubles followed by one byte (0/1) per Boolean
+//! attribute. This matches the paper's §6.1 experiment layout — with
+//! 8 numeric + 8 Boolean attributes each tuple occupies exactly 72 bytes.
+//!
+//! Fixed width keeps the format seekable: record `i` lives at byte
+//! offset `header + i · record_size`, which is what lets sampling with
+//! replacement (Algorithm 3.1 step 1) and partitioned parallel scans
+//! (Algorithm 3.2) address tuples directly.
+
+use crate::error::{RelationError, Result};
+
+/// Layout of one record: attribute counts plus derived byte offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordLayout {
+    /// Number of numeric attributes.
+    pub numeric_count: usize,
+    /// Number of Boolean attributes.
+    pub boolean_count: usize,
+}
+
+impl RecordLayout {
+    /// Layout for a schema with the given attribute counts.
+    pub fn new(numeric_count: usize, boolean_count: usize) -> Self {
+        Self {
+            numeric_count,
+            boolean_count,
+        }
+    }
+
+    /// Total bytes per record.
+    pub fn record_size(&self) -> usize {
+        8 * self.numeric_count + self.boolean_count
+    }
+
+    /// Byte offset of numeric attribute `idx` within a record.
+    pub fn numeric_offset(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.numeric_count);
+        8 * idx
+    }
+
+    /// Byte offset of Boolean attribute `idx` within a record.
+    pub fn boolean_offset(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.boolean_count);
+        8 * self.numeric_count + idx
+    }
+
+    /// Encodes one row into `out` (appended).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::SchemaMismatch`] when slice arities do not
+    /// match the layout.
+    pub fn encode_row(&self, numeric: &[f64], boolean: &[bool], out: &mut Vec<u8>) -> Result<()> {
+        if numeric.len() != self.numeric_count || boolean.len() != self.boolean_count {
+            return Err(RelationError::SchemaMismatch {
+                expected: format!(
+                    "{} numeric + {} boolean",
+                    self.numeric_count, self.boolean_count
+                ),
+                got: format!("{} numeric + {} boolean", numeric.len(), boolean.len()),
+            });
+        }
+        out.reserve(self.record_size());
+        for &v in numeric {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &b in boolean {
+            out.push(b as u8);
+        }
+        Ok(())
+    }
+
+    /// Decodes one record from `bytes` into the provided buffers
+    /// (cleared first). `bytes` must be exactly `record_size()` long.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::SchemaMismatch`] on a short/long slice.
+    pub fn decode_row(
+        &self,
+        bytes: &[u8],
+        numeric: &mut Vec<f64>,
+        boolean: &mut Vec<bool>,
+    ) -> Result<()> {
+        if bytes.len() != self.record_size() {
+            return Err(RelationError::SchemaMismatch {
+                expected: format!("{} bytes", self.record_size()),
+                got: format!("{} bytes", bytes.len()),
+            });
+        }
+        numeric.clear();
+        boolean.clear();
+        for i in 0..self.numeric_count {
+            let off = self.numeric_offset(i);
+            let arr: [u8; 8] = bytes[off..off + 8].try_into().expect("8-byte slice");
+            numeric.push(f64::from_le_bytes(arr));
+        }
+        for i in 0..self.boolean_count {
+            boolean.push(bytes[self.boolean_offset(i)] != 0);
+        }
+        Ok(())
+    }
+
+    /// Decodes only the numeric attribute `idx` from a record slice —
+    /// the hot path of bucket-assignment scans, which touch a single
+    /// numeric column.
+    #[inline]
+    pub fn decode_numeric(&self, bytes: &[u8], idx: usize) -> f64 {
+        let off = self.numeric_offset(idx);
+        let arr: [u8; 8] = bytes[off..off + 8].try_into().expect("8-byte slice");
+        f64::from_le_bytes(arr)
+    }
+
+    /// Decodes only the Boolean attribute `idx` from a record slice.
+    #[inline]
+    pub fn decode_boolean(&self, bytes: &[u8], idx: usize) -> bool {
+        bytes[self.boolean_offset(idx)] != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_is_72_bytes() {
+        assert_eq!(RecordLayout::new(8, 8).record_size(), 72);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let layout = RecordLayout::new(3, 2);
+        let nums = [1.5, -0.0, f64::MAX];
+        let bools = [true, false];
+        let mut buf = Vec::new();
+        layout.encode_row(&nums, &bools, &mut buf).unwrap();
+        assert_eq!(buf.len(), layout.record_size());
+
+        let (mut n, mut b) = (Vec::new(), Vec::new());
+        layout.decode_row(&buf, &mut n, &mut b).unwrap();
+        assert_eq!(n, nums);
+        assert_eq!(b, bools);
+    }
+
+    #[test]
+    fn single_field_decode_matches_full_decode() {
+        let layout = RecordLayout::new(4, 3);
+        let nums = [3.25, 1e-300, -7.5, 42.0];
+        let bools = [false, true, true];
+        let mut buf = Vec::new();
+        layout.encode_row(&nums, &bools, &mut buf).unwrap();
+        for (i, &v) in nums.iter().enumerate() {
+            assert_eq!(layout.decode_numeric(&buf, i), v);
+        }
+        for (i, &v) in bools.iter().enumerate() {
+            assert_eq!(layout.decode_boolean(&buf, i), v);
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let layout = RecordLayout::new(2, 1);
+        let mut buf = Vec::new();
+        assert!(layout.encode_row(&[1.0], &[true], &mut buf).is_err());
+        assert!(layout
+            .encode_row(&[1.0, 2.0], &[true, false], &mut buf)
+            .is_err());
+        let (mut n, mut b) = (Vec::new(), Vec::new());
+        assert!(layout.decode_row(&[0u8; 5], &mut n, &mut b).is_err());
+    }
+
+    #[test]
+    fn zero_boolean_layout() {
+        let layout = RecordLayout::new(1, 0);
+        assert_eq!(layout.record_size(), 8);
+        let mut buf = Vec::new();
+        layout.encode_row(&[9.0], &[], &mut buf).unwrap();
+        let (mut n, mut b) = (Vec::new(), Vec::new());
+        layout.decode_row(&buf, &mut n, &mut b).unwrap();
+        assert_eq!(n, [9.0]);
+        assert!(b.is_empty());
+    }
+}

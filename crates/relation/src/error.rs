@@ -1,0 +1,87 @@
+//! Error type shared across the storage substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by relation storage and scanning.
+#[derive(Debug)]
+pub enum RelationError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A file did not start with the expected magic bytes / version.
+    BadHeader(String),
+    /// Row data does not match the schema (wrong arity).
+    SchemaMismatch {
+        /// What the schema expects.
+        expected: String,
+        /// What the caller supplied.
+        got: String,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: u64,
+        /// Number of rows in the relation.
+        len: u64,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::BadHeader(msg) => write!(f, "bad relation file header: {msg}"),
+            Self::SchemaMismatch { expected, got } => {
+                write!(f, "schema mismatch: expected {expected}, got {got}")
+            }
+            Self::UnknownAttribute(name) => write!(f, "unknown attribute: {name:?}"),
+            Self::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds (relation has {len} rows)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RelationError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = RelationError::UnknownAttribute("Balance".into());
+        assert!(e.to_string().contains("Balance"));
+        let e = RelationError::RowOutOfBounds { row: 7, len: 3 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        let e = RelationError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let e = RelationError::from(io::Error::other("inner"));
+        assert!(e.source().is_some());
+        let e = RelationError::BadHeader("x".into());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Bank-customer scenario with planted rules.
+//!
+//! Reproduces the paper's running example (Sections 1–2, 5): customers
+//! with balances, ages, checking/saving accounts and service flags.
+//! Three associations are *planted* so tests can verify mined output:
+//!
+//! 1. `(Balance ∈ [3000, 8000]) ⇒ (CardLoan = yes)` — the Section 1.1
+//!    card-loan rule. Inside the band customers take card loans with
+//!    probability `card_loan_in`; outside, `card_loan_out`.
+//! 2. `CheckingAccount ∈ [1000, 3000]` marks "excellent customers" whose
+//!    `SavingAccount` is drawn from a higher-mean distribution — the
+//!    Section 5 maximum-average-range scenario.
+//! 3. `(Age ≥ 40) ⇒ (AutoWithdraw = yes)` with elevated probability,
+//!    giving the all-pairs miner a second discoverable association.
+
+use super::{normal, DataGenerator};
+use crate::schema::Schema;
+use rand::Rng;
+
+/// Generator for the bank-customer scenario.
+///
+/// Numeric attributes: `Balance`, `Age`, `CheckingAccount`,
+/// `SavingAccount`. Boolean attributes: `CardLoan`, `AutoWithdraw`,
+/// `OnlineBanking`.
+#[derive(Debug, Clone)]
+pub struct BankGenerator {
+    /// Planted balance band for the card-loan rule (inclusive).
+    pub balance_band: (f64, f64),
+    /// P(CardLoan = yes | Balance ∈ band).
+    pub card_loan_in: f64,
+    /// P(CardLoan = yes | Balance ∉ band).
+    pub card_loan_out: f64,
+    /// Planted checking-account band of "excellent customers".
+    pub checking_band: (f64, f64),
+    /// Mean saving balance inside / outside the checking band.
+    pub saving_mean_in: f64,
+    /// Mean saving balance for ordinary customers.
+    pub saving_mean_out: f64,
+    /// Maximum balance (balances are uniform over `[0, balance_max]`).
+    pub balance_max: f64,
+    /// Maximum checking-account balance (uniform over `[0, checking_max]`).
+    pub checking_max: f64,
+}
+
+impl Default for BankGenerator {
+    fn default() -> Self {
+        Self {
+            balance_band: (3000.0, 8000.0),
+            card_loan_in: 0.65,
+            card_loan_out: 0.15,
+            checking_band: (1000.0, 3000.0),
+            saving_mean_in: 15_000.0,
+            saving_mean_out: 5_000.0,
+            balance_max: 20_000.0,
+            checking_max: 10_000.0,
+        }
+    }
+}
+
+impl BankGenerator {
+    /// Expected support of the planted balance band (balances are
+    /// uniform over `[0, balance_max]`).
+    pub fn planted_card_loan_support(&self) -> f64 {
+        (self.balance_band.1 - self.balance_band.0) / self.balance_max
+    }
+
+    /// Expected support of the planted checking band.
+    pub fn planted_checking_support(&self) -> f64 {
+        (self.checking_band.1 - self.checking_band.0) / self.checking_max
+    }
+}
+
+impl DataGenerator for BankGenerator {
+    fn schema(&self) -> Schema {
+        Schema::builder()
+            .numeric("Balance")
+            .numeric("Age")
+            .numeric("CheckingAccount")
+            .numeric("SavingAccount")
+            .boolean("CardLoan")
+            .boolean("AutoWithdraw")
+            .boolean("OnlineBanking")
+            .build()
+    }
+
+    fn generate(&self, n: u64, seed: u64, sink: &mut dyn FnMut(&[f64], &[bool])) {
+        let mut rng = super::rng_for(seed);
+        for _ in 0..n {
+            let balance = rng.gen_range(0.0..self.balance_max);
+            let age = rng.gen_range(18..=80) as f64;
+            let checking = rng.gen_range(0.0..self.checking_max);
+
+            let in_balance_band = (self.balance_band.0..=self.balance_band.1).contains(&balance);
+            let card_loan = rng.gen_bool(if in_balance_band {
+                self.card_loan_in
+            } else {
+                self.card_loan_out
+            });
+
+            let in_checking_band =
+                (self.checking_band.0..=self.checking_band.1).contains(&checking);
+            let saving_mean = if in_checking_band {
+                self.saving_mean_in
+            } else {
+                self.saving_mean_out
+            };
+            let saving = normal(&mut rng, saving_mean, saving_mean * 0.15).max(0.0);
+
+            let auto_withdraw = rng.gen_bool(if age >= 40.0 { 0.7 } else { 0.25 });
+            let online = rng.gen_bool(if age <= 35.0 { 0.8 } else { 0.25 });
+
+            sink(
+                &[balance, age, checking, saving],
+                &[card_loan, auto_withdraw, online],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::TupleScan;
+    use crate::schema::{BoolAttr, NumAttr};
+
+    #[test]
+    fn planted_card_loan_rates() {
+        let g = BankGenerator::default();
+        let rel = g.to_relation(50_000, 17);
+        let (mut in_band, mut in_band_loan, mut out_band, mut out_band_loan) =
+            (0u64, 0u64, 0u64, 0u64);
+        for row in 0..rel.len() as usize {
+            let bal = rel.numeric_value(NumAttr(0), row);
+            let loan = rel.bool_value(BoolAttr(0), row);
+            if (3000.0..=8000.0).contains(&bal) {
+                in_band += 1;
+                in_band_loan += loan as u64;
+            } else {
+                out_band += 1;
+                out_band_loan += loan as u64;
+            }
+        }
+        let conf_in = in_band_loan as f64 / in_band as f64;
+        let conf_out = out_band_loan as f64 / out_band as f64;
+        assert!((conf_in - 0.65).abs() < 0.02, "conf_in {conf_in}");
+        assert!((conf_out - 0.15).abs() < 0.02, "conf_out {conf_out}");
+        // Planted support ≈ 25 %.
+        let support = in_band as f64 / rel.len() as f64;
+        assert!((support - g.planted_card_loan_support()).abs() < 0.02);
+    }
+
+    #[test]
+    fn planted_savings_band_has_higher_average() {
+        let g = BankGenerator::default();
+        let rel = g.to_relation(20_000, 5);
+        let (mut sum_in, mut n_in, mut sum_out, mut n_out) = (0.0, 0u64, 0.0, 0u64);
+        for row in 0..rel.len() as usize {
+            let checking = rel.numeric_value(NumAttr(2), row);
+            let saving = rel.numeric_value(NumAttr(3), row);
+            if (1000.0..=3000.0).contains(&checking) {
+                sum_in += saving;
+                n_in += 1;
+            } else {
+                sum_out += saving;
+                n_out += 1;
+            }
+        }
+        let avg_in = sum_in / n_in as f64;
+        let avg_out = sum_out / n_out as f64;
+        assert!(
+            avg_in > 2.0 * avg_out,
+            "planted band average {avg_in} should dwarf {avg_out}"
+        );
+    }
+
+    #[test]
+    fn ages_are_integral_years() {
+        let g = BankGenerator::default();
+        let rel = g.to_relation(1000, 9);
+        for &age in rel.numeric_col(NumAttr(1)) {
+            assert_eq!(age, age.trunc());
+            assert!((18.0..=80.0).contains(&age));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal single-attribute generator with one planted range.
+//!
+//! Used by the Table I reproduction and by property tests: one numeric
+//! attribute `A` uniform on `[0, 1)`, one Boolean attribute `C`, and a
+//! planted band `[lo, hi)` inside which `P(C) = conf_in` and outside
+//! which `P(C) = conf_out`. With `conf_in > conf_out` the optimal
+//! confident range at any sufficiently fine granularity is (up to
+//! sampling noise) the planted band, whose support is `hi − lo`.
+//!
+//! The paper's Table I uses an optimal range with support 30 % and
+//! confidence 70 %; [`PlantedRangeGenerator::table1`] reproduces exactly
+//! that configuration.
+
+use super::DataGenerator;
+use crate::schema::Schema;
+use rand::Rng;
+
+/// Generator with one planted confident range.
+#[derive(Debug, Clone)]
+pub struct PlantedRangeGenerator {
+    /// Planted band (half-open `[lo, hi)`) in the unit interval.
+    pub band: (f64, f64),
+    /// P(C = yes) inside the band.
+    pub conf_in: f64,
+    /// P(C = yes) outside the band.
+    pub conf_out: f64,
+}
+
+impl PlantedRangeGenerator {
+    /// Creates a generator with the given band and confidences.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lo < hi ≤ 1` and both confidences are
+    /// probabilities.
+    pub fn new(band: (f64, f64), conf_in: f64, conf_out: f64) -> Self {
+        assert!(
+            0.0 <= band.0 && band.0 < band.1 && band.1 <= 1.0,
+            "bad band {band:?}"
+        );
+        assert!((0.0..=1.0).contains(&conf_in) && (0.0..=1.0).contains(&conf_out));
+        Self {
+            band,
+            conf_in,
+            conf_out,
+        }
+    }
+
+    /// The Table I configuration: the optimal range has support 30 %
+    /// (band `[0.35, 0.65)`) and confidence 70 %.
+    pub fn table1() -> Self {
+        Self::new((0.35, 0.65), 0.70, 0.10)
+    }
+
+    /// Expected support of the planted band.
+    pub fn band_support(&self) -> f64 {
+        self.band.1 - self.band.0
+    }
+}
+
+impl DataGenerator for PlantedRangeGenerator {
+    fn schema(&self) -> Schema {
+        Schema::builder().numeric("A").boolean("C").build()
+    }
+
+    fn generate(&self, n: u64, seed: u64, sink: &mut dyn FnMut(&[f64], &[bool])) {
+        let mut rng = super::rng_for(seed);
+        for _ in 0..n {
+            let a: f64 = rng.gen();
+            let p = if (self.band.0..self.band.1).contains(&a) {
+                self.conf_in
+            } else {
+                self.conf_out
+            };
+            sink(&[a], &[rng.gen_bool(p)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::TupleScan;
+    use crate::schema::{BoolAttr, NumAttr};
+
+    #[test]
+    fn table1_configuration() {
+        let g = PlantedRangeGenerator::table1();
+        assert!((g.band_support() - 0.30).abs() < 1e-12);
+        assert_eq!(g.conf_in, 0.70);
+    }
+
+    #[test]
+    fn realized_rates_match_plant() {
+        let g = PlantedRangeGenerator::table1();
+        let rel = g.to_relation(100_000, 99);
+        let (mut n_in, mut c_in, mut n_out, mut c_out) = (0u64, 0u64, 0u64, 0u64);
+        for row in 0..rel.len() as usize {
+            let a = rel.numeric_value(NumAttr(0), row);
+            let c = rel.bool_value(BoolAttr(0), row);
+            if (0.35..0.65).contains(&a) {
+                n_in += 1;
+                c_in += c as u64;
+            } else {
+                n_out += 1;
+                c_out += c as u64;
+            }
+        }
+        let support = n_in as f64 / rel.len() as f64;
+        let conf_in = c_in as f64 / n_in as f64;
+        let conf_out = c_out as f64 / n_out as f64;
+        assert!((support - 0.30).abs() < 0.01, "support {support}");
+        assert!((conf_in - 0.70).abs() < 0.01, "conf_in {conf_in}");
+        assert!((conf_out - 0.10).abs() < 0.01, "conf_out {conf_out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad band")]
+    fn rejects_inverted_band() {
+        let _ = PlantedRangeGenerator::new((0.7, 0.3), 0.5, 0.1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Storage substrate for `optrules`.
+//!
+//! Fukuda et al. evaluate their mining system against "huge databases
+//! that occupy much more space than the main memory" (Section 1.3) — the
+//! whole motivation for randomized bucketing is that sorting such a
+//! relation per numeric attribute is infeasible. This crate provides the
+//! pieces of that setting:
+//!
+//! * [`schema`] — relations with named numeric and Boolean attributes
+//!   (Definition 2.1);
+//! * [`memory`] — an in-memory columnar [`memory::Relation`] for data
+//!   that fits in RAM;
+//! * [`file`] — a file-backed fixed-width row store
+//!   ([`file::FileRelation`]) matching the paper's §6.1 layout (8
+//!   numeric and 8 Boolean attributes = 72 bytes/tuple), scanned
+//!   sequentially through buffered I/O;
+//! * [`scan`] — the [`scan::TupleScan`] / [`scan::RandomAccess`] traits
+//!   that bucketing and mining are written against, so every algorithm
+//!   runs unchanged on either store;
+//! * [`condition`] — primitive conditions and conjunctions
+//!   (`A = yes`, `A ∈ [v1, v2]`, …) used for presumptive/objective
+//!   conditions of rules;
+//! * [`gen`] — seeded synthetic data generators: the paper's §6.1
+//!   uniform workload, bank-customer and retail-basket scenarios with
+//!   *planted* confident ranges so tests can verify mined rules against
+//!   known ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitcol;
+pub mod condition;
+pub mod encoding;
+pub mod error;
+pub mod file;
+pub mod gen;
+pub mod memory;
+pub mod scan;
+pub mod schema;
+
+pub use bitcol::BitColumn;
+pub use condition::Condition;
+pub use error::RelationError;
+pub use file::{FileRelation, FileRelationWriter};
+pub use memory::Relation;
+pub use scan::{RandomAccess, TupleScan};
+pub use schema::{BoolAttr, NumAttr, Schema, SchemaBuilder};

@@ -1,0 +1,99 @@
+//! Scanning traits that decouple algorithms from storage.
+//!
+//! Every algorithm in the workspace — bucket counting (Algorithm 3.1
+//! step 4), parallel counting (Algorithm 3.2), sampling, rule mining —
+//! is written against these traits, so it runs unchanged over the
+//! in-memory columnar [`crate::memory::Relation`] and the file-backed
+//! [`crate::file::FileRelation`].
+
+use crate::error::Result;
+use crate::schema::{NumAttr, Schema};
+use std::ops::Range;
+
+/// Sequential access to a relation's tuples.
+///
+/// Implementations must be `Sync` so that Algorithm 3.2 can scan
+/// disjoint row ranges from multiple threads concurrently (each thread
+/// maintains its own cursor/file handle; the trait object itself is
+/// only read).
+pub trait TupleScan: Sync {
+    /// The relation's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Number of rows.
+    fn len(&self) -> u64;
+
+    /// Whether the relation has no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits rows `range` in order. The callback receives the row index
+    /// and the tuple's numeric and Boolean values in schema column
+    /// order. Slices are only valid for the duration of the call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors (I/O for file-backed relations).
+    fn for_each_row_in(&self, range: Range<u64>, f: RowVisitor<'_>) -> Result<()>;
+
+    /// Visits every row in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors (I/O for file-backed relations).
+    fn for_each_row(&self, f: RowVisitor<'_>) -> Result<()> {
+        self.for_each_row_in(0..self.len(), f)
+    }
+}
+
+/// The row callback: `(row index, numeric values, Boolean values)`.
+pub type RowVisitor<'a> = &'a mut dyn FnMut(u64, &[f64], &[bool]);
+
+/// Random access to individual numeric values, required by
+/// with-replacement sampling (Algorithm 3.1 step 1 draws `S` uniform
+/// random tuples).
+pub trait RandomAccess: TupleScan {
+    /// Reads the value of `attr` at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row` is out of bounds or on I/O failure.
+    fn numeric_at(&self, attr: NumAttr, row: u64) -> Result<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Relation;
+    use crate::schema::Schema;
+
+    fn small() -> Relation {
+        let schema = Schema::builder().numeric("X").boolean("C").build();
+        let mut rel = Relation::new(schema);
+        for i in 0..10 {
+            rel.push_row(&[i as f64], &[i % 2 == 0]).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn default_for_each_row_covers_all() {
+        let rel = small();
+        let mut seen = Vec::new();
+        rel.for_each_row(&mut |idx, nums, bools| {
+            seen.push((idx, nums[0], bools[0]));
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[3], (3, 3.0, false));
+    }
+
+    #[test]
+    fn is_empty_default() {
+        let schema = Schema::builder().numeric("X").build();
+        let rel = Relation::new(schema);
+        assert!(rel.is_empty());
+        assert!(!small().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the storage substrate: file round trips for
+//! arbitrary schemas and data, scan-range algebra, and condition
+//! semantics.
+
+use optrules_relation::gen::{DataGenerator, UniformWorkload};
+use optrules_relation::{
+    BoolAttr, Condition, FileRelationWriter, NumAttr, Schema, TupleScan,
+};
+use proptest::prelude::*;
+
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    (1usize..5, 0usize..5).prop_map(|(n_num, n_bool)| {
+        let mut b = Schema::builder();
+        for i in 0..n_num {
+            b = b.numeric(format!("N{i}"));
+        }
+        for i in 0..n_bool {
+            b = b.boolean(format!("B{i}"));
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any relation written to disk reads back row-identical.
+    #[test]
+    fn file_roundtrip(schema in arb_schema(), rows in 0u64..200, seed in 0u64..1000) {
+        let gen = UniformWorkload::new(
+            schema.numeric_count(),
+            schema.boolean_count(),
+            (-1e6, 1e6),
+            0.5,
+        );
+        let mem = gen.to_relation(rows, seed);
+        let path = std::env::temp_dir().join(format!(
+            "optrules-prop-file-{}-{}-{}.rel",
+            std::process::id(),
+            rows,
+            seed
+        ));
+        let mut w = FileRelationWriter::create(&path, mem.schema().clone()).unwrap();
+        mem.for_each_row(&mut |_, nums, bools| {
+            w.push_row(nums, bools).unwrap();
+        }).unwrap();
+        let file = w.finish().unwrap();
+        prop_assert_eq!(file.len(), mem.len());
+        prop_assert_eq!(file.schema(), mem.schema());
+        let mut mismatch = false;
+        file.for_each_row(&mut |row, nums, bools| {
+            for (c, &v) in nums.iter().enumerate() {
+                if mem.numeric_value(NumAttr(c), row as usize) != v {
+                    mismatch = true;
+                }
+            }
+            for (c, &b) in bools.iter().enumerate() {
+                if mem.bool_value(BoolAttr(c), row as usize) != b {
+                    mismatch = true;
+                }
+            }
+        }).unwrap();
+        prop_assert!(!mismatch);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Splitting a scan at any point yields the same rows as one scan.
+    #[test]
+    fn scan_splits_compose(rows in 1u64..300, split in 0u64..300, seed in 0u64..50) {
+        let gen = UniformWorkload::new(1, 1, (0.0, 1.0), 0.5);
+        let rel = gen.to_relation(rows, seed);
+        let split = split.min(rows);
+        let mut full = Vec::new();
+        rel.for_each_row(&mut |r, n, b| full.push((r, n[0], b[0]))).unwrap();
+        let mut parts = Vec::new();
+        rel.for_each_row_in(0..split, &mut |r, n, b| parts.push((r, n[0], b[0]))).unwrap();
+        rel.for_each_row_in(split..rows, &mut |r, n, b| parts.push((r, n[0], b[0]))).unwrap();
+        prop_assert_eq!(full, parts);
+    }
+
+    /// Conjunction semantics: `a.and(b)` evaluates as `a && b` on every
+    /// tuple.
+    #[test]
+    fn condition_and_is_logical_and(
+        nums in prop::collection::vec(-10.0f64..10.0, 2..4),
+        bools in prop::collection::vec(any::<bool>(), 2..4),
+        lo in -10.0f64..10.0,
+        width in 0.0f64..10.0,
+    ) {
+        let a = Condition::NumInRange(NumAttr(0), lo, lo + width);
+        let b = Condition::BoolIs(BoolAttr(0), true);
+        let both = a.clone().and(b.clone());
+        prop_assert_eq!(
+            both.eval(&nums, &bools),
+            a.eval(&nums, &bools) && b.eval(&nums, &bools)
+        );
+    }
+
+    /// Generators honour the requested row count and schema arity for
+    /// every configuration.
+    #[test]
+    fn generator_contract(n_num in 1usize..6, n_bool in 0usize..6, rows in 0u64..150) {
+        let gen = UniformWorkload::new(n_num, n_bool, (0.0, 1.0), 0.3);
+        let rel = gen.to_relation(rows, 1);
+        prop_assert_eq!(rel.len(), rows);
+        prop_assert_eq!(rel.schema().numeric_count(), n_num);
+        prop_assert_eq!(rel.schema().boolean_count(), n_bool);
+        let mut count = 0u64;
+        rel.for_each_row(&mut |_, nums, bools| {
+            assert_eq!(nums.len(), n_num);
+            assert_eq!(bools.len(), n_bool);
+            count += 1;
+        }).unwrap();
+        prop_assert_eq!(count, rows);
+    }
+}

@@ -1,0 +1,237 @@
+//! Binomial distribution: pmf, cdf, survival, and the paper's `pe`.
+//!
+//! Section 3.2 of Fukuda et al. models the number of sample points
+//! falling into an interval that contains `N/M` of the data as
+//! `X ~ Binomial(S, 1/M)` (sampling is with replacement), and studies
+//!
+//! ```text
+//! pe = Pr(|X − S/M| ≥ δ·S/M)
+//! ```
+//!
+//! as a function of the per-bucket sample count `S/M`. Figure 1 plots
+//! `pe` for `δ = 0.5` and `M ∈ {5, 10, 10000}`, observing that `pe`
+//! drops below 0.3 % at `S/M = 40` and improves little beyond that —
+//! hence the implementation choice `S = 40·M`.
+
+use crate::beta::reg_inc_beta;
+use crate::gamma::ln_choose;
+
+/// A binomial distribution `Binomial(n, p)` with exact tail evaluation.
+///
+/// Tails are computed through the regularized incomplete beta function,
+/// so they stay accurate for `n` in the hundreds of thousands where a
+/// term-by-term pmf sum would be slow and lose precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates `Binomial(n, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or not finite.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Binomial: p must be in [0,1], got {p}"
+        );
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Probability mass `Pr(X = k)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optrules_stats::Binomial;
+    /// let b = Binomial::new(4, 0.5);
+    /// assert!((b.pmf(2) - 0.375).abs() < 1e-14);
+    /// assert_eq!(b.pmf(5), 0.0);
+    /// ```
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let ln = ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln();
+        ln.exp()
+    }
+
+    /// Cumulative probability `Pr(X ≤ k)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        // Pr(X ≤ k) = I_{1−p}(n−k, k+1)
+        reg_inc_beta(1.0 - self.p, (self.n - k) as f64, k as f64 + 1.0)
+    }
+
+    /// Survival probability `Pr(X ≥ k)` (inclusive lower tail bound).
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n {
+            return 0.0;
+        }
+        // Pr(X ≥ k) = I_p(k, n−k+1)
+        reg_inc_beta(self.p, k as f64, (self.n - k) as f64 + 1.0)
+    }
+
+    /// The paper's bucketing error probability
+    /// `pe = Pr(|X − μ| ≥ δ·μ)` where `μ = n·p` is the expected bucket
+    /// size (Section 3.2). The event is two-sided and inclusive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optrules_stats::Binomial;
+    /// // S/M = 40, M = 10: pe is well below 1 %.
+    /// let b = Binomial::new(400, 0.1);
+    /// let pe = b.deviation_probability(0.5);
+    /// assert!(pe < 0.01, "pe = {pe}");
+    /// ```
+    pub fn deviation_probability(&self, delta: f64) -> f64 {
+        assert!(delta > 0.0, "delta must be positive, got {delta}");
+        let mu = self.mean();
+        let lo = mu - delta * mu; // Pr(X ≤ lo)
+        let hi = mu + delta * mu; // Pr(X ≥ hi)
+                                  // Lower tail: largest integer k with k ≤ lo, i.e. X ≤ floor(lo);
+                                  // but the event is |X−μ| ≥ δμ, i.e. X ≤ μ(1−δ) exactly included.
+        let lower = if lo < 0.0 {
+            0.0
+        } else {
+            self.cdf(lo.floor() as u64)
+        };
+        let upper = self.sf(hi.ceil() as u64);
+        // When δμ is integral both bounds are hit exactly; floor/ceil keep
+        // the inclusive semantics of the paper's "≥".
+        (lower + upper).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force pmf sums to validate the beta-based tails.
+    fn cdf_brute(b: &Binomial, k: u64) -> f64 {
+        (0..=k.min(b.n())).map(|i| b.pmf(i)).sum()
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (25, 0.5), (100, 0.01), (64, 0.99)] {
+            let b = Binomial::new(n, p);
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p}: sum = {total}");
+        }
+    }
+
+    #[test]
+    fn cdf_matches_brute_force() {
+        for &(n, p) in &[(10u64, 0.3), (40, 0.1), (200, 0.5), (333, 0.07)] {
+            let b = Binomial::new(n, p);
+            for k in [0, 1, n / 4, n / 2, n - 1, n] {
+                let got = b.cdf(k);
+                let want = cdf_brute(&b, k);
+                assert!(
+                    (got - want).abs() < 1e-10,
+                    "cdf({k}) for n={n} p={p}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let b = Binomial::new(500, 0.02);
+        for k in 1..=30u64 {
+            let lhs = b.sf(k);
+            let rhs = 1.0 - b.cdf(k - 1);
+            assert!((lhs - rhs).abs() < 1e-12, "k={k}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn degenerate_p() {
+        let b0 = Binomial::new(10, 0.0);
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.cdf(0), 1.0);
+        let b1 = Binomial::new(10, 1.0);
+        assert_eq!(b1.pmf(10), 1.0);
+        assert_eq!(b1.sf(10), 1.0);
+    }
+
+    /// The paper's headline number: for S/M = 40 the probability of a
+    /// bucket deviating by 50 % is below 0.3 % (Section 3.2, Figure 1).
+    #[test]
+    fn paper_forty_samples_per_bucket_rule() {
+        for &m in &[5u64, 10, 10_000] {
+            let s = 40 * m;
+            let b = Binomial::new(s, 1.0 / m as f64);
+            let pe = b.deviation_probability(0.5);
+            assert!(pe < 0.003, "M = {m}: pe = {pe}, paper claims < 0.3 %");
+            // And it is not absurdly small either — the elbow is near 40.
+            assert!(pe > 1e-5, "M = {m}: pe = {pe} suspiciously small");
+        }
+    }
+
+    /// pe decreases (weakly) as the per-bucket sample count grows.
+    #[test]
+    fn deviation_probability_decreasing_in_s() {
+        let m = 10u64;
+        let mut prev = 1.0_f64;
+        for spm in (4..=100).step_by(4) {
+            let b = Binomial::new(spm * m, 1.0 / m as f64);
+            let pe = b.deviation_probability(0.5);
+            // Parity effects make pe non-monotone step to step; compare
+            // against a small slack instead of strict monotonicity.
+            assert!(
+                pe <= prev * 1.5 + 1e-12,
+                "pe jumped at S/M = {spm}: {pe} vs prev {prev}"
+            );
+            prev = prev.min(pe);
+        }
+        assert!(prev < 0.003);
+    }
+
+    #[test]
+    fn deviation_probability_two_sided() {
+        // With δ large enough that μ(1−δ) < 0, only the upper tail counts.
+        let b = Binomial::new(100, 0.5);
+        let pe = b.deviation_probability(2.0);
+        // Pr(X ≥ 150) = 0 for n = 100.
+        assert_eq!(pe, 0.0);
+    }
+}

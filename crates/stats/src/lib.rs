@@ -1,0 +1,39 @@
+//! Numerical substrate for `optrules`.
+//!
+//! Fukuda et al. justify their randomized bucketing method (Algorithm 3.1)
+//! with a binomial tail analysis (Section 3.2, Figure 1): when `S` sample
+//! points are drawn with replacement and `I` is an interval holding `N/M`
+//! of the original data, the number of samples `X` landing in `I` follows
+//! `Binomial(S, 1/M)`, and the probability
+//!
+//! ```text
+//! pe = Pr(|X − S/M| ≥ δ·S/M)
+//! ```
+//!
+//! drops below 0.3 % at `S/M = 40`, which is why the system samples
+//! `S = 40·M` points. Reproducing Figure 1 and the `40·M` rule needs exact
+//! binomial tails for `S` up to several hundred thousand trials, so this
+//! crate implements the classical special-function stack from scratch:
+//!
+//! * [`gamma::ln_gamma`] — Lanczos log-gamma,
+//! * [`beta::reg_inc_beta`] — regularized incomplete beta via Lentz's
+//!   continued fraction,
+//! * [`binomial::Binomial`] — pmf / cdf / survival / the paper's `pe`,
+//! * [`sample_size`] — the elbow search that recovers the `40·M` rule.
+//!
+//! Everything is deterministic and `f64`-based; accuracy targets are
+//! asserted in the unit tests against high-precision reference values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beta;
+pub mod binomial;
+pub mod gamma;
+pub mod sample_size;
+pub mod summary;
+
+pub use beta::reg_inc_beta;
+pub use binomial::Binomial;
+pub use gamma::{ln_factorial, ln_gamma};
+pub use sample_size::{bucketing_error_probability, recommended_sample_size, SampleSizeTable};

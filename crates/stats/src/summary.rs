@@ -1,0 +1,110 @@
+//! Small descriptive-statistics helpers used by tests and the benchmark
+//! harness (bucket-size dispersion, timing summaries).
+
+/// Mean of a slice. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice. Returns 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation (`σ/μ`); 0 when the mean is 0.
+///
+/// Used to quantify how "almost equi-depth" a bucketing is: perfectly
+/// equi-depth buckets have CV = 0.
+pub fn coeff_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(xs) / m
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a slice using linear interpolation on
+/// a sorted copy. Returns `None` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range: {q}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Maximum relative deviation from the mean: `max_i |x_i − μ| / μ`.
+///
+/// This is the empirical counterpart of the paper's `δ` in Section 3.2.
+pub fn max_relative_deviation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    xs.iter()
+        .map(|&x| (x - m).abs() / m)
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equi_depth_has_zero_cv() {
+        let xs = [10.0; 32];
+        assert_eq!(coeff_of_variation(&xs), 0.0);
+        assert_eq!(max_relative_deviation(&xs), 0.0);
+    }
+
+    #[test]
+    fn deviation_detects_outlier() {
+        let mut xs = vec![10.0; 9];
+        xs.push(20.0);
+        // mean = 11, max dev = 9/11
+        assert!((max_relative_deviation(&xs) - 9.0 / 11.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the numerical substrate: distribution identities
+//! that must hold for arbitrary parameters.
+
+use optrules_stats::{reg_inc_beta, Binomial};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CDF is a valid, monotone distribution function.
+    #[test]
+    fn cdf_monotone_and_bounded(n in 1u64..500, p in 0.0f64..=1.0) {
+        let b = Binomial::new(n, p);
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = b.cdf(k);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c), "cdf({k}) = {c}");
+            prop_assert!(c + 1e-12 >= prev, "cdf not monotone at {k}: {c} < {prev}");
+            prev = c;
+        }
+        prop_assert!((b.cdf(n) - 1.0).abs() < 1e-9);
+    }
+
+    /// Survival complements the CDF exactly.
+    #[test]
+    fn sf_complements_cdf(n in 1u64..500, p in 0.01f64..=0.99, k in 1u64..500) {
+        let k = k.min(n);
+        let b = Binomial::new(n, p);
+        prop_assert!((b.sf(k) - (1.0 - b.cdf(k - 1))).abs() < 1e-10);
+    }
+
+    /// Mean of the pmf equals n·p (within numerical tolerance).
+    #[test]
+    fn pmf_mean_matches(n in 1u64..200, p in 0.0f64..=1.0) {
+        let b = Binomial::new(n, p);
+        let mean: f64 = (0..=n).map(|k| k as f64 * b.pmf(k)).sum();
+        prop_assert!((mean - b.mean()).abs() < 1e-7 * b.mean().max(1.0),
+            "pmf mean {mean} vs analytic {}", b.mean());
+    }
+
+    /// Symmetry of the regularized incomplete beta.
+    #[test]
+    fn beta_symmetry(x in 0.0f64..=1.0, a in 0.1f64..200.0, b in 0.1f64..200.0) {
+        let lhs = reg_inc_beta(x, a, b);
+        let rhs = 1.0 - reg_inc_beta(1.0 - x, b, a);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    /// The deviation probability is a probability and decreases in δ.
+    #[test]
+    fn deviation_probability_valid(n in 10u64..10_000, inv_m in 2u64..50) {
+        let b = Binomial::new(n, 1.0 / inv_m as f64);
+        let mut prev = 1.0f64;
+        for delta in [0.1, 0.25, 0.5, 1.0, 2.0] {
+            let pe = b.deviation_probability(delta);
+            prop_assert!((0.0..=1.0).contains(&pe), "pe = {pe}");
+            prop_assert!(pe <= prev + 1e-12, "pe not decreasing in δ");
+            prev = pe;
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: mine both optimized rules from a tiny in-memory relation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use optrules::prelude::*;
+
+fn main() {
+    // A miniature bank-customers relation: Balance plus a CardLoan flag.
+    // Customers with balances between 3000 and 7000 take card loans at a
+    // much higher rate — the pattern the miner should discover.
+    let schema = Schema::builder()
+        .numeric("Balance")
+        .boolean("CardLoan")
+        .build();
+    let mut rel = Relation::new(schema);
+    for i in 0..10_000u64 {
+        let balance = (i % 200) as f64 * 50.0; // 0 .. 10 000
+        let in_band = (3000.0..=7000.0).contains(&balance);
+        // Deterministic pseudo-randomness keeps the example reproducible.
+        let dice = (i.wrapping_mul(2654435761)) % 100;
+        let loan = if in_band { dice < 70 } else { dice < 12 };
+        rel.push_row(&[balance], &[loan]).expect("schema matches");
+    }
+
+    let attr = rel.schema().numeric("Balance").expect("attribute exists");
+    let objective = Condition::BoolIs(
+        rel.schema().boolean("CardLoan").expect("attribute exists"),
+        true,
+    );
+
+    let miner = Miner::new(MinerConfig {
+        buckets: 100,
+        min_support: Ratio::percent(10), // optimized-confidence constraint
+        min_confidence: Ratio::percent(60), // optimized-support constraint
+        ..MinerConfig::default()
+    });
+
+    let mined = miner
+        .mine(&rel, attr, objective)
+        .expect("mining a non-empty relation succeeds");
+
+    println!(
+        "rows: {}, buckets used: {}",
+        mined.total_rows, mined.buckets_used
+    );
+    println!();
+    match &mined.optimized_support {
+        Some(rule) => println!(
+            "optimized-support rule  : {}",
+            rule.describe(&mined.attr_name, &mined.objective_desc)
+        ),
+        None => println!("optimized-support rule  : no range reaches 60 % confidence"),
+    }
+    match &mined.optimized_confidence {
+        Some(rule) => println!(
+            "optimized-confidence rule: {}",
+            rule.describe(&mined.attr_name, &mined.objective_desc)
+        ),
+        None => println!("optimized-confidence rule: no range reaches 10 % support"),
+    }
+}

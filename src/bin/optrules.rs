@@ -1,0 +1,264 @@
+//! `optrules` — command-line rule mining over relation files.
+//!
+//! ```text
+//! optrules gen <paper|bank|retail|planted> <path> [--rows N] [--seed S]
+//! optrules info <path>
+//! optrules mine <path> --attr A --target B [--buckets M] [--min-support P]
+//!               [--min-confidence P] [--threads T] [--given C]
+//! optrules mine-all <path> [--buckets M] [--min-support P] [--min-confidence P]
+//! optrules avg <path> --attr A --target B [--min-support P] [--min-avg X]
+//! ```
+//!
+//! Relation files are the fixed-width format written by
+//! `FileRelationWriter` (see `optrules::relation::file`). Percentages
+//! are whole numbers (`--min-support 10` means 10 %).
+
+use optrules::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  optrules gen <paper|bank|retail|planted> <path> [--rows N] [--seed S]
+  optrules info <path>
+  optrules mine <path> --attr A --target B [--buckets M] [--min-support P]
+                [--min-confidence P] [--threads T] [--given C]
+  optrules mine-all <path> [--buckets M] [--min-support P] [--min-confidence P]
+  optrules avg <path> --attr A --target B [--min-support P] [--min-avg X]";
+
+type CliResult = Result<(), String>;
+
+/// Splits positional arguments from `--key value` flags.
+fn parse(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                flags.insert(key, args[i + 1].as_str());
+                i += 2;
+            } else {
+                flags.insert(key, "");
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn flag_num<T: std::str::FromStr>(
+    flags: &HashMap<&str, &str>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {raw:?}")),
+    }
+}
+
+fn run(args: &[String]) -> CliResult {
+    let (pos, flags) = parse(args);
+    match pos.as_slice() {
+        ["gen", kind, path] => gen(kind, path, &flags),
+        ["info", path] => info(path),
+        ["mine", path] => mine(path, &flags),
+        ["mine-all", path] => mine_all(path, &flags),
+        ["avg", path] => avg(path, &flags),
+        [] => Err("missing command".into()),
+        other => Err(format!("unrecognized command {other:?}")),
+    }
+}
+
+fn gen(kind: &str, path: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    let rows: u64 = flag_num(flags, "rows", 100_000)?;
+    let seed: u64 = flag_num(flags, "seed", 42)?;
+    let rel = match kind {
+        "paper" => UniformWorkload::paper()
+            .to_file(path, rows, seed)
+            .map_err(|e| e.to_string())?,
+        "bank" => BankGenerator::default()
+            .to_file(path, rows, seed)
+            .map_err(|e| e.to_string())?,
+        "retail" => RetailGenerator::default()
+            .to_file(path, rows, seed)
+            .map_err(|e| e.to_string())?,
+        "planted" => PlantedRangeGenerator::table1()
+            .to_file(path, rows, seed)
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown generator {other:?}")),
+    };
+    println!(
+        "wrote {} rows ({} numeric + {} boolean attributes, {} bytes) to {path}",
+        rel.len(),
+        rel.schema().numeric_count(),
+        rel.schema().boolean_count(),
+        rel.data_bytes(),
+    );
+    Ok(())
+}
+
+fn info(path: &str) -> CliResult {
+    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    let schema = rel.schema();
+    println!("rows     : {}", rel.len());
+    println!(
+        "data     : {} bytes ({} per tuple)",
+        rel.data_bytes(),
+        schema.record_size()
+    );
+    println!("numeric  : {}", schema.numeric_names().join(", "));
+    println!("boolean  : {}", schema.boolean_names().join(", "));
+    Ok(())
+}
+
+/// Parses `--given` of the form `Attr=yes|no` into a condition.
+fn parse_given(schema: &Schema, raw: &str) -> Result<Condition, String> {
+    let (name, value) = raw
+        .split_once('=')
+        .ok_or_else(|| format!("--given expects Attr=yes|no, got {raw:?}"))?;
+    let attr = schema
+        .boolean(name)
+        .map_err(|_| format!("unknown boolean attribute {name:?}"))?;
+    match value {
+        "yes" => Ok(Condition::BoolIs(attr, true)),
+        "no" => Ok(Condition::BoolIs(attr, false)),
+        other => Err(format!("--given value must be yes or no, got {other:?}")),
+    }
+}
+
+fn miner_from_flags(flags: &HashMap<&str, &str>) -> Result<Miner, String> {
+    Ok(Miner::new(MinerConfig {
+        buckets: flag_num(flags, "buckets", 1000usize)?,
+        min_support: Ratio::percent(flag_num(flags, "min-support", 10u64)?),
+        min_confidence: Ratio::percent(flag_num(flags, "min-confidence", 50u64)?),
+        threads: flag_num(flags, "threads", 1usize)?,
+        seed: flag_num(flags, "seed", 7u64)?,
+        ..MinerConfig::default()
+    }))
+}
+
+fn mine(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    let schema = rel.schema().clone();
+    let attr_name = flags.get("attr").ok_or("--attr is required")?;
+    let target_name = flags.get("target").ok_or("--target is required")?;
+    let attr = schema
+        .numeric(attr_name)
+        .map_err(|_| format!("unknown numeric attribute {attr_name:?}"))?;
+    let target = Condition::BoolIs(
+        schema
+            .boolean(target_name)
+            .map_err(|_| format!("unknown boolean attribute {target_name:?}"))?,
+        true,
+    );
+    let presumptive = match flags.get("given") {
+        Some(raw) => parse_given(&schema, raw)?,
+        None => Condition::True,
+    };
+    let miner = miner_from_flags(flags)?;
+    let mined = miner
+        .mine_generalized(&rel, attr, presumptive, target)
+        .map_err(|e| e.to_string())?;
+    print_pair(&mined);
+    Ok(())
+}
+
+fn mine_all(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    use optrules::core::report::{render_pairs, SortBy};
+    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    let miner = miner_from_flags(flags)?;
+    let pairs = miner.mine_all_pairs(&rel).map_err(|e| e.to_string())?;
+    let sort = match flags.get("sort").copied() {
+        Some("confidence") => SortBy::Confidence,
+        Some("none") => SortBy::Unsorted,
+        _ => SortBy::Support,
+    };
+    print!("{}", render_pairs(&pairs, sort));
+    println!("{} attribute pairs mined", pairs.len());
+    Ok(())
+}
+
+fn avg(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    let schema = rel.schema().clone();
+    let attr_name = flags.get("attr").ok_or("--attr is required")?;
+    let target_name = flags.get("target").ok_or("--target is required")?;
+    let attr = schema
+        .numeric(attr_name)
+        .map_err(|_| format!("unknown numeric attribute {attr_name:?}"))?;
+    let target = schema
+        .numeric(target_name)
+        .map_err(|_| format!("unknown numeric attribute {target_name:?}"))?;
+    let min_avg: f64 = flag_num(flags, "min-avg", 0.0)?;
+    let miner = miner_from_flags(flags)?;
+    let mined = miner
+        .mine_average(&rel, attr, target, min_avg)
+        .map_err(|e| e.to_string())?;
+    match &mined.max_average {
+        Some((r, vals)) => println!(
+            "max-average range : {} in [{:.4}, {:.4}]  avg({}) = {:.4}, support {:.2}%",
+            mined.attr_name,
+            vals.0,
+            vals.1,
+            mined.target_name,
+            r.average(),
+            100.0 * r.support(mined.total_rows),
+        ),
+        None => println!("max-average range : none (support threshold unreachable)"),
+    }
+    match &mined.max_support {
+        Some((r, vals)) => println!(
+            "max-support range : {} in [{:.4}, {:.4}]  avg({}) = {:.4}, support {:.2}%",
+            mined.attr_name,
+            vals.0,
+            vals.1,
+            mined.target_name,
+            r.average(),
+            100.0 * r.support(mined.total_rows),
+        ),
+        None => println!("max-support range : none (no range clears the average threshold)"),
+    }
+    Ok(())
+}
+
+fn print_pair(pair: &MinedPair) {
+    match &pair.optimized_support {
+        Some(rule) => println!(
+            "optimized-support    {}",
+            rule.describe(&pair.attr_name, &pair.objective_desc)
+        ),
+        None => println!(
+            "optimized-support    {} => {}: no confident range",
+            pair.attr_name, pair.objective_desc
+        ),
+    }
+    match &pair.optimized_confidence {
+        Some(rule) => println!(
+            "optimized-confidence {}",
+            rule.describe(&pair.attr_name, &pair.objective_desc)
+        ),
+        None => println!(
+            "optimized-confidence {} => {}: no ample range",
+            pair.attr_name, pair.objective_desc
+        ),
+    }
+}

@@ -1,0 +1,109 @@
+//! # optrules
+//!
+//! A Rust implementation of **"Mining Optimized Association Rules for
+//! Numeric Attributes"** (Fukuda, Morimoto, Morishita, Tokuyama —
+//! PODS 1996; journal version JCSS 58(1), 1999).
+//!
+//! Given a relation with numeric and Boolean attributes, `optrules`
+//! finds rules of the form `(A ∈ [v1, v2]) ⇒ C` with an *optimized*
+//! range:
+//!
+//! * the **optimized-support rule** maximizes the range's support among
+//!   ranges whose confidence clears a threshold;
+//! * the **optimized-confidence rule** maximizes confidence among
+//!   ranges whose support clears a threshold.
+//!
+//! Both run in O(M) time over M buckets; buckets are built *without
+//! sorting the relation* via randomized almost-equi-depth bucketing
+//! (sort a 40·M random sample, cut at its quantiles, then one counting
+//! scan).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use optrules::prelude::*;
+//!
+//! // Build a small relation: balance + card-loan flag.
+//! let schema = Schema::builder().numeric("Balance").boolean("CardLoan").build();
+//! let mut rel = Relation::new(schema);
+//! for i in 0..1000u64 {
+//!     let balance = (i % 100) as f64 * 100.0;
+//!     // Customers with balances in [3000, 7000] often take card loans.
+//!     let loan = (3000.0..=7000.0).contains(&balance) && i % 3 != 0;
+//!     rel.push_row(&[balance], &[loan]).unwrap();
+//! }
+//!
+//! let attr = rel.schema().numeric("Balance").unwrap();
+//! let target = Condition::BoolIs(rel.schema().boolean("CardLoan").unwrap(), true);
+//! let miner = Miner::new(MinerConfig {
+//!     buckets: 50,
+//!     min_support: Ratio::percent(10),
+//!     min_confidence: Ratio::percent(60),
+//!     ..MinerConfig::default()
+//! });
+//! let mined = miner.mine(&rel, attr, target).unwrap();
+//! let rule = mined.optimized_support.expect("confident range exists");
+//! assert!(rule.confidence() >= 0.60);
+//! println!("{}", rule.describe("Balance", "(CardLoan = yes)"));
+//! ```
+//!
+//! ## Crate map
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`relation`] — storage: schemas, in-memory and file-backed
+//!   relations, synthetic data generators;
+//! * [`stats`] — binomial tails behind the `S = 40·M` sampling rule;
+//! * [`geometry`] — convex hull tree and tangent walk (Algorithms
+//!   4.1/4.2);
+//! * [`bucketing`] — randomized equi-depth bucketing (Algorithm 3.1),
+//!   parallel counting (Algorithm 3.2), and the sort-based baselines;
+//! * [`core`] — the optimizers, the average-operator ranges
+//!   (Section 5), and the [`core::miner::Miner`] driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use optrules_bucketing as bucketing;
+pub use optrules_core as core;
+pub use optrules_geometry as geometry;
+pub use optrules_relation as relation;
+pub use optrules_stats as stats;
+
+/// One-stop imports for typical mining sessions.
+pub mod prelude {
+    pub use crate::bucketing::{BucketSpec, CountSpec, EquiDepthConfig, SamplingMethod};
+    pub use crate::core::average::{maximum_average_range, maximum_support_range};
+    pub use crate::core::{
+        optimize_confidence, optimize_support, MinedPair, Miner, MinerConfig, OptRange, RangeRule,
+        Ratio, RuleKind,
+    };
+    pub use crate::relation::gen::{
+        BankGenerator, DataGenerator, PlantedRangeGenerator, RetailGenerator, UniformWorkload,
+    };
+    pub use crate::relation::{
+        BoolAttr, Condition, FileRelation, FileRelationWriter, NumAttr, RandomAccess, Relation,
+        Schema, TupleScan,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_pipeline() {
+        let rel = PlantedRangeGenerator::table1().to_relation(2000, 1);
+        let attr = rel.schema().numeric("A").unwrap();
+        let c = Condition::BoolIs(rel.schema().boolean("C").unwrap(), true);
+        let mined = Miner::new(MinerConfig {
+            buckets: 40,
+            min_support: Ratio::percent(10),
+            min_confidence: Ratio::percent(60),
+            ..MinerConfig::default()
+        })
+        .mine(&rel, attr, c)
+        .unwrap();
+        assert!(mined.optimized_confidence.is_some());
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the `optrules` CLI binary: generate → info →
+//! mine → avg round trips through real process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_optrules"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("optrules-cli-{}-{name}.rel", std::process::id()))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn gen_info_mine_roundtrip() {
+    let path = tmp("bank");
+    let path_s = path.to_str().unwrap();
+
+    let out = run_ok(&["gen", "bank", path_s, "--rows", "20000", "--seed", "3"]);
+    assert!(out.contains("wrote 20000 rows"), "{out}");
+
+    let out = run_ok(&["info", path_s]);
+    assert!(out.contains("rows     : 20000"), "{out}");
+    assert!(out.contains("Balance"), "{out}");
+    assert!(out.contains("CardLoan"), "{out}");
+
+    let out = run_ok(&[
+        "mine",
+        path_s,
+        "--attr",
+        "Balance",
+        "--target",
+        "CardLoan",
+        "--buckets",
+        "100",
+        "--min-support",
+        "10",
+        "--min-confidence",
+        "60",
+    ]);
+    assert!(out.contains("optimized-support"), "{out}");
+    assert!(out.contains("optimized-confidence"), "{out}");
+    assert!(out.contains("Balance in ["), "{out}");
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn mine_with_given_conjunct() {
+    let path = tmp("retail");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "retail", path_s, "--rows", "30000"]);
+    let out = run_ok(&[
+        "mine",
+        path_s,
+        "--attr",
+        "Amount",
+        "--target",
+        "Potato",
+        "--given",
+        "Pizza=yes",
+        "--buckets",
+        "100",
+        "--min-support",
+        "2",
+        "--min-confidence",
+        "65",
+    ]);
+    assert!(out.contains("| (Pizza = yes)"), "{out}");
+    assert!(out.contains("Amount in ["), "{out}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn avg_command() {
+    let path = tmp("avg");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "20000"]);
+    let out = run_ok(&[
+        "avg",
+        path_s,
+        "--attr",
+        "CheckingAccount",
+        "--target",
+        "SavingAccount",
+        "--min-support",
+        "10",
+        "--min-avg",
+        "14000",
+        "--buckets",
+        "200",
+    ]);
+    assert!(out.contains("max-average range"), "{out}");
+    assert!(out.contains("max-support range"), "{out}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn errors_exit_nonzero_with_usage() {
+    let out = bin().args(["mine", "/nonexistent.rel"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing command"));
+
+    let out = bin().args(["gen", "nope", "/tmp/x.rel"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown generator"));
+}
+
+#[test]
+fn mine_all_pairs_cli() {
+    let path = tmp("allpairs");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "planted", path_s, "--rows", "10000"]);
+    let out = run_ok(&[
+        "mine-all",
+        path_s,
+        "--buckets",
+        "50",
+        "--min-support",
+        "10",
+        "--min-confidence",
+        "60",
+    ]);
+    assert!(out.contains("1 attribute pairs mined"), "{out}");
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,119 @@
+//! Empirical validation of the Section 3.4 approximation bounds
+//! (Table I): bucketed optima must stay within the analytic error
+//! window around the finest-granularity optimum, and the window must
+//! shrink as the bucket count grows.
+
+use optrules::bucketing::{
+    count_buckets, equi_depth_cuts, finest_cuts, CountSpec, EquiDepthConfig,
+};
+use optrules::core::approx;
+use optrules::prelude::*;
+
+struct Optima {
+    support: f64,
+    confidence: f64,
+}
+
+fn exact_optimum(rel: &Relation, theta: Ratio) -> Optima {
+    let attr = rel.schema().numeric("A").unwrap();
+    let target = Condition::BoolIs(rel.schema().boolean("C").unwrap(), true);
+    let spec = finest_cuts(rel, attr).unwrap();
+    let counts = count_buckets(rel, &spec, &CountSpec::simple(attr, target)).unwrap();
+    let (_, cc) = counts.compact();
+    let r = optimize_support(&cc.u, &cc.bool_v[0], theta)
+        .unwrap()
+        .expect("planted band is confident");
+    Optima {
+        support: r.support(counts.total_rows),
+        confidence: r.confidence(),
+    }
+}
+
+fn bucketed_optimum(rel: &Relation, m: usize, theta: Ratio) -> Option<Optima> {
+    let attr = rel.schema().numeric("A").unwrap();
+    let target = Condition::BoolIs(rel.schema().boolean("C").unwrap(), true);
+    let spec = equi_depth_cuts(rel, attr, &EquiDepthConfig::paper(m, 31)).unwrap();
+    let counts = count_buckets(rel, &spec, &CountSpec::simple(attr, target)).unwrap();
+    let (_, cc) = counts.compact();
+    optimize_support(&cc.u, &cc.bool_v[0], theta)
+        .unwrap()
+        .map(|r| Optima {
+            support: r.support(counts.total_rows),
+            confidence: r.confidence(),
+        })
+}
+
+/// The §3.4 claim, measured: with the Table I configuration the
+/// bucketed optimized-support rule stays within the paper's relative
+/// error bounds (evaluated at the realized optimum, with slack for the
+/// sampling randomness of Algorithm 3.1 — the analytic bounds assume
+/// exactly equi-depth buckets).
+#[test]
+fn bucketed_optimum_within_paper_bounds() {
+    let rel = PlantedRangeGenerator::table1().to_relation(150_000, 8);
+    let theta = Ratio::percent(68);
+    let exact = exact_optimum(&rel, theta);
+    assert!(
+        exact.support > 0.25 && exact.support < 0.40,
+        "{}",
+        exact.support
+    );
+
+    for m in [50usize, 100, 500, 1000] {
+        let approx_opt = bucketed_optimum(&rel, m, theta).expect("band visible at this M");
+        let bounds = approx::paper_bounds(m, exact.support, exact.confidence);
+        // Almost-equi-depth buckets can be up to ~50 % off nominal size
+        // (§3.2), so allow the analytic window to stretch by that factor.
+        let slack = 1.5;
+        let sup_lo = exact.support - slack * (exact.support - bounds.support_lo);
+        let sup_hi = exact.support + slack * (bounds.support_hi - exact.support);
+        assert!(
+            approx_opt.support >= sup_lo && approx_opt.support <= sup_hi,
+            "M={m}: support {} outside [{sup_lo}, {sup_hi}]",
+            approx_opt.support
+        );
+        let conf_lo = exact.confidence - slack * (exact.confidence - bounds.conf_lo);
+        assert!(
+            approx_opt.confidence >= conf_lo,
+            "M={m}: confidence {} below {conf_lo}",
+            approx_opt.confidence
+        );
+    }
+}
+
+/// Error must (weakly) shrink with more buckets — the monotone shape of
+/// Table I.
+#[test]
+fn error_shrinks_with_bucket_count() {
+    let rel = PlantedRangeGenerator::table1().to_relation(150_000, 21);
+    let theta = Ratio::percent(68);
+    let exact = exact_optimum(&rel, theta);
+    let err = |m: usize| -> f64 {
+        let a = bucketed_optimum(&rel, m, theta).expect("visible");
+        (a.support - exact.support).abs() / exact.support
+    };
+    let coarse = err(10);
+    let mid = err(100);
+    let fine = err(1000);
+    assert!(
+        coarse >= mid * 0.5 && mid >= fine * 0.5,
+        "errors not shrinking: {coarse} {mid} {fine}"
+    );
+    assert!(fine < 0.02, "fine-grained error {fine} too large");
+}
+
+/// The paper's bound formulas themselves: the mass-transfer window is
+/// never wider than the clamped paper window on the support axis, and
+/// both contain the optimum.
+#[test]
+fn analytic_tables_are_consistent() {
+    for row in approx::table1() {
+        assert!(row.paper.support_lo <= 0.30 && 0.30 <= row.paper.support_hi);
+        assert!(row.mass.support_lo <= 0.30 && 0.30 <= row.mass.support_hi);
+        assert!(row.mass.conf_lo <= 0.70 && 0.70 <= row.mass.conf_hi);
+        // Paper support window equals the mass window for equi-depth
+        // buckets (2/M of support on each side).
+        assert!((row.paper.support_lo - row.mass.support_lo).abs() < 1e-12);
+        assert!((row.paper.support_hi - row.mass.support_hi).abs() < 1e-12);
+    }
+}

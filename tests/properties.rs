@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) on the core invariants, spanning
+//! crates through the public facade.
+
+use optrules::bucketing::{count_buckets, CountSpec};
+use optrules::core::kadane::max_gain_range;
+use optrules::core::naive::{optimize_confidence_naive, optimize_support_naive};
+use optrules::core::support::effective_indices;
+use optrules::geometry::{upper_hull, HullTree, Point};
+use optrules::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: bucket series (u, v) with 1 ≤ u_i ≤ 32, 0 ≤ v_i ≤ u_i.
+fn uv_series() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    prop::collection::vec((1u64..=32, 0.0f64..=1.0), 1..48).prop_map(|pairs| {
+        let u: Vec<u64> = pairs.iter().map(|&(ui, _)| ui).collect();
+        let v: Vec<u64> = pairs
+            .iter()
+            .map(|&(ui, frac)| ((ui as f64) * frac).round() as u64)
+            .collect();
+        (u, v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Theorem 4.1: the hull-tangent optimizer equals exhaustive search,
+    /// including tie-breaks.
+    #[test]
+    fn confidence_optimizer_equals_naive((u, v) in uv_series(), w_frac in 0.0f64..=1.1) {
+        let total: u64 = u.iter().sum();
+        let w = (total as f64 * w_frac) as u64;
+        prop_assert_eq!(
+            optimize_confidence(&u, &v, w).unwrap(),
+            optimize_confidence_naive(&u, &v, w).unwrap()
+        );
+    }
+
+    /// Theorem 4.2: Algorithms 4.3/4.4 equal exhaustive search.
+    #[test]
+    fn support_optimizer_equals_naive((u, v) in uv_series(), theta_pct in 0u64..=100) {
+        let theta = Ratio::percent(theta_pct);
+        prop_assert_eq!(
+            optimize_support(&u, &v, theta).unwrap(),
+            optimize_support_naive(&u, &v, theta).unwrap()
+        );
+    }
+
+    /// Lemma 4.1: the optimized-support range always starts at an
+    /// effective index.
+    #[test]
+    fn optimal_support_starts_effective((u, v) in uv_series(), theta_pct in 1u64..=99) {
+        let theta = Ratio::percent(theta_pct);
+        if let Some(r) = optimize_support(&u, &v, theta).unwrap() {
+            let eff = effective_indices(&u, &v, theta).unwrap();
+            prop_assert!(eff.contains(&r.s), "start {} not effective ({:?})", r.s, eff);
+        }
+    }
+
+    /// The optimized-support range (max |I| s.t. conf ≥ θ) always
+    /// contains at least as many tuples as Kadane's max-gain range when
+    /// the latter is itself confident.
+    #[test]
+    fn kadane_never_beats_optimized_support((u, v) in uv_series(), theta_pct in 1u64..=99) {
+        let theta = Ratio::percent(theta_pct);
+        let opt = optimize_support(&u, &v, theta).unwrap();
+        let kad = max_gain_range(&u, &v, theta).unwrap();
+        if let (Some(o), Some(k)) = (opt, kad) {
+            if k.gain >= 0 {
+                let k_sup: u64 = u[k.s..=k.t].iter().sum();
+                prop_assert!(o.sup_count >= k_sup, "opt {o:?} vs kadane {k:?}");
+            }
+        }
+    }
+
+    /// Hull tree restoration equals a fresh monotone-chain hull of every
+    /// suffix.
+    #[test]
+    fn hull_tree_equals_suffix_hulls(ys in prop::collection::vec(0u32..1000, 1..80)) {
+        let points: Vec<Point> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| Point::new(i as f64, y as f64))
+            .collect();
+        let mut tree = HullTree::build(&points);
+        for i in 0..points.len() {
+            tree.advance_to(i);
+            let got = tree.hull_left_to_right();
+            let want: Vec<usize> = upper_hull(&points[i..]).into_iter().map(|k| k + i).collect();
+            prop_assert_eq!(&got, &want, "suffix {}", i);
+        }
+    }
+
+    /// Bucket counting conserves tuples: Σu = rows passing the filter,
+    /// v ≤ u per bucket, observed ranges nested in bucket bounds.
+    #[test]
+    fn counting_conservation(values in prop::collection::vec(0.0f64..100.0, 1..300),
+                             cuts in prop::collection::vec(0.0f64..100.0, 0..8)) {
+        let schema = Schema::builder().numeric("X").boolean("C").build();
+        let mut rel = Relation::new(schema);
+        for (i, &x) in values.iter().enumerate() {
+            rel.push_row(&[x], &[i % 3 == 0]).unwrap();
+        }
+        let spec = BucketSpec::from_cuts(cuts);
+        let attr = NumAttr(0);
+        let what = CountSpec::simple(attr, Condition::BoolIs(BoolAttr(0), true));
+        let counts = count_buckets(&rel, &spec, &what).unwrap();
+        prop_assert_eq!(counts.counted(), values.len() as u64);
+        prop_assert_eq!(counts.total_rows, values.len() as u64);
+        for (b, (&u, v)) in counts.u.iter().zip(&counts.bool_v[0]).enumerate() {
+            prop_assert!(*v <= u, "bucket {b}: v {} > u {}", v, u);
+        }
+        for (b, &(lo, hi)) in counts.ranges.iter().enumerate() {
+            if counts.u[b] > 0 {
+                let (blo, bhi) = spec.bucket_bounds(b);
+                prop_assert!(lo >= blo.max(0.0) - 1e-12 && hi <= bhi + 1e-12 || blo < lo,
+                    "bucket {b}: observed [{lo}, {hi}] outside ({blo}, {bhi}]");
+                prop_assert!(lo <= hi);
+            }
+        }
+    }
+
+    /// Bucket assignment respects boundaries: bucket_of is monotone and
+    /// consistent with bucket_bounds.
+    #[test]
+    fn bucket_of_consistent(cuts in prop::collection::vec(-50.0f64..50.0, 0..10),
+                            xs in prop::collection::vec(-60.0f64..60.0, 1..100)) {
+        let spec = BucketSpec::from_cuts(cuts);
+        let mut prev: Option<(f64, usize)> = None;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &x in &sorted {
+            let b = spec.bucket_of(x);
+            let (lo, hi) = spec.bucket_bounds(b);
+            prop_assert!(lo < x || (lo == f64::NEG_INFINITY && x == f64::NEG_INFINITY));
+            prop_assert!(x <= hi);
+            if let Some((px, pb)) = prev {
+                prop_assert!(pb <= b, "monotonicity broken: {px}→{pb}, {x}→{b}");
+            }
+            prev = Some((x, b));
+        }
+    }
+
+    /// Record encoding round-trips arbitrary rows.
+    #[test]
+    fn encoding_roundtrip(nums in prop::collection::vec(-1e12f64..1e12, 0..6),
+                          bools in prop::collection::vec(any::<bool>(), 0..6)) {
+        use optrules::relation::encoding::RecordLayout;
+        let layout = RecordLayout::new(nums.len(), bools.len());
+        let mut buf = Vec::new();
+        layout.encode_row(&nums, &bools, &mut buf).unwrap();
+        prop_assert_eq!(buf.len(), layout.record_size());
+        let (mut n2, mut b2) = (Vec::new(), Vec::new());
+        layout.decode_row(&buf, &mut n2, &mut b2).unwrap();
+        prop_assert_eq!(nums, n2);
+        prop_assert_eq!(bools, b2);
+    }
+
+    /// External sort equals std sort for any input and chunk size.
+    #[test]
+    fn external_sort_equals_std(values in prop::collection::vec(-1e6f64..1e6, 0..500),
+                                chunk in 1usize..64) {
+        use optrules::bucketing::external_sort::ExternalSorter;
+        let mut sorter = ExternalSorter::new(std::env::temp_dir(), chunk);
+        for &v in &values {
+            sorter.push(v).unwrap();
+        }
+        let got = sorter.into_sorted().unwrap();
+        let mut want = values;
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got, want);
+    }
+}
