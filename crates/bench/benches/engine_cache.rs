@@ -1,0 +1,90 @@
+//! The serving-path win of the `Engine` session API: cold (fresh engine
+//! per query — the legacy `Miner` cost model) vs warm (same engine,
+//! cache populated) query latency at M ∈ {100, 1000}.
+//!
+//! A cold query pays Algorithm 3.1's 40·M sampling + sort plus the O(N)
+//! counting scan; a warm query on a cached attribute pays only the O(M)
+//! optimizers. The `speedup` lines print the measured cold/warm ratio
+//! directly — the §1.3 interactive scenario needs it ≥ 5× at M = 1000.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bench::{fmt_duration, time_best_of};
+use optrules_core::{Engine, EngineConfig, Ratio};
+use optrules_relation::gen::{BankGenerator, DataGenerator};
+use optrules_relation::{Relation, TupleScan};
+use std::hint::black_box;
+use std::time::Duration;
+
+const ROWS: u64 = 100_000;
+
+fn config(buckets: usize) -> EngineConfig {
+    EngineConfig {
+        buckets,
+        min_support: Ratio::percent(10),
+        min_confidence: Ratio::percent(60),
+        ..EngineConfig::default()
+    }
+}
+
+fn cold_query(rel: &Relation, buckets: usize) {
+    let mut engine = Engine::with_config(rel, config(buckets));
+    black_box(
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .expect("ok"),
+    );
+}
+
+fn warm_query(engine: &mut Engine<&Relation>) {
+    black_box(
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .expect("ok"),
+    );
+}
+
+fn bench_engine_cache(c: &mut Criterion) {
+    let rel = BankGenerator::default().to_relation(ROWS, 3);
+    let mut group = c.benchmark_group("engine_cache");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(rel.len()));
+
+    for buckets in [100usize, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("cold", buckets),
+            &buckets,
+            |b, &buckets| b.iter(|| cold_query(&rel, buckets)),
+        );
+        let mut engine = Engine::with_config(&rel, config(buckets));
+        warm_query(&mut engine); // populate the cache once
+        group.bench_with_input(BenchmarkId::new("warm", buckets), &buckets, |b, _| {
+            b.iter(|| warm_query(&mut engine))
+        });
+    }
+    group.finish();
+
+    // Headline ratio, measured outside Criterion so it prints as one
+    // comparable number per M.
+    for buckets in [100usize, 1000] {
+        let cold = time_best_of(Duration::from_secs(1), || cold_query(&rel, buckets));
+        let mut engine = Engine::with_config(&rel, config(buckets));
+        warm_query(&mut engine);
+        let warm = time_best_of(Duration::from_millis(300), || warm_query(&mut engine));
+        println!(
+            "engine_cache/speedup/M={buckets:<4} cold {} / warm {} = {:.1}x",
+            fmt_duration(cold),
+            fmt_duration(warm),
+            cold.as_secs_f64() / warm.as_secs_f64(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_engine_cache);
+criterion_main!(benches);

@@ -4,9 +4,9 @@
 //! per numeric attribute).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use optrules_core::{Miner, MinerConfig, Ratio};
+use optrules_core::{Engine, EngineConfig, Ratio};
 use optrules_relation::gen::{BankGenerator, DataGenerator, UniformWorkload};
-use optrules_relation::{Condition, TupleScan};
+use optrules_relation::TupleScan;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -18,23 +18,42 @@ fn bench_miner(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
 
     let bank = BankGenerator::default().to_relation(50_000, 3);
-    let balance = bank.schema().numeric("Balance").expect("attr");
-    let loan = Condition::BoolIs(bank.schema().boolean("CardLoan").expect("attr"), true);
-    let miner = Miner::new(MinerConfig {
+    let config = EngineConfig {
         buckets: 500,
         min_support: Ratio::percent(10),
         min_confidence: Ratio::percent(60),
-        ..MinerConfig::default()
-    });
+        ..EngineConfig::default()
+    };
     group.throughput(Throughput::Elements(bank.len()));
+    // A fresh engine per iteration keeps this the *cold* one-shot cost,
+    // and the narrow scan counts only the one target the legacy Miner
+    // did; benches/engine_cache.rs measures the warm serving path.
     group.bench_function("single_pair_bank_50k", |b| {
-        b.iter(|| black_box(miner.mine(&bank, balance, loan.clone()).expect("ok")));
+        b.iter(|| {
+            let mut engine = Engine::with_config(&bank, config);
+            black_box(
+                engine
+                    .query("Balance")
+                    .objective_is("CardLoan")
+                    .scan_all_booleans(false)
+                    .run()
+                    .expect("ok"),
+            )
+        });
     });
 
     let wide = UniformWorkload::paper().to_relation(20_000, 5);
     group.throughput(Throughput::Elements(wide.len()));
     group.bench_function("all_pairs_8x8_20k", |b| {
-        b.iter(|| black_box(miner.mine_all_pairs(&wide).expect("ok")));
+        b.iter(|| {
+            let mut engine = Engine::with_config(&wide, config);
+            black_box(
+                engine
+                    .queries_for_all_pairs()
+                    .collect::<Result<Vec<_>, _>>()
+                    .expect("ok"),
+            )
+        });
     });
     group.finish();
 }

@@ -32,7 +32,7 @@ use optrules_core::average::{maximum_average_range, maximum_support_range};
 use optrules_core::kadane::max_gain_range;
 use optrules_core::naive::{optimize_confidence_naive, optimize_support_naive};
 use optrules_core::twopointer::optimize_confidence_sweep;
-use optrules_core::{approx, optimize_confidence, optimize_support, Miner, MinerConfig, Ratio};
+use optrules_core::{approx, optimize_confidence, optimize_support, Engine, EngineConfig, Ratio};
 use optrules_relation::gen::{
     BankGenerator, DataGenerator, PlantedRangeGenerator, UniformWorkload,
 };
@@ -492,16 +492,24 @@ fn allpairs(full: bool) {
     };
     let workload = UniformWorkload::new(n_num, n_bool, (0.0, 1_000_000.0), 0.5);
     let rel = workload.to_relation(rows, 31);
-    let miner = Miner::new(MinerConfig {
-        buckets: 200,
-        min_support: Ratio::percent(10),
-        min_confidence: Ratio::percent(55),
-        ..MinerConfig::default()
+    let mut engine = Engine::with_config(
+        &rel,
+        EngineConfig {
+            buckets: 200,
+            min_support: Ratio::percent(10),
+            min_confidence: Ratio::percent(55),
+            ..EngineConfig::default()
+        },
+    );
+    let (pairs, took) = time_once(|| {
+        engine
+            .queries_for_all_pairs()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("mining succeeds")
     });
-    let (pairs, took) = time_once(|| miner.mine_all_pairs(&rel).expect("mining succeeds"));
     let found: usize = pairs
         .iter()
-        .filter(|p| p.optimized_support.is_some() || p.optimized_confidence.is_some())
+        .filter(|p| p.optimized_support().is_some() || p.optimized_confidence().is_some())
         .count();
     println!(
         "{} numeric x {} boolean attributes over {} rows: {} pairs mined in {}",

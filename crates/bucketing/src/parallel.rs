@@ -41,19 +41,18 @@ pub fn count_buckets_parallel<T: TupleScan + ?Sized>(
         return count_buckets_range(rel, spec, what, 0..n);
     }
     let chunk = n.div_ceil(threads as u64);
-    let results: Vec<Result<BucketCounts>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<BucketCounts>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads as u64 {
             let start = t * chunk;
             let end = ((t + 1) * chunk).min(n);
-            handles.push(scope.spawn(move |_| count_buckets_range(rel, spec, what, start..end)));
+            handles.push(scope.spawn(move || count_buckets_range(rel, spec, what, start..end)));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("scope panicked");
+    });
 
     let mut merged: Option<BucketCounts> = None;
     for r in results {

@@ -99,9 +99,7 @@ impl TupleScan for FailingScan {
     ) -> Result<(), RelationError> {
         for row in range.start..range.end.min(self.rows) {
             if row >= self.fail_at {
-                return Err(RelationError::Io(std::io::Error::other(
-                    "injected failure",
-                )));
+                return Err(RelationError::Io(std::io::Error::other("injected failure")));
             }
             f(row, &[row as f64], &[false]);
         }

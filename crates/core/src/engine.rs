@@ -1,0 +1,552 @@
+//! The mining session: a long-lived [`Engine`] serving many queries
+//! over one relation.
+//!
+//! The paper's §1.3 scenario is interactive — an analyst fires *many*
+//! optimized-range queries ("hundreds of numeric and Boolean
+//! attributes") against the *same* relation. The expensive steps of
+//! each query are shared work, not per-query work:
+//!
+//! 1. **bucketization** (Algorithm 3.1): sample `S = 40·M` points,
+//!    sort, cut — depends only on `(attribute, M, S/M, seed)`;
+//! 2. **counting scan**: one pass over the relation accumulating
+//!    `u_i`/`v_i`/`Σ t[B]` — depends on the bucketization plus *what*
+//!    is counted.
+//!
+//! `Engine` owns the relation source and caches both steps:
+//!
+//! * a **bucket cache** keyed by `(numeric attr, buckets,
+//!   samples_per_bucket, seed)` holding the cut points, and
+//! * a **scan cache** keyed by the bucket key plus the counting spec
+//!   holding the per-bucket counts.
+//!
+//! Simple boolean queries (`objective = (B = yes)`, no presumptive
+//! condition) share one scan that counts **every** Boolean attribute at
+//! once — exactly the paper's §6.1 all-pairs trick — so asking about a
+//! second Boolean target on the same attribute touches no data at all.
+//! After the first query on an attribute, follow-up queries run in
+//! O(M) optimizer time instead of O(N) scan time.
+//!
+//! Queries are phrased with the fluent [`Query`](crate::query::Query)
+//! builder:
+//!
+//! ```
+//! use optrules_core::{Engine, EngineConfig, Ratio};
+//! use optrules_relation::{Condition, Relation, Schema};
+//!
+//! let schema = Schema::builder().numeric("Balance").boolean("CardLoan").build();
+//! let mut rel = Relation::new(schema);
+//! for i in 0..2000u64 {
+//!     let balance = (i % 100) as f64 * 100.0;
+//!     let loan = (3000.0..=7000.0).contains(&balance) && i % 3 != 0;
+//!     rel.push_row(&[balance], &[loan]).unwrap();
+//! }
+//!
+//! let mut engine = Engine::with_config(rel, EngineConfig { buckets: 50, ..EngineConfig::default() });
+//! let rules = engine
+//!     .query("Balance")
+//!     .objective_is("CardLoan")
+//!     .min_support_pct(10)
+//!     .min_confidence_pct(60)
+//!     .run()
+//!     .unwrap();
+//! assert!(rules.optimized_support().is_some());
+//! // A second query on the same attribute is served from the cache:
+//! let _ = engine.query("Balance").objective_is("CardLoan").optimize_confidence().unwrap();
+//! assert_eq!(engine.stats().scans, 1);
+//! assert_eq!(engine.stats().scan_cache_hits, 1);
+//! ```
+
+use crate::error::Result;
+use crate::query::{AllPairs, Query};
+use crate::ratio::Ratio;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use optrules_bucketing::{
+    count_buckets, count_buckets_parallel, equi_depth_cuts, BucketCounts, BucketSpec, CountSpec,
+    EquiDepthConfig, SamplingMethod,
+};
+use optrules_relation::{Condition, NumAttr, RandomAccess};
+
+/// Session-wide defaults for an [`Engine`]. Every knob can be
+/// overridden per query by the [`Query`](crate::query::Query) builder.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Bucket count `M` per numeric attribute (paper: up to thousands).
+    pub buckets: usize,
+    /// Random samples per bucket for Algorithm 3.1 (paper: 40).
+    pub samples_per_bucket: u64,
+    /// Seed for the sampling step (mining is deterministic given this).
+    pub seed: u64,
+    /// Default minimum support for optimized-confidence rules.
+    pub min_support: Ratio,
+    /// Default minimum confidence for optimized-support rules.
+    pub min_confidence: Ratio,
+    /// Worker threads for the counting scan (1 = sequential;
+    /// >1 = Algorithm 3.2).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            buckets: 1000,
+            samples_per_bucket: 40,
+            seed: 0x0f0f_0f0f,
+            min_support: Ratio::percent(10),
+            min_confidence: Ratio::percent(50),
+            threads: 1,
+        }
+    }
+}
+
+/// Cache and work counters for an [`Engine`], for observability and for
+/// asserting that repeated queries really skip the O(N) work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Bucketizations computed (sample + sort + cut runs).
+    pub bucketizations: u64,
+    /// Bucketizations served from the cache.
+    pub bucket_cache_hits: u64,
+    /// Counting scans executed (full passes over the relation).
+    pub scans: u64,
+    /// Counting scans served from the cache.
+    pub scan_cache_hits: u64,
+}
+
+/// Cache key for one bucketization: everything Algorithm 3.1's output
+/// depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BucketKey {
+    pub attr: NumAttr,
+    pub buckets: usize,
+    pub samples_per_bucket: u64,
+    pub seed: u64,
+}
+
+/// What a cached counting scan counted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum ScanWhat {
+    /// The shared simple-query scan: every Boolean attribute as a
+    /// `(B = yes)` target, no presumptive filter. A structural variant
+    /// so warm lookups need no spec rebuild or fingerprinting.
+    AllBooleans,
+    /// Any other spec, keyed by a canonical fingerprint (presumptive
+    /// condition and target lists rendered via `Debug`, which
+    /// distinguishes every condition shape and every `f64` bound).
+    Spec(String),
+}
+
+/// Cache key for one counting scan: the bucketization, what was
+/// counted, and the worker count. Threads are part of the key because
+/// float *sums* depend on addition order: a parallel scan accumulates
+/// per-partition, so serving its sums to a sequential query (or vice
+/// versa) could differ in low bits from that query's cold run —
+/// breaking the cache-is-invisible guarantee. Integer counts would be
+/// safe to share, but one honest key is simpler than a split cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ScanKey {
+    bucket: BucketKey,
+    threads: usize,
+    what: ScanWhat,
+}
+
+pub(crate) fn spec_fingerprint(what: &CountSpec) -> ScanWhat {
+    ScanWhat::Spec(format!(
+        "{:?}|{:?}|{:?}",
+        what.presumptive, what.bool_targets, what.sum_targets
+    ))
+}
+
+/// A long-lived mining session over one relation.
+///
+/// See the [module docs](self) for the caching model and a usage
+/// example. `Engine` takes the relation by value; to mine a relation
+/// you only have a reference to, pass the reference itself — `&R`
+/// implements the scanning traits too.
+///
+/// The caches are unbounded: every distinct `(attribute, buckets,
+/// samples_per_bucket, seed)` combination pins its cut points, and
+/// every distinct counting spec on top of one pins its O(M · targets)
+/// counts, for the lifetime of the engine. That is the right trade for
+/// the intended session shape (a bounded set of attributes queried
+/// repeatedly); a session that deliberately sweeps many seeds or
+/// bucket counts should call [`clear_cache`](Self::clear_cache)
+/// between sweeps, until an eviction policy lands.
+#[derive(Debug)]
+pub struct Engine<R: RandomAccess> {
+    rel: R,
+    config: EngineConfig,
+    buckets: HashMap<BucketKey, Arc<BucketSpec>>,
+    scans: HashMap<ScanKey, Arc<BucketCounts>>,
+    stats: EngineStats,
+}
+
+impl<R: RandomAccess> Engine<R> {
+    /// Creates an engine over `rel` with default configuration.
+    pub fn new(rel: R) -> Self {
+        Self::with_config(rel, EngineConfig::default())
+    }
+
+    /// Creates an engine over `rel` with the given session defaults.
+    pub fn with_config(rel: R, config: EngineConfig) -> Self {
+        Self {
+            rel,
+            config,
+            buckets: HashMap::new(),
+            scans: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The session defaults.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &R {
+        &self.rel
+    }
+
+    /// Consumes the engine and returns the relation.
+    pub fn into_relation(self) -> R {
+        self.rel
+    }
+
+    /// Cache/work counters since construction (or the last
+    /// [`clear_cache`](Self::clear_cache)).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Drops all cached bucketizations and scans and resets the
+    /// counters. Required after mutating the underlying relation
+    /// through interior mutability; never needed otherwise.
+    pub fn clear_cache(&mut self) {
+        self.buckets.clear();
+        self.scans.clear();
+        self.stats = EngineStats::default();
+    }
+
+    /// Starts a fluent query over the numeric attribute named `attr`.
+    /// The name is resolved when the query runs, so typos surface as
+    /// errors from the terminal method, not panics here.
+    pub fn query(&mut self, attr: impl Into<String>) -> Query<'_, R> {
+        Query::by_name(self, attr.into())
+    }
+
+    /// Starts a fluent query over a numeric attribute handle.
+    pub fn query_attr(&mut self, attr: NumAttr) -> Query<'_, R> {
+        Query::by_attr(self, attr)
+    }
+
+    /// Lazily mines both optimized rules for **every**
+    /// (numeric attribute, Boolean attribute = yes) combination — the
+    /// §1.3 "all combinations" sweep, ordered numeric-major. Each
+    /// numeric attribute costs one bucketization and one counting scan
+    /// (all Boolean targets are counted in the same pass); results
+    /// stream as the iterator is advanced instead of materializing a
+    /// `Vec`.
+    pub fn queries_for_all_pairs(&mut self) -> AllPairs<'_, R> {
+        AllPairs::new(self)
+    }
+
+    /// The per-attribute sampling seed: the session seed mixed with the
+    /// attribute index so distinct attributes draw distinct samples.
+    pub(crate) fn attr_seed(seed: u64, attr: NumAttr) -> u64 {
+        seed ^ (attr.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Step 1 (cached): bucket boundaries via Algorithm 3.1.
+    pub(crate) fn spec_for(&mut self, key: BucketKey) -> Result<Arc<BucketSpec>> {
+        if let Some(spec) = self.buckets.get(&key) {
+            self.stats.bucket_cache_hits += 1;
+            return Ok(Arc::clone(spec));
+        }
+        let cfg = EquiDepthConfig {
+            buckets: key.buckets,
+            samples_per_bucket: key.samples_per_bucket,
+            seed: Self::attr_seed(key.seed, key.attr),
+            method: SamplingMethod::WithReplacement,
+        };
+        let spec = Arc::new(equi_depth_cuts(&self.rel, key.attr, &cfg)?);
+        self.stats.bucketizations += 1;
+        self.buckets.insert(key, Arc::clone(&spec));
+        Ok(spec)
+    }
+
+    /// Steps 1–2 (cached): boundaries, then the counting scan (parallel
+    /// when `threads > 1`). The cached counts are already compacted
+    /// (empty buckets dropped).
+    pub(crate) fn counts_for(
+        &mut self,
+        key: BucketKey,
+        what: &CountSpec,
+        threads: usize,
+    ) -> Result<Arc<BucketCounts>> {
+        self.counts_for_key(key, spec_fingerprint(what), |_| what.clone(), threads)
+    }
+
+    /// The shared simple-query scan: every Boolean attribute counted at
+    /// once. Warm lookups are allocation-free — the spec is only built
+    /// on a cache miss.
+    pub(crate) fn counts_for_all_booleans(
+        &mut self,
+        key: BucketKey,
+        threads: usize,
+    ) -> Result<Arc<BucketCounts>> {
+        self.counts_for_key(
+            key,
+            ScanWhat::AllBooleans,
+            |rel| CountSpec {
+                attr: key.attr,
+                presumptive: Condition::True,
+                bool_targets: rel
+                    .schema()
+                    .boolean_attrs()
+                    .map(|battr| Condition::BoolIs(battr, true))
+                    .collect(),
+                sum_targets: Vec::new(),
+            },
+            threads,
+        )
+    }
+
+    fn counts_for_key(
+        &mut self,
+        key: BucketKey,
+        what: ScanWhat,
+        build_spec: impl FnOnce(&R) -> CountSpec,
+        threads: usize,
+    ) -> Result<Arc<BucketCounts>> {
+        let scan_key = ScanKey {
+            bucket: key,
+            threads,
+            what,
+        };
+        if let Some(counts) = self.scans.get(&scan_key) {
+            self.stats.scan_cache_hits += 1;
+            return Ok(Arc::clone(counts));
+        }
+        let what = build_spec(&self.rel);
+        let spec = self.spec_for(key)?;
+        let counts = if threads > 1 {
+            count_buckets_parallel(&self.rel, &spec, &what, threads)?
+        } else {
+            count_buckets(&self.rel, &spec, &what)?
+        };
+        // Cache the *compacted* counts: every consumer compacts before
+        // optimizing, so compacting once per scan keeps warm queries
+        // free of the O(M · targets) copy.
+        let (_, counts) = counts.compact();
+        let counts = Arc::new(counts);
+        self.stats.scans += 1;
+        self.scans.insert(scan_key, Arc::clone(&counts));
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Task;
+    use optrules_relation::gen::{BankGenerator, DataGenerator};
+    use optrules_relation::{Condition, Relation, Schema, TupleScan};
+
+    fn bank_engine(rows: u64, seed: u64, buckets: usize) -> Engine<Relation> {
+        let rel = BankGenerator::default().to_relation(rows, seed);
+        Engine::with_config(
+            rel,
+            EngineConfig {
+                buckets,
+                seed: 7,
+                min_support: Ratio::percent(10),
+                min_confidence: Ratio::percent(62),
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn recovers_planted_rule_through_fluent_query() {
+        let mut engine = bank_engine(40_000, 11, 200);
+        let rules = engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        let sup = rules.optimized_support().expect("confident range exists");
+        assert!(sup.value_range.0 > 2500.0 && sup.value_range.0 < 3500.0);
+        assert!(sup.value_range.1 > 7500.0 && sup.value_range.1 < 8500.0);
+        assert!(sup.confidence() >= 0.62);
+        let conf = rules.optimized_confidence().expect("ample range exists");
+        assert!(conf.support() >= 0.099);
+    }
+
+    #[test]
+    fn second_boolean_target_reuses_the_scan() {
+        let mut engine = bank_engine(5_000, 3, 50);
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().scans, 1);
+        assert_eq!(engine.stats().bucketizations, 1);
+        // Different Boolean target, same attribute: no new scan at all.
+        engine
+            .query("Balance")
+            .objective_is("AutoWithdraw")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().scans, 1);
+        assert_eq!(engine.stats().scan_cache_hits, 1);
+        // Different attribute: one more bucketization + scan.
+        engine.query("Age").objective_is("CardLoan").run().unwrap();
+        assert_eq!(engine.stats().scans, 2);
+        assert_eq!(engine.stats().bucketizations, 2);
+    }
+
+    #[test]
+    fn presumptive_queries_get_their_own_scan_but_share_buckets() {
+        let mut engine = bank_engine(5_000, 3, 50);
+        let schema = engine.relation().schema().clone();
+        let auto = Condition::BoolIs(schema.boolean("AutoWithdraw").unwrap(), true);
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        engine
+            .query("Balance")
+            .given(auto.clone())
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        // Two scans (specs differ) but only one bucketization.
+        assert_eq!(engine.stats().scans, 2);
+        assert_eq!(engine.stats().bucketizations, 1);
+        assert_eq!(engine.stats().bucket_cache_hits, 1);
+        // Re-running the presumptive query hits the scan cache.
+        engine
+            .query("Balance")
+            .given(auto)
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().scans, 2);
+        assert_eq!(engine.stats().scan_cache_hits, 1);
+    }
+
+    #[test]
+    fn per_query_bucket_override_is_cached_separately() {
+        let mut engine = bank_engine(5_000, 3, 50);
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        engine
+            .query("Balance")
+            .buckets(20)
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().bucketizations, 2);
+        // Same override again: cached.
+        engine
+            .query("Balance")
+            .buckets(20)
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().bucketizations, 2);
+        assert_eq!(engine.stats().scans, 2);
+    }
+
+    #[test]
+    fn all_pairs_iterator_streams_numeric_major() {
+        let mut engine = bank_engine(5_000, 3, 50);
+        let names: Vec<(String, String)> = engine
+            .queries_for_all_pairs()
+            .map(|r| {
+                let rs = r.unwrap();
+                (rs.attr_name.clone(), rs.objective_desc.clone())
+            })
+            .collect();
+        // 4 numeric × 3 boolean attributes, numeric-major.
+        assert_eq!(names.len(), 12);
+        assert_eq!(names[0].0, names[1].0);
+        // One scan per numeric attribute.
+        assert_eq!(engine.stats().scans, 4);
+        assert_eq!(engine.stats().scan_cache_hits, 8);
+        // The planted Balance ⇒ CardLoan rule surfaces in the sweep.
+        let mut engine2 = bank_engine(5_000, 3, 50);
+        let pair = engine2
+            .queries_for_all_pairs()
+            .map(|r| r.unwrap())
+            .find(|p| p.attr_name == "Balance" && p.objective_desc.contains("CardLoan"))
+            .unwrap();
+        assert!(pair.optimized_support().is_some());
+    }
+
+    #[test]
+    fn borrowed_relation_engine_works() {
+        let rel = BankGenerator::default().to_relation(3_000, 5);
+        let mut engine = Engine::with_config(
+            &rel,
+            EngineConfig {
+                buckets: 30,
+                ..EngineConfig::default()
+            },
+        );
+        let rules = engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(rules.total_rows, rel.len());
+    }
+
+    #[test]
+    fn empty_relation_yields_error() {
+        let rel = Relation::new(Schema::builder().numeric("X").boolean("B").build());
+        let mut engine = Engine::new(rel);
+        assert!(engine.query("X").objective_is("B").run().is_err());
+    }
+
+    #[test]
+    fn unknown_names_surface_as_errors_not_panics() {
+        let mut engine = bank_engine(1_000, 1, 10);
+        assert!(engine
+            .query("NoSuchAttr")
+            .objective_is("CardLoan")
+            .run()
+            .is_err());
+        assert!(engine
+            .query("Balance")
+            .objective_is("NoSuchBool")
+            .run()
+            .is_err());
+        assert!(engine.query("Balance").with_task(Task::Both).is_err());
+    }
+
+    #[test]
+    fn clear_cache_resets_counters_and_refetches() {
+        let mut engine = bank_engine(2_000, 9, 20);
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        engine.clear_cache();
+        assert_eq!(engine.stats(), EngineStats::default());
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().scans, 1);
+    }
+}

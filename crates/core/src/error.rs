@@ -25,6 +25,9 @@ pub enum CoreError {
     },
     /// A threshold was outside its valid domain.
     BadThreshold(String),
+    /// A query was run without an objective (set one with
+    /// `Query::objective`, `Query::objective_is`, or `Query::average_of`).
+    MissingObjective,
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +42,9 @@ impl fmt::Display for CoreError {
                 write!(f, "bucket {index} is empty (u = 0); compact counts first")
             }
             Self::BadThreshold(msg) => write!(f, "bad threshold: {msg}"),
+            Self::MissingObjective => {
+                write!(f, "query has no objective; set one before running it")
+            }
         }
     }
 }

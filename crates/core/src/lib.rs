@@ -31,9 +31,12 @@
 //!   by integer cross-multiplication, never floating-point division;
 //! * [`approx`] — the bucket-granularity error bounds of Section 3.4
 //!   (Table I);
-//! * [`rule`], [`miner`] — end-to-end mining: relation → buckets →
-//!   instantiated rules, for one attribute pair or all pairs
-//!   (the paper's "hundreds of attributes" scenario, §1.3);
+//! * [`engine`], [`query`] — end-to-end mining sessions: a long-lived
+//!   [`Engine`] owning the relation plus bucketization/scan caches,
+//!   queried through the fluent [`query::Query`] builder (the paper's
+//!   "hundreds of attributes" interactive scenario, §1.3);
+//! * [`rule`] — shared rule/range types; [`miner`] — the legacy
+//!   one-shot API, now a deprecated shim over the engine;
 //! * [`region2d`] — the §1.4 extension to two numeric attributes with
 //!   rectangular regions (O(nx²·ny) over an nx × ny bucket grid).
 
@@ -43,10 +46,12 @@
 pub mod approx;
 pub mod average;
 pub mod confidence;
+pub mod engine;
 pub mod error;
 pub mod kadane;
 pub mod miner;
 pub mod naive;
+pub mod query;
 pub mod ratio;
 pub mod region2d;
 pub mod report;
@@ -55,8 +60,13 @@ pub mod support;
 pub mod twopointer;
 
 pub use confidence::optimize_confidence;
+pub use engine::{Engine, EngineConfig, EngineStats};
 pub use error::CoreError;
-pub use miner::{MinedPair, Miner, MinerConfig};
+pub use miner::{MinedAverage, MinedPair, MinerConfig};
+pub use query::{AvgRule, Objective, Query, Rule, RuleSet, Task};
 pub use ratio::Ratio;
 pub use rule::{OptRange, RangeRule, RuleKind};
 pub use support::optimize_support;
+
+#[allow(deprecated)]
+pub use miner::Miner;

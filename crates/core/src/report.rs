@@ -7,6 +7,7 @@
 //! cleared a threshold, or only noise-level support) pushed down.
 
 use crate::miner::MinedPair;
+use crate::query::RuleSet;
 use crate::rule::RangeRule;
 use std::fmt::Write as _;
 
@@ -54,8 +55,8 @@ pub fn render_pairs(pairs: &[MinedPair], sort: SortBy) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<18} {:<24} {:>24} {:>10} {:>11}  {}",
-        "attribute", "objective", "range", "support", "confidence", "kind"
+        "{:<18} {:<24} {:>24} {:>10} {:>11}  kind",
+        "attribute", "objective", "range", "support", "confidence"
     );
     for pair in &with_rules {
         for (label, rule) in [
@@ -79,6 +80,25 @@ pub fn render_pairs(pairs: &[MinedPair], sort: SortBy) -> String {
         pairs.len() - with_rules.len(),
     );
     out
+}
+
+/// Renders the [`RuleSet`]s of an
+/// [`Engine::queries_for_all_pairs`](crate::engine::Engine::queries_for_all_pairs)
+/// sweep as an aligned table — the session-API face of
+/// [`render_pairs`].
+///
+/// # Examples
+///
+/// ```
+/// use optrules_core::report::{render_rule_sets, SortBy};
+/// let table = render_rule_sets(&[], SortBy::Support);
+/// assert!(table.contains("0 rules"));
+/// ```
+pub fn render_rule_sets(sets: &[RuleSet], sort: SortBy) -> String {
+    // The borrow-based conversion copies only the two rules and the two
+    // name strings each row needs, not the whole rule vector.
+    let pairs: Vec<MinedPair> = sets.iter().map(MinedPair::from).collect();
+    render_pairs(&pairs, sort)
 }
 
 fn key_support(p: &MinedPair) -> f64 {
@@ -138,10 +158,7 @@ mod tests {
 
     #[test]
     fn sorts_by_support() {
-        let pairs = vec![
-            pair("Small", Some(0.1), None),
-            pair("Big", Some(0.5), None),
-        ];
+        let pairs = vec![pair("Small", Some(0.1), None), pair("Big", Some(0.5), None)];
         let table = render_pairs(&pairs, SortBy::Support);
         let big = table.find("Big").unwrap();
         let small = table.find("Small").unwrap();
@@ -162,7 +179,10 @@ mod tests {
     fn counts_ruleless_pairs() {
         let pairs = vec![pair("A", Some(0.2), Some(0.7)), pair("B", None, None)];
         let table = render_pairs(&pairs, SortBy::Unsorted);
-        assert!(table.contains("2 pairs, 2 rules (1 pairs below thresholds)"), "{table}");
+        assert!(
+            table.contains("2 pairs, 2 rules (1 pairs below thresholds)"),
+            "{table}"
+        );
         assert!(!table.contains('B') || table.contains("below"), "{table}");
     }
 

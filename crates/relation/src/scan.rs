@@ -62,6 +62,29 @@ pub trait RandomAccess: TupleScan {
     fn numeric_at(&self, attr: NumAttr, row: u64) -> Result<f64>;
 }
 
+// Shared references scan like the relation itself, so session objects
+// (e.g. the core crate's `Engine`) can either own a relation or borrow
+// one without a separate code path.
+impl<T: TupleScan + ?Sized> TupleScan for &T {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn for_each_row_in(&self, range: Range<u64>, f: RowVisitor<'_>) -> Result<()> {
+        (**self).for_each_row_in(range, f)
+    }
+}
+
+impl<T: RandomAccess + ?Sized> RandomAccess for &T {
+    fn numeric_at(&self, attr: NumAttr, row: u64) -> Result<f64> {
+        (**self).numeric_at(attr, row)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,9 +3,7 @@
 //! semantics.
 
 use optrules_relation::gen::{DataGenerator, UniformWorkload};
-use optrules_relation::{
-    BoolAttr, Condition, FileRelationWriter, NumAttr, Schema, TupleScan,
-};
+use optrules_relation::{BoolAttr, Condition, FileRelationWriter, NumAttr, Schema, TupleScan};
 use proptest::prelude::*;
 
 fn arb_schema() -> impl Strategy<Value = Schema> {

@@ -26,40 +26,45 @@ fn main() {
         100.0 * generator.card_loan_in,
     );
 
-    let miner = Miner::new(MinerConfig {
-        buckets: 500,
-        min_support: Ratio::percent(10),
-        min_confidence: Ratio::percent(60),
-        ..MinerConfig::default()
-    });
+    let mut engine = Engine::with_config(
+        rel,
+        EngineConfig {
+            buckets: 500,
+            min_support: Ratio::percent(10),
+            min_confidence: Ratio::percent(60),
+            ..EngineConfig::default()
+        },
+    );
 
     // --- Single pair: the paper's headline example. -------------------
-    let balance = rel.schema().numeric("Balance").expect("attribute exists");
-    let loan = Condition::BoolIs(
-        rel.schema().boolean("CardLoan").expect("attribute exists"),
-        true,
-    );
-    let mined = miner.mine(&rel, balance, loan).expect("mining succeeds");
+    let rules = engine
+        .query("Balance")
+        .objective_is("CardLoan")
+        .run()
+        .expect("mining succeeds");
     println!("\n== Balance => CardLoan ==");
-    if let Some(rule) = &mined.optimized_support {
+    if let Some(rule) = rules.optimized_support() {
         println!(
             "  optimized support   : {}",
-            rule.describe(&mined.attr_name, &mined.objective_desc)
+            rule.describe(&rules.attr_name, &rules.objective_desc)
         );
     }
-    if let Some(rule) = &mined.optimized_confidence {
+    if let Some(rule) = rules.optimized_confidence() {
         println!(
             "  optimized confidence: {}",
-            rule.describe(&mined.attr_name, &mined.objective_desc)
+            rule.describe(&rules.attr_name, &rules.objective_desc)
         );
     }
 
-    // --- All pairs: one bucketing + one counting scan per numeric
-    //     attribute covers every Boolean target at once. ---------------
+    // --- All pairs: the lazy iterator streams one RuleSet per pair;
+    //     one bucketing + one counting scan per numeric attribute
+    //     covers every Boolean target at once (and the Balance scan
+    //     above is already cached). ----------------------------------
     println!("\n== all numeric x boolean pairs ==");
-    let all = miner.mine_all_pairs(&rel).expect("mining succeeds");
-    for pair in &all {
-        let line = match (&pair.optimized_support, &pair.optimized_confidence) {
+    let mut age_rule = None;
+    for result in engine.queries_for_all_pairs() {
+        let pair = result.expect("mining succeeds");
+        let line = match (pair.optimized_support(), pair.optimized_confidence()) {
             (Some(s), _) if s.support() > 0.0 => {
                 format!(
                     "sup-rule {}",
@@ -76,17 +81,22 @@ fn main() {
             ),
         };
         println!("  {line}");
+        // The planted Age => AutoWithdraw association should surface:
+        if pair.attr_name == "Age" && pair.objective_desc.contains("AutoWithdraw") {
+            if let Some(rule) = pair.optimized_support() {
+                age_rule = Some(rule.describe(&pair.attr_name, &pair.objective_desc));
+            }
+        }
     }
 
-    // The planted Age => AutoWithdraw association should also surface:
-    let age_pair = all
-        .iter()
-        .find(|p| p.attr_name == "Age" && p.objective_desc.contains("AutoWithdraw"))
-        .expect("pair exists");
-    if let Some(rule) = &age_pair.optimized_support {
-        println!(
-            "\nplanted age association recovered: {}",
-            rule.describe(&age_pair.attr_name, &age_pair.objective_desc)
-        );
+    if let Some(description) = age_rule {
+        println!("\nplanted age association recovered: {description}");
     }
+    let stats = engine.stats();
+    println!(
+        "scans: {} for {} queries ({} served from cache)",
+        stats.scans,
+        stats.scans + stats.scan_cache_hits,
+        stats.scan_cache_hits
+    );
 }

@@ -1,4 +1,5 @@
-//! Quickstart: mine both optimized rules from a tiny in-memory relation.
+//! Quickstart: mine both optimized rules from a tiny in-memory relation
+//! through an `Engine` session.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -24,40 +25,63 @@ fn main() {
         rel.push_row(&[balance], &[loan]).expect("schema matches");
     }
 
-    let attr = rel.schema().numeric("Balance").expect("attribute exists");
-    let objective = Condition::BoolIs(
-        rel.schema().boolean("CardLoan").expect("attribute exists"),
-        true,
+    // The engine owns the relation and caches bucketization + counting
+    // scans, so follow-up queries skip the O(N) work.
+    let mut engine = Engine::with_config(
+        rel,
+        EngineConfig {
+            buckets: 100,
+            min_support: Ratio::percent(10), // optimized-confidence constraint
+            min_confidence: Ratio::percent(60), // optimized-support constraint
+            ..EngineConfig::default()
+        },
     );
 
-    let miner = Miner::new(MinerConfig {
-        buckets: 100,
-        min_support: Ratio::percent(10), // optimized-confidence constraint
-        min_confidence: Ratio::percent(60), // optimized-support constraint
-        ..MinerConfig::default()
-    });
-
-    let mined = miner
-        .mine(&rel, attr, objective)
+    let rules = engine
+        .query("Balance")
+        .objective_is("CardLoan")
+        .run()
         .expect("mining a non-empty relation succeeds");
 
     println!(
         "rows: {}, buckets used: {}",
-        mined.total_rows, mined.buckets_used
+        rules.total_rows, rules.buckets_used
     );
     println!();
-    match &mined.optimized_support {
+    match rules.optimized_support() {
         Some(rule) => println!(
             "optimized-support rule  : {}",
-            rule.describe(&mined.attr_name, &mined.objective_desc)
+            rule.describe(&rules.attr_name, &rules.objective_desc)
         ),
         None => println!("optimized-support rule  : no range reaches 60 % confidence"),
     }
-    match &mined.optimized_confidence {
+    match rules.optimized_confidence() {
         Some(rule) => println!(
             "optimized-confidence rule: {}",
-            rule.describe(&mined.attr_name, &mined.objective_desc)
+            rule.describe(&rules.attr_name, &rules.objective_desc)
         ),
         None => println!("optimized-confidence rule: no range reaches 10 % support"),
     }
+
+    // A second query at a different threshold reuses the cached scan —
+    // the relation is not touched again.
+    let tighter = engine
+        .query("Balance")
+        .objective_is("CardLoan")
+        .min_support_pct(30)
+        .optimize_confidence()
+        .expect("cached query succeeds");
+    println!();
+    match tighter.optimized_confidence() {
+        Some(rule) => println!(
+            "at >= 30 % support       : {}",
+            rule.describe(&tighter.attr_name, &tighter.objective_desc)
+        ),
+        None => println!("at >= 30 % support       : no ample range"),
+    }
+    let stats = engine.stats();
+    println!(
+        "scans: {} (cache hits: {}) — the second query cost O(M), not O(N)",
+        stats.scans, stats.scan_cache_hits
+    );
 }

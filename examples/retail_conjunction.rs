@@ -24,30 +24,36 @@ fn main() {
         100.0 * generator.potato_in,
     );
 
-    let amount = rel.schema().numeric("Amount").expect("attribute exists");
-    let pizza = Condition::BoolIs(rel.schema().boolean("Pizza").expect("attr"), true);
-    let potato = Condition::BoolIs(rel.schema().boolean("Potato").expect("attr"), true);
-
-    let miner = Miner::new(MinerConfig {
-        buckets: 200,
-        min_support: Ratio::percent(2),
-        min_confidence: Ratio::percent(65),
-        ..MinerConfig::default()
-    });
+    let mut engine = Engine::with_config(
+        rel,
+        EngineConfig {
+            buckets: 200,
+            min_support: Ratio::percent(2),
+            min_confidence: Ratio::percent(65),
+            ..EngineConfig::default()
+        },
+    );
+    let pizza = Condition::BoolIs(
+        engine.relation().schema().boolean("Pizza").expect("attr"),
+        true,
+    );
 
     // With the conjunct: the planted band is recovered.
-    let with = miner
-        .mine_generalized(&rel, amount, pizza, potato.clone())
+    let with = engine
+        .query("Amount")
+        .given(pizza)
+        .objective_is("Potato")
+        .run()
         .expect("mining succeeds");
     println!("\n== with Pizza conjunct ==");
-    match &with.optimized_support {
+    match with.optimized_support() {
         Some(rule) => println!(
             "  optimized support   : {}",
             rule.describe(&with.attr_name, &with.objective_desc)
         ),
         None => println!("  optimized support   : none"),
     }
-    match &with.optimized_confidence {
+    match with.optimized_confidence() {
         Some(rule) => println!(
             "  optimized confidence: {}",
             rule.describe(&with.attr_name, &with.objective_desc)
@@ -56,13 +62,23 @@ fn main() {
     }
 
     // Without the conjunct: the diluted pattern cannot reach 65 %.
-    let without = miner.mine(&rel, amount, potato).expect("mining succeeds");
+    // Same attribute, so the engine reuses the cached bucketization.
+    let without = engine
+        .query("Amount")
+        .objective_is("Potato")
+        .run()
+        .expect("mining succeeds");
     println!("\n== without conjunct ==");
-    match &without.optimized_support {
+    match without.optimized_support() {
         Some(rule) => println!(
             "  optimized support   : {} (unexpected!)",
             rule.describe(&without.attr_name, &without.objective_desc)
         ),
         None => println!("  optimized support   : none — the pattern only exists for pizza buyers"),
     }
+    println!(
+        "\nbucketizations: {} (cache hits: {})",
+        engine.stats().bucketizations,
+        engine.stats().bucket_cache_hits
+    );
 }

@@ -4,14 +4,18 @@
 //! optrules gen <paper|bank|retail|planted> <path> [--rows N] [--seed S]
 //! optrules info <path>
 //! optrules mine <path> --attr A --target B [--buckets M] [--min-support P]
-//!               [--min-confidence P] [--threads T] [--given C]
+//!               [--min-confidence P] [--threads T] [--seed S] [--given C]
 //! optrules mine-all <path> [--buckets M] [--min-support P] [--min-confidence P]
-//! optrules avg <path> --attr A --target B [--min-support P] [--min-avg X]
+//!               [--threads T] [--seed S] [--sort support|confidence|none]
+//! optrules avg <path> --attr A --target B [--buckets M] [--min-support P]
+//!               [--min-avg X] [--threads T] [--seed S]
 //! ```
 //!
 //! Relation files are the fixed-width format written by
 //! `FileRelationWriter` (see `optrules::relation::file`). Percentages
-//! are whole numbers (`--min-support 10` means 10 %).
+//! are whole numbers (`--min-support 10` means 10 %). Mining runs on
+//! the `Engine` session API, so `mine-all` shares one counting scan per
+//! numeric attribute across all Boolean targets.
 
 use optrules::prelude::*;
 use std::collections::HashMap;
@@ -34,32 +38,62 @@ const USAGE: &str = "usage:
   optrules gen <paper|bank|retail|planted> <path> [--rows N] [--seed S]
   optrules info <path>
   optrules mine <path> --attr A --target B [--buckets M] [--min-support P]
-                [--min-confidence P] [--threads T] [--given C]
+                [--min-confidence P] [--threads T] [--seed S] [--given C]
   optrules mine-all <path> [--buckets M] [--min-support P] [--min-confidence P]
-  optrules avg <path> --attr A --target B [--min-support P] [--min-avg X]";
+                [--threads T] [--seed S] [--sort support|confidence|none]
+  optrules avg <path> --attr A --target B [--buckets M] [--min-support P]
+                [--min-avg X] [--threads T] [--seed S]";
 
 type CliResult = Result<(), String>;
 
-/// Splits positional arguments from `--key value` flags.
-fn parse(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
+/// Splits positional arguments from `--key value` flags. A trailing
+/// `--key` with no value is a usage error, not an empty value.
+fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 < args.len() {
-                flags.insert(key, args[i + 1].as_str());
-                i += 2;
-            } else {
-                flags.insert(key, "");
-                i += 1;
+            let Some(value) = args.get(i + 1) else {
+                return Err(format!("flag --{key} expects a value"));
+            };
+            // A following `--flag` is a missing value, not a value
+            // (single-dash negatives like `-5` remain accepted).
+            if value.starts_with("--") {
+                return Err(format!("flag --{key} expects a value, got {value:?}"));
             }
+            flags.insert(key, value.as_str());
+            i += 2;
         } else {
             positional.push(args[i].as_str());
             i += 1;
         }
     }
-    (positional, flags)
+    Ok((positional, flags))
+}
+
+/// Rejects flags the subcommand doesn't know, naming the offender.
+fn reject_unknown(flags: &HashMap<&str, &str>, allowed: &[&str]) -> CliResult {
+    let mut unknown: Vec<&str> = flags
+        .keys()
+        .filter(|key| !allowed.contains(*key))
+        .copied()
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        None => Ok(()),
+        Some(key) if allowed.is_empty() => Err(format!(
+            "unknown flag --{key} (this subcommand takes no flags)"
+        )),
+        Some(key) => Err(format!(
+            "unknown flag --{key} (expected one of: {})",
+            allowed
+                .iter()
+                .map(|a| format!("--{a}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
 }
 
 fn flag_num<T: std::str::FromStr>(
@@ -75,14 +109,57 @@ fn flag_num<T: std::str::FromStr>(
     }
 }
 
+const MINE_FLAGS: &[&str] = &[
+    "attr",
+    "target",
+    "buckets",
+    "min-support",
+    "min-confidence",
+    "threads",
+    "seed",
+    "given",
+];
+const MINE_ALL_FLAGS: &[&str] = &[
+    "buckets",
+    "min-support",
+    "min-confidence",
+    "threads",
+    "seed",
+    "sort",
+];
+const AVG_FLAGS: &[&str] = &[
+    "attr",
+    "target",
+    "buckets",
+    "min-support",
+    "min-avg",
+    "threads",
+    "seed",
+];
+
 fn run(args: &[String]) -> CliResult {
-    let (pos, flags) = parse(args);
+    let (pos, flags) = parse(args)?;
     match pos.as_slice() {
-        ["gen", kind, path] => gen(kind, path, &flags),
-        ["info", path] => info(path),
-        ["mine", path] => mine(path, &flags),
-        ["mine-all", path] => mine_all(path, &flags),
-        ["avg", path] => avg(path, &flags),
+        ["gen", kind, path] => {
+            reject_unknown(&flags, &["rows", "seed"])?;
+            gen(kind, path, &flags)
+        }
+        ["info", path] => {
+            reject_unknown(&flags, &[])?;
+            info(path)
+        }
+        ["mine", path] => {
+            reject_unknown(&flags, MINE_FLAGS)?;
+            mine(path, &flags)
+        }
+        ["mine-all", path] => {
+            reject_unknown(&flags, MINE_ALL_FLAGS)?;
+            mine_all(path, &flags)
+        }
+        ["avg", path] => {
+            reject_unknown(&flags, AVG_FLAGS)?;
+            avg(path, &flags)
+        }
         [] => Err("missing command".into()),
         other => Err(format!("unrecognized command {other:?}")),
     }
@@ -145,120 +222,119 @@ fn parse_given(schema: &Schema, raw: &str) -> Result<Condition, String> {
     }
 }
 
-fn miner_from_flags(flags: &HashMap<&str, &str>) -> Result<Miner, String> {
-    Ok(Miner::new(MinerConfig {
-        buckets: flag_num(flags, "buckets", 1000usize)?,
-        min_support: Ratio::percent(flag_num(flags, "min-support", 10u64)?),
-        min_confidence: Ratio::percent(flag_num(flags, "min-confidence", 50u64)?),
-        threads: flag_num(flags, "threads", 1usize)?,
-        seed: flag_num(flags, "seed", 7u64)?,
-        ..MinerConfig::default()
-    }))
+fn engine_from_flags(
+    path: &str,
+    flags: &HashMap<&str, &str>,
+) -> Result<Engine<FileRelation>, String> {
+    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    Ok(Engine::with_config(
+        rel,
+        EngineConfig {
+            buckets: flag_num(flags, "buckets", 1000usize)?,
+            min_support: Ratio::percent(flag_num(flags, "min-support", 10u64)?),
+            min_confidence: Ratio::percent(flag_num(flags, "min-confidence", 50u64)?),
+            threads: flag_num(flags, "threads", 1usize)?,
+            seed: flag_num(flags, "seed", 7u64)?,
+            ..EngineConfig::default()
+        },
+    ))
 }
 
 fn mine(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
-    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
-    let schema = rel.schema().clone();
-    let attr_name = flags.get("attr").ok_or("--attr is required")?;
-    let target_name = flags.get("target").ok_or("--target is required")?;
-    let attr = schema
-        .numeric(attr_name)
-        .map_err(|_| format!("unknown numeric attribute {attr_name:?}"))?;
-    let target = Condition::BoolIs(
-        schema
-            .boolean(target_name)
-            .map_err(|_| format!("unknown boolean attribute {target_name:?}"))?,
-        true,
-    );
+    let mut engine = engine_from_flags(path, flags)?;
+    let schema = engine.relation().schema().clone();
+    let attr = *flags.get("attr").ok_or("--attr is required")?;
+    let target = *flags.get("target").ok_or("--target is required")?;
     let presumptive = match flags.get("given") {
         Some(raw) => parse_given(&schema, raw)?,
         None => Condition::True,
     };
-    let miner = miner_from_flags(flags)?;
-    let mined = miner
-        .mine_generalized(&rel, attr, presumptive, target)
+    let rules = engine
+        .query(attr)
+        .given(presumptive)
+        .objective_is(target)
+        // One query per process: no point counting the other booleans.
+        .scan_all_booleans(false)
+        .run()
         .map_err(|e| e.to_string())?;
-    print_pair(&mined);
+    print_rules(&rules);
     Ok(())
 }
 
 fn mine_all(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
-    use optrules::core::report::{render_pairs, SortBy};
-    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
-    let miner = miner_from_flags(flags)?;
-    let pairs = miner.mine_all_pairs(&rel).map_err(|e| e.to_string())?;
+    use optrules::core::report::{render_rule_sets, SortBy};
     let sort = match flags.get("sort").copied() {
         Some("confidence") => SortBy::Confidence,
         Some("none") => SortBy::Unsorted,
-        _ => SortBy::Support,
+        Some("support") | None => SortBy::Support,
+        Some(other) => {
+            return Err(format!(
+                "--sort expects support, confidence, or none, got {other:?}"
+            ))
+        }
     };
-    print!("{}", render_pairs(&pairs, sort));
-    println!("{} attribute pairs mined", pairs.len());
+    let mut engine = engine_from_flags(path, flags)?;
+    let sets = engine
+        .queries_for_all_pairs()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())?;
+    print!("{}", render_rule_sets(&sets, sort));
+    println!("{} attribute pairs mined", sets.len());
     Ok(())
 }
 
 fn avg(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
-    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
-    let schema = rel.schema().clone();
-    let attr_name = flags.get("attr").ok_or("--attr is required")?;
-    let target_name = flags.get("target").ok_or("--target is required")?;
-    let attr = schema
-        .numeric(attr_name)
-        .map_err(|_| format!("unknown numeric attribute {attr_name:?}"))?;
-    let target = schema
-        .numeric(target_name)
-        .map_err(|_| format!("unknown numeric attribute {target_name:?}"))?;
+    let mut engine = engine_from_flags(path, flags)?;
+    let attr = *flags.get("attr").ok_or("--attr is required")?;
+    let target = *flags.get("target").ok_or("--target is required")?;
     let min_avg: f64 = flag_num(flags, "min-avg", 0.0)?;
-    let miner = miner_from_flags(flags)?;
-    let mined = miner
-        .mine_average(&rel, attr, target, min_avg)
+    let rules = engine
+        .query(attr)
+        .average_of(target)
+        .min_average(min_avg)
+        .run()
         .map_err(|e| e.to_string())?;
-    match &mined.max_average {
-        Some((r, vals)) => println!(
-            "max-average range : {} in [{:.4}, {:.4}]  avg({}) = {:.4}, support {:.2}%",
-            mined.attr_name,
-            vals.0,
-            vals.1,
-            mined.target_name,
+    let line = |r: &AvgRule| {
+        format!(
+            "{} in [{:.4}, {:.4}]  {} = {:.4}, support {:.2}%",
+            rules.attr_name,
+            r.value_range.0,
+            r.value_range.1,
+            rules.objective_desc,
             r.average(),
-            100.0 * r.support(mined.total_rows),
-        ),
+            100.0 * r.support(),
+        )
+    };
+    match rules.max_average() {
+        Some(r) => println!("max-average range : {}", line(r)),
         None => println!("max-average range : none (support threshold unreachable)"),
     }
-    match &mined.max_support {
-        Some((r, vals)) => println!(
-            "max-support range : {} in [{:.4}, {:.4}]  avg({}) = {:.4}, support {:.2}%",
-            mined.attr_name,
-            vals.0,
-            vals.1,
-            mined.target_name,
-            r.average(),
-            100.0 * r.support(mined.total_rows),
-        ),
+    match rules.max_support_average() {
+        Some(r) => println!("max-support range : {}", line(r)),
         None => println!("max-support range : none (no range clears the average threshold)"),
     }
     Ok(())
 }
 
-fn print_pair(pair: &MinedPair) {
-    match &pair.optimized_support {
+fn print_rules(rules: &RuleSet) {
+    match rules.optimized_support() {
         Some(rule) => println!(
             "optimized-support    {}",
-            rule.describe(&pair.attr_name, &pair.objective_desc)
+            rule.describe(&rules.attr_name, &rules.objective_desc)
         ),
         None => println!(
             "optimized-support    {} => {}: no confident range",
-            pair.attr_name, pair.objective_desc
+            rules.attr_name, rules.objective_desc
         ),
     }
-    match &pair.optimized_confidence {
+    match rules.optimized_confidence() {
         Some(rule) => println!(
             "optimized-confidence {}",
-            rule.describe(&pair.attr_name, &pair.objective_desc)
+            rule.describe(&rules.attr_name, &rules.objective_desc)
         ),
         None => println!(
             "optimized-confidence {} => {}: no ample range",
-            pair.attr_name, pair.objective_desc
+            rules.attr_name, rules.objective_desc
         ),
     }
 }

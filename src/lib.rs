@@ -18,7 +18,15 @@
 //! (sort a 40·M random sample, cut at its quantiles, then one counting
 //! scan).
 //!
+//! See the repository `README.md` for the crate map, CLI usage, and
+//! the paper citation.
+//!
 //! ## Quick start
+//!
+//! Mining is a session: an [`Engine`](core::engine::Engine) owns the
+//! relation and caches bucketizations and counting scans, so repeated
+//! queries — the paper's §1.3 interactive scenario — skip the O(N)
+//! work. Queries are phrased with the fluent builder:
 //!
 //! ```
 //! use optrules::prelude::*;
@@ -33,19 +41,39 @@
 //!     rel.push_row(&[balance], &[loan]).unwrap();
 //! }
 //!
-//! let attr = rel.schema().numeric("Balance").unwrap();
-//! let target = Condition::BoolIs(rel.schema().boolean("CardLoan").unwrap(), true);
-//! let miner = Miner::new(MinerConfig {
-//!     buckets: 50,
-//!     min_support: Ratio::percent(10),
-//!     min_confidence: Ratio::percent(60),
-//!     ..MinerConfig::default()
-//! });
-//! let mined = miner.mine(&rel, attr, target).unwrap();
-//! let rule = mined.optimized_support.expect("confident range exists");
+//! let mut engine = Engine::with_config(
+//!     rel,
+//!     EngineConfig { buckets: 50, ..EngineConfig::default() },
+//! );
+//!
+//! // The optimized-support rule: widest band at ≥ 60 % confidence.
+//! let rules = engine
+//!     .query("Balance")
+//!     .objective_is("CardLoan")
+//!     .min_support_pct(10)
+//!     .min_confidence_pct(60)
+//!     .run()
+//!     .unwrap();
+//! let rule = rules.optimized_support().expect("confident range exists");
 //! assert!(rule.confidence() >= 0.60);
-//! println!("{}", rule.describe("Balance", "(CardLoan = yes)"));
+//! println!("{}", rule.describe(&rules.attr_name, &rules.objective_desc));
+//!
+//! // A follow-up query on the same attribute reuses the cached scan:
+//! let again = engine
+//!     .query("Balance")
+//!     .objective_is("CardLoan")
+//!     .min_support_pct(20)
+//!     .optimize_confidence()
+//!     .unwrap();
+//! assert!(again.optimized_confidence().is_some());
+//! assert_eq!(engine.stats().scans, 1);
 //! ```
+//!
+//! Generalized rules add a presumptive conjunct
+//! (`.given(condition)`, §4.3); Section 5's average operator is
+//! `.average_of("Target").min_average(θ)`; and
+//! `engine.queries_for_all_pairs()` streams the full numeric × Boolean
+//! sweep lazily.
 //!
 //! ## Crate map
 //!
@@ -59,7 +87,9 @@
 //! * [`bucketing`] — randomized equi-depth bucketing (Algorithm 3.1),
 //!   parallel counting (Algorithm 3.2), and the sort-based baselines;
 //! * [`core`] — the optimizers, the average-operator ranges
-//!   (Section 5), and the [`core::miner::Miner`] driver.
+//!   (Section 5), and the [`core::engine::Engine`] /
+//!   [`core::query::Query`] session API (plus the deprecated
+//!   [`core::miner::Miner`] one-shot shim).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,9 +104,12 @@ pub use optrules_stats as stats;
 pub mod prelude {
     pub use crate::bucketing::{BucketSpec, CountSpec, EquiDepthConfig, SamplingMethod};
     pub use crate::core::average::{maximum_average_range, maximum_support_range};
+    #[allow(deprecated)]
+    pub use crate::core::Miner;
     pub use crate::core::{
-        optimize_confidence, optimize_support, MinedPair, Miner, MinerConfig, OptRange, RangeRule,
-        Ratio, RuleKind,
+        optimize_confidence, optimize_support, AvgRule, Engine, EngineConfig, EngineStats,
+        MinedAverage, MinedPair, MinerConfig, Objective, OptRange, Query, RangeRule, Ratio, Rule,
+        RuleKind, RuleSet, Task,
     };
     pub use crate::relation::gen::{
         BankGenerator, DataGenerator, PlantedRangeGenerator, RetailGenerator, UniformWorkload,
@@ -92,18 +125,19 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn facade_exposes_the_pipeline() {
+    fn facade_exposes_the_session_pipeline() {
         let rel = PlantedRangeGenerator::table1().to_relation(2000, 1);
-        let attr = rel.schema().numeric("A").unwrap();
-        let c = Condition::BoolIs(rel.schema().boolean("C").unwrap(), true);
-        let mined = Miner::new(MinerConfig {
-            buckets: 40,
-            min_support: Ratio::percent(10),
-            min_confidence: Ratio::percent(60),
-            ..MinerConfig::default()
-        })
-        .mine(&rel, attr, c)
-        .unwrap();
-        assert!(mined.optimized_confidence.is_some());
+        let mut engine = Engine::with_config(
+            rel,
+            EngineConfig {
+                buckets: 40,
+                min_support: Ratio::percent(10),
+                min_confidence: Ratio::percent(60),
+                ..EngineConfig::default()
+            },
+        );
+        let rules = engine.query("A").objective_is("C").run().unwrap();
+        assert!(rules.optimized_confidence().is_some());
+        assert_eq!(engine.stats().scans, 1);
     }
 }

@@ -124,6 +124,71 @@ fn errors_exit_nonzero_with_usage() {
 }
 
 #[test]
+fn trailing_flag_without_value_is_an_error_naming_the_flag() {
+    let out = bin()
+        .args(["info", "/tmp/x.rel", "--rows"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--rows expects a value"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    // A flag directly followed by another flag must not swallow it.
+    let out = bin()
+        .args(["mine", "/tmp/x.rel", "--attr", "--target", "CardLoan"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--attr expects a value, got \"--target\""),
+        "{err}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_an_error_naming_the_flag() {
+    let path = tmp("unknown-flag");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "1000"]);
+
+    let out = bin()
+        .args([
+            "mine", path_s, "--attr", "Balance", "--target", "CardLoan", "--bucket", "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --bucket"), "{err}");
+    // The error lists what *is* accepted.
+    assert!(err.contains("--buckets"), "{err}");
+
+    let out = bin()
+        .args(["gen", "bank", path_s, "--min-support", "10"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --min-support"), "{err}");
+
+    // A subcommand with no flags at all says so instead of listing "".
+    let out = bin()
+        .args(["info", path_s, "--rows", "5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown flag --rows (this subcommand takes no flags)"),
+        "{err}"
+    );
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn mine_all_pairs_cli() {
     let path = tmp("allpairs");
     let path_s = path.to_str().unwrap();

@@ -47,18 +47,24 @@ fn file_backed_mining_matches_in_memory() {
     let path = std::env::temp_dir().join(format!("optrules-e2e-file-{}.rel", std::process::id()));
     let file = gen.to_file(&path, 20_000, 9).unwrap();
 
-    let attr = mem.schema().numeric("Balance").unwrap();
-    let loan = Condition::BoolIs(mem.schema().boolean("CardLoan").unwrap(), true);
-    let miner = Miner::new(MinerConfig {
+    let config = EngineConfig {
         buckets: 100,
         min_support: Ratio::percent(10),
         min_confidence: Ratio::percent(60),
         seed: 123,
-        ..MinerConfig::default()
-    });
+        ..EngineConfig::default()
+    };
 
-    let from_mem = miner.mine(&mem, attr, loan.clone()).unwrap();
-    let from_file = miner.mine(&file, attr, loan).unwrap();
+    let from_mem = Engine::with_config(&mem, config)
+        .query("Balance")
+        .objective_is("CardLoan")
+        .run()
+        .unwrap();
+    let from_file = Engine::with_config(&file, config)
+        .query("Balance")
+        .objective_is("CardLoan")
+        .run()
+        .unwrap();
     assert_eq!(from_mem, from_file);
     std::fs::remove_file(&path).unwrap();
 }
@@ -69,24 +75,31 @@ fn file_backed_mining_matches_in_memory() {
 #[test]
 fn mining_determinism_and_seed_stability() {
     let rel = PlantedRangeGenerator::new((0.4, 0.7), 0.9, 0.05).to_relation(40_000, 4);
-    let attr = rel.schema().numeric("A").unwrap();
-    let c = Condition::BoolIs(rel.schema().boolean("C").unwrap(), true);
-    let config = MinerConfig {
+    let config = EngineConfig {
         buckets: 250,
         min_support: Ratio::percent(5),
         min_confidence: Ratio::percent(80),
         seed: 555,
-        ..MinerConfig::default()
+        ..EngineConfig::default()
     };
-    let a = Miner::new(config).mine(&rel, attr, c.clone()).unwrap();
-    let b = Miner::new(config).mine(&rel, attr, c.clone()).unwrap();
+    // Two independent engines (no shared cache) must agree exactly.
+    let mine = |cfg: EngineConfig| {
+        Engine::with_config(&rel, cfg)
+            .query("A")
+            .objective_is("C")
+            .run()
+            .unwrap()
+    };
+    let a = mine(config);
+    let b = mine(config);
     assert_eq!(a, b);
 
-    let mut other = config;
-    other.seed = 556;
-    let d = Miner::new(other).mine(&rel, attr, c).unwrap();
-    let ra = a.optimized_support.unwrap();
-    let rd = d.optimized_support.unwrap();
+    let d = mine(EngineConfig {
+        seed: 556,
+        ..config
+    });
+    let ra = a.optimized_support().unwrap().clone();
+    let rd = d.optimized_support().unwrap().clone();
     // Both seeds must find (approximately) the planted band. θ = 80 %
     // admits widening by up to 4 % support (0.3·(0.9−0.8)/(0.8−0.05)),
     // which can land entirely on one edge.
@@ -118,21 +131,25 @@ fn quickstart_pipeline() {
         let loan = (3000.0..=7000.0).contains(&balance) && i % 3 != 0;
         rel.push_row(&[balance], &[loan]).unwrap();
     }
-    let attr = rel.schema().numeric("Balance").unwrap();
-    let target = Condition::BoolIs(rel.schema().boolean("CardLoan").unwrap(), true);
-    let mined = Miner::new(MinerConfig {
-        buckets: 50,
-        min_support: Ratio::percent(10),
-        min_confidence: Ratio::percent(60),
-        ..MinerConfig::default()
-    })
-    .mine(&rel, attr, target)
-    .unwrap();
-    let sup = mined.optimized_support.unwrap();
+    let mut engine = Engine::with_config(
+        rel,
+        EngineConfig {
+            buckets: 50,
+            min_support: Ratio::percent(10),
+            min_confidence: Ratio::percent(60),
+            ..EngineConfig::default()
+        },
+    );
+    let mined = engine
+        .query("Balance")
+        .objective_is("CardLoan")
+        .run()
+        .unwrap();
+    let sup = mined.optimized_support().unwrap();
     assert!(sup.confidence() >= 0.60);
     // In-band loan rate is 2/3; the band spans 41 of 100 balance values.
     assert!(sup.support() > 0.3, "support {}", sup.support());
-    let conf = mined.optimized_confidence.unwrap();
+    let conf = mined.optimized_confidence().unwrap();
     assert!(conf.support() >= 0.0999);
     assert!(conf.confidence() >= sup.confidence() - 1e-9);
 }

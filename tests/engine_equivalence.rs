@@ -1,0 +1,284 @@
+//! The engine's caches must be invisible in the answers: every query
+//! result must be byte-identical to what a cold, cache-free run of the
+//! same pipeline produces — across seeds, generators, and query kinds.
+//!
+//! Two independent oracles guard this:
+//!
+//! * the **direct pipeline** (`equi_depth_cuts` → `count_buckets` →
+//!   optimizers), reimplemented here exactly as the legacy `Miner`
+//!   historically ran it, sharing no code with the engine's caching
+//!   paths;
+//! * the **`Miner` shim**, whose results must keep matching the engine
+//!   it delegates to.
+
+#![allow(deprecated)]
+
+use optrules::bucketing::{count_buckets, equi_depth_cuts, CountSpec, EquiDepthConfig};
+use optrules::core::engine::Engine as CoreEngine;
+use optrules::prelude::*;
+
+/// The legacy pipeline, inlined: one bucketization (with the engine's
+/// per-attribute seed mix) and one counting scan, then both optimizers.
+#[allow(clippy::too_many_arguments)]
+fn direct_pair(
+    rel: &Relation,
+    attr: NumAttr,
+    presumptive: Condition,
+    objective: Condition,
+    buckets: usize,
+    seed: u64,
+    min_support: Ratio,
+    min_confidence: Ratio,
+) -> (Option<RangeRule>, Option<RangeRule>) {
+    let cfg = EquiDepthConfig {
+        buckets,
+        samples_per_bucket: 40,
+        seed: seed ^ (attr.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        method: SamplingMethod::WithReplacement,
+    };
+    let spec = equi_depth_cuts(rel, attr, &cfg).unwrap();
+    let combined = presumptive.clone().and(objective);
+    let what = CountSpec {
+        attr,
+        presumptive,
+        bool_targets: vec![combined],
+        sum_targets: Vec::new(),
+    };
+    let counts = count_buckets(rel, &spec, &what).unwrap();
+    let total_rows = counts.total_rows;
+    let (_, cc) = counts.compact();
+    if cc.bucket_count() == 0 {
+        return (None, None);
+    }
+    let (u, v) = (&cc.u, &cc.bool_v[0]);
+    let mk = |kind, r: OptRange| RangeRule {
+        kind,
+        bucket_range: (r.s, r.t),
+        value_range: (cc.ranges[r.s].0, cc.ranges[r.t].1),
+        sup_count: r.sup_count,
+        hits: r.hits,
+        total_rows,
+    };
+    let sup = optimize_support(u, v, min_confidence)
+        .unwrap()
+        .map(|r| mk(RuleKind::OptimizedSupport, r));
+    let conf = optimize_confidence(u, v, min_support.min_count(total_rows))
+        .unwrap()
+        .map(|r| mk(RuleKind::OptimizedConfidence, r));
+    (sup, conf)
+}
+
+#[test]
+fn engine_matches_direct_pipeline_across_seeds() {
+    for seed in [0u64, 1, 7, 42, 0xdead_beef] {
+        for buckets in [25usize, 120] {
+            let rel = BankGenerator::default().to_relation(12_000, seed ^ 0x55);
+            let schema = rel.schema().clone();
+            let attr = schema.numeric("Balance").unwrap();
+            let loan = Condition::BoolIs(schema.boolean("CardLoan").unwrap(), true);
+            let min_support = Ratio::percent(10);
+            let min_confidence = Ratio::percent(55);
+
+            let (direct_sup, direct_conf) = direct_pair(
+                &rel,
+                attr,
+                Condition::True,
+                loan.clone(),
+                buckets,
+                seed,
+                min_support,
+                min_confidence,
+            );
+
+            let mut engine = CoreEngine::with_config(
+                &rel,
+                EngineConfig {
+                    buckets,
+                    seed,
+                    min_support,
+                    min_confidence,
+                    ..EngineConfig::default()
+                },
+            );
+            // Run twice: the first answer is cold, the second comes
+            // entirely from the cache. Both must equal the oracle.
+            for round in 0..2 {
+                let rules = engine
+                    .query("Balance")
+                    .objective(loan.clone())
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    rules.optimized_support(),
+                    direct_sup.as_ref(),
+                    "seed {seed} buckets {buckets} round {round}: support rule diverged"
+                );
+                assert_eq!(
+                    rules.optimized_confidence(),
+                    direct_conf.as_ref(),
+                    "seed {seed} buckets {buckets} round {round}: confidence rule diverged"
+                );
+            }
+            assert_eq!(engine.stats().scans, 1, "second round must not rescan");
+        }
+    }
+}
+
+#[test]
+fn engine_matches_direct_pipeline_for_generalized_rules() {
+    for seed in [3u64, 11, 29] {
+        let rel = RetailGenerator::default().to_relation(15_000, seed);
+        let schema = rel.schema().clone();
+        let amount = schema.numeric("Amount").unwrap();
+        let pizza = Condition::BoolIs(schema.boolean("Pizza").unwrap(), true);
+        let potato = Condition::BoolIs(schema.boolean("Potato").unwrap(), true);
+        let min_support = Ratio::percent(2);
+        let min_confidence = Ratio::percent(65);
+
+        let (direct_sup, direct_conf) = direct_pair(
+            &rel,
+            amount,
+            pizza.clone(),
+            potato.clone(),
+            80,
+            seed,
+            min_support,
+            min_confidence,
+        );
+        let mut engine = CoreEngine::with_config(
+            &rel,
+            EngineConfig {
+                buckets: 80,
+                seed,
+                min_support,
+                min_confidence,
+                ..EngineConfig::default()
+            },
+        );
+        let rules = engine
+            .query_attr(amount)
+            .given(pizza.clone())
+            .objective(potato.clone())
+            .run()
+            .unwrap();
+        assert_eq!(
+            rules.optimized_support(),
+            direct_sup.as_ref(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            rules.optimized_confidence(),
+            direct_conf.as_ref(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn miner_shim_equals_engine_everywhere() {
+    for seed in [1u64, 9, 77] {
+        let rel = BankGenerator::default().to_relation(8_000, seed);
+        let schema = rel.schema().clone();
+        let attr = schema.numeric("Balance").unwrap();
+        let loan = Condition::BoolIs(schema.boolean("CardLoan").unwrap(), true);
+        let config = MinerConfig {
+            buckets: 64,
+            seed,
+            min_support: Ratio::percent(10),
+            min_confidence: Ratio::percent(55),
+            ..MinerConfig::default()
+        };
+        let miner = Miner::new(config);
+
+        // Single pair.
+        let mined = miner.mine(&rel, attr, loan.clone()).unwrap();
+        let mut engine = CoreEngine::with_config(&rel, config.into());
+        let rules = engine
+            .query_attr(attr)
+            .objective(loan.clone())
+            .run()
+            .unwrap();
+        assert_eq!(MinedPair::from(rules), mined, "seed {seed}");
+
+        // All pairs: the shim's Vec equals the collected lazy iterator.
+        let all = miner.mine_all_pairs(&rel).unwrap();
+        let streamed: Vec<MinedPair> = engine
+            .queries_for_all_pairs()
+            .map(|r| MinedPair::from(r.unwrap()))
+            .collect();
+        assert_eq!(all, streamed, "seed {seed}");
+
+        // Average operator.
+        let checking = schema.numeric("CheckingAccount").unwrap();
+        let saving = schema.numeric("SavingAccount").unwrap();
+        let avg = miner
+            .mine_average(&rel, checking, saving, 12_000.0)
+            .unwrap();
+        let rules = engine
+            .query_attr(checking)
+            .average_of_attr(saving)
+            .min_average(12_000.0)
+            .run()
+            .unwrap();
+        assert_eq!(
+            avg.max_average.map(|(r, v)| (r.s, r.t, r.sup_count, v)),
+            rules.max_average().map(|a| (
+                a.bucket_range.0,
+                a.bucket_range.1,
+                a.sup_count,
+                a.value_range
+            )),
+            "seed {seed}"
+        );
+        assert_eq!(
+            avg.max_support.map(|(r, v)| (r.s, r.t, r.sup_count, v)),
+            rules.max_support_average().map(|a| (
+                a.bucket_range.0,
+                a.bucket_range.1,
+                a.sup_count,
+                a.value_range
+            )),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn second_query_skips_resampling_and_rescanning() {
+    let rel = BankGenerator::default().to_relation(20_000, 5);
+    let mut engine = CoreEngine::with_config(
+        rel,
+        EngineConfig {
+            buckets: 200,
+            ..EngineConfig::default()
+        },
+    );
+    engine
+        .query("Balance")
+        .objective_is("CardLoan")
+        .run()
+        .unwrap();
+    let cold = engine.stats();
+    assert_eq!((cold.bucketizations, cold.scans), (1, 1));
+
+    // Same attribute, same spec: pure cache, no new O(N) work.
+    engine
+        .query("Balance")
+        .objective_is("CardLoan")
+        .min_support_pct(25)
+        .run()
+        .unwrap();
+    // Same attribute, different Boolean target: still the shared scan.
+    engine
+        .query("Balance")
+        .objective_is("OnlineBanking")
+        .run()
+        .unwrap();
+    let warm = engine.stats();
+    assert_eq!(
+        (warm.bucketizations, warm.scans),
+        (1, 1),
+        "warm queries must not resample or rescan: {warm:?}"
+    );
+    assert_eq!(warm.scan_cache_hits, 2);
+}

@@ -128,22 +128,26 @@ fn mined_generalized_rule_counts_are_exact() {
     let pizza_attr = schema.boolean("Pizza").unwrap();
     let potato_attr = schema.boolean("Potato").unwrap();
 
-    let mined = Miner::new(MinerConfig {
-        buckets: 100,
-        min_support: Ratio::percent(2),
-        min_confidence: Ratio::percent(65),
-        seed: 3,
-        ..MinerConfig::default()
-    })
-    .mine_generalized(
+    let mut engine = Engine::with_config(
         &rel,
-        amount,
-        Condition::BoolIs(pizza_attr, true),
-        Condition::BoolIs(potato_attr, true),
-    )
-    .unwrap();
+        EngineConfig {
+            buckets: 100,
+            min_support: Ratio::percent(2),
+            min_confidence: Ratio::percent(65),
+            seed: 3,
+            ..EngineConfig::default()
+        },
+    );
+    let mined = engine
+        .query_attr(amount)
+        .given(Condition::BoolIs(pizza_attr, true))
+        .objective(Condition::BoolIs(potato_attr, true))
+        .run()
+        .unwrap();
 
-    let rule = mined.optimized_support.expect("planted band is confident");
+    let rule = mined
+        .optimized_support()
+        .expect("planted band is confident");
     // Recount the mined value range tuple by tuple.
     let (lo, hi) = rule.value_range;
     let (mut sup, mut hits) = (0u64, 0u64);

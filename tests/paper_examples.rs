@@ -26,7 +26,9 @@ fn example_2_3_superset_can_be_more_confident() {
 
     // And the optimizers respect it: with θ = 65 % the optimized-support
     // range is the superset, not the subset.
-    let best = optimize_support(&u, &v, Ratio::percent(65)).unwrap().unwrap();
+    let best = optimize_support(&u, &v, Ratio::percent(65))
+        .unwrap()
+        .unwrap();
     assert_eq!((best.s, best.t), (0, 2));
 }
 
@@ -84,17 +86,18 @@ fn definition_2_6_confidence_and_support_formulas() {
 fn definition_2_4_duality_on_planted_data() {
     let gen = PlantedRangeGenerator::new((0.2, 0.55), 0.8, 0.15);
     let rel = gen.to_relation(30_000, 5);
-    let attr = rel.schema().numeric("A").unwrap();
-    let target = Condition::BoolIs(rel.schema().boolean("C").unwrap(), true);
-    let miner = Miner::new(MinerConfig {
-        buckets: 200,
-        min_support: Ratio::percent(10),
-        min_confidence: Ratio::percent(60),
-        ..MinerConfig::default()
-    });
-    let mined = miner.mine(&rel, attr, target).unwrap();
-    let sup = mined.optimized_support.unwrap();
-    let conf = mined.optimized_confidence.unwrap();
+    let mut engine = Engine::with_config(
+        rel,
+        EngineConfig {
+            buckets: 200,
+            min_support: Ratio::percent(10),
+            min_confidence: Ratio::percent(60),
+            ..EngineConfig::default()
+        },
+    );
+    let mined = engine.query("A").objective_is("C").run().unwrap();
+    let sup = mined.optimized_support().unwrap();
+    let conf = mined.optimized_confidence().unwrap();
     assert!(sup.support() >= conf.support() - 1e-9);
     assert!(conf.confidence() >= sup.confidence() - 1e-9);
     // Both satisfy their respective constraints.

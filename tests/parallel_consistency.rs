@@ -61,21 +61,30 @@ fn parallel_counts_equal_sequential_file_backed() {
 }
 
 #[test]
-fn miner_results_independent_of_thread_count() {
+fn engine_results_independent_of_thread_count() {
     let rel = BankGenerator::default().to_relation(15_000, 19);
-    let attr = rel.schema().numeric("Balance").unwrap();
-    let loan = Condition::BoolIs(rel.schema().boolean("CardLoan").unwrap(), true);
-    let mut results = Vec::new();
-    for threads in [1usize, 2, 4] {
-        let miner = Miner::new(MinerConfig {
+    let mut engine = Engine::with_config(
+        &rel,
+        EngineConfig {
             buckets: 128,
-            threads,
             seed: 77,
             min_support: Ratio::percent(10),
             min_confidence: Ratio::percent(60),
-            ..MinerConfig::default()
-        });
-        results.push(miner.mine(&rel, attr, loan.clone()).unwrap());
+            ..EngineConfig::default()
+        },
+    );
+    let mut results = Vec::new();
+    for threads in [1usize, 2, 4] {
+        // No clear_cache needed: the thread count is part of the scan
+        // key, so each thread count runs its own fresh scan.
+        results.push(
+            engine
+                .query("Balance")
+                .objective_is("CardLoan")
+                .threads(threads)
+                .run()
+                .unwrap(),
+        );
     }
     assert_eq!(results[0], results[1]);
     assert_eq!(results[1], results[2]);

@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the criterion API surface its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: warm up for `warm_up_time`, then
+//! run batches of iterations until `measurement_time` elapses and report
+//! the mean wall-clock time per iteration (plus throughput when
+//! configured). No statistics, plots, or saved baselines — just honest
+//! numbers on stdout, which is all the paper-reproduction harness needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for parity with criterion.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's composite id.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing driver handed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (total elapsed, iterations) recorded by [`Bencher::iter`].
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then iterating until the
+    /// measurement window elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while elapsed < self.measurement || iters == 0 {
+            black_box(f());
+            iters += 1;
+            elapsed = start.elapsed();
+        }
+        self.result = Some((elapsed, iters));
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion compatibility: sample count is ignored here (the
+    /// stand-in reports a single mean over the measurement window).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id.into_benchmark_id().name, b.result);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.into_benchmark_id().name, b.result);
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, result: Option<(Duration, u64)>) {
+        let Some((elapsed, iters)) = result else {
+            println!(
+                "{}/{id:<40} (no measurement: b.iter never called)",
+                self.name
+            );
+            return;
+        };
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {}/s", human_count(n as f64 / per_iter))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {}B/s", human_count(n as f64 / per_iter))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<40} time: {:>12}  ({iters} iters){thr}",
+            self.name,
+            human_time(per_iter),
+        );
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (so plain `&str` names work).
+pub trait IntoBenchmarkId {
+    /// Converts `self`.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group with default timing (0.3 s warm
+    /// up, 2 s measurement).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Bundles bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human_time(2.0).ends_with(" s"));
+        assert!(human_time(2e-3).ends_with(" ms"));
+        assert!(human_time(2e-6).ends_with("µs"));
+        assert!(human_time(2e-9).ends_with("ns"));
+        assert!(human_count(5e6).starts_with("5.000 M"));
+    }
+}

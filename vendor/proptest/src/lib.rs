@@ -1,0 +1,345 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of proptest it uses: the [`proptest!`]
+//! macro, range/tuple/[`collection::vec`] strategies, [`Strategy::prop_map`],
+//! [`any`], `prop_assert!`/`prop_assert_eq!`, and [`ProptestConfig`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case
+//! reports its generated inputs, case index, and the per-test seed, and
+//! the deterministic generator means re-running the test replays the
+//! same cases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic per-test random source.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator for case `case` of the property named `name`.
+    /// Deterministic, so failures replay on re-run.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(
+            h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy over the whole domain.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy over all values of a type (see [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy over both booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.0.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A length specification: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self(r)
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.0.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    /// Module-style access (`prop::collection::vec`), mirroring
+    /// `proptest::prelude::prop`.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (Real proptest resamples; this stand-in just moves to the next case,
+/// which is equivalent for loose preconditions.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here — this
+/// stand-in has no shrinking machinery to unwind through).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases. On failure the
+/// offending inputs and case index are printed before the panic
+/// propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @expand ($cfg) $($rest)* }
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                let vals = ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+                let rendered = format!("{vals:?}");
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let ($($pat,)+) = vals;
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest {}: case {case}/{} failed with inputs {rendered}",
+                        stringify!($name),
+                        cfg.cases,
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @expand ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_inclusive_and_exclusive(a in 1u64..10, b in 0.0f64..=1.0) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.0..=1.0).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((1u32..5, any::<bool>()), 2..20).prop_map(|pairs| {
+                pairs.into_iter().map(|(n, _)| n).collect::<Vec<_>>()
+            }),
+        ) {
+            prop_assert!((2..20).contains(&v.len()));
+            prop_assert!(v.iter().all(|&n| (1..5).contains(&n)));
+        }
+
+        #[test]
+        fn tuple_patterns_destructure((x, y) in (0i64..=5, -1.0f64..1.0)) {
+            prop_assert!((0..=5).contains(&x));
+            prop_assert_ne!(y, 1.0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        let s = 0u64..1000;
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+    }
+}
