@@ -1,0 +1,113 @@
+//! Concurrent serving throughput of `SharedEngine`: a fixed mixed
+//! workload of 48 queries fanned out over 1/2/4/8 scoped threads, with
+//! the default bounded cache, a deliberately tight cache (constant
+//! eviction — the worst case for the bound), and an unbounded cache
+//! (PR 1's grow-forever behavior) for reference.
+//!
+//! Two effects to read off the numbers:
+//!
+//! * warm scaling — with a warm cache every query is O(M) optimizer
+//!   work behind one shard read lock, so threads should scale until
+//!   the optimizers saturate the cores;
+//! * eviction overhead — `bounded-tight` forces every query back to
+//!   the O(N) scan path, bounding how bad a misconfigured budget gets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optrules_bench::{fmt_duration, time_best_of};
+use optrules_core::{CacheConfig, EngineConfig, Ratio, SharedEngine};
+use optrules_relation::gen::{BankGenerator, DataGenerator};
+use optrules_relation::Relation;
+use std::hint::black_box;
+use std::time::Duration;
+
+const ROWS: u64 = 100_000;
+const QUERIES: usize = 48;
+
+const ATTRS: [&str; 4] = ["Balance", "Age", "CheckingAccount", "SavingAccount"];
+const TARGETS: [&str; 3] = ["CardLoan", "AutoWithdraw", "OnlineBanking"];
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        buckets: 1000,
+        min_support: Ratio::percent(5),
+        min_confidence: Ratio::percent(55),
+        ..EngineConfig::default()
+    }
+}
+
+/// The tight budget: smaller than one M = 1000 scan entry, so *no*
+/// scan is ever cached and every query re-scans.
+fn tight_cache() -> CacheConfig {
+    CacheConfig {
+        max_cost: 2_000,
+        shards: 16,
+    }
+}
+
+/// Runs the 48-query workload across `threads` scoped workers pulling
+/// from a static round-robin split.
+fn run_workload(engine: &SharedEngine<&Relation>, threads: usize) {
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            scope.spawn(move || {
+                let mut i = worker;
+                while i < QUERIES {
+                    let attr = ATTRS[i % ATTRS.len()];
+                    let target = TARGETS[(i / ATTRS.len()) % TARGETS.len()];
+                    black_box(
+                        engine
+                            .query(attr)
+                            .objective_is(target)
+                            .run()
+                            .expect("bank queries are valid"),
+                    );
+                    i += threads;
+                }
+            });
+        }
+    });
+}
+
+fn bench_concurrent_engine(c: &mut Criterion) {
+    let rel = BankGenerator::default().to_relation(ROWS, 3);
+    let mut group = c.benchmark_group("concurrent_engine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let variants: [(&str, CacheConfig); 3] = [
+        ("bounded", CacheConfig::default()),
+        ("bounded-tight", tight_cache()),
+        ("unbounded", CacheConfig::unbounded()),
+    ];
+    for (label, cache) in variants {
+        for threads in [1usize, 2, 4, 8] {
+            let engine = SharedEngine::with_cache(&rel, config(), cache);
+            run_workload(&engine, threads); // warm what the cache admits
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| run_workload(&engine, threads))
+            });
+        }
+    }
+    group.finish();
+
+    // Headline numbers, one comparable line per (cache, threads) cell.
+    for (label, cache) in variants {
+        for threads in [1usize, 2, 4, 8] {
+            let engine = SharedEngine::with_cache(&rel, config(), cache);
+            run_workload(&engine, threads);
+            let best = time_best_of(Duration::from_millis(800), || {
+                run_workload(&engine, threads)
+            });
+            println!(
+                "concurrent_engine/{label:<13} threads={threads}  {QUERIES} queries in {}  ({} evictions)",
+                fmt_duration(best),
+                engine.stats().evictions,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_concurrent_engine);
+criterion_main!(benches);

@@ -26,6 +26,15 @@
 //! After the first query on an attribute, follow-up queries run in
 //! O(M) optimizer time instead of O(N) scan time.
 //!
+//! `Engine` is the single-threaded facade: it is a thin wrapper over
+//! the concurrent [`SharedEngine`](crate::shared::SharedEngine) (which
+//! takes `&self` and is `Send + Sync`), preserving the PR 1 `&mut
+//! self` API unchanged. Both share the same bounded, cost-aware cache
+//! (see [`crate::cache`]): entries carry a cost estimate, eviction is
+//! per-shard LRU under a [`CacheConfig`](crate::cache::CacheConfig)
+//! budget, and eviction is semantically invisible — an evicted entry
+//! is simply recomputed, never answered differently.
+//!
 //! Queries are phrased with the fluent [`Query`](crate::query::Query)
 //! builder:
 //!
@@ -56,17 +65,13 @@
 //! assert_eq!(engine.stats().scan_cache_hits, 1);
 //! ```
 
-use crate::error::Result;
+use crate::cache::CacheConfig;
 use crate::query::{AllPairs, Query};
 use crate::ratio::Ratio;
-use std::collections::HashMap;
+use crate::shared::SharedEngine;
 use std::sync::Arc;
 
-use optrules_bucketing::{
-    count_buckets, count_buckets_parallel, equi_depth_cuts, BucketCounts, BucketSpec, CountSpec,
-    EquiDepthConfig, SamplingMethod,
-};
-use optrules_relation::{Condition, NumAttr, RandomAccess};
+use optrules_relation::{NumAttr, RandomAccess};
 
 /// Session-wide defaults for an [`Engine`]. Every knob can be
 /// overridden per query by the [`Query`](crate::query::Query) builder.
@@ -100,86 +105,70 @@ impl Default for EngineConfig {
     }
 }
 
-/// Cache and work counters for an [`Engine`], for observability and for
-/// asserting that repeated queries really skip the O(N) work.
+/// Cache and work counters for an [`Engine`] /
+/// [`SharedEngine`](crate::shared::SharedEngine), for observability and
+/// for asserting that repeated queries really skip the O(N) work.
+///
+/// Snapshotted from atomics by
+/// [`SharedEngine::stats`](crate::shared::SharedEngine::stats); at
+/// quiescence (no in-flight queries) the identity
+/// `hits() + misses() == lookups` holds exactly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Bucketizations computed (sample + sort + cut runs).
+    /// Bucketizations computed (sample + sort + cut runs), counted at
+    /// cache-miss time — a query that misses and then fails (zero
+    /// buckets, empty relation, I/O error) still counts here, keeping
+    /// the `hits() + misses() == lookups` identity exact.
     pub bucketizations: u64,
     /// Bucketizations served from the cache.
     pub bucket_cache_hits: u64,
-    /// Counting scans executed (full passes over the relation).
+    /// Counting scans run (full passes over the relation), counted at
+    /// cache-miss time like [`bucketizations`](Self::bucketizations).
     pub scans: u64,
     /// Counting scans served from the cache.
     pub scan_cache_hits: u64,
+    /// Cache entries evicted to stay under the
+    /// [`CacheConfig::max_cost`](crate::cache::CacheConfig::max_cost)
+    /// budget.
+    pub evictions: u64,
+    /// Total cache lookups (bucketizations + scans, hits + misses).
+    pub lookups: u64,
+    /// Current total cost of cached entries, in cells (one cached
+    /// `u64`/`f64`). Never exceeds the configured `max_cost`.
+    pub cached_cost: u64,
 }
 
-/// Cache key for one bucketization: everything Algorithm 3.1's output
-/// depends on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct BucketKey {
-    pub attr: NumAttr,
-    pub buckets: usize,
-    pub samples_per_bucket: u64,
-    pub seed: u64,
+impl EngineStats {
+    /// Lookups served from the cache (bucket + scan hits).
+    pub fn hits(&self) -> u64 {
+        self.bucket_cache_hits + self.scan_cache_hits
+    }
+
+    /// Lookups that had to compute (bucketizations + scans executed).
+    pub fn misses(&self) -> u64 {
+        self.bucketizations + self.scans
+    }
 }
 
-/// What a cached counting scan counted.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub(crate) enum ScanWhat {
-    /// The shared simple-query scan: every Boolean attribute as a
-    /// `(B = yes)` target, no presumptive filter. A structural variant
-    /// so warm lookups need no spec rebuild or fingerprinting.
-    AllBooleans,
-    /// Any other spec, keyed by a canonical fingerprint (presumptive
-    /// condition and target lists rendered via `Debug`, which
-    /// distinguishes every condition shape and every `f64` bound).
-    Spec(String),
-}
-
-/// Cache key for one counting scan: the bucketization, what was
-/// counted, and the worker count. Threads are part of the key because
-/// float *sums* depend on addition order: a parallel scan accumulates
-/// per-partition, so serving its sums to a sequential query (or vice
-/// versa) could differ in low bits from that query's cold run —
-/// breaking the cache-is-invisible guarantee. Integer counts would be
-/// safe to share, but one honest key is simpler than a split cache.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct ScanKey {
-    bucket: BucketKey,
-    threads: usize,
-    what: ScanWhat,
-}
-
-pub(crate) fn spec_fingerprint(what: &CountSpec) -> ScanWhat {
-    ScanWhat::Spec(format!(
-        "{:?}|{:?}|{:?}",
-        what.presumptive, what.bool_targets, what.sum_targets
-    ))
-}
-
-/// A long-lived mining session over one relation.
+/// A long-lived, single-threaded mining session over one relation.
 ///
 /// See the [module docs](self) for the caching model and a usage
-/// example. `Engine` takes the relation by value; to mine a relation
-/// you only have a reference to, pass the reference itself — `&R`
-/// implements the scanning traits too.
+/// example, and [`SharedEngine`](crate::shared::SharedEngine) for the
+/// concurrent (`&self`, `Send + Sync`) session this type wraps.
+/// `Engine` takes the relation by value; to mine a relation you only
+/// have a reference to, pass the reference itself — `&R` implements
+/// the scanning traits too.
 ///
-/// The caches are unbounded: every distinct `(attribute, buckets,
-/// samples_per_bucket, seed)` combination pins its cut points, and
-/// every distinct counting spec on top of one pins its O(M · targets)
-/// counts, for the lifetime of the engine. That is the right trade for
-/// the intended session shape (a bounded set of attributes queried
-/// repeatedly); a session that deliberately sweeps many seeds or
-/// bucket counts should call [`clear_cache`](Self::clear_cache)
-/// between sweeps, until an eviction policy lands.
+/// The caches are **bounded**: entries carry a cost estimate (buckets
+/// held × targets counted) and a cost-aware LRU policy keeps the total
+/// under [`CacheConfig::max_cost`](crate::cache::CacheConfig::max_cost)
+/// (default ≈ 32 MiB across 16 shards). A session that sweeps many
+/// seeds or bucket counts therefore has a fixed memory ceiling;
+/// [`clear_cache`](Self::clear_cache) is only needed when the
+/// underlying relation is mutated through interior mutability.
 #[derive(Debug)]
 pub struct Engine<R: RandomAccess> {
-    rel: R,
-    config: EngineConfig,
-    buckets: HashMap<BucketKey, Arc<BucketSpec>>,
-    scans: HashMap<ScanKey, Arc<BucketCounts>>,
-    stats: EngineStats,
+    shared: SharedEngine<R>,
 }
 
 impl<R: RandomAccess> Engine<R> {
@@ -188,57 +177,72 @@ impl<R: RandomAccess> Engine<R> {
         Self::with_config(rel, EngineConfig::default())
     }
 
-    /// Creates an engine over `rel` with the given session defaults.
+    /// Creates an engine over `rel` with the given session defaults and
+    /// the default bounded cache.
     pub fn with_config(rel: R, config: EngineConfig) -> Self {
+        Self::with_cache(rel, config, CacheConfig::default())
+    }
+
+    /// Creates an engine with explicit session and cache configuration.
+    pub fn with_cache(rel: R, config: EngineConfig, cache: CacheConfig) -> Self {
         Self {
-            rel,
-            config,
-            buckets: HashMap::new(),
-            scans: HashMap::new(),
-            stats: EngineStats::default(),
+            shared: SharedEngine::with_cache(rel, config, cache),
         }
     }
 
     /// The session defaults.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.shared.config()
     }
 
     /// The underlying relation.
     pub fn relation(&self) -> &R {
-        &self.rel
+        self.shared.relation()
     }
 
     /// Consumes the engine and returns the relation.
     pub fn into_relation(self) -> R {
-        self.rel
+        Arc::try_unwrap(self.shared.into_relation())
+            .ok()
+            .expect("engine-owned relation has no other Arc references")
+    }
+
+    /// The concurrent session this engine wraps, for sharing across
+    /// scoped threads (queries on it take `&self`).
+    pub fn shared(&self) -> &SharedEngine<R> {
+        &self.shared
+    }
+
+    /// Consumes the engine and returns the concurrent session.
+    pub fn into_shared(self) -> SharedEngine<R> {
+        self.shared
     }
 
     /// Cache/work counters since construction (or the last
     /// [`clear_cache`](Self::clear_cache)).
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.shared.stats()
     }
 
     /// Drops all cached bucketizations and scans and resets the
     /// counters. Required after mutating the underlying relation
-    /// through interior mutability; never needed otherwise.
+    /// through interior mutability; never needed for cache sizing —
+    /// the bounded cache evicts on its own (see
+    /// [`CacheConfig`](crate::cache::CacheConfig)).
     pub fn clear_cache(&mut self) {
-        self.buckets.clear();
-        self.scans.clear();
-        self.stats = EngineStats::default();
+        self.shared.clear_cache();
     }
 
     /// Starts a fluent query over the numeric attribute named `attr`.
     /// The name is resolved when the query runs, so typos surface as
     /// errors from the terminal method, not panics here.
     pub fn query(&mut self, attr: impl Into<String>) -> Query<'_, R> {
-        Query::by_name(self, attr.into())
+        self.shared.query(attr)
     }
 
     /// Starts a fluent query over a numeric attribute handle.
     pub fn query_attr(&mut self, attr: NumAttr) -> Query<'_, R> {
-        Query::by_attr(self, attr)
+        self.shared.query_attr(attr)
     }
 
     /// Lazily mines both optimized rules for **every**
@@ -249,101 +253,7 @@ impl<R: RandomAccess> Engine<R> {
     /// stream as the iterator is advanced instead of materializing a
     /// `Vec`.
     pub fn queries_for_all_pairs(&mut self) -> AllPairs<'_, R> {
-        AllPairs::new(self)
-    }
-
-    /// The per-attribute sampling seed: the session seed mixed with the
-    /// attribute index so distinct attributes draw distinct samples.
-    pub(crate) fn attr_seed(seed: u64, attr: NumAttr) -> u64 {
-        seed ^ (attr.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
-    }
-
-    /// Step 1 (cached): bucket boundaries via Algorithm 3.1.
-    pub(crate) fn spec_for(&mut self, key: BucketKey) -> Result<Arc<BucketSpec>> {
-        if let Some(spec) = self.buckets.get(&key) {
-            self.stats.bucket_cache_hits += 1;
-            return Ok(Arc::clone(spec));
-        }
-        let cfg = EquiDepthConfig {
-            buckets: key.buckets,
-            samples_per_bucket: key.samples_per_bucket,
-            seed: Self::attr_seed(key.seed, key.attr),
-            method: SamplingMethod::WithReplacement,
-        };
-        let spec = Arc::new(equi_depth_cuts(&self.rel, key.attr, &cfg)?);
-        self.stats.bucketizations += 1;
-        self.buckets.insert(key, Arc::clone(&spec));
-        Ok(spec)
-    }
-
-    /// Steps 1–2 (cached): boundaries, then the counting scan (parallel
-    /// when `threads > 1`). The cached counts are already compacted
-    /// (empty buckets dropped).
-    pub(crate) fn counts_for(
-        &mut self,
-        key: BucketKey,
-        what: &CountSpec,
-        threads: usize,
-    ) -> Result<Arc<BucketCounts>> {
-        self.counts_for_key(key, spec_fingerprint(what), |_| what.clone(), threads)
-    }
-
-    /// The shared simple-query scan: every Boolean attribute counted at
-    /// once. Warm lookups are allocation-free — the spec is only built
-    /// on a cache miss.
-    pub(crate) fn counts_for_all_booleans(
-        &mut self,
-        key: BucketKey,
-        threads: usize,
-    ) -> Result<Arc<BucketCounts>> {
-        self.counts_for_key(
-            key,
-            ScanWhat::AllBooleans,
-            |rel| CountSpec {
-                attr: key.attr,
-                presumptive: Condition::True,
-                bool_targets: rel
-                    .schema()
-                    .boolean_attrs()
-                    .map(|battr| Condition::BoolIs(battr, true))
-                    .collect(),
-                sum_targets: Vec::new(),
-            },
-            threads,
-        )
-    }
-
-    fn counts_for_key(
-        &mut self,
-        key: BucketKey,
-        what: ScanWhat,
-        build_spec: impl FnOnce(&R) -> CountSpec,
-        threads: usize,
-    ) -> Result<Arc<BucketCounts>> {
-        let scan_key = ScanKey {
-            bucket: key,
-            threads,
-            what,
-        };
-        if let Some(counts) = self.scans.get(&scan_key) {
-            self.stats.scan_cache_hits += 1;
-            return Ok(Arc::clone(counts));
-        }
-        let what = build_spec(&self.rel);
-        let spec = self.spec_for(key)?;
-        let counts = if threads > 1 {
-            count_buckets_parallel(&self.rel, &spec, &what, threads)?
-        } else {
-            count_buckets(&self.rel, &spec, &what)?
-        };
-        // Cache the *compacted* counts: every consumer compacts before
-        // optimizing, so compacting once per scan keeps warm queries
-        // free of the O(M · targets) copy.
-        let (_, counts) = counts.compact();
-        let counts = Arc::new(counts);
-        self.stats.scans += 1;
-        self.scans.insert(scan_key, Arc::clone(&counts));
-        Ok(counts)
+        self.shared.queries_for_all_pairs()
     }
 }
 
@@ -406,6 +316,9 @@ mod tests {
         engine.query("Age").objective_is("CardLoan").run().unwrap();
         assert_eq!(engine.stats().scans, 2);
         assert_eq!(engine.stats().bucketizations, 2);
+        // The identity the stats promise at quiescence.
+        let stats = engine.stats();
+        assert_eq!(stats.hits() + stats.misses(), stats.lookups);
     }
 
     #[test]
@@ -548,5 +461,13 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(engine.stats().scans, 1);
+    }
+
+    #[test]
+    fn into_relation_round_trips_through_the_arc() {
+        let rel = BankGenerator::default().to_relation(1_000, 1);
+        let rows = rel.len();
+        let engine = Engine::new(rel);
+        assert_eq!(engine.into_relation().len(), rows);
     }
 }

@@ -31,10 +31,13 @@
 //!   by integer cross-multiplication, never floating-point division;
 //! * [`approx`] — the bucket-granularity error bounds of Section 3.4
 //!   (Table I);
-//! * [`engine`], [`query`] — end-to-end mining sessions: a long-lived
-//!   [`Engine`] owning the relation plus bucketization/scan caches,
-//!   queried through the fluent [`query::Query`] builder (the paper's
-//!   "hundreds of attributes" interactive scenario, §1.3);
+//! * [`engine`], [`shared`], [`cache`], [`query`] — end-to-end mining
+//!   sessions: a long-lived [`Engine`] (single-threaded facade) or
+//!   [`SharedEngine`] (`&self`, `Send + Sync`, serves concurrent query
+//!   traffic) owning the relation plus a bounded, sharded, cost-aware
+//!   bucketization/scan cache, queried through the fluent
+//!   [`query::Query`] builder (the paper's "hundreds of attributes"
+//!   interactive scenario, §1.3);
 //! * [`rule`] — shared rule/range types; [`miner`] — the legacy
 //!   one-shot API, now a deprecated shim over the engine;
 //! * [`region2d`] — the §1.4 extension to two numeric attributes with
@@ -45,6 +48,7 @@
 
 pub mod approx;
 pub mod average;
+pub mod cache;
 pub mod confidence;
 pub mod engine;
 pub mod error;
@@ -56,9 +60,11 @@ pub mod ratio;
 pub mod region2d;
 pub mod report;
 pub mod rule;
+pub mod shared;
 pub mod support;
 pub mod twopointer;
 
+pub use cache::{CacheConfig, ShardStats};
 pub use confidence::optimize_confidence;
 pub use engine::{Engine, EngineConfig, EngineStats};
 pub use error::CoreError;
@@ -66,6 +72,7 @@ pub use miner::{MinedAverage, MinedPair, MinerConfig};
 pub use query::{AvgRule, Objective, Query, Rule, RuleSet, Task};
 pub use ratio::Ratio;
 pub use rule::{OptRange, RangeRule, RuleKind};
+pub use shared::SharedEngine;
 pub use support::optimize_support;
 
 #[allow(deprecated)]

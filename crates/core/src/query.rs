@@ -20,10 +20,10 @@
 
 use crate::average::{maximum_average_range, maximum_support_range};
 use crate::confidence::optimize_confidence;
-use crate::engine::{BucketKey, Engine};
 use crate::error::{CoreError, Result};
 use crate::ratio::Ratio;
 use crate::rule::{AvgRange, RangeRule, RuleKind};
+use crate::shared::{BucketKey, SharedEngine};
 use crate::support::optimize_support;
 use optrules_bucketing::{BucketCounts, CountSpec};
 use optrules_relation::{BoolAttr, Condition, NumAttr, RandomAccess};
@@ -241,18 +241,23 @@ impl RuleSet {
     }
 }
 
-/// A fluent query builder; construct with [`Engine::query`] or
-/// [`Engine::query_attr`], configure, then finish with [`Query::run`],
-/// [`Query::optimize_support`], [`Query::optimize_confidence`], or
-/// [`Query::with_task`].
+/// A fluent query builder; construct with
+/// [`Engine::query`](crate::engine::Engine::query) /
+/// [`SharedEngine::query`], or the `query_attr` variants, configure,
+/// then finish with [`Query::run`], [`Query::optimize_support`],
+/// [`Query::optimize_confidence`], or [`Query::with_task`].
 ///
 /// Thresholds and bucketing parameters default to the engine's
 /// [`EngineConfig`](crate::engine::EngineConfig); each can be
 /// overridden per query. Overriding bucketing parameters keys separate
 /// cache entries, so alternating queries at two bucket counts still hit
 /// the cache.
+///
+/// The builder borrows the session immutably, so any number of
+/// queries can be built and run concurrently against one
+/// [`SharedEngine`].
 pub struct Query<'e, R: RandomAccess> {
-    engine: &'e mut Engine<R>,
+    engine: &'e SharedEngine<R>,
     attr: AttrSel,
     given: Condition,
     objective: Option<Objective>,
@@ -267,15 +272,15 @@ pub struct Query<'e, R: RandomAccess> {
 }
 
 impl<'e, R: RandomAccess> Query<'e, R> {
-    pub(crate) fn by_name(engine: &'e mut Engine<R>, name: String) -> Self {
+    pub(crate) fn by_name(engine: &'e SharedEngine<R>, name: String) -> Self {
         Self::new(engine, AttrSel::Name(name))
     }
 
-    pub(crate) fn by_attr(engine: &'e mut Engine<R>, attr: NumAttr) -> Self {
+    pub(crate) fn by_attr(engine: &'e SharedEngine<R>, attr: NumAttr) -> Self {
         Self::new(engine, AttrSel::Attr(attr))
     }
 
-    fn new(engine: &'e mut Engine<R>, attr: AttrSel) -> Self {
+    fn new(engine: &'e SharedEngine<R>, attr: AttrSel) -> Self {
         Self {
             engine,
             attr,
@@ -572,7 +577,7 @@ struct AverageSpec {
 /// every Boolean attribute at once (the §6.1 all-pairs trick); anything
 /// else gets a scan keyed by its exact counting spec.
 fn run_boolean<R: RandomAccess>(
-    engine: &mut Engine<R>,
+    engine: &SharedEngine<R>,
     key: BucketKey,
     threads: usize,
     spec: BooleanSpec,
@@ -674,7 +679,7 @@ fn instantiate(
 /// rows (support stays measured against the full row count, like the
 /// generalized rules of §4.3).
 fn run_average<R: RandomAccess>(
-    engine: &mut Engine<R>,
+    engine: &SharedEngine<R>,
     key: BucketKey,
     threads: usize,
     spec: AverageSpec,
@@ -731,19 +736,23 @@ fn run_average<R: RandomAccess>(
 }
 
 /// Lazy §1.3 sweep over every (numeric, Boolean) attribute pair;
-/// created by [`Engine::queries_for_all_pairs`]. Yields one
+/// created by
+/// [`Engine::queries_for_all_pairs`](crate::engine::Engine::queries_for_all_pairs)
+/// or [`SharedEngine::queries_for_all_pairs`]. Yields one
 /// [`RuleSet`] per pair, numeric-major, streaming — advancing the
 /// iterator runs at most one counting scan (the first pair of each
-/// numeric attribute; the rest hit the scan cache).
+/// numeric attribute; the rest hit the scan cache). For the eager
+/// multi-threaded sweep, see
+/// [`SharedEngine::mine_all_pairs`].
 pub struct AllPairs<'e, R: RandomAccess> {
-    engine: &'e mut Engine<R>,
+    engine: &'e SharedEngine<R>,
     numeric: Vec<NumAttr>,
     booleans: Vec<BoolAttr>,
     next_index: usize,
 }
 
 impl<'e, R: RandomAccess> AllPairs<'e, R> {
-    pub(crate) fn new(engine: &'e mut Engine<R>) -> Self {
+    pub(crate) fn new(engine: &'e SharedEngine<R>) -> Self {
         let schema = engine.relation().schema();
         let numeric = schema.numeric_attrs().collect();
         let booleans = schema.boolean_attrs().collect();
@@ -783,7 +792,7 @@ impl<R: RandomAccess> Iterator for AllPairs<'_, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{Engine, EngineConfig};
     use optrules_relation::gen::{BankGenerator, DataGenerator, RetailGenerator};
     use optrules_relation::TupleScan;
 

@@ -1,0 +1,603 @@
+//! The concurrent mining session: a `Send + Sync` [`SharedEngine`]
+//! serving parallel query traffic over one relation with `&self`.
+//!
+//! [`Engine`](crate::engine::Engine) (PR 1) made the paper's §1.3
+//! interactive scenario fast, but it is `&mut self`-only — one query
+//! at a time — and its caches grow without bound. `SharedEngine` is
+//! the serving-path version:
+//!
+//! * the relation lives in an `Arc`, and both caching layers
+//!   (bucketizations, counting scans) share one **sharded,
+//!   interior-mutable, cost-aware LRU cache** (see [`crate::cache`]),
+//!   so every method takes `&self` and many threads can mine
+//!   concurrently — warm lookups take one shard read lock and never
+//!   block on unrelated shards;
+//! * the cache is **bounded** by a [`CacheConfig`] cost budget with
+//!   per-shard LRU eviction, so a session sweeping many attributes,
+//!   seeds, or bucket counts has a fixed memory ceiling;
+//! * counters are atomics, snapshotted as
+//!   [`EngineStats`](crate::engine::EngineStats) by
+//!   [`stats`](SharedEngine::stats) and per shard by
+//!   [`shard_stats`](SharedEngine::shard_stats).
+//!
+//! Caching (including eviction) is semantically invisible: a query
+//! returns the same [`RuleSet`] whether it hit, missed, or was
+//! evicted and re-scanned — property-tested in
+//! `tests/proptest_cache.rs` and stress-tested against a cache-free
+//! oracle in the workspace `tests/concurrent_engine.rs`.
+//!
+//! ```
+//! use optrules_core::{EngineConfig, SharedEngine};
+//! use optrules_relation::gen::{BankGenerator, DataGenerator};
+//!
+//! let rel = BankGenerator::default().to_relation(5_000, 3);
+//! let engine = SharedEngine::with_config(
+//!     rel,
+//!     EngineConfig { buckets: 50, ..EngineConfig::default() },
+//! );
+//! // Prime the cache once, then fan out over scoped threads — every
+//! // worker is served warm, and queries take &self.
+//! engine.query("Balance").objective_is("CardLoan").run().unwrap();
+//! std::thread::scope(|scope| {
+//!     let engine = &engine;
+//!     for target in ["CardLoan", "AutoWithdraw"] {
+//!         scope.spawn(move || {
+//!             let rules = engine
+//!                 .query("Balance")
+//!                 .objective_is(target)
+//!                 .run()
+//!                 .unwrap();
+//!             assert!(!rules.attr_name.is_empty());
+//!         });
+//!     }
+//! });
+//! // All three queries shared one bucketization and one counting scan.
+//! assert_eq!(engine.stats().scans, 1);
+//! assert_eq!(engine.stats().scan_cache_hits, 2);
+//! ```
+
+use crate::cache::{CacheConfig, ShardStats, ShardedCache};
+use crate::engine::{EngineConfig, EngineStats};
+use crate::error::Result;
+use crate::query::{AllPairs, Query, RuleSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use optrules_bucketing::{
+    count_buckets, count_buckets_parallel, equi_depth_cuts, BucketCounts, BucketSpec, CountSpec,
+    EquiDepthConfig, SamplingMethod,
+};
+use optrules_relation::{BoolAttr, Condition, NumAttr, RandomAccess};
+
+/// Cache key for one bucketization: everything Algorithm 3.1's output
+/// depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BucketKey {
+    pub attr: NumAttr,
+    pub buckets: usize,
+    pub samples_per_bucket: u64,
+    pub seed: u64,
+}
+
+/// What a cached counting scan counted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum ScanWhat {
+    /// The shared simple-query scan: every Boolean attribute as a
+    /// `(B = yes)` target, no presumptive filter. A structural variant
+    /// so warm lookups need no spec rebuild or fingerprinting.
+    AllBooleans,
+    /// Any other spec, keyed by a canonical fingerprint (presumptive
+    /// condition and target lists rendered via `Debug`, which
+    /// distinguishes every condition shape and every `f64` bound).
+    Spec(String),
+}
+
+/// Cache key for one counting scan: the bucketization, what was
+/// counted, and the worker count. Threads are part of the key because
+/// float *sums* depend on addition order: a parallel scan accumulates
+/// per-partition, so serving its sums to a sequential query (or vice
+/// versa) could differ in low bits from that query's cold run —
+/// breaking the cache-is-invisible guarantee. Integer counts would be
+/// safe to share, but one honest key is simpler than a split cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct ScanKey {
+    pub bucket: BucketKey,
+    pub threads: usize,
+    pub what: ScanWhat,
+}
+
+pub(crate) fn spec_fingerprint(what: &CountSpec) -> ScanWhat {
+    ScanWhat::Spec(format!(
+        "{:?}|{:?}|{:?}",
+        what.presumptive, what.bool_targets, what.sum_targets
+    ))
+}
+
+/// Both artifact kinds share one sharded cache (and hence one cost
+/// budget), keyed by this enum.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Bucket(BucketKey),
+    Scan(ScanKey),
+}
+
+#[derive(Debug, Clone)]
+enum CacheValue {
+    Spec(Arc<BucketSpec>),
+    Counts(Arc<BucketCounts>),
+}
+
+/// Cost of a cached bucketization, in cells: the cut points held.
+fn spec_cost(spec: &BucketSpec) -> u64 {
+    (spec.bucket_count() as u64).max(1)
+}
+
+/// Cost of a cached counting scan, in cells: `u`, per-bucket ranges
+/// (2 cells), and one row per Boolean/sum target.
+fn counts_cost(counts: &BucketCounts) -> u64 {
+    let per_bucket = 3 + counts.bool_v.len() as u64 + counts.sums.len() as u64;
+    (counts.bucket_count() as u64 * per_bucket).max(1)
+}
+
+/// Engine-level work counters (the cache tracks lookups/evictions
+/// itself). Relaxed ordering: observability data, not synchronization.
+#[derive(Debug, Default)]
+struct WorkCounters {
+    bucketizations: AtomicU64,
+    bucket_cache_hits: AtomicU64,
+    scans: AtomicU64,
+    scan_cache_hits: AtomicU64,
+}
+
+/// A concurrent, long-lived mining session over one relation.
+///
+/// See the [module docs](self) for the concurrency and eviction model.
+/// All query entry points take `&self`; share the engine across scoped
+/// threads by reference (it is `Send + Sync` whenever the relation
+/// is). The single-threaded [`Engine`](crate::engine::Engine) is a
+/// thin facade over this type.
+#[derive(Debug)]
+pub struct SharedEngine<R: RandomAccess> {
+    rel: Arc<R>,
+    config: EngineConfig,
+    cache_config: CacheConfig,
+    cache: ShardedCache<CacheKey, CacheValue>,
+    counters: WorkCounters,
+}
+
+impl<R: RandomAccess> SharedEngine<R> {
+    /// Creates a shared engine over `rel` with default session and
+    /// cache configuration.
+    pub fn new(rel: R) -> Self {
+        Self::with_cache(rel, EngineConfig::default(), CacheConfig::default())
+    }
+
+    /// Creates a shared engine with the given session defaults and the
+    /// default bounded cache.
+    pub fn with_config(rel: R, config: EngineConfig) -> Self {
+        Self::with_cache(rel, config, CacheConfig::default())
+    }
+
+    /// Creates a shared engine with explicit session and cache
+    /// configuration.
+    pub fn with_cache(rel: R, config: EngineConfig, cache: CacheConfig) -> Self {
+        Self::from_arc(Arc::new(rel), config, cache)
+    }
+
+    /// Creates a shared engine over an already-shared relation — e.g.
+    /// to run several sessions (different configs) over one relation
+    /// without copying it.
+    pub fn from_arc(rel: Arc<R>, config: EngineConfig, cache: CacheConfig) -> Self {
+        Self {
+            rel,
+            config,
+            cache_config: cache,
+            cache: ShardedCache::new(cache),
+            counters: WorkCounters::default(),
+        }
+    }
+
+    /// The session defaults.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The cache sizing policy.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.cache_config
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &R {
+        &self.rel
+    }
+
+    /// Consumes the engine and returns the shared relation handle.
+    pub fn into_relation(self) -> Arc<R> {
+        self.rel
+    }
+
+    /// Cache/work counters since construction (or the last
+    /// [`clear_cache`](Self::clear_cache)), snapshotted from atomics.
+    /// Under concurrent traffic the snapshot is a consistent *final*
+    /// tally only once in-flight queries have finished.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            bucketizations: self.counters.bucketizations.load(Ordering::Relaxed),
+            bucket_cache_hits: self.counters.bucket_cache_hits.load(Ordering::Relaxed),
+            scans: self.counters.scans.load(Ordering::Relaxed),
+            scan_cache_hits: self.counters.scan_cache_hits.load(Ordering::Relaxed),
+            evictions: self.cache.evictions(),
+            lookups: self.cache.lookups(),
+            cached_cost: self.cache.current_cost(),
+        }
+    }
+
+    /// Per-shard cache counters (hit/miss/eviction/cost), for
+    /// observing shard balance under concurrent traffic.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Current total cost of all cached entries, in cells. Never
+    /// exceeds [`CacheConfig::max_cost`].
+    pub fn cache_cost(&self) -> u64 {
+        self.cache.current_cost()
+    }
+
+    /// Drops all cached bucketizations and scans and resets the
+    /// counters. Required after mutating the underlying relation
+    /// through interior mutability; never needed otherwise (the
+    /// bounded cache evicts on its own).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+        self.counters.bucketizations.store(0, Ordering::Relaxed);
+        self.counters.bucket_cache_hits.store(0, Ordering::Relaxed);
+        self.counters.scans.store(0, Ordering::Relaxed);
+        self.counters.scan_cache_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Starts a fluent query over the numeric attribute named `attr`.
+    /// The name is resolved when the query runs, so typos surface as
+    /// errors from the terminal method, not panics here.
+    pub fn query(&self, attr: impl Into<String>) -> Query<'_, R> {
+        Query::by_name(self, attr.into())
+    }
+
+    /// Starts a fluent query over a numeric attribute handle.
+    pub fn query_attr(&self, attr: NumAttr) -> Query<'_, R> {
+        Query::by_attr(self, attr)
+    }
+
+    /// Lazily mines both optimized rules for **every**
+    /// (numeric attribute, Boolean attribute = yes) combination — the
+    /// §1.3 "all combinations" sweep, ordered numeric-major. See
+    /// [`mine_all_pairs`](Self::mine_all_pairs) for the multi-threaded
+    /// eager variant.
+    pub fn queries_for_all_pairs(&self) -> AllPairs<'_, R> {
+        AllPairs::new(self)
+    }
+
+    /// Mines the full §1.3 sweep fanned out over `threads` scoped
+    /// worker threads pulling pairs from a shared work queue. Results
+    /// are returned in the same deterministic numeric-major order as
+    /// [`queries_for_all_pairs`](Self::queries_for_all_pairs)
+    /// regardless of `threads` — and, because each query is
+    /// deterministic and cache effects are invisible, the `RuleSet`s
+    /// themselves are identical to a sequential run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in pair order, if any query fails.
+    pub fn mine_all_pairs(&self, threads: usize) -> Result<Vec<RuleSet>>
+    where
+        R: Send + Sync,
+    {
+        let schema = self.relation().schema();
+        let numeric: Vec<NumAttr> = schema.numeric_attrs().collect();
+        let booleans: Vec<BoolAttr> = schema.boolean_attrs().collect();
+        let pairs: Vec<(NumAttr, BoolAttr)> = numeric
+            .iter()
+            .flat_map(|&a| booleans.iter().map(move |&b| (a, b)))
+            .collect();
+        let mine = |&(a, b): &(NumAttr, BoolAttr)| {
+            self.query_attr(a)
+                .objective(Condition::BoolIs(b, true))
+                .run()
+        };
+        let workers = threads.max(1).min(pairs.len().max(1));
+        if workers == 1 {
+            return pairs.iter().map(mine).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, Result<RuleSet>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mined = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(pair) = pairs.get(i) else { break };
+                            mined.push((i, mine(pair)));
+                        }
+                        mined
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mining worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<Result<RuleSet>>> = (0..pairs.len()).map(|_| None).collect();
+        for (i, result) in per_worker.into_iter().flatten() {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("work queue covered every pair"))
+            .collect()
+    }
+
+    /// The per-attribute sampling seed: the session seed mixed with the
+    /// attribute index so distinct attributes draw distinct samples.
+    pub(crate) fn attr_seed(seed: u64, attr: NumAttr) -> u64 {
+        seed ^ (attr.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Step 1 (cached): bucket boundaries via Algorithm 3.1. On a
+    /// miss, the sampling + sort runs *outside* any lock; concurrent
+    /// misses on the same key both compute (the results are
+    /// deterministic and identical) and the first insert wins.
+    pub(crate) fn spec_for(&self, key: BucketKey) -> Result<Arc<BucketSpec>> {
+        match self.cache.get(&CacheKey::Bucket(key)) {
+            Some(CacheValue::Spec(spec)) => {
+                self.counters
+                    .bucket_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(spec);
+            }
+            Some(CacheValue::Counts(_)) => unreachable!("bucket key holds a spec"),
+            None => {}
+        }
+        // Counted at miss time, not after the fallible compute, so the
+        // hits() + misses() == lookups identity survives failed queries
+        // (zero buckets, empty relation, I/O errors).
+        self.counters.bucketizations.fetch_add(1, Ordering::Relaxed);
+        let cfg = EquiDepthConfig {
+            buckets: key.buckets,
+            samples_per_bucket: key.samples_per_bucket,
+            seed: Self::attr_seed(key.seed, key.attr),
+            method: SamplingMethod::WithReplacement,
+        };
+        let spec = Arc::new(equi_depth_cuts(&*self.rel, key.attr, &cfg)?);
+        self.cache.insert(
+            CacheKey::Bucket(key),
+            CacheValue::Spec(Arc::clone(&spec)),
+            spec_cost(&spec),
+        );
+        Ok(spec)
+    }
+
+    /// Steps 1–2 (cached): boundaries, then the counting scan (parallel
+    /// when `threads > 1`). The cached counts are already compacted
+    /// (empty buckets dropped).
+    pub(crate) fn counts_for(
+        &self,
+        key: BucketKey,
+        what: &CountSpec,
+        threads: usize,
+    ) -> Result<Arc<BucketCounts>> {
+        self.counts_for_key(key, spec_fingerprint(what), |_| what.clone(), threads)
+    }
+
+    /// The shared simple-query scan: every Boolean attribute counted at
+    /// once. Warm lookups are allocation-free — the spec is only built
+    /// on a cache miss.
+    pub(crate) fn counts_for_all_booleans(
+        &self,
+        key: BucketKey,
+        threads: usize,
+    ) -> Result<Arc<BucketCounts>> {
+        self.counts_for_key(
+            key,
+            ScanWhat::AllBooleans,
+            |rel| CountSpec {
+                attr: key.attr,
+                presumptive: Condition::True,
+                bool_targets: rel
+                    .schema()
+                    .boolean_attrs()
+                    .map(|battr| Condition::BoolIs(battr, true))
+                    .collect(),
+                sum_targets: Vec::new(),
+            },
+            threads,
+        )
+    }
+
+    fn counts_for_key(
+        &self,
+        key: BucketKey,
+        what: ScanWhat,
+        build_spec: impl FnOnce(&R) -> CountSpec,
+        threads: usize,
+    ) -> Result<Arc<BucketCounts>> {
+        let scan_key = ScanKey {
+            bucket: key,
+            threads,
+            what,
+        };
+        match self.cache.get(&CacheKey::Scan(scan_key.clone())) {
+            Some(CacheValue::Counts(counts)) => {
+                self.counters
+                    .scan_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(counts);
+            }
+            Some(CacheValue::Spec(_)) => unreachable!("scan key holds counts"),
+            None => {}
+        }
+        // Counted at miss time (see spec_for) so failed queries leave
+        // the stats identity intact.
+        self.counters.scans.fetch_add(1, Ordering::Relaxed);
+        let what = build_spec(&self.rel);
+        let spec = self.spec_for(key)?;
+        let counts = if threads > 1 {
+            count_buckets_parallel(&*self.rel, &spec, &what, threads)?
+        } else {
+            count_buckets(&*self.rel, &spec, &what)?
+        };
+        // Cache the *compacted* counts: every consumer compacts before
+        // optimizing, so compacting once per scan keeps warm queries
+        // free of the O(M · targets) copy.
+        let (_, counts) = counts.compact();
+        let counts = Arc::new(counts);
+        self.cache.insert(
+            CacheKey::Scan(scan_key),
+            CacheValue::Counts(Arc::clone(&counts)),
+            counts_cost(&counts),
+        );
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+    use optrules_relation::gen::{BankGenerator, DataGenerator};
+    use optrules_relation::Relation;
+
+    fn bank_shared(rows: u64, seed: u64, buckets: usize) -> SharedEngine<Relation> {
+        let rel = BankGenerator::default().to_relation(rows, seed);
+        SharedEngine::with_config(
+            rel,
+            EngineConfig {
+                buckets,
+                seed: 7,
+                min_support: Ratio::percent(10),
+                min_confidence: Ratio::percent(62),
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn shared_engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedEngine<Relation>>();
+        assert_send_sync::<SharedEngine<&Relation>>();
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_scan() {
+        let engine = bank_shared(5_000, 3, 50);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for target in ["CardLoan", "AutoWithdraw", "OnlineBanking"] {
+                        engine.query("Balance").objective_is(target).run().unwrap();
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        // Concurrent cold misses may duplicate the initial scan, but
+        // the steady state holds exactly one bucketization + one scan.
+        assert!(stats.scans >= 1);
+        assert!(engine.cache_cost() > 0);
+        assert_eq!(stats.hits() + stats.misses(), stats.lookups);
+        // A follow-up query is warm.
+        let before = engine.stats().scan_cache_hits;
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().scan_cache_hits, before + 1);
+    }
+
+    #[test]
+    fn mine_all_pairs_matches_lazy_iterator_any_thread_count() {
+        let engine = bank_shared(5_000, 3, 50);
+        let lazy: Vec<_> = engine.queries_for_all_pairs().map(|r| r.unwrap()).collect();
+        for threads in [1, 2, 4, 8] {
+            let fanned = engine.mine_all_pairs(threads).unwrap();
+            assert_eq!(fanned, lazy, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tiny_cache_still_answers_correctly() {
+        let rel = BankGenerator::default().to_relation(4_000, 9);
+        let bounded = SharedEngine::with_cache(
+            rel.clone(),
+            EngineConfig {
+                buckets: 40,
+                seed: 7,
+                ..EngineConfig::default()
+            },
+            CacheConfig {
+                max_cost: 64,
+                shards: 2,
+            },
+        );
+        let unbounded = SharedEngine::with_cache(
+            rel,
+            EngineConfig {
+                buckets: 40,
+                seed: 7,
+                ..EngineConfig::default()
+            },
+            CacheConfig::unbounded(),
+        );
+        for attr in ["Balance", "Age", "CheckingAccount"] {
+            let b = bounded.query(attr).objective_is("CardLoan").run().unwrap();
+            let u = unbounded
+                .query(attr)
+                .objective_is("CardLoan")
+                .run()
+                .unwrap();
+            assert_eq!(b, u, "{attr}");
+            assert!(bounded.cache_cost() <= 64);
+        }
+    }
+
+    #[test]
+    fn failed_queries_keep_the_stats_identity() {
+        let engine = bank_shared(1_000, 1, 10);
+        // Miss both caches, then fail inside the bucketization.
+        assert!(engine
+            .query("Balance")
+            .buckets(0)
+            .objective_is("CardLoan")
+            .run()
+            .is_err());
+        let stats = engine.stats();
+        assert_eq!(stats.hits() + stats.misses(), stats.lookups, "{stats:?}");
+        // The failed attempt is visible as work, not silently dropped.
+        assert_eq!(stats.scans, 1);
+        assert_eq!(stats.bucketizations, 1);
+        // A later healthy query still behaves normally.
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.hits() + stats.misses(), stats.lookups, "{stats:?}");
+    }
+
+    #[test]
+    fn clear_cache_takes_shared_self() {
+        let engine = bank_shared(2_000, 9, 20);
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        engine.clear_cache();
+        assert_eq!(engine.stats(), EngineStats::default());
+    }
+}

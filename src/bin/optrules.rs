@@ -14,8 +14,14 @@
 //! Relation files are the fixed-width format written by
 //! `FileRelationWriter` (see `optrules::relation::file`). Percentages
 //! are whole numbers (`--min-support 10` means 10 %). Mining runs on
-//! the `Engine` session API, so `mine-all` shares one counting scan per
-//! numeric attribute across all Boolean targets.
+//! the `Engine`/`SharedEngine` session API, so `mine-all` shares one
+//! counting scan per numeric attribute across all Boolean targets.
+//!
+//! `--threads` means different things per subcommand: for `mine` and
+//! `avg` it sets the counting-scan worker count (Algorithm 3.2); for
+//! `mine-all` it fans the attribute pairs out across that many scoped
+//! threads over one `SharedEngine` (each scan stays sequential, so the
+//! output is byte-identical for every `--threads` value).
 
 use optrules::prelude::*;
 use std::collections::HashMap;
@@ -222,21 +228,33 @@ fn parse_given(schema: &Schema, raw: &str) -> Result<Condition, String> {
     }
 }
 
+/// The `EngineConfig` flags shared by `mine`, `mine-all`, and `avg`.
+/// `scan_threads` is the counting-scan worker count — `mine-all`
+/// pins it to 1 because its `--threads` fans out whole queries
+/// instead.
+fn config_from_flags(
+    flags: &HashMap<&str, &str>,
+    scan_threads: usize,
+) -> Result<EngineConfig, String> {
+    Ok(EngineConfig {
+        buckets: flag_num(flags, "buckets", 1000usize)?,
+        min_support: Ratio::percent(flag_num(flags, "min-support", 10u64)?),
+        min_confidence: Ratio::percent(flag_num(flags, "min-confidence", 50u64)?),
+        threads: scan_threads,
+        seed: flag_num(flags, "seed", 7u64)?,
+        ..EngineConfig::default()
+    })
+}
+
 fn engine_from_flags(
     path: &str,
     flags: &HashMap<&str, &str>,
 ) -> Result<Engine<FileRelation>, String> {
     let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    let scan_threads = flag_num(flags, "threads", 1usize)?;
     Ok(Engine::with_config(
         rel,
-        EngineConfig {
-            buckets: flag_num(flags, "buckets", 1000usize)?,
-            min_support: Ratio::percent(flag_num(flags, "min-support", 10u64)?),
-            min_confidence: Ratio::percent(flag_num(flags, "min-confidence", 50u64)?),
-            threads: flag_num(flags, "threads", 1usize)?,
-            seed: flag_num(flags, "seed", 7u64)?,
-            ..EngineConfig::default()
-        },
+        config_from_flags(flags, scan_threads)?,
     ))
 }
 
@@ -273,11 +291,15 @@ fn mine_all(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
             ))
         }
     };
-    let mut engine = engine_from_flags(path, flags)?;
-    let sets = engine
-        .queries_for_all_pairs()
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| e.to_string())?;
+    let threads: usize = flag_num(flags, "threads", 1)?;
+    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    // Here `--threads` fans *queries* out, not one scan: each worker
+    // runs whole pairs with a sequential counting scan, so results —
+    // and, after the deterministic numeric-major reassembly plus the
+    // stable sort below, the printed order — are identical for every
+    // thread count.
+    let engine = SharedEngine::with_config(rel, config_from_flags(flags, 1)?);
+    let sets = engine.mine_all_pairs(threads).map_err(|e| e.to_string())?;
     print!("{}", render_rule_sets(&sets, sort));
     println!("{} attribute pairs mined", sets.len());
     Ok(())

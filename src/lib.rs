@@ -88,8 +88,10 @@
 //!   parallel counting (Algorithm 3.2), and the sort-based baselines;
 //! * [`core`] — the optimizers, the average-operator ranges
 //!   (Section 5), and the [`core::engine::Engine`] /
-//!   [`core::query::Query`] session API (plus the deprecated
-//!   [`core::miner::Miner`] one-shot shim).
+//!   [`core::shared::SharedEngine`] / [`core::query::Query`] session
+//!   API with its bounded sharded cache ([`core::cache`]) — plus the
+//!   deprecated [`core::miner::Miner`] one-shot shim. `SharedEngine`
+//!   takes `&self` and is `Send + Sync` for parallel query traffic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -107,9 +109,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::core::Miner;
     pub use crate::core::{
-        optimize_confidence, optimize_support, AvgRule, Engine, EngineConfig, EngineStats,
-        MinedAverage, MinedPair, MinerConfig, Objective, OptRange, Query, RangeRule, Ratio, Rule,
-        RuleKind, RuleSet, Task,
+        optimize_confidence, optimize_support, AvgRule, CacheConfig, Engine, EngineConfig,
+        EngineStats, MinedAverage, MinedPair, MinerConfig, Objective, OptRange, Query, RangeRule,
+        Ratio, Rule, RuleKind, RuleSet, ShardStats, SharedEngine, Task,
     };
     pub use crate::relation::gen::{
         BankGenerator, DataGenerator, PlantedRangeGenerator, RetailGenerator, UniformWorkload,

@@ -189,6 +189,40 @@ fn unknown_flag_is_an_error_naming_the_flag() {
 }
 
 #[test]
+fn mine_all_threaded_output_is_identical_to_sequential() {
+    let path = tmp("mt-determinism");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "20000", "--seed", "5"]);
+    let args = |threads: &'static str| {
+        vec![
+            "mine-all",
+            path_s,
+            "--buckets",
+            "100",
+            "--min-support",
+            "5",
+            "--min-confidence",
+            "55",
+            "--threads",
+            threads,
+        ]
+    };
+    // Results are reassembled in numeric-major pair order and sorted
+    // stably before printing, so the fan-out width must not change a
+    // single byte of output.
+    let sequential = run_ok(&args("1"));
+    assert!(
+        sequential.contains("12 attribute pairs mined"),
+        "{sequential}"
+    );
+    for threads in ["2", "8"] {
+        let fanned = run_ok(&args(threads));
+        assert_eq!(fanned, sequential, "--threads {threads} changed the output");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn mine_all_pairs_cli() {
     let path = tmp("allpairs");
     let path_s = path.to_str().unwrap();

@@ -1,0 +1,210 @@
+//! Concurrency stress test: many threads firing mixed queries at one
+//! [`SharedEngine`] must observe results byte-identical to a fresh
+//! cache-free oracle — caching, sharding, and eviction are invisible.
+//!
+//! Run in CI both with the default parallel test runner and under
+//! `RUST_TEST_THREADS=1 cargo test --release` (different race windows).
+
+use optrules::prelude::*;
+
+const THREADS: usize = 8;
+const QUERIES_PER_THREAD: usize = 50;
+
+/// One deterministic query shape. `run_on` rebuilds the same fluent
+/// query against any engine, so the shared session and the cache-free
+/// oracle execute identical plans.
+#[derive(Debug, Clone, Copy)]
+struct Desc {
+    attr: &'static str,
+    objective: Obj,
+    given: Option<(&'static str, bool)>,
+    buckets: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Obj {
+    /// Boolean objective `(name = yes)`.
+    Is(&'static str),
+    /// §5 average operator over the named target.
+    Avg(&'static str),
+}
+
+impl Desc {
+    fn run_on(&self, engine: &SharedEngine<&Relation>) -> RuleSet {
+        let mut query = engine.query(self.attr);
+        if let Some((name, value)) = self.given {
+            let battr = engine.relation().schema().boolean(name).unwrap();
+            query = query.given(Condition::BoolIs(battr, value));
+        }
+        if let Some(buckets) = self.buckets {
+            query = query.buckets(buckets);
+        }
+        match self.objective {
+            Obj::Is(target) => query.objective_is(target).run().unwrap(),
+            Obj::Avg(target) => query.average_of(target).run().unwrap(),
+        }
+    }
+}
+
+/// The mixed workload: every simple (numeric, Boolean) pair, §4.3
+/// generalized rules, §5 averages, and per-query bucket overrides.
+fn descriptors() -> Vec<Desc> {
+    let simple = |attr, target| Desc {
+        attr,
+        objective: Obj::Is(target),
+        given: None,
+        buckets: None,
+    };
+    let mut descs = Vec::new();
+    for attr in ["Balance", "Age", "CheckingAccount", "SavingAccount"] {
+        for target in ["CardLoan", "AutoWithdraw", "OnlineBanking"] {
+            descs.push(simple(attr, target));
+        }
+    }
+    descs.push(Desc {
+        given: Some(("AutoWithdraw", true)),
+        ..simple("Balance", "CardLoan")
+    });
+    descs.push(Desc {
+        given: Some(("OnlineBanking", false)),
+        ..simple("Age", "CardLoan")
+    });
+    descs.push(Desc {
+        attr: "CheckingAccount",
+        objective: Obj::Avg("SavingAccount"),
+        given: None,
+        buckets: None,
+    });
+    descs.push(Desc {
+        attr: "Balance",
+        objective: Obj::Avg("Age"),
+        given: Some(("CardLoan", true)),
+        buckets: None,
+    });
+    descs.push(Desc {
+        buckets: Some(25),
+        ..simple("Balance", "CardLoan")
+    });
+    descs.push(Desc {
+        buckets: Some(75),
+        ..simple("Age", "AutoWithdraw")
+    });
+    descs
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        buckets: 60,
+        seed: 7,
+        min_support: Ratio::percent(5),
+        min_confidence: Ratio::percent(55),
+        ..EngineConfig::default()
+    }
+}
+
+/// A cache-free engine: zero cost budget means nothing is ever
+/// admitted, so every query runs the full cold path.
+fn oracle_engine(rel: &Relation) -> SharedEngine<&Relation> {
+    SharedEngine::with_cache(
+        rel,
+        config(),
+        CacheConfig {
+            max_cost: 0,
+            shards: 1,
+        },
+    )
+}
+
+/// The descriptor each (thread, iteration) slot runs: a deterministic
+/// mix that makes threads collide on hot keys and also visit rare ones.
+fn slot_descriptor(thread: usize, iteration: usize, count: usize) -> usize {
+    (thread * QUERIES_PER_THREAD + iteration) * 13 % count
+}
+
+fn stress(shared: &SharedEngine<&Relation>, expected: &[RuleSet]) {
+    let descs = descriptors();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|thread| {
+                let descs = &descs;
+                scope.spawn(move || {
+                    let mut mined = Vec::with_capacity(QUERIES_PER_THREAD);
+                    for iteration in 0..QUERIES_PER_THREAD {
+                        let idx = slot_descriptor(thread, iteration, descs.len());
+                        mined.push((idx, descs[idx].run_on(shared)));
+                    }
+                    mined
+                })
+            })
+            .collect();
+        for (thread, handle) in handles.into_iter().enumerate() {
+            for (idx, got) in handle.join().expect("stress worker panicked") {
+                assert_eq!(
+                    got, expected[idx],
+                    "thread {thread} descriptor {idx} diverged from the cache-free oracle"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn shared_engine_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedEngine<Relation>>();
+    assert_send_sync::<SharedEngine<FileRelation>>();
+}
+
+#[test]
+fn eight_threads_match_cache_free_oracle() {
+    let rel = BankGenerator::default().to_relation(20_000, 11);
+    let descs = descriptors();
+    // Oracle: a fresh cache-free run per descriptor.
+    let expected: Vec<RuleSet> = descs
+        .iter()
+        .map(|d| d.run_on(&oracle_engine(&rel)))
+        .collect();
+
+    let shared = SharedEngine::with_config(&rel, config());
+    stress(&shared, &expected);
+
+    let stats = shared.stats();
+    assert_eq!(
+        stats.hits() + stats.misses(),
+        stats.lookups,
+        "every lookup must be exactly one hit or one miss: {stats:?}"
+    );
+    assert!(
+        stats.hits() > 0,
+        "400 queries over {} shapes must hit the cache: {stats:?}",
+        descs.len()
+    );
+    assert!(stats.cached_cost <= shared.cache_config().max_cost);
+}
+
+#[test]
+fn eight_threads_match_oracle_under_constant_eviction() {
+    let rel = BankGenerator::default().to_relation(8_000, 11);
+    let descs = descriptors();
+    let expected: Vec<RuleSet> = descs
+        .iter()
+        .map(|d| d.run_on(&oracle_engine(&rel)))
+        .collect();
+
+    // A cache far too small for the workload: entries are evicted and
+    // recomputed constantly, concurrently — results must not change.
+    let tight = CacheConfig {
+        max_cost: 800,
+        shards: 4,
+    };
+    let shared = SharedEngine::with_cache(&rel, config(), tight);
+    stress(&shared, &expected);
+
+    let stats = shared.stats();
+    assert_eq!(stats.hits() + stats.misses(), stats.lookups, "{stats:?}");
+    assert!(stats.cached_cost <= tight.max_cost, "{stats:?}");
+    assert!(
+        stats.evictions > 0,
+        "an 800-cell budget must evict under this workload: {stats:?}"
+    );
+}
