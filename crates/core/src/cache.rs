@@ -24,11 +24,21 @@
 //! `max_cost / shards`; an entry costlier than a whole shard budget is
 //! never admitted (counted in [`ShardStats::rejected`]), so a single
 //! huge scan cannot blow the bound either.
+//!
+//! **Singleflight**: cold misses are coalesced per key. A thread that
+//! misses calls [`ShardedCache::begin`]; the first caller becomes the
+//! *leader* (and computes), later callers become *waiters* parked on a
+//! condvar until the leader publishes the value — so `N` concurrent
+//! cold queries on one `BucketKey`/`ScanKey` run the expensive
+//! sample-sort or relation scan exactly once. A failed leader wakes the
+//! waiters empty-handed and one of them retries, so errors are never
+//! cached and a panicking leader cannot strand its waiters (the flight
+//! guard resolves on drop).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Sizing policy for a [`SharedEngine`](crate::shared::SharedEngine)
 /// cache.
@@ -121,12 +131,105 @@ struct Counters {
     rejected: AtomicU64,
 }
 
+/// One in-flight computation: waiters park on the condvar until the
+/// leader resolves the flight with `Done(Some(value))` (success) or
+/// `Done(None)` (failure — retry).
+#[derive(Debug)]
+pub(crate) struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum FlightState<V> {
+    Pending,
+    Done(Option<V>),
+}
+
+impl<V: Clone> Flight<V> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader resolves the flight. `Some` is the
+    /// computed value; `None` means the leader failed and the caller
+    /// should retry (possibly becoming the new leader).
+    pub(crate) fn wait(&self) -> Option<V> {
+        let mut state = self.state.lock().expect("flight poisoned");
+        loop {
+            match &*state {
+                FlightState::Pending => state = self.cv.wait(state).expect("flight poisoned"),
+                FlightState::Done(value) => return value.clone(),
+            }
+        }
+    }
+
+    fn resolve(&self, value: Option<V>) {
+        *self.state.lock().expect("flight poisoned") = FlightState::Done(value);
+        self.cv.notify_all();
+    }
+}
+
+/// What [`ShardedCache::begin`] assigned the caller.
+pub(crate) enum FlightRole<'a, K: Eq + Hash + Clone, V: Clone> {
+    /// The value landed in the cache between the caller's miss and this
+    /// call — no computation needed.
+    Ready(V),
+    /// The caller computes; it must call [`FlightGuard::finish`] (a
+    /// dropped guard resolves the flight as failed).
+    Leader(FlightGuard<'a, K, V>),
+    /// Another thread is computing this key; call [`Flight::wait`].
+    Waiter(Arc<Flight<V>>),
+}
+
+/// Leadership of one flight. Resolving happens exactly once: through
+/// [`finish`](Self::finish), or on drop (as a failure) if the leader
+/// unwinds.
+pub(crate) struct FlightGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    cache: &'a ShardedCache<K, V>,
+    shard: usize,
+    key: Option<K>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> FlightGuard<'_, K, V> {
+    /// Publishes the flight's outcome to every waiter and retires the
+    /// flight. Pass `Some` *after* inserting the value into the cache,
+    /// so threads arriving post-retirement find it there.
+    pub(crate) fn finish(mut self, value: Option<V>) {
+        self.complete(value);
+    }
+
+    fn complete(&mut self, value: Option<V>) {
+        let Some(key) = self.key.take() else { return };
+        let flight = self.cache.inflight[self.shard]
+            .lock()
+            .expect("inflight registry poisoned")
+            .remove(&key);
+        if let Some(flight) = flight {
+            flight.resolve(value);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for FlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        self.complete(None);
+    }
+}
+
 /// The sharded cost-aware LRU cache. Interior-mutable: all operations
 /// take `&self`.
 #[derive(Debug)]
 pub(crate) struct ShardedCache<K, V> {
     shards: Vec<RwLock<Shard<K, V>>>,
     counters: Vec<Counters>,
+    /// Per-shard singleflight registry: keys currently being computed.
+    /// A `Mutex` (not `RwLock`) because every touch mutates it, and it
+    /// is held only for map operations — never across a computation.
+    inflight: Vec<Mutex<HashMap<K, Arc<Flight<V>>>>>,
     per_shard_budget: u64,
 }
 
@@ -136,6 +239,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
         Self {
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             counters: (0..shards).map(|_| Counters::default()).collect(),
+            inflight: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             // Floor division: shards × budget ≤ max_cost, so the
             // per-shard invariant implies the global one.
             per_shard_budget: config.max_cost / shards as u64,
@@ -155,19 +259,55 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     /// shard's read lock.
     pub(crate) fn get(&self, key: &K) -> Option<V> {
         let s = self.shard_of(key);
-        let shard = self.shards[s].read().expect("cache shard poisoned");
-        match shard.map.get(key) {
-            Some(entry) => {
-                let tick = self.counters[s].tick.fetch_add(1, Ordering::Relaxed);
-                entry.last_used.store(tick, Ordering::Relaxed);
+        match self.peek(s, key) {
+            Some(value) => {
                 self.counters[s].hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.value.clone())
+                Some(value)
             }
             None => {
                 self.counters[s].misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
+    }
+
+    /// [`get`](Self::get) without the hit/miss accounting — used where
+    /// the lookup re-checks a key whose miss was already counted, so
+    /// the `hits + misses == lookups` identity stays exact.
+    fn peek(&self, s: usize, key: &K) -> Option<V> {
+        let shard = self.shards[s].read().expect("cache shard poisoned");
+        shard.map.get(key).map(|entry| {
+            let tick = self.counters[s].tick.fetch_add(1, Ordering::Relaxed);
+            entry.last_used.store(tick, Ordering::Relaxed);
+            entry.value.clone()
+        })
+    }
+
+    /// Joins (or starts) the singleflight for `key` after a miss. The
+    /// first caller per key becomes [`FlightRole::Leader`]; concurrent
+    /// callers become [`FlightRole::Waiter`]s. If the previous leader
+    /// already published the value, returns it as [`FlightRole::Ready`]
+    /// — the cache is re-checked *under the registry lock*, closing the
+    /// race where a miss predates the leader's insert.
+    pub(crate) fn begin(&self, key: &K) -> FlightRole<'_, K, V> {
+        let s = self.shard_of(key);
+        let mut inflight = self.inflight[s].lock().expect("inflight registry poisoned");
+        if let Some(flight) = inflight.get(key) {
+            return FlightRole::Waiter(Arc::clone(flight));
+        }
+        // No flight for this key means any previous leader has finished
+        // — and it inserts before finishing, so a peek here is ordered
+        // after that insert (both flight retirement and this check hold
+        // the registry lock).
+        if let Some(value) = self.peek(s, key) {
+            return FlightRole::Ready(value);
+        }
+        inflight.insert(key.clone(), Arc::new(Flight::new()));
+        FlightRole::Leader(FlightGuard {
+            cache: self,
+            shard: s,
+            key: Some(key.clone()),
+        })
     }
 
     /// Inserts `key → value`, evicting least-recently-used entries
@@ -218,7 +358,10 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    /// Drops every entry and resets all counters.
+    /// Drops every entry and resets all counters. In-flight
+    /// computations are left alone: removing a registry entry here
+    /// would strand its waiters, and the flight resolves through its
+    /// own guard regardless.
     pub(crate) fn clear(&self) {
         for (shard, counters) in self.shards.iter().zip(&self.counters) {
             let mut shard = shard.write().expect("cache shard poisoned");
@@ -353,6 +496,82 @@ mod tests {
         assert_eq!(cache.lookups(), 0);
         assert_eq!(cache.evictions(), 0);
         assert!(cache.shard_stats().iter().all(|s| s.entries == 0));
+    }
+
+    #[test]
+    fn first_begin_leads_then_ready_after_publish() {
+        let cache = one_shard(10);
+        assert_eq!(cache.get(&1), None);
+        let FlightRole::Leader(guard) = cache.begin(&1) else {
+            panic!("first begin must lead");
+        };
+        cache.insert(1, 10, 1);
+        guard.finish(Some(10));
+        // The flight is retired; a late thread that missed before the
+        // insert is handed the value by begin itself.
+        match cache.begin(&1) {
+            FlightRole::Ready(v) => assert_eq!(v, 10),
+            _ => panic!("published value must short-circuit begin"),
+        };
+    }
+
+    #[test]
+    fn dropped_leader_wakes_waiters_to_retry() {
+        let cache = one_shard(10);
+        let FlightRole::Leader(guard) = cache.begin(&1) else {
+            panic!("first begin must lead");
+        };
+        let FlightRole::Waiter(flight) = cache.begin(&1) else {
+            panic!("second begin must wait");
+        };
+        drop(guard); // leader failed / unwound
+        assert_eq!(flight.wait(), None, "failure wakes waiters empty");
+        // The flight is retired, so a retry can lead.
+        assert!(matches!(cache.begin(&1), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn waiters_coalesce_on_one_leader() {
+        let cache = std::sync::Arc::new(one_shard(16));
+        let computes = std::sync::Arc::new(AtomicU64::new(0));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = std::sync::Arc::clone(&cache);
+                let computes = std::sync::Arc::clone(&computes);
+                let barrier = std::sync::Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    loop {
+                        if let Some(v) = cache.get(&7) {
+                            return v;
+                        }
+                        match cache.begin(&7) {
+                            FlightRole::Ready(v) => return v,
+                            FlightRole::Leader(guard) => {
+                                computes.fetch_add(1, Ordering::Relaxed);
+                                // Widen the window so waiters really park.
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                cache.insert(7, 42, 1);
+                                guard.finish(Some(42));
+                                return 42;
+                            }
+                            FlightRole::Waiter(flight) => {
+                                if let Some(v) = flight.wait() {
+                                    return v;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            computes.load(Ordering::Relaxed),
+            1,
+            "all cold misses must coalesce onto one computation"
+        );
+        assert_eq!(cache.get(&7), Some(42));
     }
 
     #[test]

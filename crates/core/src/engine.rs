@@ -69,6 +69,7 @@ use crate::cache::CacheConfig;
 use crate::query::{AllPairs, Query};
 use crate::ratio::Ratio;
 use crate::shared::SharedEngine;
+use crate::spec::QuerySpec;
 use std::sync::Arc;
 
 use optrules_relation::{NumAttr, RandomAccess};
@@ -127,6 +128,11 @@ pub struct EngineStats {
     pub scans: u64,
     /// Counting scans served from the cache.
     pub scan_cache_hits: u64,
+    /// Cold misses that parked on another thread's in-flight
+    /// computation instead of duplicating it (singleflight). Counted
+    /// as cache hits in [`hits`](Self::hits) — the waiter was served a
+    /// computed value without doing O(N) work itself.
+    pub coalesced_waits: u64,
     /// Cache entries evicted to stay under the
     /// [`CacheConfig::max_cost`](crate::cache::CacheConfig::max_cost)
     /// budget.
@@ -243,6 +249,33 @@ impl<R: RandomAccess> Engine<R> {
     /// Starts a fluent query over a numeric attribute handle.
     pub fn query_attr(&mut self, attr: NumAttr) -> Query<'_, R> {
         self.shared.query_attr(attr)
+    }
+
+    /// Runs one declarative [`QuerySpec`] — identical to building the
+    /// same query fluently and calling its terminal method. See
+    /// [`SharedEngine::run_spec`](crate::shared::SharedEngine::run_spec).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown attribute names, invalid thresholds, or
+    /// bucketing/storage errors.
+    pub fn run_spec(&mut self, spec: &QuerySpec) -> crate::error::Result<crate::query::RuleSet> {
+        self.shared.run_spec(spec)
+    }
+
+    /// Plans and executes a batch of specs with shared work
+    /// deduplicated; sequential here (`Engine` is the single-threaded
+    /// facade) but byte-identical to
+    /// [`SharedEngine::run_batch`](crate::shared::SharedEngine::run_batch)
+    /// at any thread count.
+    pub fn run_batch(
+        &mut self,
+        specs: &[QuerySpec],
+    ) -> Vec<crate::error::Result<crate::query::RuleSet>>
+    where
+        R: Send + Sync,
+    {
+        self.shared.run_batch(specs, 1)
     }
 
     /// Lazily mines both optimized rules for **every**

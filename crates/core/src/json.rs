@@ -1,0 +1,1277 @@
+//! A dependency-free JSON layer for the query protocol: encode/decode
+//! [`QuerySpec`] requests and [`RuleSet`] responses.
+//!
+//! Hand-rolled (no serde — this workspace builds offline) but complete
+//! for the protocol's needs: a generic [`Json`] value with a strict
+//! recursive-descent parser (string escapes incl. `\uXXXX` surrogate
+//! pairs, scientific-notation numbers, a nesting-depth limit) and a
+//! compact, canonical encoder (stable field order, minimal fields), so
+//! encoded output is byte-deterministic and golden-testable.
+//!
+//! # Spec schema (requests)
+//!
+//! One spec is one JSON object; the CLI's `optrules batch` reads one
+//! per line (NDJSON). Only `attr` and `objective` are required —
+//! everything else falls back to the serving engine's defaults:
+//!
+//! ```json
+//! {
+//!   "attr": "Balance",
+//!   "objective": {"bool": "CardLoan"},
+//!   "given": [{"bool": "AutoWithdraw", "is": true}],
+//!   "task": "both",
+//!   "min_support": [10, 100],
+//!   "min_confidence": [60, 100],
+//!   "buckets": 200,
+//!   "samples_per_bucket": 40,
+//!   "seed": 7,
+//!   "threads": 1,
+//!   "scan_all_booleans": true
+//! }
+//! ```
+//!
+//! * `objective` — exactly one of
+//!   `{"bool": "<boolean attr>"}` (rule implies `(attr = yes)`),
+//!   `{"all": [<cond>, ...]}` (arbitrary conjunction; `[]` is always
+//!   true), or `{"average": "<numeric attr>"}` (§5 average operator,
+//!   which admits `min_average` instead of `min_confidence`).
+//! * `<cond>` — one of `{"bool": "<attr>", "is": <bool>}`,
+//!   `{"num": "<attr>", "eq": <x>}`, or
+//!   `{"num": "<attr>", "in": [<lo>, <hi>]}` (inclusive bounds).
+//! * `task` — `"both"` (default), `"support"`, or `"confidence"`.
+//! * `min_support` / `min_confidence` — exact rationals as
+//!   `[numerator, denominator]` (`[10, 100]` = 10 %), never floats:
+//!   thresholds decide optimality by integer cross-multiplication.
+//! * Unknown keys are rejected — a typo'd option must not silently
+//!   become a default.
+//!
+//! # Result schema (responses)
+//!
+//! ```json
+//! {
+//!   "attr": "Balance",
+//!   "objective": "(CardLoan = yes)",
+//!   "buckets_used": 198,
+//!   "total_rows": 100000,
+//!   "rules": [
+//!     {"kind": "optimized_support", "buckets": [12, 58],
+//!      "values": [3004.2, 7998.9], "count": 24890, "hits": 16120,
+//!      "rows": 100000}
+//!   ]
+//! }
+//! ```
+//!
+//! `kind` is one of `optimized_support`, `optimized_confidence`,
+//! `maximum_average`, `maximum_support_average`; the two average kinds
+//! carry `sum` (target-value sum over the range) instead of `hits`.
+//! Derived quantities (support, confidence, average) are intentionally
+//! not encoded — clients recompute them from the exact counts.
+//!
+//! The CLI's batch responses wrap each result as `{"ok": <result>}` or
+//! `{"error": "<message>"}`, one per request line.
+//!
+//! # Numbers
+//!
+//! Integers round-trip exactly across the full `u64`/`i64` range (the
+//! parser keeps integer text out of `f64`), and finite floats
+//! round-trip exactly via Rust's shortest-representation formatting.
+//! JSON has no non-finite literals, so in *float-valued positions* the
+//! strings `"Infinity"`, `"-Infinity"`, and `"NaN"` stand in (and are
+//! accepted back; a NaN with a non-canonical bit pattern travels as
+//! `"NaN:0x<16 hex digits>"` so even NaN payloads round-trip
+//! bit-exactly). Non-finite values cannot occur in mined output —
+//! observed value ranges are finite — but the stand-ins keep spec
+//! round-trips total. Number literals that overflow `f64` (`1e999`)
+//! are rejected outright rather than saturated.
+
+use crate::error::CoreError;
+use crate::query::{AvgRule, Rule, RuleSet, Task};
+use crate::ratio::Ratio;
+use crate::rule::{RangeRule, RuleKind};
+use crate::spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts — far deeper than any
+/// protocol message, shallow enough that hostile input cannot blow the
+/// stack.
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value.
+///
+/// Objects preserve insertion order (a `Vec` of pairs, not a map), so
+/// encoding is stable; duplicate keys are rejected by the typed
+/// decoders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (see [`Num`] for the integer/float split).
+    Num(Num),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON number, kept out of `f64` when it is integer text so `u64`
+/// seeds and counts survive round trips exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// Non-negative integer text that fits `u64`.
+    UInt(u64),
+    /// Negative integer text that fits `i64`.
+    Int(i64),
+    /// Everything else (fraction, exponent, or out of integer range).
+    Float(f64),
+}
+
+/// A parse or decode error, with the byte offset for parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset in the input (0 for semantic decode errors).
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl JsonError {
+    fn at(pos: usize, msg: impl Into<String>) -> Self {
+        Self {
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn decode(msg: impl Into<String>) -> Self {
+        Self::at(0, msg)
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos > 0 {
+            write!(f, "{} at byte {}", self.msg, self.pos)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for this module.
+pub type JsonResult<T> = std::result::Result<T, JsonError>;
+
+// ---------------------------------------------------------------------
+// Generic value: parsing and encoding
+// ---------------------------------------------------------------------
+
+impl Json {
+    /// Parses one JSON value from `text`, rejecting trailing content.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error with its byte offset.
+    pub fn parse(text: &str) -> JsonResult<Json> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::at(p.pos, "trailing content after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Encodes compactly (no whitespace), with object fields in
+    /// insertion order.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(Num::UInt(u)) => {
+                let _ = fmt::write(out, format_args!("{u}"));
+            }
+            Json::Num(Num::Int(i)) => {
+                let _ = fmt::write(out, format_args!("{i}"));
+            }
+            Json::Num(Num::Float(x)) => {
+                debug_assert!(x.is_finite(), "encode non-finite floats via enc_f64");
+                // Rust's float Display is the shortest string that
+                // parses back to the same value, so this round-trips.
+                let _ = fmt::write(out, format_args!("{x}"));
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::write(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> JsonResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(self.pos, format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> JsonResult<Json> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(JsonError::at(self.pos, format!("expected {text:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> JsonResult<Json> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::at(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(JsonError::at(
+                self.pos,
+                format!("unexpected character {:?}", other as char),
+            )),
+            None => Err(JsonError::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> JsonResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> JsonResult<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> JsonResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(JsonError::at(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| JsonError::at(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: a \uXXXX low
+                                // surrogate must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&low) {
+                                        return Err(JsonError::at(start, "invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                    char::from_u32(c)
+                                        .ok_or_else(|| JsonError::at(start, "invalid code point"))?
+                                } else {
+                                    return Err(JsonError::at(start, "unpaired surrogate"));
+                                }
+                            } else if (0xdc00..0xe000).contains(&unit) {
+                                return Err(JsonError::at(start, "unpaired surrogate"));
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| JsonError::at(start, "invalid code point"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(JsonError::at(
+                                start,
+                                format!("invalid escape \\{}", other as char),
+                            ))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::at(self.pos, "raw control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. The input is a &str and
+                    // pos only ever advances by whole scalars, so this
+                    // slice is at a char boundary — O(1), no
+                    // re-validation of the remaining input.
+                    let c = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> JsonResult<u32> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| JsonError::at(self.pos, "truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice)
+            .map_err(|_| JsonError::at(self.pos, "invalid \\u escape"))?;
+        let unit = u32::from_str_radix(text, 16)
+            .map_err(|_| JsonError::at(self.pos, "invalid \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> JsonResult<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(JsonError::at(start, "invalid number"));
+        }
+        // JSON forbids leading zeros ("01"), which integer parsing
+        // would otherwise accept.
+        if self.bytes[digits_start] == b'0' && self.pos - digits_start > 1 {
+            return Err(JsonError::at(start, "leading zero in number"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(JsonError::at(start, "invalid number"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(JsonError::at(start, "invalid number"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // "-0" must stay a float: Int(0) would drop the sign bit that
+        // bit-exact Real round-trips preserve.
+        if integral && text != "-0" {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::Num(Num::UInt(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Num(Num::Int(i)));
+            }
+        }
+        match text.parse::<f64>() {
+            // Rust's parse saturates overflowing literals ("1e999") to
+            // ±∞; admitting them would break the finite-only encoder
+            // invariant (non-finite values travel as strings instead).
+            Ok(x) if x.is_finite() => Ok(Json::Num(Num::Float(x))),
+            Ok(_) => Err(JsonError::at(start, "number out of f64 range")),
+            Err(_) => Err(JsonError::at(start, "invalid number")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic value: typed accessors
+// ---------------------------------------------------------------------
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn as_obj(&self) -> JsonResult<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(JsonError::decode(format!(
+                "expected an object, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_arr(&self) -> JsonResult<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::decode(format!(
+                "expected an array, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_str(&self) -> JsonResult<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::decode(format!(
+                "expected a string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_bool(&self) -> JsonResult<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::decode(format!(
+                "expected a bool, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_u64(&self) -> JsonResult<u64> {
+        match self {
+            Json::Num(Num::UInt(u)) => Ok(*u),
+            other => Err(JsonError::decode(format!(
+                "expected a non-negative integer, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_f64(&self) -> JsonResult<f64> {
+        match self {
+            Json::Num(Num::UInt(u)) => Ok(*u as f64),
+            Json::Num(Num::Int(i)) => Ok(*i as f64),
+            Json::Num(Num::Float(x)) => Ok(*x),
+            Json::Str(s) => match s.as_str() {
+                "Infinity" => Ok(f64::INFINITY),
+                "-Infinity" => Ok(f64::NEG_INFINITY),
+                "NaN" => Ok(f64::NAN),
+                other => match other.strip_prefix("NaN:0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16)
+                        .ok()
+                        .map(f64::from_bits)
+                        // Only genuine NaN bit patterns may ride the
+                        // NaN channel — "NaN:0x0" must not decode.
+                        .filter(|x| x.is_nan())
+                        .ok_or_else(|| JsonError::decode(format!("invalid NaN bit pattern {s:?}"))),
+                    None => Err(JsonError::decode(format!("expected a number, got {s:?}"))),
+                },
+            },
+            other => Err(JsonError::decode(format!(
+                "expected a number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// Encodes an `f64`, representing non-finite values as the strings the
+/// decoder accepts back (JSON has no non-finite number literals). NaNs
+/// with a non-canonical bit pattern (payloads, negative NaN) carry
+/// their bits explicitly, so the bit-exact round trip [`Real`] equality
+/// relies on stays total.
+fn enc_f64(x: f64) -> Json {
+    if x.is_finite() {
+        Json::Num(Num::Float(x))
+    } else if x.is_nan() {
+        if x.to_bits() == f64::NAN.to_bits() {
+            Json::Str("NaN".into())
+        } else {
+            Json::Str(format!("NaN:0x{:016x}", x.to_bits()))
+        }
+    } else if x > 0.0 {
+        Json::Str("Infinity".into())
+    } else {
+        Json::Str("-Infinity".into())
+    }
+}
+
+/// A strict object reader: every key must be consumed exactly once;
+/// duplicates and leftovers are errors.
+struct ObjReader<'a> {
+    what: &'static str,
+    fields: &'a [(String, Json)],
+    used: Vec<bool>,
+}
+
+impl<'a> ObjReader<'a> {
+    fn new(what: &'static str, value: &'a Json) -> JsonResult<Self> {
+        let fields = value.as_obj()?;
+        for (i, (key, _)) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|(k, _)| k == key) {
+                return Err(JsonError::decode(format!(
+                    "duplicate key {key:?} in {what}"
+                )));
+            }
+        }
+        Ok(Self {
+            what,
+            fields,
+            used: vec![false; fields.len()],
+        })
+    }
+
+    fn optional(&mut self, key: &str) -> Option<&'a Json> {
+        let (i, (_, value)) = self
+            .fields
+            .iter()
+            .enumerate()
+            .find(|(_, (k, _))| k == key)?;
+        self.used[i] = true;
+        Some(value)
+    }
+
+    fn required(&mut self, key: &str) -> JsonResult<&'a Json> {
+        self.optional(key)
+            .ok_or_else(|| JsonError::decode(format!("{} is missing {key:?}", self.what)))
+    }
+
+    fn finish(self) -> JsonResult<()> {
+        match self.fields.iter().zip(&self.used).find(|(_, used)| !**used) {
+            Some(((key, _), _)) => Err(JsonError::decode(format!(
+                "unknown key {key:?} in {}",
+                self.what
+            ))),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// QuerySpec encode/decode
+// ---------------------------------------------------------------------
+
+fn cond_to_value(cond: &CondSpec) -> Json {
+    match cond {
+        CondSpec::BoolIs { attr, value } => Json::Obj(vec![
+            ("bool".into(), Json::Str(attr.clone())),
+            ("is".into(), Json::Bool(*value)),
+        ]),
+        CondSpec::NumEq { attr, value } => Json::Obj(vec![
+            ("num".into(), Json::Str(attr.clone())),
+            ("eq".into(), enc_f64(value.get())),
+        ]),
+        CondSpec::NumInRange { attr, lo, hi } => Json::Obj(vec![
+            ("num".into(), Json::Str(attr.clone())),
+            (
+                "in".into(),
+                Json::Arr(vec![enc_f64(lo.get()), enc_f64(hi.get())]),
+            ),
+        ]),
+    }
+}
+
+fn cond_from_value(value: &Json) -> JsonResult<CondSpec> {
+    let mut obj = ObjReader::new("a condition", value)?;
+    let cond = if let Some(attr) = obj.optional("bool") {
+        CondSpec::BoolIs {
+            attr: attr.as_str()?.to_string(),
+            value: obj.required("is")?.as_bool()?,
+        }
+    } else if let Some(attr) = obj.optional("num") {
+        let attr = attr.as_str()?.to_string();
+        if let Some(eq) = obj.optional("eq") {
+            CondSpec::NumEq {
+                attr,
+                value: Real(eq.as_f64()?),
+            }
+        } else {
+            let bounds = obj.required("in")?.as_arr()?;
+            let [lo, hi] = bounds else {
+                return Err(JsonError::decode("\"in\" expects [lo, hi]"));
+            };
+            CondSpec::NumInRange {
+                attr,
+                lo: Real(lo.as_f64()?),
+                hi: Real(hi.as_f64()?),
+            }
+        }
+    } else {
+        return Err(JsonError::decode(
+            "a condition needs a \"bool\" or \"num\" attribute",
+        ));
+    };
+    obj.finish()?;
+    Ok(cond)
+}
+
+fn objective_to_value(objective: &ObjectiveSpec) -> Json {
+    match objective {
+        ObjectiveSpec::Bool { target } => {
+            Json::Obj(vec![("bool".into(), Json::Str(target.clone()))])
+        }
+        ObjectiveSpec::Cond { all } => Json::Obj(vec![(
+            "all".into(),
+            Json::Arr(all.iter().map(cond_to_value).collect()),
+        )]),
+        ObjectiveSpec::Average { target } => {
+            Json::Obj(vec![("average".into(), Json::Str(target.clone()))])
+        }
+    }
+}
+
+fn objective_from_value(value: &Json) -> JsonResult<ObjectiveSpec> {
+    let mut obj = ObjReader::new("an objective", value)?;
+    let objective = if let Some(target) = obj.optional("bool") {
+        ObjectiveSpec::Bool {
+            target: target.as_str()?.to_string(),
+        }
+    } else if let Some(all) = obj.optional("all") {
+        ObjectiveSpec::Cond {
+            all: all
+                .as_arr()?
+                .iter()
+                .map(cond_from_value)
+                .collect::<JsonResult<_>>()?,
+        }
+    } else if let Some(target) = obj.optional("average") {
+        ObjectiveSpec::Average {
+            target: target.as_str()?.to_string(),
+        }
+    } else {
+        return Err(JsonError::decode(
+            "an objective needs \"bool\", \"all\", or \"average\"",
+        ));
+    };
+    obj.finish()?;
+    Ok(objective)
+}
+
+fn ratio_to_value(ratio: Ratio) -> Json {
+    Json::Arr(vec![
+        Json::Num(Num::UInt(ratio.num())),
+        Json::Num(Num::UInt(ratio.den())),
+    ])
+}
+
+fn ratio_from_value(value: &Json) -> JsonResult<Ratio> {
+    let parts = value.as_arr()?;
+    let [num, den] = parts else {
+        return Err(JsonError::decode(
+            "a threshold expects [numerator, denominator]",
+        ));
+    };
+    Ratio::new(num.as_u64()?, den.as_u64()?)
+        .map_err(|e: CoreError| JsonError::decode(e.to_string()))
+}
+
+/// Converts a spec to its canonical [`Json`] value (defaulted fields
+/// omitted).
+pub fn spec_to_value(spec: &QuerySpec) -> Json {
+    let mut fields = vec![
+        ("attr".to_string(), Json::Str(spec.attr.clone())),
+        ("objective".to_string(), objective_to_value(&spec.objective)),
+    ];
+    if !spec.given.is_empty() {
+        fields.push((
+            "given".into(),
+            Json::Arr(spec.given.iter().map(cond_to_value).collect()),
+        ));
+    }
+    if spec.task != Task::Both {
+        let name = match spec.task {
+            Task::OptimizeSupport => "support",
+            Task::OptimizeConfidence => "confidence",
+            Task::Both => unreachable!("filtered above"),
+        };
+        fields.push(("task".into(), Json::Str(name.into())));
+    }
+    if let Some(ratio) = spec.min_support {
+        fields.push(("min_support".into(), ratio_to_value(ratio)));
+    }
+    if let Some(ratio) = spec.min_confidence {
+        fields.push(("min_confidence".into(), ratio_to_value(ratio)));
+    }
+    if let Some(x) = spec.min_average {
+        fields.push(("min_average".into(), enc_f64(x.get())));
+    }
+    if let Some(m) = spec.buckets {
+        fields.push(("buckets".into(), Json::Num(Num::UInt(m as u64))));
+    }
+    if let Some(s) = spec.samples_per_bucket {
+        fields.push(("samples_per_bucket".into(), Json::Num(Num::UInt(s))));
+    }
+    if let Some(s) = spec.seed {
+        fields.push(("seed".into(), Json::Num(Num::UInt(s))));
+    }
+    if let Some(t) = spec.threads {
+        fields.push(("threads".into(), Json::Num(Num::UInt(t as u64))));
+    }
+    if !spec.scan_all_booleans {
+        fields.push(("scan_all_booleans".into(), Json::Bool(false)));
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes a spec from a [`Json`] value (strict: unknown keys are
+/// errors).
+///
+/// # Errors
+///
+/// Fails on missing/unknown/duplicate keys or wrong value shapes.
+pub fn spec_from_value(value: &Json) -> JsonResult<QuerySpec> {
+    let mut obj = ObjReader::new("a query spec", value)?;
+    let mut spec = QuerySpec::new(
+        obj.required("attr")?.as_str()?.to_string(),
+        objective_from_value(obj.required("objective")?)?,
+    );
+    if let Some(given) = obj.optional("given") {
+        spec.given = given
+            .as_arr()?
+            .iter()
+            .map(cond_from_value)
+            .collect::<JsonResult<_>>()?;
+    }
+    if let Some(task) = obj.optional("task") {
+        spec.task = match task.as_str()? {
+            "both" => Task::Both,
+            "support" => Task::OptimizeSupport,
+            "confidence" => Task::OptimizeConfidence,
+            other => {
+                return Err(JsonError::decode(format!(
+                    "task must be \"both\", \"support\", or \"confidence\", got {other:?}"
+                )))
+            }
+        };
+    }
+    if let Some(ratio) = obj.optional("min_support") {
+        spec.min_support = Some(ratio_from_value(ratio)?);
+    }
+    if let Some(ratio) = obj.optional("min_confidence") {
+        spec.min_confidence = Some(ratio_from_value(ratio)?);
+    }
+    if let Some(x) = obj.optional("min_average") {
+        spec.min_average = Some(Real(x.as_f64()?));
+    }
+    if let Some(m) = obj.optional("buckets") {
+        spec.buckets = Some(m.as_u64()? as usize);
+    }
+    if let Some(s) = obj.optional("samples_per_bucket") {
+        spec.samples_per_bucket = Some(s.as_u64()?);
+    }
+    if let Some(s) = obj.optional("seed") {
+        spec.seed = Some(s.as_u64()?);
+    }
+    if let Some(t) = obj.optional("threads") {
+        spec.threads = Some(t.as_u64()? as usize);
+    }
+    if let Some(share) = obj.optional("scan_all_booleans") {
+        spec.scan_all_booleans = share.as_bool()?;
+    }
+    obj.finish()?;
+    Ok(spec)
+}
+
+/// Encodes a spec as one compact JSON line (the request unit of the
+/// batch protocol).
+pub fn encode_spec(spec: &QuerySpec) -> String {
+    spec_to_value(spec).encode()
+}
+
+/// Parses and decodes a spec from JSON text.
+///
+/// # Errors
+///
+/// Fails on syntax errors or schema violations (see
+/// [`spec_from_value`]).
+pub fn decode_spec(text: &str) -> JsonResult<QuerySpec> {
+    spec_from_value(&Json::parse(text)?)
+}
+
+// ---------------------------------------------------------------------
+// RuleSet encode/decode
+// ---------------------------------------------------------------------
+
+fn kind_name(kind: RuleKind) -> &'static str {
+    match kind {
+        RuleKind::OptimizedSupport => "optimized_support",
+        RuleKind::OptimizedConfidence => "optimized_confidence",
+        RuleKind::MaximumAverage => "maximum_average",
+        RuleKind::MaximumSupportAverage => "maximum_support_average",
+    }
+}
+
+fn kind_from_name(name: &str) -> JsonResult<RuleKind> {
+    match name {
+        "optimized_support" => Ok(RuleKind::OptimizedSupport),
+        "optimized_confidence" => Ok(RuleKind::OptimizedConfidence),
+        "maximum_average" => Ok(RuleKind::MaximumAverage),
+        "maximum_support_average" => Ok(RuleKind::MaximumSupportAverage),
+        other => Err(JsonError::decode(format!("unknown rule kind {other:?}"))),
+    }
+}
+
+fn rule_to_value(rule: &Rule) -> Json {
+    let (kind, bucket_range, value_range) = match rule {
+        Rule::Range(r) => (r.kind, r.bucket_range, r.value_range),
+        Rule::Average(r) => (r.kind, r.bucket_range, r.value_range),
+    };
+    let mut fields = vec![
+        ("kind".to_string(), Json::Str(kind_name(kind).into())),
+        (
+            "buckets".to_string(),
+            Json::Arr(vec![
+                Json::Num(Num::UInt(bucket_range.0 as u64)),
+                Json::Num(Num::UInt(bucket_range.1 as u64)),
+            ]),
+        ),
+        (
+            "values".to_string(),
+            Json::Arr(vec![enc_f64(value_range.0), enc_f64(value_range.1)]),
+        ),
+    ];
+    match rule {
+        Rule::Range(r) => {
+            fields.push(("count".into(), Json::Num(Num::UInt(r.sup_count))));
+            fields.push(("hits".into(), Json::Num(Num::UInt(r.hits))));
+            fields.push(("rows".into(), Json::Num(Num::UInt(r.total_rows))));
+        }
+        Rule::Average(r) => {
+            fields.push(("count".into(), Json::Num(Num::UInt(r.sup_count))));
+            fields.push(("sum".into(), enc_f64(r.sum)));
+            fields.push(("rows".into(), Json::Num(Num::UInt(r.total_rows))));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn rule_from_value(value: &Json) -> JsonResult<Rule> {
+    let mut obj = ObjReader::new("a rule", value)?;
+    let kind = kind_from_name(obj.required("kind")?.as_str()?)?;
+    let buckets = obj.required("buckets")?.as_arr()?;
+    let [s, t] = buckets else {
+        return Err(JsonError::decode("\"buckets\" expects [s, t]"));
+    };
+    let bucket_range = (s.as_u64()? as usize, t.as_u64()? as usize);
+    let values = obj.required("values")?.as_arr()?;
+    let [lo, hi] = values else {
+        return Err(JsonError::decode("\"values\" expects [lo, hi]"));
+    };
+    let value_range = (lo.as_f64()?, hi.as_f64()?);
+    let sup_count = obj.required("count")?.as_u64()?;
+    let rule = match kind {
+        RuleKind::OptimizedSupport | RuleKind::OptimizedConfidence => Rule::Range(RangeRule {
+            kind,
+            bucket_range,
+            value_range,
+            sup_count,
+            hits: obj.required("hits")?.as_u64()?,
+            total_rows: obj.required("rows")?.as_u64()?,
+        }),
+        RuleKind::MaximumAverage | RuleKind::MaximumSupportAverage => Rule::Average(AvgRule {
+            kind,
+            bucket_range,
+            value_range,
+            sup_count,
+            sum: obj.required("sum")?.as_f64()?,
+            total_rows: obj.required("rows")?.as_u64()?,
+        }),
+    };
+    obj.finish()?;
+    Ok(rule)
+}
+
+/// Converts a mined result to its canonical [`Json`] value.
+pub fn rule_set_to_value(rules: &RuleSet) -> Json {
+    Json::Obj(vec![
+        ("attr".into(), Json::Str(rules.attr_name.clone())),
+        ("objective".into(), Json::Str(rules.objective_desc.clone())),
+        (
+            "buckets_used".into(),
+            Json::Num(Num::UInt(rules.buckets_used as u64)),
+        ),
+        ("total_rows".into(), Json::Num(Num::UInt(rules.total_rows))),
+        (
+            "rules".into(),
+            Json::Arr(rules.rules.iter().map(rule_to_value).collect()),
+        ),
+    ])
+}
+
+/// Decodes a mined result from a [`Json`] value.
+///
+/// # Errors
+///
+/// Fails on missing/unknown keys or wrong value shapes.
+pub fn rule_set_from_value(value: &Json) -> JsonResult<RuleSet> {
+    let mut obj = ObjReader::new("a rule set", value)?;
+    let rules = RuleSet {
+        attr_name: obj.required("attr")?.as_str()?.to_string(),
+        objective_desc: obj.required("objective")?.as_str()?.to_string(),
+        buckets_used: obj.required("buckets_used")?.as_u64()? as usize,
+        total_rows: obj.required("total_rows")?.as_u64()?,
+        rules: obj
+            .required("rules")?
+            .as_arr()?
+            .iter()
+            .map(rule_from_value)
+            .collect::<JsonResult<_>>()?,
+    };
+    obj.finish()?;
+    Ok(rules)
+}
+
+/// Encodes a mined result as one compact JSON line (the response unit
+/// of the batch protocol).
+pub fn encode_rule_set(rules: &RuleSet) -> String {
+    rule_set_to_value(rules).encode()
+}
+
+/// Parses and decodes a mined result from JSON text.
+///
+/// # Errors
+///
+/// Fails on syntax errors or schema violations.
+pub fn decode_rule_set(text: &str) -> JsonResult<RuleSet> {
+    rule_set_from_value(&Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(Num::UInt(42)));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Num(Num::Int(-7)));
+        assert_eq!(Json::parse("2.5e1").unwrap(), Json::Num(Num::Float(25.0)));
+        assert_eq!(
+            Json::parse(&u64::MAX.to_string()).unwrap(),
+            Json::Num(Num::UInt(u64::MAX))
+        );
+        assert_eq!(
+            Json::parse("[1, [2], {}]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(Num::UInt(1)),
+                Json::Arr(vec![Json::Num(Num::UInt(2))]),
+                Json::Obj(vec![]),
+            ])
+        );
+        let obj = Json::parse(r#"{"a": 1, "b": [true, null]}"#).unwrap();
+        assert_eq!(
+            obj,
+            Json::Obj(vec![
+                ("a".into(), Json::Num(Num::UInt(1))),
+                ("b".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ])
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let cases = [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "newline\nand tab\t",
+            "unicode: caffè ☕ 𝄞",
+            "control \u{0001}\u{001f}",
+        ];
+        for case in cases {
+            let encoded = Json::Str(case.to_string()).encode();
+            assert_eq!(Json::parse(&encoded).unwrap(), Json::Str(case.to_string()));
+        }
+        // Escaped forms parse too.
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9\ud834\udd1e\/""#).unwrap(),
+            Json::Str("Aé𝄞/".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "tru",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "1 2",
+            "\"unterminated",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "- 1",
+            "+1",
+            "1.",
+            ".5",
+            "1e",
+            "nul",
+            "[1 2]",
+            "01",
+            // Overflows f64 to ∞; the encoder's finite-only invariant
+            // means non-finite values only ever travel as strings.
+            "1e999",
+            "-1e999",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // A depth bomb is rejected, not a stack overflow.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_strings() {
+        assert_eq!(enc_f64(f64::INFINITY), Json::Str("Infinity".into()));
+        assert_eq!(enc_f64(f64::NEG_INFINITY), Json::Str("-Infinity".into()));
+        assert_eq!(enc_f64(f64::NAN), Json::Str("NaN".into()));
+        assert!(enc_f64(f64::NAN).as_f64().unwrap().is_nan());
+        assert_eq!(
+            Json::Str("Infinity".into()).as_f64().unwrap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn nan_payloads_round_trip_bit_exactly() {
+        for bits in [
+            0x7ff8_0000_0000_0001u64, // payload NaN
+            0xfff8_0000_0000_0000,    // negative NaN
+            0x7ff0_0000_0000_0001,    // signaling NaN
+        ] {
+            let x = f64::from_bits(bits);
+            let encoded = enc_f64(x);
+            assert_eq!(encoded, Json::Str(format!("NaN:0x{bits:016x}")));
+            assert_eq!(encoded.as_f64().unwrap().to_bits(), bits);
+        }
+        // The NaN channel does not smuggle non-NaN bit patterns.
+        assert!(Json::Str("NaN:0x0000000000000000".into()).as_f64().is_err());
+        assert!(Json::Str("NaN:0xnope".into()).as_f64().is_err());
+    }
+
+    #[test]
+    fn minimal_spec_decodes_with_defaults() {
+        let spec =
+            decode_spec(r#"{"attr": "Balance", "objective": {"bool": "CardLoan"}}"#).unwrap();
+        assert_eq!(spec, QuerySpec::boolean("Balance", "CardLoan"));
+        assert_eq!(spec.task, Task::Both);
+        assert!(spec.scan_all_booleans);
+        assert!(spec.min_support.is_none());
+    }
+
+    #[test]
+    fn full_spec_round_trips() {
+        let mut spec = QuerySpec::average("CheckingAccount", "SavingAccount");
+        spec.given = vec![
+            CondSpec::BoolIs {
+                attr: "CardLoan".into(),
+                value: true,
+            },
+            CondSpec::NumInRange {
+                attr: "Age".into(),
+                lo: Real(18.0),
+                hi: Real(65.0),
+            },
+        ];
+        spec.task = Task::OptimizeConfidence;
+        spec.min_support = Some(Ratio::new(1, 7).unwrap());
+        spec.min_average = Some(Real(14_000.5));
+        spec.buckets = Some(200);
+        spec.samples_per_bucket = Some(40);
+        spec.seed = Some(u64::MAX);
+        spec.threads = Some(4);
+        spec.scan_all_booleans = false;
+        let text = encode_spec(&spec);
+        assert_eq!(decode_spec(&text).unwrap(), spec, "{text}");
+    }
+
+    #[test]
+    fn unknown_and_duplicate_keys_are_rejected() {
+        let unknown = r#"{"attr": "A", "objective": {"bool": "B"}, "bucket": 10}"#;
+        let err = decode_spec(unknown).unwrap_err();
+        assert!(err.msg.contains("unknown key \"bucket\""), "{err}");
+        let dup = r#"{"attr": "A", "attr": "B", "objective": {"bool": "B"}}"#;
+        let err = decode_spec(dup).unwrap_err();
+        assert!(err.msg.contains("duplicate key"), "{err}");
+        let wrong_task = r#"{"attr": "A", "objective": {"bool": "B"}, "task": "fastest"}"#;
+        assert!(decode_spec(wrong_task).is_err());
+        let zero_den = r#"{"attr": "A", "objective": {"bool": "B"}, "min_support": [1, 0]}"#;
+        assert!(decode_spec(zero_den).is_err());
+    }
+
+    #[test]
+    fn rule_set_round_trips() {
+        let rules = RuleSet {
+            attr_name: "Balance".into(),
+            objective_desc: "(CardLoan = yes)".into(),
+            rules: vec![
+                Rule::Range(RangeRule {
+                    kind: RuleKind::OptimizedSupport,
+                    bucket_range: (3, 17),
+                    value_range: (3004.25, 7998.875),
+                    sup_count: 24_890,
+                    hits: 16_120,
+                    total_rows: 100_000,
+                }),
+                Rule::Average(AvgRule {
+                    kind: RuleKind::MaximumAverage,
+                    bucket_range: (0, 4),
+                    value_range: (1.5, 9.25),
+                    sup_count: 400,
+                    sum: 123_456.75,
+                    total_rows: 2_000,
+                }),
+            ],
+            buckets_used: 50,
+            total_rows: 100_000,
+        };
+        let text = encode_rule_set(&rules);
+        assert_eq!(decode_rule_set(&text).unwrap(), rules, "{text}");
+    }
+}

@@ -38,6 +38,11 @@
 //!   bucketization/scan cache, queried through the fluent
 //!   [`query::Query`] builder (the paper's "hundreds of attributes"
 //!   interactive scenario, §1.3);
+//! * [`spec`], [`plan`], [`json`] — the declarative layer: plain-data
+//!   `Eq + Hash` [`spec::QuerySpec`]s, a batch planner that
+//!   deduplicates shared work units across many specs
+//!   ([`SharedEngine::run_batch`](shared::SharedEngine::run_batch)),
+//!   and a dependency-free JSON request/response protocol;
 //! * [`rule`] — shared rule/range types; [`miner`] — the legacy
 //!   one-shot API, now a deprecated shim over the engine;
 //! * [`region2d`] — the §1.4 extension to two numeric attributes with
@@ -52,15 +57,18 @@ pub mod cache;
 pub mod confidence;
 pub mod engine;
 pub mod error;
+pub mod json;
 pub mod kadane;
 pub mod miner;
 pub mod naive;
+pub mod plan;
 pub mod query;
 pub mod ratio;
 pub mod region2d;
 pub mod report;
 pub mod rule;
 pub mod shared;
+pub mod spec;
 pub mod support;
 pub mod twopointer;
 
@@ -69,10 +77,12 @@ pub use confidence::optimize_confidence;
 pub use engine::{Engine, EngineConfig, EngineStats};
 pub use error::CoreError;
 pub use miner::{MinedAverage, MinedPair, MinerConfig};
+pub use plan::Plan;
 pub use query::{AvgRule, Objective, Query, Rule, RuleSet, Task};
 pub use ratio::Ratio;
 pub use rule::{OptRange, RangeRule, RuleKind};
 pub use shared::SharedEngine;
+pub use spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
 pub use support::optimize_support;
 
 #[allow(deprecated)]

@@ -1,0 +1,395 @@
+//! Batch planning: compile many [`QuerySpec`]s into a [`Plan`] whose
+//! nodes are the *deduplicated* shared work units.
+//!
+//! The paper's §1.3 workload is a stream of related queries over one
+//! relation, and its expensive steps are shared, not per-query: a
+//! bucketization depends only on `(attr, buckets, samples, seed)`, a
+//! counting scan on the bucketization plus *what* is counted. The
+//! planner makes that sharing explicit ahead of time instead of
+//! relying on cache hits at run time:
+//!
+//! 1. **resolve** — each spec's names are resolved against the schema
+//!    and its thresholds validated, producing a [`ResolvedQuery`]
+//!    holding the exact cache keys it needs;
+//! 2. **deduplicate** — distinct [`BucketKey`]s become bucket nodes and
+//!    distinct [`ScanKey`]s become scan nodes, each listed once no
+//!    matter how many queries share it;
+//! 3. **execute** ([`SharedEngine::run_batch`]) — nodes run once each
+//!    across scoped worker threads (phase 1: bucketizations, phase 2:
+//!    scans), then every query is assembled from the warm cache in
+//!    input order, so the output is deterministic and byte-identical
+//!    to running the specs sequentially at any thread count.
+//!
+//! Specs that fail to resolve contribute no nodes and carry their
+//! error through to the per-query result slot — one bad request in a
+//! batch fails alone.
+//!
+//! [`BucketKey`]: crate::shared::BucketKey
+//! [`ScanKey`]: crate::shared::ScanKey
+//! [`SharedEngine::run_batch`]: crate::shared::SharedEngine::run_batch
+
+use crate::error::{CoreError, Result};
+use crate::query::{AvgRule, Rule, RuleSet, Task};
+use crate::ratio::Ratio;
+use crate::rule::{AvgRange, RangeRule, RuleKind};
+use crate::shared::{spec_fingerprint, BucketKey, ScanKey, ScanWhat, SharedEngine};
+use crate::spec::{resolve_conjunction, ObjectiveSpec, QuerySpec};
+use crate::{average, confidence, support};
+use optrules_bucketing::{BucketCounts, CountSpec};
+use optrules_relation::{Condition, RandomAccess};
+use std::collections::HashSet;
+
+/// How a resolved query turns its scan's counts into rules.
+#[derive(Debug, Clone)]
+pub(crate) enum Assemble {
+    /// Boolean objective: optimize over `v = bool_v[v_index]`.
+    Boolean {
+        /// Index of the query's target series in the scan's `bool_v`.
+        v_index: usize,
+    },
+    /// Section 5 average objective: optimize over `sums[0]`.
+    Average,
+}
+
+/// One spec resolved against a schema and engine defaults: the cache
+/// keys it needs, the counting spec to run on a cold scan, and the
+/// thresholds/task for assembly.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedQuery {
+    pub(crate) key: BucketKey,
+    pub(crate) threads: usize,
+    pub(crate) what: ScanWhat,
+    /// The counting spec for a cold scan; `None` means the shared
+    /// all-Booleans scan (built from the schema on demand).
+    pub(crate) count_spec: Option<CountSpec>,
+    pub(crate) assemble: Assemble,
+    pub(crate) attr_name: String,
+    pub(crate) objective_desc: String,
+    pub(crate) min_support: Ratio,
+    pub(crate) min_confidence: Ratio,
+    pub(crate) min_average: f64,
+    pub(crate) task: Task,
+}
+
+impl ResolvedQuery {
+    /// The scan-cache key this query reads.
+    pub(crate) fn scan_key(&self) -> ScanKey {
+        ScanKey {
+            bucket: self.key,
+            threads: self.threads,
+            what: self.what.clone(),
+        }
+    }
+}
+
+/// Resolves one spec: names → handles, descriptions rendered, engine
+/// defaults applied, thresholds validated. Pure with respect to the
+/// engine — no scan runs and no cache is touched.
+pub(crate) fn resolve<R: RandomAccess>(
+    engine: &SharedEngine<R>,
+    spec: &QuerySpec,
+) -> Result<ResolvedQuery> {
+    let schema = engine.relation().schema();
+    let attr = schema.numeric(&spec.attr)?;
+    let attr_name = schema.numeric_name(attr).to_string();
+    let presumptive = resolve_conjunction(&spec.given, schema)?;
+
+    enum Objective {
+        Condition(Condition),
+        Average(optrules_relation::NumAttr),
+    }
+    let objective = match &spec.objective {
+        ObjectiveSpec::Bool { target } => {
+            Objective::Condition(Condition::BoolIs(schema.boolean(target)?, true))
+        }
+        ObjectiveSpec::Cond { all } => Objective::Condition(resolve_conjunction(all, schema)?),
+        ObjectiveSpec::Average { target } => Objective::Average(schema.numeric(target)?),
+    };
+
+    // A threshold that the query kind can never read is a mistake, not
+    // a no-op — reject it instead of silently dropping it.
+    match &objective {
+        Objective::Condition(_) if spec.min_average.is_some() => {
+            return Err(CoreError::BadThreshold(
+                "min_average applies only to average_of queries".into(),
+            ));
+        }
+        Objective::Average(_) if spec.min_confidence.is_some() => {
+            return Err(CoreError::BadThreshold(
+                "min_confidence applies only to boolean-objective queries \
+                 (average queries constrain with min_support / min_average)"
+                    .into(),
+            ));
+        }
+        _ => {}
+    }
+
+    let config = *engine.config();
+    let key = BucketKey {
+        attr,
+        buckets: spec.buckets.unwrap_or(config.buckets),
+        samples_per_bucket: spec.samples_per_bucket.unwrap_or(config.samples_per_bucket),
+        seed: spec.seed.unwrap_or(config.seed),
+    };
+    let threads = spec.threads.unwrap_or(config.threads);
+    let min_support = spec.min_support.unwrap_or(config.min_support);
+    let min_confidence = spec.min_confidence.unwrap_or(config.min_confidence);
+    let min_average = spec.min_average.map_or(0.0, |r| r.get());
+
+    let (what, count_spec, assemble, objective_desc) = match objective {
+        Objective::Condition(objective) => {
+            let desc = match &presumptive {
+                Condition::True => objective.display(schema),
+                p => format!("{} | {}", objective.display(schema), p.display(schema)),
+            };
+            // Simple queries — no presumptive condition, objective
+            // `(B = yes)` — share one scan counting every Boolean
+            // attribute (the §6.1 all-pairs trick).
+            let shared_target = match (&presumptive, &objective) {
+                (Condition::True, Condition::BoolIs(b, true)) if spec.scan_all_booleans => Some(*b),
+                _ => None,
+            };
+            match shared_target {
+                Some(b) => (
+                    ScanWhat::AllBooleans,
+                    None,
+                    Assemble::Boolean { v_index: b.0 },
+                    desc,
+                ),
+                None => {
+                    // The objective must be evaluated together with the
+                    // presumptive condition so v counts the conjunction.
+                    let combined = presumptive.clone().and(objective);
+                    let count_spec = CountSpec {
+                        attr,
+                        presumptive,
+                        bool_targets: vec![combined],
+                        sum_targets: Vec::new(),
+                    };
+                    (
+                        spec_fingerprint(&count_spec),
+                        Some(count_spec),
+                        Assemble::Boolean { v_index: 0 },
+                        desc,
+                    )
+                }
+            }
+        }
+        Objective::Average(target) => {
+            let desc = match &presumptive {
+                Condition::True => format!("avg({})", schema.numeric_name(target)),
+                p => format!(
+                    "avg({}) | {}",
+                    schema.numeric_name(target),
+                    p.display(schema)
+                ),
+            };
+            let count_spec = CountSpec {
+                attr,
+                presumptive,
+                bool_targets: Vec::new(),
+                sum_targets: vec![target],
+            };
+            (
+                spec_fingerprint(&count_spec),
+                Some(count_spec),
+                Assemble::Average,
+                desc,
+            )
+        }
+    };
+
+    Ok(ResolvedQuery {
+        key,
+        threads,
+        what,
+        count_spec,
+        assemble,
+        attr_name,
+        objective_desc,
+        min_support,
+        min_confidence,
+        min_average,
+        task: spec.task,
+    })
+}
+
+/// Turns a scan's (compacted) counts into the query's [`RuleSet`] —
+/// O(M) optimizer work, no relation access.
+pub(crate) fn assemble(resolved: &ResolvedQuery, counts: &BucketCounts) -> Result<RuleSet> {
+    let total_rows = counts.total_rows;
+    let mut rules = Vec::new();
+    if counts.bucket_count() > 0 {
+        match &resolved.assemble {
+            Assemble::Boolean { v_index } => {
+                let u = &counts.u;
+                let v = &counts.bool_v[*v_index];
+                if matches!(resolved.task, Task::OptimizeSupport | Task::Both) {
+                    if let Some(r) = support::optimize_support(u, v, resolved.min_confidence)? {
+                        rules.push(Rule::Range(instantiate(
+                            RuleKind::OptimizedSupport,
+                            r.s,
+                            r.t,
+                            r.sup_count,
+                            r.hits,
+                            counts,
+                            total_rows,
+                        )));
+                    }
+                }
+                if matches!(resolved.task, Task::OptimizeConfidence | Task::Both) {
+                    let w = resolved.min_support.min_count(total_rows);
+                    if let Some(r) = confidence::optimize_confidence(u, v, w)? {
+                        rules.push(Rule::Range(instantiate(
+                            RuleKind::OptimizedConfidence,
+                            r.s,
+                            r.t,
+                            r.sup_count,
+                            r.hits,
+                            counts,
+                            total_rows,
+                        )));
+                    }
+                }
+            }
+            Assemble::Average => {
+                let to_rule = |kind: RuleKind, r: AvgRange| {
+                    Rule::Average(AvgRule {
+                        kind,
+                        bucket_range: (r.s, r.t),
+                        value_range: (counts.ranges[r.s].0, counts.ranges[r.t].1),
+                        sup_count: r.sup_count,
+                        sum: r.sum,
+                        total_rows,
+                    })
+                };
+                if matches!(resolved.task, Task::OptimizeSupport | Task::Both) {
+                    if let Some(r) = average::maximum_support_range(
+                        &counts.u,
+                        &counts.sums[0],
+                        resolved.min_average,
+                    )? {
+                        rules.push(to_rule(RuleKind::MaximumSupportAverage, r));
+                    }
+                }
+                if matches!(resolved.task, Task::OptimizeConfidence | Task::Both) {
+                    let w = resolved.min_support.min_count(total_rows);
+                    if let Some(r) = average::maximum_average_range(&counts.u, &counts.sums[0], w)?
+                    {
+                        rules.push(to_rule(RuleKind::MaximumAverage, r));
+                    }
+                }
+            }
+        }
+    }
+    Ok(RuleSet {
+        attr_name: resolved.attr_name.clone(),
+        objective_desc: resolved.objective_desc.clone(),
+        rules,
+        buckets_used: counts.bucket_count(),
+        total_rows,
+    })
+}
+
+fn instantiate(
+    kind: RuleKind,
+    s: usize,
+    t: usize,
+    sup_count: u64,
+    hits: u64,
+    counts: &BucketCounts,
+    total_rows: u64,
+) -> RangeRule {
+    RangeRule {
+        kind,
+        bucket_range: (s, t),
+        value_range: (counts.ranges[s].0, counts.ranges[t].1),
+        sup_count,
+        hits,
+        total_rows,
+    }
+}
+
+/// One deduplicated counting-scan work unit of a [`Plan`].
+#[derive(Debug, Clone)]
+pub(crate) struct ScanNode {
+    pub(crate) key: BucketKey,
+    pub(crate) threads: usize,
+    pub(crate) what: ScanWhat,
+    pub(crate) count_spec: Option<CountSpec>,
+}
+
+/// A compiled batch: the deduplicated work units of many specs, plus
+/// one assembly recipe (or resolution error) per input spec, in input
+/// order.
+///
+/// Produced by
+/// [`SharedEngine::plan_batch`](crate::shared::SharedEngine::plan_batch)
+/// and executed by
+/// [`SharedEngine::run_batch`](crate::shared::SharedEngine::run_batch).
+/// The node counts tell you what a batch will actually cost before
+/// running it: `N` specs over one attribute at one configuration are
+/// one bucket node and one scan node, however large `N` is.
+#[derive(Debug)]
+pub struct Plan {
+    pub(crate) buckets: Vec<BucketKey>,
+    pub(crate) scans: Vec<ScanNode>,
+    pub(crate) queries: Vec<Result<ResolvedQuery>>,
+}
+
+impl Plan {
+    /// Compiles a batch of specs against an engine's schema and
+    /// defaults. Never touches the relation data or the cache.
+    pub(crate) fn compile<R: RandomAccess>(engine: &SharedEngine<R>, specs: &[QuerySpec]) -> Plan {
+        let mut buckets = Vec::new();
+        let mut seen_buckets = HashSet::new();
+        let mut scans: Vec<ScanNode> = Vec::new();
+        let mut seen_scans = HashSet::new();
+        let queries: Vec<Result<ResolvedQuery>> = specs
+            .iter()
+            .map(|spec| {
+                let resolved = resolve(engine, spec)?;
+                if seen_buckets.insert(resolved.key) {
+                    buckets.push(resolved.key);
+                }
+                if seen_scans.insert(resolved.scan_key()) {
+                    scans.push(ScanNode {
+                        key: resolved.key,
+                        threads: resolved.threads,
+                        what: resolved.what.clone(),
+                        count_spec: resolved.count_spec.clone(),
+                    });
+                }
+                Ok(resolved)
+            })
+            .collect();
+        Plan {
+            buckets,
+            scans,
+            queries,
+        }
+    }
+
+    /// Number of distinct bucketization work units.
+    pub fn bucket_nodes(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of distinct counting-scan work units.
+    pub fn scan_nodes(&self) -> usize {
+        self.scans.len()
+    }
+
+    /// Number of input specs (queries to assemble), including ones
+    /// whose resolution failed.
+    pub fn queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of input specs that failed to resolve (unknown names,
+    /// invalid thresholds); they surface their error in the batch
+    /// result without blocking the rest.
+    pub fn resolution_errors(&self) -> usize {
+        self.queries.iter().filter(|q| q.is_err()).count()
+    }
+}

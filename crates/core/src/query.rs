@@ -17,19 +17,22 @@
 //! optimized-confidence rules; for the average operator they are the
 //! maximum-support and maximum-average ranges — the same
 //! maximize-A-subject-to-B duality, so they share the [`Task`] names.
+//!
+//! The builder is a thin front over the declarative layer: it collects
+//! a plain-data [`QuerySpec`] (extractable with [`Query::spec`] for
+//! batching or the JSON protocol), and its terminal methods hand that
+//! spec to [`SharedEngine::run_spec`] — so a fluent query and its spec
+//! run through exactly the same resolve → count → assemble path.
 
-use crate::average::{maximum_average_range, maximum_support_range};
-use crate::confidence::optimize_confidence;
 use crate::error::{CoreError, Result};
 use crate::ratio::Ratio;
-use crate::rule::{AvgRange, RangeRule, RuleKind};
-use crate::shared::{BucketKey, SharedEngine};
-use crate::support::optimize_support;
-use optrules_bucketing::{BucketCounts, CountSpec};
+use crate::rule::{RangeRule, RuleKind};
+use crate::shared::SharedEngine;
+use crate::spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
 use optrules_relation::{BoolAttr, Condition, NumAttr, RandomAccess};
 
 /// Which optimization(s) a query runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Task {
     /// Maximize support subject to the quality threshold — the
     /// optimized-support rule (§4.2), or the maximum-support range of
@@ -56,13 +59,6 @@ pub enum Objective {
     Average(NumAttr),
     /// Like [`Objective::Average`], by attribute name.
     AverageName(String),
-}
-
-/// How the queried attribute was identified.
-#[derive(Debug, Clone)]
-enum AttrSel {
-    Name(String),
-    Attr(NumAttr),
 }
 
 /// One mined rule: a range rule (boolean objective) or an average rule
@@ -258,9 +254,9 @@ impl RuleSet {
 /// [`SharedEngine`].
 pub struct Query<'e, R: RandomAccess> {
     engine: &'e SharedEngine<R>,
-    attr: AttrSel,
-    given: Condition,
-    objective: Option<Objective>,
+    attr: String,
+    given: Vec<CondSpec>,
+    objective: Option<ObjectiveSpec>,
     min_support: Option<Ratio>,
     min_confidence: Option<Ratio>,
     min_average: Option<f64>,
@@ -273,18 +269,19 @@ pub struct Query<'e, R: RandomAccess> {
 
 impl<'e, R: RandomAccess> Query<'e, R> {
     pub(crate) fn by_name(engine: &'e SharedEngine<R>, name: String) -> Self {
-        Self::new(engine, AttrSel::Name(name))
+        Self::new(engine, name)
     }
 
     pub(crate) fn by_attr(engine: &'e SharedEngine<R>, attr: NumAttr) -> Self {
-        Self::new(engine, AttrSel::Attr(attr))
+        let name = engine.relation().schema().numeric_name(attr).to_string();
+        Self::new(engine, name)
     }
 
-    fn new(engine: &'e SharedEngine<R>, attr: AttrSel) -> Self {
+    fn new(engine: &'e SharedEngine<R>, attr: String) -> Self {
         Self {
             engine,
             attr,
-            given: Condition::True,
+            given: Vec::new(),
             objective: None,
             min_support: None,
             min_confidence: None,
@@ -303,39 +300,67 @@ impl<'e, R: RandomAccess> Query<'e, R> {
     /// With [`Query::average_of`], the average is likewise taken over
     /// tuples meeting `C1` only.
     pub fn given(mut self, condition: Condition) -> Self {
-        self.given = self.given.and(condition);
+        self.given.extend(CondSpec::from_condition(
+            &condition,
+            self.engine.relation().schema(),
+        ));
         self
     }
 
     /// Sets the objective condition `C2`.
     pub fn objective(mut self, condition: Condition) -> Self {
-        self.objective = Some(Objective::Condition(condition));
+        self.objective = Some(ObjectiveSpec::Cond {
+            all: CondSpec::from_condition(&condition, self.engine.relation().schema()),
+        });
         self
     }
 
     /// Sets the objective to `(name = yes)` for a Boolean attribute —
     /// the common case, resolved when the query runs.
     pub fn objective_is(mut self, name: impl Into<String>) -> Self {
-        self.objective = Some(Objective::ConditionName(name.into()));
+        self.objective = Some(ObjectiveSpec::Bool {
+            target: name.into(),
+        });
         self
     }
 
     /// Switches the query to the Section 5 average operator: optimize
     /// ranges of the queried attribute by `avg(target)`.
     pub fn average_of(mut self, target: impl Into<String>) -> Self {
-        self.objective = Some(Objective::AverageName(target.into()));
+        self.objective = Some(ObjectiveSpec::Average {
+            target: target.into(),
+        });
         self
     }
 
     /// Like [`Query::average_of`], by attribute handle.
-    pub fn average_of_attr(mut self, target: NumAttr) -> Self {
-        self.objective = Some(Objective::Average(target));
-        self
+    pub fn average_of_attr(self, target: NumAttr) -> Self {
+        let name = self
+            .engine
+            .relation()
+            .schema()
+            .numeric_name(target)
+            .to_string();
+        self.average_of(name)
     }
 
     /// Sets a fully formed [`Objective`].
     pub fn with_objective(mut self, objective: Objective) -> Self {
-        self.objective = Some(objective);
+        self.objective = Some(match objective {
+            Objective::Condition(cond) => ObjectiveSpec::Cond {
+                all: CondSpec::from_condition(&cond, self.engine.relation().schema()),
+            },
+            Objective::ConditionName(target) => ObjectiveSpec::Bool { target },
+            Objective::Average(attr) => ObjectiveSpec::Average {
+                target: self
+                    .engine
+                    .relation()
+                    .schema()
+                    .numeric_name(attr)
+                    .to_string(),
+            },
+            Objective::AverageName(target) => ObjectiveSpec::Average { target },
+        });
         self
     }
 
@@ -435,304 +460,48 @@ impl<'e, R: RandomAccess> Query<'e, R> {
         self.with_task(Task::OptimizeConfidence)
     }
 
+    /// Finishes building and returns the plain-data [`QuerySpec`]
+    /// without running it — for batching
+    /// ([`SharedEngine::run_batch`]), storing, or serializing through
+    /// the JSON protocol ([`crate::json`]). Running the returned spec
+    /// with [`SharedEngine::run_spec`] is identical to calling
+    /// [`Query::run`] here.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no objective was set. Names stay unresolved — an
+    /// unknown attribute surfaces when the spec runs.
+    pub fn spec(self) -> Result<QuerySpec> {
+        let Some(objective) = self.objective else {
+            return Err(CoreError::MissingObjective);
+        };
+        Ok(QuerySpec {
+            attr: self.attr,
+            given: self.given,
+            objective,
+            task: Task::Both,
+            min_support: self.min_support,
+            min_confidence: self.min_confidence,
+            min_average: self.min_average.map(Real),
+            buckets: self.buckets,
+            samples_per_bucket: self.samples_per_bucket,
+            seed: self.seed,
+            threads: self.threads,
+            scan_all_booleans: self.scan_all_booleans,
+        })
+    }
+
     /// Runs the query with an explicit [`Task`].
     ///
     /// # Errors
     ///
     /// See [`Query::run`].
     pub fn with_task(self, task: Task) -> Result<RuleSet> {
-        // Resolve names and render descriptions inside one scoped
-        // immutable borrow, so nothing (notably the schema) needs
-        // cloning before the engine is borrowed mutably below.
-        let (attr, attr_name, resolved) = {
-            let schema = self.engine.relation().schema();
-            let attr = match &self.attr {
-                AttrSel::Attr(a) => *a,
-                AttrSel::Name(name) => schema.numeric(name)?,
-            };
-            let objective = match &self.objective {
-                None => return Err(CoreError::MissingObjective),
-                Some(Objective::ConditionName(name)) => {
-                    Objective::Condition(Condition::BoolIs(schema.boolean(name)?, true))
-                }
-                Some(Objective::AverageName(name)) => Objective::Average(schema.numeric(name)?),
-                Some(resolved) => resolved.clone(),
-            };
-            let resolved = match objective {
-                Objective::Condition(objective) => {
-                    let desc = match &self.given {
-                        Condition::True => objective.display(schema),
-                        p => format!("{} | {}", objective.display(schema), p.display(schema)),
-                    };
-                    Resolved::Condition { objective, desc }
-                }
-                Objective::Average(target) => {
-                    let desc = match &self.given {
-                        Condition::True => {
-                            format!("avg({})", schema.numeric_name(target))
-                        }
-                        p => format!(
-                            "avg({}) | {}",
-                            schema.numeric_name(target),
-                            p.display(schema)
-                        ),
-                    };
-                    Resolved::Average { target, desc }
-                }
-                Objective::ConditionName(_) | Objective::AverageName(_) => {
-                    unreachable!("resolved above")
-                }
-            };
-            (attr, schema.numeric_name(attr).to_string(), resolved)
-        };
-        let config = *self.engine.config();
-        let key = BucketKey {
-            attr,
-            buckets: self.buckets.unwrap_or(config.buckets),
-            samples_per_bucket: self.samples_per_bucket.unwrap_or(config.samples_per_bucket),
-            seed: self.seed.unwrap_or(config.seed),
-        };
-        let threads = self.threads.unwrap_or(config.threads);
-        let min_support = self.min_support.unwrap_or(config.min_support);
-        let min_confidence = self.min_confidence.unwrap_or(config.min_confidence);
-
-        // A threshold that the query kind can never read is a mistake,
-        // not a no-op — reject it instead of silently dropping it.
-        match &resolved {
-            Resolved::Condition { .. } if self.min_average.is_some() => {
-                return Err(CoreError::BadThreshold(
-                    "min_average applies only to average_of queries".into(),
-                ));
-            }
-            Resolved::Average { .. } if self.min_confidence.is_some() => {
-                return Err(CoreError::BadThreshold(
-                    "min_confidence applies only to boolean-objective queries \
-                     (average queries constrain with min_support / min_average)"
-                        .into(),
-                ));
-            }
-            _ => {}
-        }
-
-        match resolved {
-            Resolved::Condition { objective, desc } => run_boolean(
-                self.engine,
-                key,
-                threads,
-                BooleanSpec {
-                    presumptive: self.given,
-                    objective,
-                    attr_name,
-                    objective_desc: desc,
-                    scan_all_booleans: self.scan_all_booleans,
-                },
-                min_support,
-                min_confidence,
-                task,
-            ),
-            Resolved::Average { target, desc } => run_average(
-                self.engine,
-                key,
-                threads,
-                AverageSpec {
-                    presumptive: self.given,
-                    target,
-                    attr_name,
-                    objective_desc: desc,
-                },
-                min_support,
-                self.min_average.unwrap_or(0.0),
-                task,
-            ),
-        }
+        let engine = self.engine;
+        let mut spec = self.spec()?;
+        spec.task = task;
+        engine.run_spec(&spec)
     }
-}
-
-/// A query's objective after name resolution, with its rendered
-/// description.
-enum Resolved {
-    Condition { objective: Condition, desc: String },
-    Average { target: NumAttr, desc: String },
-}
-
-/// Resolved inputs for a boolean-objective execution.
-struct BooleanSpec {
-    presumptive: Condition,
-    objective: Condition,
-    attr_name: String,
-    objective_desc: String,
-    scan_all_booleans: bool,
-}
-
-/// Resolved inputs for an average-operator execution.
-struct AverageSpec {
-    presumptive: Condition,
-    target: NumAttr,
-    attr_name: String,
-    objective_desc: String,
-}
-
-/// Executes a boolean-objective query. Simple queries — no presumptive
-/// condition, objective `(B = yes)` — share one cached scan that counts
-/// every Boolean attribute at once (the §6.1 all-pairs trick); anything
-/// else gets a scan keyed by its exact counting spec.
-fn run_boolean<R: RandomAccess>(
-    engine: &SharedEngine<R>,
-    key: BucketKey,
-    threads: usize,
-    spec: BooleanSpec,
-    min_support: Ratio,
-    min_confidence: Ratio,
-    task: Task,
-) -> Result<RuleSet> {
-    let BooleanSpec {
-        presumptive,
-        objective,
-        attr_name,
-        objective_desc,
-        scan_all_booleans,
-    } = spec;
-    let shared_target = match (&presumptive, &objective) {
-        (Condition::True, Condition::BoolIs(b, true)) if scan_all_booleans => Some(*b),
-        _ => None,
-    };
-    let (counts, v_index) = match shared_target {
-        Some(b) => (engine.counts_for_all_booleans(key, threads)?, b.0),
-        None => {
-            // The objective must be evaluated together with the
-            // presumptive condition so v counts the conjunction.
-            let combined = presumptive.clone().and(objective);
-            let what = CountSpec {
-                attr: key.attr,
-                presumptive,
-                bool_targets: vec![combined],
-                sum_targets: Vec::new(),
-            };
-            (engine.counts_for(key, &what, threads)?, 0)
-        }
-    };
-
-    let total_rows = counts.total_rows;
-    let cc: &BucketCounts = &counts; // already compacted by the engine
-    let mut rules = Vec::new();
-    if cc.bucket_count() > 0 {
-        let u = &cc.u;
-        let v = &cc.bool_v[v_index];
-        if matches!(task, Task::OptimizeSupport | Task::Both) {
-            if let Some(r) = optimize_support(u, v, min_confidence)? {
-                rules.push(Rule::Range(instantiate(
-                    RuleKind::OptimizedSupport,
-                    r.s,
-                    r.t,
-                    r.sup_count,
-                    r.hits,
-                    cc,
-                    total_rows,
-                )));
-            }
-        }
-        if matches!(task, Task::OptimizeConfidence | Task::Both) {
-            let w = min_support.min_count(total_rows);
-            if let Some(r) = optimize_confidence(u, v, w)? {
-                rules.push(Rule::Range(instantiate(
-                    RuleKind::OptimizedConfidence,
-                    r.s,
-                    r.t,
-                    r.sup_count,
-                    r.hits,
-                    cc,
-                    total_rows,
-                )));
-            }
-        }
-    }
-    Ok(RuleSet {
-        attr_name,
-        objective_desc,
-        rules,
-        buckets_used: cc.bucket_count(),
-        total_rows,
-    })
-}
-
-fn instantiate(
-    kind: RuleKind,
-    s: usize,
-    t: usize,
-    sup_count: u64,
-    hits: u64,
-    cc: &BucketCounts,
-    total_rows: u64,
-) -> RangeRule {
-    RangeRule {
-        kind,
-        bucket_range: (s, t),
-        value_range: (cc.ranges[s].0, cc.ranges[t].1),
-        sup_count,
-        hits,
-        total_rows,
-    }
-}
-
-/// Executes a Section 5 average-operator query. A presumptive
-/// condition restricts both the tuple counts and the sums to matching
-/// rows (support stays measured against the full row count, like the
-/// generalized rules of §4.3).
-fn run_average<R: RandomAccess>(
-    engine: &SharedEngine<R>,
-    key: BucketKey,
-    threads: usize,
-    spec: AverageSpec,
-    min_support: Ratio,
-    min_average: f64,
-    task: Task,
-) -> Result<RuleSet> {
-    let AverageSpec {
-        presumptive,
-        target,
-        attr_name,
-        objective_desc,
-    } = spec;
-    let what = CountSpec {
-        attr: key.attr,
-        presumptive,
-        bool_targets: Vec::new(),
-        sum_targets: vec![target],
-    };
-    let counts = engine.counts_for(key, &what, threads)?;
-    let total_rows = counts.total_rows;
-    let cc: &BucketCounts = &counts; // already compacted by the engine
-    let mut rules = Vec::new();
-    if cc.bucket_count() > 0 {
-        let to_rule = |kind: RuleKind, r: AvgRange| {
-            Rule::Average(AvgRule {
-                kind,
-                bucket_range: (r.s, r.t),
-                value_range: (cc.ranges[r.s].0, cc.ranges[r.t].1),
-                sup_count: r.sup_count,
-                sum: r.sum,
-                total_rows,
-            })
-        };
-        if matches!(task, Task::OptimizeSupport | Task::Both) {
-            if let Some(r) = maximum_support_range(&cc.u, &cc.sums[0], min_average)? {
-                rules.push(to_rule(RuleKind::MaximumSupportAverage, r));
-            }
-        }
-        if matches!(task, Task::OptimizeConfidence | Task::Both) {
-            let w = min_support.min_count(total_rows);
-            if let Some(r) = maximum_average_range(&cc.u, &cc.sums[0], w)? {
-                rules.push(to_rule(RuleKind::MaximumAverage, r));
-            }
-        }
-    }
-    Ok(RuleSet {
-        attr_name,
-        objective_desc,
-        rules,
-        buckets_used: cc.bucket_count(),
-        total_rows,
-    })
 }
 
 /// Lazy §1.3 sweep over every (numeric, Boolean) attribute pair;

@@ -11,7 +11,12 @@ use crate::error::{CoreError, Result};
 use std::cmp::Ordering;
 
 /// A non-negative rational threshold `num/den`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality and hashing compare the stored `num`/`den` pair, not the
+/// reduced fraction: `1/2` and `2/4` are distinct descriptions (and
+/// key distinct [`QuerySpec`](crate::spec::QuerySpec)s), even though
+/// the threshold tests they drive are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ratio {
     num: u64,
     den: u64,

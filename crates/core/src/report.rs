@@ -39,16 +39,8 @@ pub fn render_pairs(pairs: &[MinedPair], sort: SortBy) -> String {
         .filter(|p| p.optimized_support.is_some() || p.optimized_confidence.is_some())
         .collect();
     match sort {
-        SortBy::Support => with_rules.sort_by(|a, b| {
-            key_support(b)
-                .partial_cmp(&key_support(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        }),
-        SortBy::Confidence => with_rules.sort_by(|a, b| {
-            key_confidence(b)
-                .partial_cmp(&key_confidence(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        }),
+        SortBy::Support => sort_descending_by(&mut with_rules, key_support),
+        SortBy::Confidence => sort_descending_by(&mut with_rules, key_confidence),
         SortBy::Unsorted => {}
     }
 
@@ -99,6 +91,34 @@ pub fn render_rule_sets(sets: &[RuleSet], sort: SortBy) -> String {
     // name strings each row needs, not the whole rule vector.
     let pairs: Vec<MinedPair> = sets.iter().map(MinedPair::from).collect();
     render_pairs(&pairs, sort)
+}
+
+/// Orders rule sets the way [`render_rule_sets`] orders its rows
+/// (stable, strongest first), without dropping anything — the ordering
+/// used by machine-readable output (`--format json`), where
+/// below-threshold pairs are emitted rather than summarized.
+pub fn sort_rule_sets(sets: &[RuleSet], sort: SortBy) -> Vec<&RuleSet> {
+    let mut refs: Vec<&RuleSet> = sets.iter().collect();
+    match sort {
+        SortBy::Support => sort_descending_by(&mut refs, |s| {
+            s.optimized_support().map_or(0.0, RangeRule::support)
+        }),
+        SortBy::Confidence => sort_descending_by(&mut refs, |s| {
+            s.optimized_confidence().map_or(0.0, RangeRule::confidence)
+        }),
+        SortBy::Unsorted => {}
+    }
+    refs
+}
+
+/// The one descending, stable, NaN-tolerant sort both the text table
+/// and the JSON ordering use — keeping their row orders in lockstep.
+fn sort_descending_by<T>(items: &mut [&T], key: impl Fn(&T) -> f64) {
+    items.sort_by(|a, b| {
+        key(b)
+            .partial_cmp(&key(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 }
 
 fn key_support(p: &MinedPair) -> f64 {

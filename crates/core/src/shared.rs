@@ -56,10 +56,12 @@
 //! assert_eq!(engine.stats().scan_cache_hits, 2);
 //! ```
 
-use crate::cache::{CacheConfig, ShardStats, ShardedCache};
+use crate::cache::{CacheConfig, FlightRole, ShardStats, ShardedCache};
 use crate::engine::{EngineConfig, EngineStats};
 use crate::error::Result;
+use crate::plan::{self, Plan, ResolvedQuery, ScanNode};
 use crate::query::{AllPairs, Query, RuleSet};
+use crate::spec::QuerySpec;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -67,7 +69,7 @@ use optrules_bucketing::{
     count_buckets, count_buckets_parallel, equi_depth_cuts, BucketCounts, BucketSpec, CountSpec,
     EquiDepthConfig, SamplingMethod,
 };
-use optrules_relation::{BoolAttr, Condition, NumAttr, RandomAccess};
+use optrules_relation::{Condition, NumAttr, RandomAccess};
 
 /// Cache key for one bucketization: everything Algorithm 3.1's output
 /// depends on.
@@ -147,6 +149,7 @@ struct WorkCounters {
     bucket_cache_hits: AtomicU64,
     scans: AtomicU64,
     scan_cache_hits: AtomicU64,
+    coalesced_waits: AtomicU64,
 }
 
 /// A concurrent, long-lived mining session over one relation.
@@ -227,6 +230,7 @@ impl<R: RandomAccess> SharedEngine<R> {
             bucket_cache_hits: self.counters.bucket_cache_hits.load(Ordering::Relaxed),
             scans: self.counters.scans.load(Ordering::Relaxed),
             scan_cache_hits: self.counters.scan_cache_hits.load(Ordering::Relaxed),
+            coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
             evictions: self.cache.evictions(),
             lookups: self.cache.lookups(),
             cached_cost: self.cache.current_cost(),
@@ -255,6 +259,7 @@ impl<R: RandomAccess> SharedEngine<R> {
         self.counters.bucket_cache_hits.store(0, Ordering::Relaxed);
         self.counters.scans.store(0, Ordering::Relaxed);
         self.counters.scan_cache_hits.store(0, Ordering::Relaxed);
+        self.counters.coalesced_waits.store(0, Ordering::Relaxed);
     }
 
     /// Starts a fluent query over the numeric attribute named `attr`.
@@ -294,48 +299,79 @@ impl<R: RandomAccess> SharedEngine<R> {
         R: Send + Sync,
     {
         let schema = self.relation().schema();
-        let numeric: Vec<NumAttr> = schema.numeric_attrs().collect();
-        let booleans: Vec<BoolAttr> = schema.boolean_attrs().collect();
-        let pairs: Vec<(NumAttr, BoolAttr)> = numeric
-            .iter()
-            .flat_map(|&a| booleans.iter().map(move |&b| (a, b)))
-            .collect();
-        let mine = |&(a, b): &(NumAttr, BoolAttr)| {
-            self.query_attr(a)
-                .objective(Condition::BoolIs(b, true))
-                .run()
-        };
-        let workers = threads.max(1).min(pairs.len().max(1));
-        if workers == 1 {
-            return pairs.iter().map(mine).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let per_worker: Vec<Vec<(usize, Result<RuleSet>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut mined = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(pair) = pairs.get(i) else { break };
-                            mined.push((i, mine(pair)));
-                        }
-                        mined
-                    })
+        let specs: Vec<QuerySpec> = schema
+            .numeric_attrs()
+            .flat_map(|a| {
+                schema.boolean_attrs().map(move |b| {
+                    QuerySpec::boolean(schema.numeric_name(a), schema.boolean_name(b))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("mining worker panicked"))
-                .collect()
+            })
+            .collect();
+        self.run_batch(&specs, threads).into_iter().collect()
+    }
+
+    /// Runs one declarative [`QuerySpec`] — the spec-level equivalent
+    /// of the fluent [`query`](Self::query) builder (which produces
+    /// specs internally), sharing the same caches and producing
+    /// identical `RuleSet`s.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown attribute names, invalid thresholds, or
+    /// bucketing/storage errors.
+    pub fn run_spec(&self, spec: &QuerySpec) -> Result<RuleSet> {
+        let resolved = plan::resolve(self, spec)?;
+        let counts = self.counts_for_resolved(&resolved)?;
+        plan::assemble(&resolved, &counts)
+    }
+
+    /// Compiles a batch of specs into its [`Plan`] without executing:
+    /// the distinct bucketization and counting-scan work units, for
+    /// inspecting what a batch will cost. Touches neither the relation
+    /// nor the cache.
+    pub fn plan_batch(&self, specs: &[QuerySpec]) -> Plan {
+        Plan::compile(self, specs)
+    }
+
+    /// Plans and executes a batch of specs: distinct work units are
+    /// deduplicated across the whole batch and executed **once each**
+    /// over `threads` scoped worker threads (bucketizations first,
+    /// then counting scans), after which every query is assembled from
+    /// the warm cache in input order.
+    ///
+    /// Results are deterministic and byte-identical to calling
+    /// [`run_spec`](Self::run_spec) on each spec in order, at every
+    /// `threads` value — node execution order cannot matter because
+    /// each node's output depends only on its key, and per-scan
+    /// parallelism is part of the key (`QuerySpec::threads`).
+    ///
+    /// Specs that fail (unknown names, bad thresholds, bucketing
+    /// errors) fail individually; the rest of the batch is unaffected.
+    pub fn run_batch(&self, specs: &[QuerySpec], threads: usize) -> Vec<Result<RuleSet>>
+    where
+        R: Send + Sync,
+    {
+        let plan = self.plan_batch(specs);
+        // Phase 1: distinct bucketizations, once each. Errors are not
+        // propagated here — every dependent query re-surfaces them
+        // individually during assembly.
+        fan_out(&plan.buckets, threads, |key| {
+            let _ = self.spec_for(*key);
         });
-        let mut slots: Vec<Option<Result<RuleSet>>> = (0..pairs.len()).map(|_| None).collect();
-        for (i, result) in per_worker.into_iter().flatten() {
-            slots[i] = Some(result);
-        }
-        slots
+        // Phase 2: distinct counting scans, once each (bucket lookups
+        // are all warm now).
+        fan_out(&plan.scans, threads, |node| {
+            let _ = self.counts_for_node(node);
+        });
+        // Phase 3: per-query assembly from the warm cache, in input
+        // order — O(M) optimizer work per query, no relation access.
+        plan.queries
             .into_iter()
-            .map(|slot| slot.expect("work queue covered every pair"))
+            .map(|resolved| {
+                let resolved = resolved?;
+                let counts = self.counts_for_resolved(&resolved)?;
+                plan::assemble(&resolved, &counts)
+            })
             .collect()
     }
 
@@ -345,50 +381,93 @@ impl<R: RandomAccess> SharedEngine<R> {
         seed ^ (attr.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 
-    /// Step 1 (cached): bucket boundaries via Algorithm 3.1. On a
-    /// miss, the sampling + sort runs *outside* any lock; concurrent
-    /// misses on the same key both compute (the results are
-    /// deterministic and identical) and the first insert wins.
-    pub(crate) fn spec_for(&self, key: BucketKey) -> Result<Arc<BucketSpec>> {
-        match self.cache.get(&CacheKey::Bucket(key)) {
-            Some(CacheValue::Spec(spec)) => {
-                self.counters
-                    .bucket_cache_hits
-                    .fetch_add(1, Ordering::Relaxed);
-                return Ok(spec);
-            }
-            Some(CacheValue::Counts(_)) => unreachable!("bucket key holds a spec"),
-            None => {}
+    /// The singleflight cached-compute path shared by bucketizations
+    /// and scans. Exactly one counted cache lookup and one counter
+    /// bump happen per call, so `hits() + misses() == lookups` holds
+    /// at quiescence even across coalesced waits and failed leaders:
+    ///
+    /// * warm → `hit_counter`;
+    /// * cold, this thread leads → `work_counter`, bumped at miss time
+    ///   (before the fallible compute) so failures stay visible;
+    /// * cold, another thread leads → parked on its flight, then
+    ///   `hit_counter` + `coalesced_waits` — the expensive work ran
+    ///   **once** however many threads missed together;
+    /// * the leader failed → retry (possibly leading this time).
+    fn cached_or_compute(
+        &self,
+        key: CacheKey,
+        hit_counter: &AtomicU64,
+        work_counter: &AtomicU64,
+        compute: impl FnOnce() -> Result<(CacheValue, u64)>,
+    ) -> Result<CacheValue> {
+        if let Some(value) = self.cache.get(&key) {
+            hit_counter.fetch_add(1, Ordering::Relaxed);
+            return Ok(value);
         }
-        // Counted at miss time, not after the fallible compute, so the
-        // hits() + misses() == lookups identity survives failed queries
-        // (zero buckets, empty relation, I/O errors).
-        self.counters.bucketizations.fetch_add(1, Ordering::Relaxed);
-        let cfg = EquiDepthConfig {
-            buckets: key.buckets,
-            samples_per_bucket: key.samples_per_bucket,
-            seed: Self::attr_seed(key.seed, key.attr),
-            method: SamplingMethod::WithReplacement,
-        };
-        let spec = Arc::new(equi_depth_cuts(&*self.rel, key.attr, &cfg)?);
-        self.cache.insert(
-            CacheKey::Bucket(key),
-            CacheValue::Spec(Arc::clone(&spec)),
-            spec_cost(&spec),
-        );
-        Ok(spec)
+        let mut compute = Some(compute);
+        loop {
+            match self.cache.begin(&key) {
+                FlightRole::Ready(value) => {
+                    hit_counter.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value);
+                }
+                FlightRole::Leader(flight) => {
+                    work_counter.fetch_add(1, Ordering::Relaxed);
+                    let compute = compute.take().expect("a caller leads at most one flight");
+                    match compute() {
+                        Ok((value, cost)) => {
+                            // Insert before finishing the flight:
+                            // `begin` re-checks the cache under the
+                            // registry lock, so post-flight arrivals
+                            // are guaranteed to find the value.
+                            self.cache.insert(key, value.clone(), cost);
+                            flight.finish(Some(value.clone()));
+                            return Ok(value);
+                        }
+                        Err(e) => {
+                            flight.finish(None);
+                            return Err(e);
+                        }
+                    }
+                }
+                FlightRole::Waiter(flight) => {
+                    if let Some(value) = flight.wait() {
+                        hit_counter.fetch_add(1, Ordering::Relaxed);
+                        self.counters
+                            .coalesced_waits
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok(value);
+                    }
+                }
+            }
+        }
     }
 
-    /// Steps 1–2 (cached): boundaries, then the counting scan (parallel
-    /// when `threads > 1`). The cached counts are already compacted
-    /// (empty buckets dropped).
-    pub(crate) fn counts_for(
-        &self,
-        key: BucketKey,
-        what: &CountSpec,
-        threads: usize,
-    ) -> Result<Arc<BucketCounts>> {
-        self.counts_for_key(key, spec_fingerprint(what), |_| what.clone(), threads)
+    /// Step 1 (cached, coalesced): bucket boundaries via Algorithm
+    /// 3.1. On a cold miss the sampling + sort runs *outside* any
+    /// lock, and concurrent misses on the same key wait for the one
+    /// computing thread instead of duplicating the work.
+    pub(crate) fn spec_for(&self, key: BucketKey) -> Result<Arc<BucketSpec>> {
+        let value = self.cached_or_compute(
+            CacheKey::Bucket(key),
+            &self.counters.bucket_cache_hits,
+            &self.counters.bucketizations,
+            || {
+                let cfg = EquiDepthConfig {
+                    buckets: key.buckets,
+                    samples_per_bucket: key.samples_per_bucket,
+                    seed: Self::attr_seed(key.seed, key.attr),
+                    method: SamplingMethod::WithReplacement,
+                };
+                let spec = Arc::new(equi_depth_cuts(&*self.rel, key.attr, &cfg)?);
+                let cost = spec_cost(&spec);
+                Ok((CacheValue::Spec(spec), cost))
+            },
+        )?;
+        match value {
+            CacheValue::Spec(spec) => Ok(spec),
+            CacheValue::Counts(_) => unreachable!("bucket key holds a spec"),
+        }
     }
 
     /// The shared simple-query scan: every Boolean attribute counted at
@@ -428,38 +507,86 @@ impl<R: RandomAccess> SharedEngine<R> {
             threads,
             what,
         };
-        match self.cache.get(&CacheKey::Scan(scan_key.clone())) {
-            Some(CacheValue::Counts(counts)) => {
-                self.counters
-                    .scan_cache_hits
-                    .fetch_add(1, Ordering::Relaxed);
-                return Ok(counts);
-            }
-            Some(CacheValue::Spec(_)) => unreachable!("scan key holds counts"),
-            None => {}
-        }
-        // Counted at miss time (see spec_for) so failed queries leave
-        // the stats identity intact.
-        self.counters.scans.fetch_add(1, Ordering::Relaxed);
-        let what = build_spec(&self.rel);
-        let spec = self.spec_for(key)?;
-        let counts = if threads > 1 {
-            count_buckets_parallel(&*self.rel, &spec, &what, threads)?
-        } else {
-            count_buckets(&*self.rel, &spec, &what)?
-        };
-        // Cache the *compacted* counts: every consumer compacts before
-        // optimizing, so compacting once per scan keeps warm queries
-        // free of the O(M · targets) copy.
-        let (_, counts) = counts.compact();
-        let counts = Arc::new(counts);
-        self.cache.insert(
+        let value = self.cached_or_compute(
             CacheKey::Scan(scan_key),
-            CacheValue::Counts(Arc::clone(&counts)),
-            counts_cost(&counts),
-        );
-        Ok(counts)
+            &self.counters.scan_cache_hits,
+            &self.counters.scans,
+            || {
+                let what = build_spec(&self.rel);
+                let spec = self.spec_for(key)?;
+                let counts = if threads > 1 {
+                    count_buckets_parallel(&*self.rel, &spec, &what, threads)?
+                } else {
+                    count_buckets(&*self.rel, &spec, &what)?
+                };
+                // Cache the *compacted* counts: every consumer compacts
+                // before optimizing, so compacting once per scan keeps
+                // warm queries free of the O(M · targets) copy.
+                let (_, counts) = counts.compact();
+                let counts = Arc::new(counts);
+                let cost = counts_cost(&counts);
+                Ok((CacheValue::Counts(counts), cost))
+            },
+        )?;
+        match value {
+            CacheValue::Counts(counts) => Ok(counts),
+            CacheValue::Spec(_) => unreachable!("scan key holds counts"),
+        }
     }
+
+    /// The counts a resolved query reads, via whichever scan shape it
+    /// planned (shared all-Booleans or its own counting spec).
+    pub(crate) fn counts_for_resolved(
+        &self,
+        resolved: &ResolvedQuery,
+    ) -> Result<Arc<BucketCounts>> {
+        match &resolved.count_spec {
+            None => self.counts_for_all_booleans(resolved.key, resolved.threads),
+            Some(count_spec) => self.counts_for_key(
+                resolved.key,
+                resolved.what.clone(),
+                |_| count_spec.clone(),
+                resolved.threads,
+            ),
+        }
+    }
+
+    /// Executes one deduplicated scan node of a [`Plan`].
+    fn counts_for_node(&self, node: &ScanNode) -> Result<Arc<BucketCounts>> {
+        match &node.count_spec {
+            None => self.counts_for_all_booleans(node.key, node.threads),
+            Some(count_spec) => self.counts_for_key(
+                node.key,
+                node.what.clone(),
+                |_| count_spec.clone(),
+                node.threads,
+            ),
+        }
+    }
+}
+
+/// Fans `items` out over up to `threads` scoped worker threads pulling
+/// from a shared index — the work-queue used for plan-node execution.
+/// Order of execution is irrelevant by construction (each item's
+/// effect depends only on the item), so no reassembly is needed.
+fn fan_out<T: Sync>(items: &[T], threads: usize, run: impl Fn(&T) + Sync) {
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        for item in items {
+            run(item);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                run(item);
+            });
+        }
+    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,136 @@
+//! Property tests for the JSON protocol layer: for *any* `QuerySpec`
+//! the canonical encoding decodes back to an equal spec
+//! (`decode(encode(s)) == s`, field for field — `Real` makes float
+//! equality bitwise), and the canonical encoding is a fixed point
+//! (`encode(decode(encode(s))) == encode(s)`). Byte-level golden tests
+//! for `RuleSet` responses live in `tests/batch.rs` and the module's
+//! unit tests.
+
+use optrules_core::json::{decode_spec, encode_spec};
+use optrules_core::{CondSpec, ObjectiveSpec, QuerySpec, Ratio, Real, Task};
+use proptest::prelude::*;
+
+/// Attribute-ish names, including empty strings and characters the
+/// encoder must escape.
+fn names() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("Balance".to_string()),
+        Just("CardLoan".to_string()),
+        Just(String::new()),
+        Just("weird \"name\"\\with\nescapes\t".to_string()),
+        Just("unicode café ☕ \u{1f}".to_string()),
+        prop::collection::vec(0u8..26, 1..12)
+            .prop_map(|v| v.into_iter().map(|c| (b'a' + c) as char).collect()),
+    ]
+}
+
+/// Floats incl. specials: condition bounds and thresholds must survive
+/// the trip bit-exactly. `any::<f64>()` draws uniform bit patterns, so
+/// NaN payloads, subnormals, and ±∞ all occur — plus a few pinned
+/// troublemakers.
+fn reals() -> impl Strategy<Value = Real> {
+    prop_oneof![
+        any::<f64>().prop_map(Real),
+        Just(Real(0.0)),
+        Just(Real(-0.0)),
+        Just(Real(f64::INFINITY)),
+        Just(Real(f64::NEG_INFINITY)),
+        Just(Real(f64::NAN)),
+        Just(Real(f64::from_bits(0x7ff8_0000_0000_0001))), // payload NaN
+        Just(Real(f64::from_bits(0xfff8_0000_0000_0000))), // negative NaN
+        Just(Real(1e-300)),
+        Just(Real(1e300)),
+        Just(Real(0.1)),
+    ]
+}
+
+fn conds() -> impl Strategy<Value = CondSpec> {
+    prop_oneof![
+        (names(), any::<bool>()).prop_map(|(attr, value)| CondSpec::BoolIs { attr, value }),
+        (names(), reals()).prop_map(|(attr, value)| CondSpec::NumEq { attr, value }),
+        (names(), reals(), reals()).prop_map(|(attr, lo, hi)| CondSpec::NumInRange {
+            attr,
+            lo,
+            hi
+        }),
+    ]
+}
+
+fn objectives() -> impl Strategy<Value = ObjectiveSpec> {
+    prop_oneof![
+        names().prop_map(|target| ObjectiveSpec::Bool { target }),
+        prop::collection::vec(conds(), 0..4).prop_map(|all| ObjectiveSpec::Cond { all }),
+        names().prop_map(|target| ObjectiveSpec::Average { target }),
+    ]
+}
+
+fn tasks() -> impl Strategy<Value = Task> {
+    prop_oneof![
+        Just(Task::Both),
+        Just(Task::OptimizeSupport),
+        Just(Task::OptimizeConfidence),
+    ]
+}
+
+fn ratios() -> impl Strategy<Value = Ratio> {
+    (any::<u64>(), 1u64..u64::MAX).prop_map(|(num, den)| Ratio::new(num, den).expect("den >= 1"))
+}
+
+#[allow(clippy::type_complexity)]
+fn specs() -> impl Strategy<Value = QuerySpec> {
+    (
+        (
+            names(),
+            prop::collection::vec(conds(), 0..4),
+            objectives(),
+            tasks(),
+        ),
+        (
+            prop::option::of(ratios()),
+            prop::option::of(ratios()),
+            prop::option::of(reals()),
+            prop::option::of(1usize..100_000),
+        ),
+        (
+            prop::option::of(any::<u64>()),
+            prop::option::of(any::<u64>()),
+            prop::option::of(1usize..64),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (attr, given, objective, task),
+                (min_support, min_confidence, min_average, buckets),
+                (samples_per_bucket, seed, threads, scan_all_booleans),
+            )| {
+                let mut spec = QuerySpec::new(attr, objective);
+                spec.given = given;
+                spec.task = task;
+                spec.min_support = min_support;
+                spec.min_confidence = min_confidence;
+                spec.min_average = min_average;
+                spec.buckets = buckets;
+                spec.samples_per_bucket = samples_per_bucket;
+                spec.seed = seed;
+                spec.threads = threads;
+                spec.scan_all_booleans = scan_all_booleans;
+                spec
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn query_spec_round_trips_through_json(spec in specs()) {
+        let text = encode_spec(&spec);
+        let back = decode_spec(&text)
+            .unwrap_or_else(|e| panic!("decode({text}) failed: {e}"));
+        prop_assert_eq!(&back, &spec, "text: {}", text);
+        // The canonical encoding is a fixed point: encoding the
+        // decoded spec reproduces the bytes.
+        prop_assert_eq!(encode_spec(&back), text);
+    }
+}

@@ -5,10 +5,14 @@
 //! optrules info <path>
 //! optrules mine <path> --attr A --target B [--buckets M] [--min-support P]
 //!               [--min-confidence P] [--threads T] [--seed S] [--given C]
+//!               [--format text|json]
 //! optrules mine-all <path> [--buckets M] [--min-support P] [--min-confidence P]
 //!               [--threads T] [--seed S] [--sort support|confidence|none]
+//!               [--format text|json]
 //! optrules avg <path> --attr A --target B [--buckets M] [--min-support P]
-//!               [--min-avg X] [--threads T] [--seed S]
+//!               [--min-avg X] [--threads T] [--seed S] [--format text|json]
+//! optrules batch <path> [--buckets M] [--min-support P] [--min-confidence P]
+//!               [--threads T] [--seed S]   (query specs as NDJSON on stdin)
 //! ```
 //!
 //! Relation files are the fixed-width format written by
@@ -19,12 +23,23 @@
 //!
 //! `--threads` means different things per subcommand: for `mine` and
 //! `avg` it sets the counting-scan worker count (Algorithm 3.2); for
-//! `mine-all` it fans the attribute pairs out across that many scoped
-//! threads over one `SharedEngine` (each scan stays sequential, so the
-//! output is byte-identical for every `--threads` value).
+//! `mine-all` and `batch` it fans whole queries out across that many
+//! scoped threads over one `SharedEngine` (each scan stays sequential,
+//! so the output is byte-identical for every `--threads` value).
+//!
+//! `batch` is the request/response face of the engine: it reads one
+//! JSON query spec per stdin line (the schema is documented in
+//! `optrules::core::json`), plans the whole batch so shared
+//! bucketizations and counting scans run once each, and writes one
+//! JSON response per line — `{"ok": <result>}` or
+//! `{"error": "<message>"}` — in request order. The engine flags set
+//! session defaults that individual specs may override per query.
 
+use optrules::core::json::{self, Json};
+use optrules::core::report::{render_rule_sets, sort_rule_sets, SortBy};
 use optrules::prelude::*;
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -45,10 +60,14 @@ const USAGE: &str = "usage:
   optrules info <path>
   optrules mine <path> --attr A --target B [--buckets M] [--min-support P]
                 [--min-confidence P] [--threads T] [--seed S] [--given C]
+                [--format text|json]
   optrules mine-all <path> [--buckets M] [--min-support P] [--min-confidence P]
                 [--threads T] [--seed S] [--sort support|confidence|none]
+                [--format text|json]
   optrules avg <path> --attr A --target B [--buckets M] [--min-support P]
-                [--min-avg X] [--threads T] [--seed S]";
+                [--min-avg X] [--threads T] [--seed S] [--format text|json]
+  optrules batch <path> [--buckets M] [--min-support P] [--min-confidence P]
+                [--threads T] [--seed S]   (query specs as NDJSON on stdin)";
 
 type CliResult = Result<(), String>;
 
@@ -124,6 +143,7 @@ const MINE_FLAGS: &[&str] = &[
     "threads",
     "seed",
     "given",
+    "format",
 ];
 const MINE_ALL_FLAGS: &[&str] = &[
     "buckets",
@@ -132,6 +152,7 @@ const MINE_ALL_FLAGS: &[&str] = &[
     "threads",
     "seed",
     "sort",
+    "format",
 ];
 const AVG_FLAGS: &[&str] = &[
     "attr",
@@ -141,7 +162,32 @@ const AVG_FLAGS: &[&str] = &[
     "min-avg",
     "threads",
     "seed",
+    "format",
 ];
+const BATCH_FLAGS: &[&str] = &[
+    "buckets",
+    "min-support",
+    "min-confidence",
+    "threads",
+    "seed",
+];
+
+/// Output format shared by the mining subcommands: `text` (the default,
+/// byte-identical to the pre-`--format` output) or `json` (the
+/// response encoding of `optrules::core::json`, one result per line).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_format(flags: &HashMap<&str, &str>) -> Result<Format, String> {
+    match flags.get("format").copied() {
+        None | Some("text") => Ok(Format::Text),
+        Some("json") => Ok(Format::Json),
+        Some(other) => Err(format!("--format expects text or json, got {other:?}")),
+    }
+}
 
 fn run(args: &[String]) -> CliResult {
     let (pos, flags) = parse(args)?;
@@ -165,6 +211,10 @@ fn run(args: &[String]) -> CliResult {
         ["avg", path] => {
             reject_unknown(&flags, AVG_FLAGS)?;
             avg(path, &flags)
+        }
+        ["batch", path] => {
+            reject_unknown(&flags, BATCH_FLAGS)?;
+            batch(path, &flags)
         }
         [] => Err("missing command".into()),
         other => Err(format!("unrecognized command {other:?}")),
@@ -259,6 +309,8 @@ fn engine_from_flags(
 }
 
 fn mine(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    // Validated before mining: a typo'd --format must not cost a scan.
+    let format = parse_format(flags)?;
     let mut engine = engine_from_flags(path, flags)?;
     let schema = engine.relation().schema().clone();
     let attr = *flags.get("attr").ok_or("--attr is required")?;
@@ -275,12 +327,16 @@ fn mine(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
         .scan_all_booleans(false)
         .run()
         .map_err(|e| e.to_string())?;
-    print_rules(&rules);
+    match format {
+        Format::Text => print_rules(&rules),
+        Format::Json => println!("{}", json::encode_rule_set(&rules)),
+    }
     Ok(())
 }
 
 fn mine_all(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
-    use optrules::core::report::{render_rule_sets, SortBy};
+    // Validated before mining: a typo'd --format must not cost a sweep.
+    let format = parse_format(flags)?;
     let sort = match flags.get("sort").copied() {
         Some("confidence") => SortBy::Confidence,
         Some("none") => SortBy::Unsorted,
@@ -300,12 +356,25 @@ fn mine_all(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     // thread count.
     let engine = SharedEngine::with_config(rel, config_from_flags(flags, 1)?);
     let sets = engine.mine_all_pairs(threads).map_err(|e| e.to_string())?;
-    print!("{}", render_rule_sets(&sets, sort));
-    println!("{} attribute pairs mined", sets.len());
+    match format {
+        Format::Text => {
+            print!("{}", render_rule_sets(&sets, sort));
+            println!("{} attribute pairs mined", sets.len());
+        }
+        // JSON emits *every* pair (no below-threshold summarizing), in
+        // the same --sort order as the table.
+        Format::Json => {
+            for set in sort_rule_sets(&sets, sort) {
+                println!("{}", json::encode_rule_set(set));
+            }
+        }
+    }
     Ok(())
 }
 
 fn avg(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    // Validated before mining: a typo'd --format must not cost a scan.
+    let format = parse_format(flags)?;
     let mut engine = engine_from_flags(path, flags)?;
     let attr = *flags.get("attr").ok_or("--attr is required")?;
     let target = *flags.get("target").ok_or("--target is required")?;
@@ -316,6 +385,10 @@ fn avg(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
         .min_average(min_avg)
         .run()
         .map_err(|e| e.to_string())?;
+    if format == Format::Json {
+        println!("{}", json::encode_rule_set(&rules));
+        return Ok(());
+    }
     let line = |r: &AvgRule| {
         format!(
             "{} in [{:.4}, {:.4}]  {} = {:.4}, support {:.2}%",
@@ -334,6 +407,46 @@ fn avg(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     match rules.max_support_average() {
         Some(r) => println!("max-support range : {}", line(r)),
         None => println!("max-support range : none (no range clears the average threshold)"),
+    }
+    Ok(())
+}
+
+/// The `batch` subcommand: NDJSON query specs on stdin → one NDJSON
+/// response per request, in request order. The whole batch is planned
+/// at once (`SharedEngine::run_batch`), so specs sharing a
+/// bucketization or scan run it exactly once; malformed or failing
+/// requests produce an `{"error": ...}` line without aborting the rest.
+fn batch(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    let threads: usize = flag_num(flags, "threads", 1)?;
+    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    // Like mine-all, --threads fans whole queries out and every scan
+    // stays sequential, so output is byte-identical at any width.
+    let engine = SharedEngine::with_config(rel, config_from_flags(flags, 1)?);
+    let mut requests: Vec<Result<QuerySpec, String>> = Vec::new();
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        requests.push(json::decode_spec(&line).map_err(|e| format!("bad request: {e}")));
+    }
+    let specs: Vec<QuerySpec> = requests
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .cloned()
+        .collect();
+    let mut results = engine.run_batch(&specs, threads).into_iter();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for request in requests {
+        let response = match request {
+            Err(msg) => Json::Obj(vec![("error".into(), Json::Str(msg))]),
+            Ok(_) => match results.next().expect("one result per decoded spec") {
+                Ok(rules) => Json::Obj(vec![("ok".into(), json::rule_set_to_value(&rules))]),
+                Err(e) => Json::Obj(vec![("error".into(), Json::Str(e.to_string()))]),
+            },
+        };
+        writeln!(out, "{}", response.encode()).map_err(|e| format!("writing stdout: {e}"))?;
     }
     Ok(())
 }

@@ -92,6 +92,11 @@
 //!   API with its bounded sharded cache ([`core::cache`]) — plus the
 //!   deprecated [`core::miner::Miner`] one-shot shim. `SharedEngine`
 //!   takes `&self` and is `Send + Sync` for parallel query traffic.
+//!   The declarative layer on top — plain-data
+//!   [`core::spec::QuerySpec`]s, the batch planner ([`core::plan`])
+//!   behind `SharedEngine::run_batch`, and the JSON protocol
+//!   ([`core::json`]) — makes the engine drivable by other processes
+//!   (`optrules batch` on the CLI).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -109,9 +114,10 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::core::Miner;
     pub use crate::core::{
-        optimize_confidence, optimize_support, AvgRule, CacheConfig, Engine, EngineConfig,
-        EngineStats, MinedAverage, MinedPair, MinerConfig, Objective, OptRange, Query, RangeRule,
-        Ratio, Rule, RuleKind, RuleSet, ShardStats, SharedEngine, Task,
+        optimize_confidence, optimize_support, AvgRule, CacheConfig, CondSpec, Engine,
+        EngineConfig, EngineStats, MinedAverage, MinedPair, MinerConfig, Objective, ObjectiveSpec,
+        OptRange, Plan, Query, QuerySpec, RangeRule, Ratio, Real, Rule, RuleKind, RuleSet,
+        ShardStats, SharedEngine, Task,
     };
     pub use crate::relation::gen::{
         BankGenerator, DataGenerator, PlantedRangeGenerator, RetailGenerator, UniformWorkload,

@@ -240,3 +240,156 @@ fn mine_all_pairs_cli() {
     assert!(out.contains("1 attribute pairs mined"), "{out}");
     std::fs::remove_file(&path).unwrap();
 }
+
+/// Runs the binary with `input` piped to stdin, asserting success.
+fn run_ok_stdin(args: &[&str], input: &str) -> String {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// The checked-in golden pair: piping `tests/data/batch_specs.ndjson`
+/// through `optrules batch` over the standard bank relation
+/// (20k rows, gen seed 3, engine flags below) must reproduce
+/// `tests/data/batch_expected.ndjson` byte for byte, at every
+/// `--threads` value. CI runs the same diff as a shell step.
+#[test]
+fn batch_golden_output_is_stable() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let specs = std::fs::read_to_string(dir.join("batch_specs.ndjson")).unwrap();
+    let expected = std::fs::read_to_string(dir.join("batch_expected.ndjson")).unwrap();
+    let path = tmp("batch-golden");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "20000", "--seed", "3"]);
+    for threads in ["1", "4"] {
+        let out = run_ok_stdin(
+            &[
+                "batch",
+                path_s,
+                "--buckets",
+                "100",
+                "--min-support",
+                "10",
+                "--min-confidence",
+                "60",
+                "--seed",
+                "7",
+                "--threads",
+                threads,
+            ],
+            &specs,
+        );
+        assert_eq!(out, expected, "--threads {threads} diverged from golden");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn batch_responses_parse_and_line_up_with_requests() {
+    let path = tmp("batch-proto");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "5000", "--seed", "3"]);
+    let requests = concat!(
+        r#"{"attr":"Balance","objective":{"bool":"CardLoan"},"buckets":50}"#,
+        "\n\n", // blank lines are skipped, not answered
+        r#"{"attr":"Balance","objective":{"bool":"NoSuchBool"},"buckets":50}"#,
+        "\ngarbage\n",
+    );
+    let out = run_ok_stdin(&["batch", path_s], requests);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3, "{out}");
+    // Every response line is valid JSON by our own decoder's parser,
+    // with the ok/error envelope in request order.
+    use optrules::core::json::Json;
+    for line in &lines {
+        Json::parse(line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"));
+    }
+    assert!(lines[0].starts_with(r#"{"ok":{"attr":"Balance""#), "{out}");
+    assert!(lines[1].starts_with(r#"{"error":"#), "{out}");
+    assert!(lines[2].starts_with(r#"{"error":"bad request"#), "{out}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn format_json_emits_decodable_results_and_text_stays_default() {
+    use optrules::core::json;
+    let path = tmp("format");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "5000", "--seed", "3"]);
+    let mine_args = |extra: &[&'static str]| -> Vec<&str> {
+        let mut v = vec![
+            "mine",
+            path_s,
+            "--attr",
+            "Balance",
+            "--target",
+            "CardLoan",
+            "--buckets",
+            "50",
+        ];
+        v.extend_from_slice(extra);
+        v
+    };
+    // Default output is byte-identical to an explicit --format text.
+    assert_eq!(
+        run_ok(&mine_args(&[])),
+        run_ok(&mine_args(&["--format", "text"]))
+    );
+    let out = run_ok(&mine_args(&["--format", "json"]));
+    let rules = json::decode_rule_set(out.trim()).expect("mine --format json decodes");
+    assert_eq!(rules.attr_name, "Balance");
+
+    let out = run_ok(&[
+        "avg",
+        path_s,
+        "--attr",
+        "CheckingAccount",
+        "--target",
+        "SavingAccount",
+        "--buckets",
+        "50",
+        "--format",
+        "json",
+    ]);
+    let rules = json::decode_rule_set(out.trim()).expect("avg --format json decodes");
+    assert!(rules.objective_desc.contains("avg(SavingAccount)"));
+
+    // mine-all: one decodable line per pair (4 numeric × 3 boolean).
+    let out = run_ok(&["mine-all", path_s, "--buckets", "50", "--format", "json"]);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 12, "{out}");
+    for line in lines {
+        json::decode_rule_set(line).expect("mine-all --format json decodes");
+    }
+
+    let out = bin()
+        .args(mine_args(&["--format", "yaml"]))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--format expects text or json"),
+        "bad format must name the flag"
+    );
+    std::fs::remove_file(&path).unwrap();
+}

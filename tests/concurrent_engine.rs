@@ -208,3 +208,81 @@ fn eight_threads_match_oracle_under_constant_eviction() {
         "an 800-cell budget must evict under this workload: {stats:?}"
     );
 }
+
+#[test]
+fn concurrent_cold_misses_coalesce_onto_one_scan() {
+    // Singleflight: N threads cold-starting the *same* query must run
+    // the bucketization and the counting scan exactly once — the other
+    // threads park on the in-flight computation instead of duplicating
+    // the O(N) work. This is deterministic, not probabilistic: a thread
+    // either sees the cached value, leads the flight, or waits on it.
+    let rel = BankGenerator::default().to_relation(20_000, 11);
+    let shared = SharedEngine::with_config(&rel, config());
+    let barrier = std::sync::Barrier::new(THREADS);
+    let results: Vec<RuleSet> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let shared = &shared;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    shared
+                        .query("Balance")
+                        .objective_is("CardLoan")
+                        .run()
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query thread panicked"))
+            .collect()
+    });
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+    let stats = shared.stats();
+    assert_eq!(stats.bucketizations, 1, "{stats:?}");
+    assert_eq!(stats.scans, 1, "{stats:?}");
+    assert_eq!(stats.hits() + stats.misses(), stats.lookups, "{stats:?}");
+    // Whoever missed while the flight was pending is accounted as a
+    // coalesced wait; everyone else hit the cache outright. Either way
+    // the work ran once, and the waiter tally can never exceed the
+    // losing threads.
+    assert!(
+        stats.coalesced_waits <= (THREADS as u64 - 1) * 2,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn failing_leader_does_not_strand_concurrent_queries() {
+    // A query whose computation fails (zero buckets) resolves its
+    // flight as failed; coalesced waiters must retry (and fail the
+    // same way), not hang.
+    let rel = BankGenerator::default().to_relation(2_000, 11);
+    let shared = SharedEngine::with_config(&rel, config());
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let shared = &shared;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let result = shared
+                    .query("Balance")
+                    .buckets(0)
+                    .objective_is("CardLoan")
+                    .run();
+                assert!(result.is_err(), "zero buckets must fail");
+            });
+        }
+    });
+    let stats = shared.stats();
+    assert_eq!(stats.hits() + stats.misses(), stats.lookups, "{stats:?}");
+    // Errors are never cached, so a later healthy query still works.
+    shared
+        .query("Balance")
+        .objective_is("CardLoan")
+        .run()
+        .unwrap();
+}

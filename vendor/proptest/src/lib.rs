@@ -3,7 +3,10 @@
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors the slice of proptest it uses: the [`proptest!`]
 //! macro, range/tuple/[`collection::vec`] strategies, [`Strategy::prop_map`],
-//! [`any`], `prop_assert!`/`prop_assert_eq!`, and [`ProptestConfig`].
+//! [`any`] (for `bool`, the integer types, and the float types — float
+//! generation covers all bit patterns, so NaN and the infinities do
+//! come up), [`prop_oneof!`], [`option::of`],
+//! `prop_assert!`/`prop_assert_eq!`, and [`ProptestConfig`].
 //!
 //! Unlike real proptest there is **no shrinking**: a failing case
 //! reports its generated inputs, case index, and the per-test seed, and
@@ -169,6 +172,130 @@ impl Arbitrary for bool {
     }
 }
 
+/// Strategy over every value of a primitive numeric type (see the
+/// [`Arbitrary`] impls).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyNum<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyNum<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyNum<$t>;
+            fn arbitrary() -> AnyNum<$t> {
+                AnyNum(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_any_float {
+    ($(($t:ty, $bits:ty)),*) => {$(
+        impl Strategy for AnyNum<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Uniform over bit patterns, like real proptest's full
+                // float domain: subnormals, ±∞, and NaNs included.
+                <$t>::from_bits(rng.0.gen::<$bits>())
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyNum<$t>;
+            fn arbitrary() -> AnyNum<$t> {
+                AnyNum(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_any_float!((f32, u32), (f64, u64));
+
+/// One arm of a [`Union`]: a boxed generator closure.
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// A strategy choosing uniformly among boxed alternatives — the
+/// engine behind [`prop_oneof!`]. (Real proptest supports weights;
+/// this stand-in picks uniformly.)
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} arms)", self.arms.len())
+    }
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds a union from generator closures (use [`prop_oneof!`]).
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.0.gen_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Chooses uniformly among the listed strategies (all must generate
+/// the same value type). Unlike real proptest, `weight =>` prefixes
+/// are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(
+            {
+                let s = $strat;
+                Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng))
+                    as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }
+        ),+])
+    };
+}
+
+/// `Option` strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Strategy for `Option`s; see [`of`].
+    #[derive(Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `None` half the time and `Some` of the inner strategy
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.0.gen() {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 /// Collection strategies (`prop::collection::vec`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -226,8 +353,8 @@ pub mod prelude {
     /// `proptest::prelude::prop`.
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, Union,
     };
 }
 

@@ -72,6 +72,20 @@ impl Standard for u32 {
     }
 }
 
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // Truncation keeps the low bits: uniform over the
+                // type's full domain (two's complement for signed).
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, usize, i8, i16, i32, i64, isize);
+
 /// A range usable with [`Rng::gen_range`]. Generic over the element
 /// type (like upstream rand) so untyped integer literals in e.g.
 /// `rng.gen_range(0..5)` are inferred from the call's return context.
