@@ -1,0 +1,149 @@
+//! Sustained request throughput of the TCP query server
+//! (`optrules::core::server`) over loopback: 1/2/4/8 persistent client
+//! connections each pipelining a 12-spec block per iteration, against
+//! a warm engine (every node cached — the steady state a long-lived
+//! server exists for) and a cold one (cache cleared every iteration —
+//! the `optrules batch` one-shot cost the server amortizes away).
+//!
+//! Like `concurrent_engine` and `batch_plan`, numbers recorded on a
+//! 1-CPU container show no thread/connection scaling — re-baseline on
+//! multi-core hardware, where warm throughput should grow with
+//! connections until the response-encoding core saturates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bench::{fmt_duration, time_best_of};
+use optrules_core::json;
+use optrules_core::server::{serve, ServerConfig, ServerHandle};
+use optrules_core::{EngineConfig, QuerySpec, Ratio, SharedEngine};
+use optrules_relation::gen::{BankGenerator, DataGenerator};
+use optrules_relation::Relation;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: u64 = 100_000;
+const ATTRS: [&str; 4] = ["Balance", "Age", "CheckingAccount", "SavingAccount"];
+const TARGETS: [&str; 3] = ["CardLoan", "AutoWithdraw", "OnlineBanking"];
+
+/// One pipelined request block: every (attr, target) pair as NDJSON.
+fn request_block() -> (String, usize) {
+    let mut block = String::new();
+    let mut lines = 0;
+    for attr in ATTRS {
+        for target in TARGETS {
+            block.push_str(&json::encode_spec(&QuerySpec::boolean(attr, target)));
+            block.push('\n');
+            lines += 1;
+        }
+    }
+    (block, lines)
+}
+
+struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Self {
+        let stream = TcpStream::connect(handle.addr()).expect("connect to bench server");
+        stream.set_nodelay(true).expect("nodelay");
+        Self {
+            writer: BufWriter::new(stream.try_clone().expect("clone stream")),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// One synchronous roundtrip: send the whole block, read one
+    /// response line per request.
+    fn fire(&mut self, block: &str, lines: usize) {
+        self.writer.write_all(block.as_bytes()).expect("send block");
+        self.writer.flush().expect("flush block");
+        let mut line = String::new();
+        for _ in 0..lines {
+            line.clear();
+            self.reader.read_line(&mut line).expect("read response");
+            assert!(line.starts_with("{\"ok\":"), "bench spec failed: {line}");
+        }
+    }
+}
+
+fn fan_out(clients: &mut [Client], block: &str, lines: usize) {
+    std::thread::scope(|scope| {
+        for client in clients.iter_mut() {
+            scope.spawn(move || client.fire(block, lines));
+        }
+    });
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let rel: Relation = BankGenerator::default().to_relation(ROWS, 3);
+    let engine = Arc::new(SharedEngine::with_config(
+        rel,
+        EngineConfig {
+            buckets: 1000,
+            min_support: Ratio::percent(5),
+            min_confidence: Ratio::percent(55),
+            ..EngineConfig::default()
+        },
+    ));
+    let handle = serve(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 8,
+            max_inflight_batches: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind bench server");
+    let (block, lines) = request_block();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for conns in [1usize, 2, 4, 8] {
+        let mut clients: Vec<Client> = (0..conns).map(|_| Client::connect(&handle)).collect();
+        // Prime the cache so "warm" really is warm.
+        clients[0].fire(&block, lines);
+
+        group.throughput(Throughput::Elements((conns * lines) as u64));
+        group.bench_with_input(BenchmarkId::new("warm", conns), &conns, |b, _| {
+            b.iter(|| fan_out(&mut clients, &block, lines))
+        });
+        // Cold: every iteration pays the full bucketize + scan cost
+        // once (concurrent identical specs coalesce via singleflight).
+        group.bench_with_input(BenchmarkId::new("cold", conns), &conns, |b, _| {
+            b.iter(|| {
+                engine.clear_cache();
+                fan_out(&mut clients, &block, lines)
+            })
+        });
+    }
+    group.finish();
+
+    // Headline numbers: best-of requests/sec per connection count.
+    for conns in [1usize, 2, 4, 8] {
+        let mut clients: Vec<Client> = (0..conns).map(|_| Client::connect(&handle)).collect();
+        clients[0].fire(&block, lines);
+        let best = time_best_of(Duration::from_millis(800), || {
+            fan_out(&mut clients, &block, lines)
+        });
+        let reqs = (conns * lines) as f64;
+        println!(
+            "serve_throughput/warm conns={conns}  {} / {reqs} reqs = {:.0} req/s",
+            fmt_duration(best),
+            reqs / best.as_secs_f64()
+        );
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -399,6 +399,14 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
             .sum()
     }
 
+    /// Total oversized-entry rejections across shards.
+    pub(crate) fn rejected(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.rejected.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Per-shard counter snapshots.
     pub(crate) fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards

@@ -137,6 +137,11 @@ pub struct EngineStats {
     /// [`CacheConfig::max_cost`](crate::cache::CacheConfig::max_cost)
     /// budget.
     pub evictions: u64,
+    /// Cache insertions refused because the entry alone exceeded its
+    /// shard's budget (the artifact was computed and served, just not
+    /// retained — a persistently non-zero rate means the cache is
+    /// sized below one working-set entry).
+    pub rejected: u64,
     /// Total cache lookups (bucketizations + scans, hits + misses).
     pub lookups: u64,
     /// Current total cost of cached entries, in cells (one cached

@@ -70,6 +70,41 @@
 //! The CLI's batch responses wrap each result as `{"ok": <result>}` or
 //! `{"error": "<message>"}`, one per request line.
 //!
+//! # Control frames (server)
+//!
+//! The TCP server (`optrules serve`, [`crate::server`]) speaks the same
+//! NDJSON request/response protocol and adds **control frames**: a
+//! request object whose only key is `cmd` is an operator command, not a
+//! query spec. Two commands exist:
+//!
+//! ```json
+//! {"cmd": "stats"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! `stats` answers with `{"ok": <snapshot>}` where the snapshot (see
+//! [`stats_to_value`]) carries the engine counters verbatim plus the
+//! per-shard cache breakdown:
+//!
+//! ```json
+//! {
+//!   "bucketizations": 4, "bucket_cache_hits": 44,
+//!   "scans": 4, "scan_cache_hits": 44, "coalesced_waits": 3,
+//!   "evictions": 0, "rejected": 0, "lookups": 96, "cached_cost": 40160,
+//!   "shards": [
+//!     {"hits": 11, "misses": 1, "evictions": 0, "rejected": 0,
+//!      "cost": 10040, "entries": 2}
+//!   ]
+//! }
+//! ```
+//!
+//! Derived rates (hit rate, miss rate) are intentionally not encoded —
+//! operators compute them from the exact counters. `shutdown` answers
+//! `{"ok":"shutdown"}` and then gracefully stops the server (drain
+//! connections, flush responses). Like specs, control frames are
+//! strict: extra keys or an unknown `cmd` produce an `{"error": …}`
+//! response.
+//!
 //! # Numbers
 //!
 //! Integers round-trip exactly across the full `u64`/`i64` range (the
@@ -84,10 +119,12 @@
 //! round-trips total. Number literals that overflow `f64` (`1e999`)
 //! are rejected outright rather than saturated.
 
+use crate::cache::ShardStats;
 use crate::error::CoreError;
 use crate::query::{AvgRule, Rule, RuleSet, Task};
 use crate::ratio::Ratio;
 use crate::rule::{RangeRule, RuleKind};
+use crate::shared::StatsSnapshot;
 use crate::spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
 use std::fmt;
 
@@ -1071,6 +1108,20 @@ pub fn encode_rule_set(rules: &RuleSet) -> String {
     rule_set_to_value(rules).encode()
 }
 
+/// Wraps a result payload in the protocol's `{"ok": …}` response
+/// envelope. The envelope is a byte-level contract shared by
+/// `optrules batch` and the TCP server ([`crate::server`]) — build it
+/// here, never by hand.
+pub fn ok_envelope(value: Json) -> Json {
+    Json::Obj(vec![("ok".into(), value)])
+}
+
+/// Wraps an error message in the protocol's `{"error": "…"}` response
+/// envelope (see [`ok_envelope`]).
+pub fn error_envelope(msg: impl Into<String>) -> Json {
+    Json::Obj(vec![("error".into(), Json::Str(msg.into()))])
+}
+
 /// Parses and decodes a mined result from JSON text.
 ///
 /// # Errors
@@ -1078,6 +1129,60 @@ pub fn encode_rule_set(rules: &RuleSet) -> String {
 /// Fails on syntax errors or schema violations.
 pub fn decode_rule_set(text: &str) -> JsonResult<RuleSet> {
     rule_set_from_value(&Json::parse(text)?)
+}
+
+// ---------------------------------------------------------------------
+// Stats snapshot encode (the `{"cmd":"stats"}` control-frame payload)
+// ---------------------------------------------------------------------
+
+fn shard_to_value(shard: &ShardStats) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::Num(Num::UInt(shard.hits))),
+        ("misses".into(), Json::Num(Num::UInt(shard.misses))),
+        ("evictions".into(), Json::Num(Num::UInt(shard.evictions))),
+        ("rejected".into(), Json::Num(Num::UInt(shard.rejected))),
+        ("cost".into(), Json::Num(Num::UInt(shard.cost))),
+        ("entries".into(), Json::Num(Num::UInt(shard.entries as u64))),
+    ])
+}
+
+/// Converts a [`StatsSnapshot`] to its canonical [`Json`] value — the
+/// `{"ok": …}` payload the server returns for a `{"cmd":"stats"}`
+/// control frame (schema in the [module docs](self)).
+pub fn stats_to_value(snapshot: &StatsSnapshot) -> Json {
+    let e = &snapshot.engine;
+    Json::Obj(vec![
+        (
+            "bucketizations".into(),
+            Json::Num(Num::UInt(e.bucketizations)),
+        ),
+        (
+            "bucket_cache_hits".into(),
+            Json::Num(Num::UInt(e.bucket_cache_hits)),
+        ),
+        ("scans".into(), Json::Num(Num::UInt(e.scans))),
+        (
+            "scan_cache_hits".into(),
+            Json::Num(Num::UInt(e.scan_cache_hits)),
+        ),
+        (
+            "coalesced_waits".into(),
+            Json::Num(Num::UInt(e.coalesced_waits)),
+        ),
+        ("evictions".into(), Json::Num(Num::UInt(e.evictions))),
+        ("rejected".into(), Json::Num(Num::UInt(e.rejected))),
+        ("lookups".into(), Json::Num(Num::UInt(e.lookups))),
+        ("cached_cost".into(), Json::Num(Num::UInt(e.cached_cost))),
+        (
+            "shards".into(),
+            Json::Arr(snapshot.shards.iter().map(shard_to_value).collect()),
+        ),
+    ])
+}
+
+/// Encodes a stats snapshot as one compact JSON line.
+pub fn encode_stats(snapshot: &StatsSnapshot) -> String {
+    stats_to_value(snapshot).encode()
 }
 
 #[cfg(test)]
@@ -1243,6 +1348,38 @@ mod tests {
         assert!(decode_spec(wrong_task).is_err());
         let zero_den = r#"{"attr": "A", "objective": {"bool": "B"}, "min_support": [1, 0]}"#;
         assert!(decode_spec(zero_den).is_err());
+    }
+
+    /// The stats control-frame payload is part of the wire protocol:
+    /// field order and names are pinned, like the rule-set golden in
+    /// `tests/batch.rs`.
+    #[test]
+    fn stats_snapshot_encoding_golden() {
+        let snapshot = StatsSnapshot {
+            engine: crate::engine::EngineStats {
+                bucketizations: 4,
+                bucket_cache_hits: 44,
+                scans: 4,
+                scan_cache_hits: 44,
+                coalesced_waits: 3,
+                evictions: 0,
+                rejected: 0,
+                lookups: 96,
+                cached_cost: 40_160,
+            },
+            shards: vec![ShardStats {
+                hits: 11,
+                misses: 1,
+                evictions: 0,
+                rejected: 0,
+                cost: 10_040,
+                entries: 2,
+            }],
+        };
+        assert_eq!(
+            encode_stats(&snapshot),
+            r#"{"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}]}"#
+        );
     }
 
     #[test]

@@ -43,6 +43,10 @@
 //!   deduplicates shared work units across many specs
 //!   ([`SharedEngine::run_batch`](shared::SharedEngine::run_batch)),
 //!   and a dependency-free JSON request/response protocol;
+//! * [`server`] — the network face: a dependency-free TCP server
+//!   (`optrules serve`) keeping one `SharedEngine` warm across
+//!   arbitrarily many client connections, with bounded accept/batch
+//!   concurrency, stats/shutdown control frames, and graceful drain;
 //! * [`rule`] — shared rule/range types; [`miner`] — the legacy
 //!   one-shot API, now a deprecated shim over the engine;
 //! * [`region2d`] — the §1.4 extension to two numeric attributes with
@@ -67,6 +71,7 @@ pub mod ratio;
 pub mod region2d;
 pub mod report;
 pub mod rule;
+pub mod server;
 pub mod shared;
 pub mod spec;
 pub mod support;
@@ -81,7 +86,8 @@ pub use plan::Plan;
 pub use query::{AvgRule, Objective, Query, Rule, RuleSet, Task};
 pub use ratio::Ratio;
 pub use rule::{OptRange, RangeRule, RuleKind};
-pub use shared::SharedEngine;
+pub use server::{ServerConfig, ServerHandle};
+pub use shared::{SharedEngine, StatsSnapshot};
 pub use spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
 pub use support::optimize_support;
 

@@ -1,0 +1,272 @@
+//! Per-connection protocol loop: limited line framing, pipelined batch
+//! collection, control frames, ordered responses.
+
+use super::Control;
+use crate::json::{self, Json};
+use crate::shared::SharedEngine;
+use crate::spec::QuerySpec;
+use optrules_relation::RandomAccess;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// One parsed request line.
+enum Request {
+    /// A mining spec; answered from the framing batch's `run_batch`.
+    Spec(QuerySpec),
+    /// `{"cmd":"stats"}` — engine + shard counters, snapshotted when
+    /// the response is built (i.e. *after* the specs framed with it).
+    Stats,
+    /// `{"cmd":"shutdown"}` — acknowledge, then stop the server.
+    Shutdown,
+    /// Unparseable or invalid; answered with `{"error": …}`.
+    Bad(String),
+}
+
+fn parse_request(line: &str) -> Request {
+    let value = match Json::parse(line) {
+        Ok(value) => value,
+        Err(e) => return Request::Bad(format!("bad request: {e}")),
+    };
+    if let Json::Obj(fields) = &value {
+        if fields.iter().any(|(key, _)| key == "cmd") {
+            return parse_control(fields);
+        }
+    }
+    match json::spec_from_value(&value) {
+        Ok(spec) => Request::Spec(spec),
+        Err(e) => Request::Bad(format!("bad request: {e}")),
+    }
+}
+
+/// Strict control-frame parse: exactly `{"cmd": "stats"|"shutdown"}` —
+/// extra keys or an unknown command are errors, mirroring the strict
+/// spec decoder (a typo must not silently become a no-op).
+fn parse_control(fields: &[(String, Json)]) -> Request {
+    let [(key, cmd)] = fields else {
+        return Request::Bad(
+            "bad request: a control frame is {\"cmd\": \"stats\"|\"shutdown\"}".into(),
+        );
+    };
+    debug_assert_eq!(key, "cmd", "caller found a cmd key");
+    match cmd {
+        Json::Str(cmd) if cmd == "stats" => Request::Stats,
+        Json::Str(cmd) if cmd == "shutdown" => Request::Shutdown,
+        other => Request::Bad(format!(
+            "bad request: unknown cmd {} (expected \"stats\" or \"shutdown\")",
+            other.encode()
+        )),
+    }
+}
+
+/// Upper bound on requests collected into one framing batch. A client
+/// streaming NDJSON nonstop keeps the read buffer non-empty
+/// indefinitely; without a cap the frame loop would accumulate
+/// requests (and defer every response) until the sender pauses —
+/// unbounded memory on one connection. At the cap the frame executes
+/// and responds, then framing resumes where it left off.
+const MAX_FRAME_REQUESTS: usize = 1024;
+
+/// How one limited line read ended.
+enum LineRead {
+    /// A complete line (or a final unterminated one before EOF) is in
+    /// the buffer, newline stripped.
+    Line,
+    /// Clean end of stream with no pending bytes.
+    Eof,
+    /// The line exceeded the limit; the rest of it is still unread.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `buf` (newline stripped),
+/// giving up once `max` bytes have accumulated. Unlike
+/// `BufRead::read_line` this cannot be made to buffer an unbounded
+/// line by a hostile or broken client.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<LineRead> {
+    buf.clear();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                buf.extend_from_slice(&chunk[..newline]);
+                reader.consume(newline + 1);
+                return Ok(if buf.len() > max {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line
+                });
+            }
+            None => {
+                let len = chunk.len();
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+                if buf.len() > max {
+                    return Ok(LineRead::TooLong);
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection to completion: frame, execute, respond, until
+/// EOF, an oversized line, a shutdown frame, or an I/O error.
+pub(super) fn serve_conn<R>(
+    engine: &SharedEngine<R>,
+    stream: TcpStream,
+    control: &Control,
+) -> io::Result<()>
+where
+    R: RandomAccess + Send + Sync,
+{
+    let max_line = control.config.max_line_bytes;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        // Frame: the first line blocks; any further *complete* lines
+        // already sitting in the read buffer ride the same batch (the
+        // newline check guarantees the extra reads cannot block on a
+        // half-sent line). A pipelining client thus gets plan-level
+        // dedup across everything it sent at once, with no artificial
+        // latency added for interactive one-line clients.
+        let mut requests: Vec<Request> = Vec::new();
+        let mut eof = false;
+        let mut overflow = false;
+        loop {
+            match read_line_limited(&mut reader, &mut buf, max_line)? {
+                LineRead::Eof => {
+                    eof = true;
+                    break;
+                }
+                LineRead::TooLong => {
+                    overflow = true;
+                    break;
+                }
+                LineRead::Line => {
+                    // Blank lines are skipped, not answered — same as
+                    // `optrules batch` on stdin.
+                    if !buf.iter().all(u8::is_ascii_whitespace) {
+                        match std::str::from_utf8(&buf) {
+                            Ok(text) => requests.push(parse_request(text)),
+                            Err(_) => requests.push(Request::Bad(
+                                "bad request: request line is not valid UTF-8".into(),
+                            )),
+                        }
+                    }
+                }
+            }
+            if requests.len() >= MAX_FRAME_REQUESTS || !reader.buffer().contains(&b'\n') {
+                break;
+            }
+        }
+
+        // Execute the frame's specs as one planned batch, bounded by
+        // the server-wide in-flight gate.
+        let specs: Vec<QuerySpec> = requests
+            .iter()
+            .filter_map(|request| match request {
+                Request::Spec(spec) => Some(spec.clone()),
+                _ => None,
+            })
+            .collect();
+        let results = if specs.is_empty() {
+            Vec::new()
+        } else {
+            let _permit = control.gate.acquire();
+            engine.run_batch(&specs, control.config.batch_threads)
+        };
+
+        // Respond in request order; stats frames see the batch that
+        // rode in with them already applied.
+        let mut results = results.into_iter();
+        let mut shutdown_requested = false;
+        let written: io::Result<()> = (|| {
+            for request in &requests {
+                let response = match request {
+                    Request::Bad(msg) => json::error_envelope(msg.clone()),
+                    Request::Spec(_) => match results.next().expect("one result per spec") {
+                        Ok(rules) => json::ok_envelope(json::rule_set_to_value(&rules)),
+                        Err(e) => json::error_envelope(e.to_string()),
+                    },
+                    Request::Stats => json::ok_envelope(json::stats_to_value(&engine.snapshot())),
+                    Request::Shutdown => {
+                        shutdown_requested = true;
+                        json::ok_envelope(Json::Str("shutdown".into()))
+                    }
+                };
+                writeln!(writer, "{}", response.encode())?;
+            }
+            if overflow {
+                let msg = format!("request line exceeds {max_line} bytes");
+                writeln!(writer, "{}", json::error_envelope(msg).encode())?;
+            }
+            writer.flush()
+        })();
+
+        // An accepted shutdown frame stops the server even when the
+        // requester vanished before reading its ack (the write above
+        // failing must not discard the command).
+        if shutdown_requested {
+            control.begin_shutdown();
+            written?;
+            return Ok(());
+        }
+        written?;
+        if eof || overflow {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bad(request: Request, needle: &str) {
+        match request {
+            Request::Bad(msg) => assert!(msg.contains(needle), "{msg:?} missing {needle:?}"),
+            _ => panic!("expected a bad request containing {needle:?}"),
+        }
+    }
+
+    #[test]
+    fn control_frames_parse_strictly() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Request::Shutdown
+        ));
+        assert_bad(parse_request(r#"{"cmd":"reboot"}"#), "unknown cmd");
+        assert_bad(parse_request(r#"{"cmd":7}"#), "unknown cmd");
+        assert_bad(
+            parse_request(r#"{"cmd":"stats","verbose":true}"#),
+            "control frame",
+        );
+    }
+
+    #[test]
+    fn specs_and_garbage_parse_as_expected() {
+        assert!(matches!(
+            parse_request(r#"{"attr":"A","objective":{"bool":"B"}}"#),
+            Request::Spec(_)
+        ));
+        assert_bad(parse_request("garbage"), "bad request");
+        assert_bad(
+            parse_request(r#"{"attr":"A","objective":{"bool":"B"},"bogus":1}"#),
+            "unknown key",
+        );
+    }
+}

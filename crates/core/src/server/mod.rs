@@ -1,0 +1,411 @@
+//! A long-lived TCP query server over one [`SharedEngine`] — the
+//! network face of the engine (`optrules serve` on the CLI).
+//!
+//! The NDJSON batch protocol (`optrules batch`, [`crate::json`]) is
+//! one-shot-over-stdio: every invocation pays cold-cache costs and
+//! nothing persists between batches. This module keeps **one**
+//! `SharedEngine` warm across arbitrarily many client connections, so
+//! the session-cache investment (bucketizations, counting scans,
+//! singleflight) compounds into sustained throughput:
+//!
+//! * **Protocol** — exactly the batch protocol, over TCP: one JSON
+//!   [`QuerySpec`](crate::spec::QuerySpec) per line in, one
+//!   `{"ok": …}` / `{"error": …}` response per line out, in request
+//!   order per connection. A request whose only key is `cmd` is a
+//!   *control frame* (`{"cmd":"stats"}`, `{"cmd":"shutdown"}` — schema
+//!   in [`crate::json`]).
+//! * **Framing** — each worker reads one request line (blocking), then
+//!   drains any further complete lines its buffer already holds, and
+//!   runs them as **one**
+//!   [`run_batch`](crate::shared::SharedEngine::run_batch): a
+//!   pipelining client gets plan-level dedup across everything it sent
+//!   at once, and concurrent clients coalesce cold misses across
+//!   connections through the engine's singleflight cache.
+//! * **Concurrency & backpressure** — a fixed pool of
+//!   [`workers`](ServerConfig::workers) threads, each serving one
+//!   connection at a time, pulls from a **bounded** accept queue
+//!   ([`max_pending`](ServerConfig::max_pending)); when the queue is
+//!   full the acceptor stops accepting and the OS listen backlog
+//!   pushes back on clients. Independently,
+//!   [`max_inflight_batches`](ServerConfig::max_inflight_batches)
+//!   caps how many batches execute on the engine at once.
+//! * **Robustness** — malformed JSON, unknown keys, or a failing query
+//!   produce an `{"error": …}` line and the connection lives on;
+//!   request lines over
+//!   [`max_line_bytes`](ServerConfig::max_line_bytes) get an error
+//!   response and a clean disconnect; connection I/O errors (resets,
+//!   half-closes) end that connection, never a worker. Memory per
+//!   connection is bounded: one line is capped, one framing batch
+//!   holds at most 1024 requests before it executes and responds, and
+//!   a client that stops *reading* trips
+//!   [`write_timeout`](ServerConfig::write_timeout) instead of
+//!   parking a worker on a full send buffer forever.
+//! * **Graceful shutdown** — a `{"cmd":"shutdown"}` control frame (or
+//!   [`ServerHandle::shutdown`]) stops the acceptor, EOFs every parked
+//!   reader through a connection registry so in-flight connections
+//!   drain and flush their remaining responses, and lets
+//!   [`ServerHandle::join`] return. The server is dependency-free and
+//!   installs no signal handler: SIGINT keeps its OS default
+//!   (immediate process exit); use the control frame for a clean stop.
+//!
+//! ```no_run
+//! use optrules_core::server::{serve, ServerConfig};
+//! use optrules_core::SharedEngine;
+//! use optrules_relation::gen::{BankGenerator, DataGenerator};
+//! use std::sync::Arc;
+//!
+//! let rel = BankGenerator::default().to_relation(100_000, 3);
+//! let engine = Arc::new(SharedEngine::new(rel));
+//! let handle = serve(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr()); // :0 picked a real port
+//! handle.join(); // runs until a {"cmd":"shutdown"} frame arrives
+//! ```
+
+mod conn;
+
+use crate::shared::SharedEngine;
+use optrules_relation::RandomAccess;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing and protocol limits for [`serve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads handling connections; each worker serves one
+    /// connection at a time, so this is also the concurrent-connection
+    /// limit. Clamped to at least 1.
+    pub workers: usize,
+    /// Bound on connections accepted but not yet picked up by a
+    /// worker. When full, the acceptor blocks instead of buffering
+    /// unboundedly — beyond this the OS listen backlog (and then the
+    /// clients' connect timeouts) absorb the overload. Clamped to at
+    /// least 1.
+    pub max_pending: usize,
+    /// Maximum batches executing on the engine at once across all
+    /// workers. Lets an operator run many workers (cheap, mostly
+    /// parked in socket reads) while capping concurrent O(N) mining
+    /// work. Clamped to at least 1.
+    pub max_inflight_batches: usize,
+    /// Maximum request-line length in bytes. A longer line gets an
+    /// `{"error": …}` response and the connection is closed (there is
+    /// no way to resynchronize mid-line with bounded memory).
+    pub max_line_bytes: usize,
+    /// `threads` handed to each
+    /// [`run_batch`](crate::shared::SharedEngine::run_batch) call —
+    /// fan-out *within* one connection's framing batch. Responses are
+    /// byte-identical at every value; 1 is right unless connections
+    /// are few and batches are wide.
+    pub batch_threads: usize,
+    /// How long a response write may block before the connection is
+    /// dropped. Bounds the damage a client that stops *reading* can
+    /// do: without it, a worker stuck writing into a full socket send
+    /// buffer is held hostage indefinitely — and so is a graceful
+    /// shutdown, whose registry sweep can only EOF the *read* halves.
+    /// `None` means block forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    /// 4 workers, 64 pending connections, 4 in-flight batches, 1 MiB
+    /// request lines, sequential batch execution, 30 s write timeout.
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_pending: 64,
+            max_inflight_batches: 4,
+            max_line_bytes: 1 << 20,
+            batch_threads: 1,
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Counting semaphore bounding concurrent batch executions
+/// ([`ServerConfig::max_inflight_batches`]).
+#[derive(Debug)]
+struct Gate {
+    max: usize,
+    inflight: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(max: usize) -> Self {
+        Self {
+            max: max.max(1),
+            inflight: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot frees up; the guard releases it on drop.
+    fn acquire(&self) -> GateGuard<'_> {
+        let mut inflight = self.inflight.lock().expect("gate poisoned");
+        while *inflight >= self.max {
+            inflight = self.cv.wait(inflight).expect("gate poisoned");
+        }
+        *inflight += 1;
+        GateGuard(self)
+    }
+}
+
+struct GateGuard<'a>(&'a Gate);
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        *self.0.inflight.lock().expect("gate poisoned") -= 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// State shared by the acceptor, the workers, and [`ServerHandle`]:
+/// the shutdown latch, the live-connection registry, and the limits.
+#[derive(Debug)]
+struct Control {
+    addr: SocketAddr,
+    shutting_down: AtomicBool,
+    next_conn: AtomicU64,
+    /// Clones of live connections' streams, so shutdown can EOF
+    /// readers parked on the next request (`Shutdown::Read` leaves the
+    /// write half open — queued responses still flush).
+    live: Mutex<HashMap<u64, TcpStream>>,
+    gate: Gate,
+    config: ServerConfig,
+}
+
+impl Control {
+    fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Idempotently starts the graceful shutdown: stop accepting,
+    /// EOF every parked reader, let in-flight work drain.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for stream in self.live.lock().expect("registry poisoned").values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        // Wake the acceptor out of its blocking accept with a
+        // throwaway connection; it re-checks the latch on every
+        // accept, so a failed connect only delays exit until the next
+        // real client.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let clone = stream.try_clone().ok()?;
+        self.live
+            .lock()
+            .expect("registry poisoned")
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.live.lock().expect("registry poisoned").remove(&id);
+    }
+}
+
+/// A running server: its bound address, the shutdown trigger, and the
+/// thread handles. Returned by [`serve`]; dropping it does **not**
+/// stop the server (the threads keep running detached) — call
+/// [`shutdown`](Self::shutdown) and/or [`join`](Self::join).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    control: Arc<Control>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address — with a `:0` bind request, the port
+    /// the OS picked.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers the same graceful shutdown as a `{"cmd":"shutdown"}`
+    /// control frame. Idempotent; returns immediately — pair with
+    /// [`join`](Self::join) to wait for the drain.
+    pub fn shutdown(&self) {
+        self.control.begin_shutdown();
+    }
+
+    /// Whether a shutdown has been requested (by either trigger).
+    pub fn is_shutting_down(&self) -> bool {
+        self.control.shutting_down()
+    }
+
+    /// Blocks until the acceptor and every worker have exited — i.e.
+    /// until after a shutdown trigger, once in-flight connections have
+    /// drained and flushed.
+    pub fn join(self) {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves the NDJSON query protocol over `engine`
+/// until a shutdown is triggered. Returns immediately with a
+/// [`ServerHandle`]; all work happens on the spawned acceptor + worker
+/// threads. See the [module docs](self) for the protocol and
+/// concurrency model.
+///
+/// The engine is shared, not consumed: the caller can keep querying
+/// it in-process, inspect [`snapshot`](SharedEngine::snapshot), or
+/// hand the same `Arc` to several servers on different ports.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound or inspected.
+pub fn serve<R>(
+    engine: Arc<SharedEngine<R>>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle>
+where
+    R: RandomAccess + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let control = Arc::new(Control {
+        addr,
+        shutting_down: AtomicBool::new(false),
+        next_conn: AtomicU64::new(0),
+        live: Mutex::new(HashMap::new()),
+        gate: Gate::new(config.max_inflight_batches),
+        config,
+    });
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.max_pending.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+    for _ in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let engine = Arc::clone(&engine);
+        let control = Arc::clone(&control);
+        threads.push(std::thread::spawn(move || worker(&rx, &engine, &control)));
+    }
+    {
+        let control = Arc::clone(&control);
+        threads.push(std::thread::spawn(move || {
+            acceptor(&listener, &tx, &control)
+        }));
+    }
+    Ok(ServerHandle {
+        addr,
+        control,
+        threads,
+    })
+}
+
+/// The accept loop: push connections into the bounded queue until
+/// shutdown. Exiting drops `tx`, which is what tells idle workers
+/// (parked in `recv`) to exit once the queue drains.
+fn acceptor(listener: &TcpListener, tx: &SyncSender<TcpStream>, control: &Control) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) if control.shutting_down() => break,
+            Err(_) => {
+                // Transient (EMFILE, aborted handshake): don't spin.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if control.shutting_down() {
+            break; // `stream` (possibly the wake connection) just drops
+        }
+        // Blocks while the queue is full: bounded memory; the OS
+        // listen backlog queues behind it.
+        if tx.send(stream).is_err() {
+            break;
+        }
+    }
+}
+
+/// One pool worker: serve queued connections until the acceptor hangs
+/// up and the queue is drained. Connection-level I/O errors end that
+/// connection only — the worker moves on to the next.
+fn worker<R>(rx: &Mutex<Receiver<TcpStream>>, engine: &SharedEngine<R>, control: &Control)
+where
+    R: RandomAccess + Send + Sync,
+{
+    loop {
+        let stream = rx.lock().expect("accept queue poisoned").recv();
+        let Ok(stream) = stream else { break };
+        // A connection we cannot register (try_clone failure) must not
+        // be served either: shutdown could never EOF it, and an idle
+        // client would then hold `join` forever. Dropping it is the
+        // promised clean disconnect.
+        let Some(id) = control.register(&stream) else {
+            continue;
+        };
+        // A client that stops reading must not hold this worker (or a
+        // graceful shutdown) hostage on a blocked response write.
+        let _ = stream.set_write_timeout(control.config.write_timeout);
+        // Re-checked *after* registering: a shutdown that raced in
+        // between either sees this entry in its registry sweep or is
+        // seen here — the connection cannot slip past both.
+        if control.shutting_down() {
+            control.deregister(id);
+            continue;
+        }
+        let _ = conn::serve_conn(engine, stream, control);
+        control.deregister(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn gate_caps_concurrency_at_max() {
+        let gate = Gate::new(2);
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _permit = gate.acquire();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(5));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn gate_clamps_zero_to_one() {
+        let gate = Gate::new(0);
+        let _permit = gate.acquire(); // must not deadlock
+    }
+
+    #[test]
+    fn server_config_default_is_sane() {
+        let config = ServerConfig::default();
+        assert!(config.workers >= 1);
+        assert!(config.max_pending >= 1);
+        assert!(config.max_inflight_batches >= 1);
+        assert!(config.max_line_bytes >= 1024);
+        assert_eq!(config.batch_threads, 1);
+        assert!(
+            config.write_timeout.is_some(),
+            "stalled readers must not hold workers (or shutdown) forever by default"
+        );
+    }
+}

@@ -152,6 +152,22 @@ struct WorkCounters {
     coalesced_waits: AtomicU64,
 }
 
+/// A point-in-time observability snapshot of one [`SharedEngine`]:
+/// the engine-level [`EngineStats`] plus every cache shard's counters.
+///
+/// Produced by [`SharedEngine::snapshot`]; encoded as JSON for the
+/// server's `{"cmd":"stats"}` control frame by
+/// [`stats_to_value`](crate::json::stats_to_value). Under concurrent
+/// traffic the two halves are snapshotted back to back, not atomically
+/// together — totals may be mid-update by a few counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Engine-level work and cache counters.
+    pub engine: EngineStats,
+    /// Per-shard cache counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
 /// A concurrent, long-lived mining session over one relation.
 ///
 /// See the [module docs](self) for the concurrency and eviction model.
@@ -232,8 +248,20 @@ impl<R: RandomAccess> SharedEngine<R> {
             scan_cache_hits: self.counters.scan_cache_hits.load(Ordering::Relaxed),
             coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
             evictions: self.cache.evictions(),
+            rejected: self.cache.rejected(),
             lookups: self.cache.lookups(),
             cached_cost: self.cache.current_cost(),
+        }
+    }
+
+    /// One coherent observability snapshot: the engine-level counters
+    /// plus the per-shard cache breakdown. This is the payload of the
+    /// server's `{"cmd":"stats"}` control frame (see
+    /// [`crate::server`] and [`crate::json::stats_to_value`]).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            engine: self.stats(),
+            shards: self.shard_stats(),
         }
     }
 

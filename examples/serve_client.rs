@@ -1,0 +1,71 @@
+//! A minimal `std::net::TcpStream` client for `optrules serve`: pipes
+//! NDJSON query specs from stdin to the server and prints the NDJSON
+//! responses, optionally requesting a stats snapshot and/or a graceful
+//! shutdown afterwards.
+//!
+//! ```text
+//! optrules gen bank data.rel --rows 100000
+//! optrules serve data.rel --addr 127.0.0.1:7878 &
+//! cargo run --example serve_client -- 127.0.0.1:7878 < specs.ndjson
+//! cargo run --example serve_client -- 127.0.0.1:7878 --stats < /dev/null
+//! cargo run --example serve_client -- 127.0.0.1:7878 --shutdown < /dev/null
+//! ```
+//!
+//! Responses are read on a second thread, so an arbitrarily large
+//! pipelined batch cannot deadlock on full socket buffers (the server
+//! answers while the client is still sending).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: serve_client <host:port> [--stats] [--shutdown]  (specs on stdin)";
+    let addr = args.next().ok_or(usage)?;
+    let mut stats = false;
+    let mut shutdown = false;
+    for arg in args {
+        match arg.as_str() {
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown argument {other:?}\n{usage}").into()),
+        }
+    }
+
+    let stream = TcpStream::connect(&addr)?;
+
+    // Reader: print every response line until the server closes.
+    let reader = std::thread::spawn({
+        let stream = stream.try_clone()?;
+        move || -> std::io::Result<()> {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for line in BufReader::new(stream).lines() {
+                writeln!(out, "{}", line?)?;
+            }
+            Ok(())
+        }
+    });
+
+    // Writer: forward stdin, then any control frames, then half-close
+    // so the server knows the request stream is done.
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    for line in std::io::stdin().lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}")?;
+    }
+    if stats {
+        writeln!(writer, "{{\"cmd\":\"stats\"}}")?;
+    }
+    if shutdown {
+        writeln!(writer, "{{\"cmd\":\"shutdown\"}}")?;
+    }
+    writer.flush()?;
+    stream.shutdown(Shutdown::Write)?;
+
+    reader.join().expect("reader thread")?;
+    Ok(())
+}

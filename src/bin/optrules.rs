@@ -12,7 +12,12 @@
 //! optrules avg <path> --attr A --target B [--buckets M] [--min-support P]
 //!               [--min-avg X] [--threads T] [--seed S] [--format text|json]
 //! optrules batch <path> [--buckets M] [--min-support P] [--min-confidence P]
-//!               [--threads T] [--seed S]   (query specs as NDJSON on stdin)
+//!               [--threads T] [--seed S] [--cache-mb N] [--cache-shards N]
+//!               (query specs as NDJSON on stdin)
+//! optrules serve <path> [--addr HOST:PORT] [--workers N] [--max-inflight N]
+//!               [--max-line-bytes N] [--cache-mb N] [--cache-shards N]
+//!               [--buckets M] [--min-support P] [--min-confidence P]
+//!               [--threads T] [--seed S]
 //! ```
 //!
 //! Relation files are the fixed-width format written by
@@ -34,13 +39,26 @@
 //! JSON response per line — `{"ok": <result>}` or
 //! `{"error": "<message>"}` — in request order. The engine flags set
 //! session defaults that individual specs may override per query.
+//!
+//! `serve` keeps one warm `SharedEngine` behind a TCP listener and
+//! speaks the same NDJSON protocol per connection, plus the
+//! `{"cmd":"stats"}` / `{"cmd":"shutdown"}` control frames (see
+//! `optrules::core::server`). It prints `listening on <addr>` once
+//! bound (with `--addr host:0` the OS picks the port) and exits 0
+//! after a graceful shutdown. `--cache-mb`/`--cache-shards` size the
+//! engine's bounded cache without recompiling: `--cache-mb` is the
+//! total budget in MiB (`0` disables caching — every query runs
+//! cold), `--cache-shards` the lock granularity (≥ 1; the default is
+//! 32 MiB across 16 shards).
 
-use optrules::core::json::{self, Json};
+use optrules::core::json;
 use optrules::core::report::{render_rule_sets, sort_rule_sets, SortBy};
+use optrules::core::server;
 use optrules::prelude::*;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,7 +85,15 @@ const USAGE: &str = "usage:
   optrules avg <path> --attr A --target B [--buckets M] [--min-support P]
                 [--min-avg X] [--threads T] [--seed S] [--format text|json]
   optrules batch <path> [--buckets M] [--min-support P] [--min-confidence P]
-                [--threads T] [--seed S]   (query specs as NDJSON on stdin)";
+                [--threads T] [--seed S] [--cache-mb N] [--cache-shards N]
+                (query specs as NDJSON on stdin)
+  optrules serve <path> [--addr HOST:PORT] [--workers N] [--max-inflight N]
+                [--max-line-bytes N] [--cache-mb N] [--cache-shards N]
+                [--buckets M] [--min-support P] [--min-confidence P]
+                [--threads T] [--seed S]
+                (NDJSON specs per TCP connection; --cache-mb sizes the
+                 shared cache in MiB, 0 disables it; --cache-shards
+                 sets lock granularity, at least 1)";
 
 type CliResult = Result<(), String>;
 
@@ -170,6 +196,21 @@ const BATCH_FLAGS: &[&str] = &[
     "min-confidence",
     "threads",
     "seed",
+    "cache-mb",
+    "cache-shards",
+];
+const SERVE_FLAGS: &[&str] = &[
+    "addr",
+    "workers",
+    "max-inflight",
+    "max-line-bytes",
+    "cache-mb",
+    "cache-shards",
+    "buckets",
+    "min-support",
+    "min-confidence",
+    "threads",
+    "seed",
 ];
 
 /// Output format shared by the mining subcommands: `text` (the default,
@@ -215,6 +256,10 @@ fn run(args: &[String]) -> CliResult {
         ["batch", path] => {
             reject_unknown(&flags, BATCH_FLAGS)?;
             batch(path, &flags)
+        }
+        ["serve", path] => {
+            reject_unknown(&flags, SERVE_FLAGS)?;
+            serve(path, &flags)
         }
         [] => Err("missing command".into()),
         other => Err(format!("unrecognized command {other:?}")),
@@ -294,6 +339,31 @@ fn config_from_flags(
         seed: flag_num(flags, "seed", 7u64)?,
         ..EngineConfig::default()
     })
+}
+
+/// The `--cache-mb` / `--cache-shards` operator flags, mapped onto
+/// [`CacheConfig`]. `--cache-mb` is the total budget in MiB (converted
+/// to cells of 8 bytes; `0` disables caching entirely) and
+/// `--cache-shards` the lock granularity, which must be at least 1.
+fn cache_from_flags(flags: &HashMap<&str, &str>) -> Result<CacheConfig, String> {
+    let mut config = CacheConfig::default();
+    if let Some(raw) = flags.get("cache-mb") {
+        let mb: u64 = raw
+            .parse()
+            .map_err(|_| format!("--cache-mb expects a number of MiB, got {raw:?}"))?;
+        // One cache cell is a u64/f64 ≈ 8 bytes.
+        config.max_cost = mb.saturating_mul(1 << 20) / 8;
+    }
+    if let Some(raw) = flags.get("cache-shards") {
+        let shards: usize = raw
+            .parse()
+            .map_err(|_| format!("--cache-shards expects a number, got {raw:?}"))?;
+        if shards == 0 {
+            return Err("--cache-shards must be at least 1".into());
+        }
+        config.shards = shards;
+    }
+    Ok(config)
 }
 
 fn engine_from_flags(
@@ -418,10 +488,12 @@ fn avg(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
 /// requests produce an `{"error": ...}` line without aborting the rest.
 fn batch(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     let threads: usize = flag_num(flags, "threads", 1)?;
+    let cache = cache_from_flags(flags)?;
     let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
     // Like mine-all, --threads fans whole queries out and every scan
-    // stays sequential, so output is byte-identical at any width.
-    let engine = SharedEngine::with_config(rel, config_from_flags(flags, 1)?);
+    // stays sequential, so output is byte-identical at any width (and
+    // at any cache sizing — caching is semantically invisible).
+    let engine = SharedEngine::with_cache(rel, config_from_flags(flags, 1)?, cache);
     let mut requests: Vec<Result<QuerySpec, String>> = Vec::new();
     for line in std::io::stdin().lock().lines() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
@@ -440,14 +512,57 @@ fn batch(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     let mut out = stdout.lock();
     for request in requests {
         let response = match request {
-            Err(msg) => Json::Obj(vec![("error".into(), Json::Str(msg))]),
+            Err(msg) => json::error_envelope(msg),
             Ok(_) => match results.next().expect("one result per decoded spec") {
-                Ok(rules) => Json::Obj(vec![("ok".into(), json::rule_set_to_value(&rules))]),
-                Err(e) => Json::Obj(vec![("error".into(), Json::Str(e.to_string()))]),
+                Ok(rules) => json::ok_envelope(json::rule_set_to_value(&rules)),
+                Err(e) => json::error_envelope(e.to_string()),
             },
         };
         writeln!(out, "{}", response.encode()).map_err(|e| format!("writing stdout: {e}"))?;
     }
+    Ok(())
+}
+
+/// The `serve` subcommand: bind a TCP listener and answer the NDJSON
+/// protocol from one long-lived warm `SharedEngine` until a
+/// `{"cmd":"shutdown"}` control frame arrives. Prints the bound
+/// address first (so scripts can use `--addr host:0`), then blocks
+/// until the graceful drain completes.
+fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
+    let workers: usize = flag_num(flags, "workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let max_inflight: usize = flag_num(flags, "max-inflight", workers)?;
+    if max_inflight == 0 {
+        return Err("--max-inflight must be at least 1".into());
+    }
+    let max_line_bytes: usize = flag_num(flags, "max-line-bytes", 1 << 20)?;
+    if max_line_bytes == 0 {
+        return Err("--max-line-bytes must be at least 1".into());
+    }
+    let batch_threads: usize = flag_num(flags, "threads", 1)?;
+    let cache = cache_from_flags(flags)?;
+    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    let engine = Arc::new(SharedEngine::with_cache(
+        rel,
+        config_from_flags(flags, 1)?,
+        cache,
+    ));
+    let config = ServerConfig {
+        workers,
+        max_inflight_batches: max_inflight,
+        max_line_bytes,
+        batch_threads,
+        ..ServerConfig::default()
+    };
+    let handle = server::serve(engine, addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    // Parsed by scripts and tests; stdout is line-buffered, so this is
+    // visible before the first connection.
+    println!("listening on {}", handle.addr());
+    handle.join();
+    println!("server stopped");
     Ok(())
 }
 

@@ -96,7 +96,9 @@
 //!   [`core::spec::QuerySpec`]s, the batch planner ([`core::plan`])
 //!   behind `SharedEngine::run_batch`, and the JSON protocol
 //!   ([`core::json`]) — makes the engine drivable by other processes
-//!   (`optrules batch` on the CLI).
+//!   (`optrules batch` on the CLI), and [`core::server`] serves that
+//!   protocol over TCP from one long-lived warm engine
+//!   (`optrules serve`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -117,7 +119,7 @@ pub mod prelude {
         optimize_confidence, optimize_support, AvgRule, CacheConfig, CondSpec, Engine,
         EngineConfig, EngineStats, MinedAverage, MinedPair, MinerConfig, Objective, ObjectiveSpec,
         OptRange, Plan, Query, QuerySpec, RangeRule, Ratio, Real, Rule, RuleKind, RuleSet,
-        ShardStats, SharedEngine, Task,
+        ServerConfig, ServerHandle, ShardStats, SharedEngine, StatsSnapshot, Task,
     };
     pub use crate::relation::gen::{
         BankGenerator, DataGenerator, PlantedRangeGenerator, RetailGenerator, UniformWorkload,

@@ -330,6 +330,62 @@ fn batch_responses_parse_and_line_up_with_requests() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// `--cache-mb` / `--cache-shards` validate strictly and never change
+/// output (caching is semantically invisible, only faster).
+#[test]
+fn cache_flags_validate_and_leave_output_unchanged() {
+    let path = tmp("cache-flags");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "5000", "--seed", "3"]);
+    let request = "{\"attr\":\"Balance\",\"objective\":{\"bool\":\"CardLoan\"},\"buckets\":50}\n";
+
+    let default_out = run_ok_stdin(&["batch", path_s], request);
+    // Sized way down (1 MiB, 2 shards) and with caching disabled
+    // entirely: byte-identical responses.
+    for sizing in [
+        &["--cache-mb", "1", "--cache-shards", "2"][..],
+        &["--cache-mb", "0"][..],
+    ] {
+        let mut args = vec!["batch", path_s];
+        args.extend_from_slice(sizing);
+        assert_eq!(run_ok_stdin(&args, request), default_out, "{sizing:?}");
+    }
+
+    // Invalid values are errors naming the flag, for batch and serve.
+    for (args, needle) in [
+        (
+            vec!["batch", path_s, "--cache-mb", "lots"],
+            "--cache-mb expects a number",
+        ),
+        (
+            vec!["batch", path_s, "--cache-shards", "0"],
+            "--cache-shards must be at least 1",
+        ),
+        (
+            vec!["serve", path_s, "--cache-shards", "zero"],
+            "--cache-shards expects a number",
+        ),
+        (
+            vec!["serve", path_s, "--workers", "0"],
+            "--workers must be at least 1",
+        ),
+        (
+            vec!["serve", path_s, "--max-inflight", "0"],
+            "--max-inflight must be at least 1",
+        ),
+        (
+            vec!["serve", path_s, "--addr", "not-an-address"],
+            "binding not-an-address",
+        ),
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn format_json_emits_decodable_results_and_text_stays_default() {
     use optrules::core::json;
