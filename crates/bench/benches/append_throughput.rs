@@ -1,0 +1,130 @@
+//! Live-relation append throughput: the cost of producing the next
+//! relation generation must depend on the appended rows `k`, **not**
+//! on the relation size `N` (the issue's O(k)-amortized acceptance
+//! criterion — no full-relation rebuild per append).
+//!
+//! Three measurements per base size N ∈ {10k, 100k, 400k}:
+//!
+//! * `append/N` — `SharedEngine::append_rows` of k = 1000 rows over a
+//!   `ChunkedRelation` (copy-on-write segments + atomic generation
+//!   swap): should be flat across N;
+//! * `rebuild/N` — the counterfactual: rebuilding a flat `Relation`
+//!   with the rows appended (what a restart-per-append deployment
+//!   pays): grows linearly with N;
+//! * an amortization sweep appending 1M rows in 1k-row frames,
+//!   reporting ns/row including every geometric segment merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bench::{fmt_duration, time_best_of};
+use optrules_core::{EngineConfig, SharedEngine};
+use optrules_relation::gen::{BankGenerator, DataGenerator};
+use optrules_relation::{AppendRows, ChunkedRelation, Relation, RowFrame};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Rows per append frame (matches the protocol's MAX_APPEND_ROWS
+/// ballpark).
+const K: usize = 1_000;
+/// Reset the growing engine after this many appended generations so a
+/// fast machine cannot balloon memory inside the measurement window.
+const RESET_EVERY_GENERATIONS: u64 = 512;
+
+fn frame_rows() -> Vec<RowFrame> {
+    (0..K)
+        .map(|i| {
+            let v = i as f64;
+            RowFrame {
+                numeric: vec![
+                    (v * 37.0) % 20_000.0,
+                    20.0 + (v % 60.0),
+                    (v * 13.0) % 5_000.0,
+                    (v * 101.0) % 40_000.0,
+                ],
+                boolean: vec![i % 2 == 0, i % 3 == 0, i % 5 == 0],
+            }
+        })
+        .collect()
+}
+
+fn live_engine(base: &Relation) -> SharedEngine<ChunkedRelation<Relation>> {
+    SharedEngine::with_config(ChunkedRelation::new(base.clone()), EngineConfig::default())
+}
+
+fn bench_append_throughput(c: &mut Criterion) {
+    let rows = frame_rows();
+    let mut group = c.benchmark_group("append_throughput");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.throughput(Throughput::Elements(K as u64));
+
+    for base_rows in [10_000u64, 100_000, 400_000] {
+        let base = BankGenerator::default().to_relation(base_rows, 3);
+
+        let mut engine = live_engine(&base);
+        group.bench_with_input(BenchmarkId::new("append", base_rows), &base_rows, |b, _| {
+            b.iter(|| {
+                if engine.generation() >= RESET_EVERY_GENERATIONS {
+                    engine = live_engine(&base);
+                }
+                black_box(engine.append_rows(&rows).expect("schema matches"));
+            })
+        });
+
+        // Counterfactual: a flat rebuild touches all N existing rows.
+        group.bench_with_input(
+            BenchmarkId::new("rebuild", base_rows),
+            &base_rows,
+            |b, _| b.iter(|| black_box(base.with_rows(&rows).expect("schema matches"))),
+        );
+    }
+    group.finish();
+
+    // Headline: per-row append cost across base sizes (flat = O(k)),
+    // against the rebuild counterfactual (grows with N).
+    for base_rows in [10_000u64, 100_000, 400_000] {
+        let base = BankGenerator::default().to_relation(base_rows, 3);
+        let mut engine = live_engine(&base);
+        let append = time_best_of(Duration::from_millis(400), || {
+            if engine.generation() >= RESET_EVERY_GENERATIONS {
+                engine = live_engine(&base);
+            }
+            black_box(engine.append_rows(&rows).expect("schema matches"));
+        });
+        let rebuild = time_best_of(Duration::from_millis(400), || {
+            black_box(base.with_rows(&rows).expect("schema matches"));
+        });
+        println!(
+            "append_throughput/headline/N={base_rows:<6} append(k=1000) {} \
+             ({:.0} ns/row) vs rebuild {} ({:.1}x)",
+            fmt_duration(append),
+            append.as_secs_f64() * 1e9 / K as f64,
+            fmt_duration(rebuild),
+            rebuild.as_secs_f64() / append.as_secs_f64(),
+        );
+    }
+
+    // Amortization: 1M rows in 1k frames, every geometric merge
+    // included — the O(k)-amortized number the acceptance criterion
+    // asks for.
+    let base = BankGenerator::default().to_relation(100_000, 3);
+    let engine = live_engine(&base);
+    let frames = 1_000;
+    let start = std::time::Instant::now();
+    for _ in 0..frames {
+        engine.append_rows(&rows).expect("schema matches");
+    }
+    let elapsed = start.elapsed();
+    let appended = (frames * K) as u64;
+    let segments = engine.relation().segments();
+    println!(
+        "append_throughput/amortized appended {appended} rows in {frames} frames: {} \
+         ({:.0} ns/row amortized incl. merges), final segments {segments}",
+        fmt_duration(elapsed),
+        elapsed.as_secs_f64() * 1e9 / appended as f64,
+    );
+    assert_eq!(engine.pin().rows(), 100_000 + appended);
+}
+
+criterion_group!(benches, bench_append_throughput);
+criterion_main!(benches);

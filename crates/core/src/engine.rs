@@ -206,12 +206,36 @@ impl<R: RandomAccess> Engine<R> {
         self.shared.config()
     }
 
-    /// The underlying relation.
-    pub fn relation(&self) -> &R {
+    /// The relation schema (shared by every generation).
+    pub fn schema(&self) -> &optrules_relation::Schema {
+        self.shared.schema()
+    }
+
+    /// The current generation's relation version. The handle stays
+    /// valid and bit-stable across later appends (see
+    /// [`SharedEngine::pin`](crate::shared::SharedEngine::pin)).
+    pub fn relation(&self) -> Arc<R> {
         self.shared.relation()
     }
 
-    /// Consumes the engine and returns the relation.
+    /// Appends rows, producing the next relation generation — see
+    /// [`SharedEngine::append_rows`](crate::shared::SharedEngine::append_rows).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any row's arities do not match the schema.
+    pub fn append_rows(
+        &mut self,
+        rows: &[optrules_relation::RowFrame],
+    ) -> crate::error::Result<crate::shared::AppendOutcome>
+    where
+        R: optrules_relation::AppendRows,
+    {
+        self.shared.append_rows(rows)
+    }
+
+    /// Consumes the engine and returns the current generation's
+    /// relation.
     pub fn into_relation(self) -> R {
         Arc::try_unwrap(self.shared.into_relation())
             .ok()
@@ -236,9 +260,9 @@ impl<R: RandomAccess> Engine<R> {
     }
 
     /// Drops all cached bucketizations and scans and resets the
-    /// counters. Required after mutating the underlying relation
-    /// through interior mutability; never needed for cache sizing —
-    /// the bounded cache evicts on its own (see
+    /// counters. Never needed around [`append_rows`](Self::append_rows)
+    /// (cache keys carry the generation) nor for cache sizing — the
+    /// bounded cache evicts on its own (see
     /// [`CacheConfig`](crate::cache::CacheConfig)).
     pub fn clear_cache(&mut self) {
         self.shared.clear_cache();

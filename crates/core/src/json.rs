@@ -70,24 +70,27 @@
 //! The CLI's batch responses wrap each result as `{"ok": <result>}` or
 //! `{"error": "<message>"}`, one per request line.
 //!
-//! # Control frames (server)
+//! # Control frames
 //!
-//! The TCP server (`optrules serve`, [`crate::server`]) speaks the same
-//! NDJSON request/response protocol and adds **control frames**: a
-//! request object whose only key is `cmd` is an operator command, not a
-//! query spec. Two commands exist:
+//! A request object with a `cmd` key is an operator command, not a
+//! query spec. The TCP server (`optrules serve`, [`crate::server`])
+//! and `optrules batch` share the grammar ([`parse_request`]); three
+//! commands exist:
 //!
 //! ```json
 //! {"cmd": "stats"}
 //! {"cmd": "shutdown"}
+//! {"cmd": "append", "rows": [[3100.5, 41, 1200, 15000, true, false, true]]}
 //! ```
 //!
 //! `stats` answers with `{"ok": <snapshot>}` where the snapshot (see
-//! [`stats_to_value`]) carries the engine counters verbatim plus the
-//! per-shard cache breakdown:
+//! [`stats_to_value`]) carries the current relation generation and row
+//! count, the engine counters verbatim, and the per-shard cache
+//! breakdown:
 //!
 //! ```json
 //! {
+//!   "generation": 2, "rows": 20050,
 //!   "bucketizations": 4, "bucket_cache_hits": 44,
 //!   "scans": 4, "scan_cache_hits": 44, "coalesced_waits": 3,
 //!   "evictions": 0, "rejected": 0, "lookups": 96, "cached_cost": 40160,
@@ -101,9 +104,29 @@
 //! Derived rates (hit rate, miss rate) are intentionally not encoded —
 //! operators compute them from the exact counters. `shutdown` answers
 //! `{"ok":"shutdown"}` and then gracefully stops the server (drain
-//! connections, flush responses). Like specs, control frames are
-//! strict: extra keys or an unknown `cmd` produce an `{"error": …}`
-//! response.
+//! connections, flush responses); in batch mode, which has no server
+//! to stop, it answers with an error envelope.
+//!
+//! `append` appends rows to the live relation, producing the next
+//! **generation** (see
+//! [`SharedEngine::append_rows`](crate::shared::SharedEngine::append_rows)).
+//! Each row is one JSON array: the numeric cells (numbers, in numeric
+//! column order) followed by the Boolean cells (`true`/`false`, in
+//! Boolean column order). Validation is strict and atomic — wrong
+//! arity, a non-numeric/non-Boolean cell, an empty `rows`, or more
+//! than [`MAX_APPEND_ROWS`] rows per frame produce an `{"error": …}`
+//! response and append **nothing** ([`rows_from_value`]). Success
+//! answers
+//!
+//! ```json
+//! {"ok": {"appended": 1, "generation": 3, "rows": 20051}}
+//! ```
+//!
+//! Requests are executed in order per connection (and per batch
+//! stdin): specs before an append see the pre-append generation, specs
+//! after it see the new one, and a `stats` frame reflects exactly the
+//! requests before it. Like specs, control frames are strict: extra
+//! keys or an unknown `cmd` produce an `{"error": …}` response.
 //!
 //! # Numbers
 //!
@@ -124,8 +147,9 @@ use crate::error::CoreError;
 use crate::query::{AvgRule, Rule, RuleSet, Task};
 use crate::ratio::Ratio;
 use crate::rule::{RangeRule, RuleKind};
-use crate::shared::StatsSnapshot;
+use crate::shared::{AppendOutcome, StatsSnapshot};
 use crate::spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
+use optrules_relation::{RowFrame, Schema};
 use std::fmt;
 
 /// Maximum nesting depth the parser accepts — far deeper than any
@@ -1153,6 +1177,11 @@ pub fn stats_to_value(snapshot: &StatsSnapshot) -> Json {
     let e = &snapshot.engine;
     Json::Obj(vec![
         (
+            "generation".into(),
+            Json::Num(Num::UInt(snapshot.generation)),
+        ),
+        ("rows".into(), Json::Num(Num::UInt(snapshot.rows))),
+        (
             "bucketizations".into(),
             Json::Num(Num::UInt(e.bucketizations)),
         ),
@@ -1183,6 +1212,270 @@ pub fn stats_to_value(snapshot: &StatsSnapshot) -> Json {
 /// Encodes a stats snapshot as one compact JSON line.
 pub fn encode_stats(snapshot: &StatsSnapshot) -> String {
     stats_to_value(snapshot).encode()
+}
+
+// ---------------------------------------------------------------------
+// Request frames: specs + control frames (stats/shutdown/append), the
+// shared request grammar of `optrules batch` and the TCP server.
+// ---------------------------------------------------------------------
+
+/// Upper bound on rows in one `{"cmd":"append"}` frame. A frame over
+/// the cap is answered with an error envelope and applies nothing —
+/// callers wanting to load more rows send several frames (each is one
+/// generation). Bounds per-frame memory the same way the server's
+/// `max_line_bytes` bounds line length.
+pub const MAX_APPEND_ROWS: usize = 1024;
+
+/// One parsed request line of the NDJSON protocol, produced by
+/// [`parse_request`]. Both `optrules batch` and the TCP server
+/// ([`crate::server`]) speak exactly this grammar; they differ only in
+/// which control frames they act on (`shutdown` is meaningful to the
+/// server alone).
+#[derive(Debug)]
+pub enum Request {
+    /// A mining spec.
+    Spec(QuerySpec),
+    /// `{"cmd":"stats"}` — answer with the engine snapshot.
+    Stats,
+    /// `{"cmd":"shutdown"}` — gracefully stop the server (an error in
+    /// batch mode, which has no server to stop).
+    Shutdown,
+    /// `{"cmd":"append","rows":[…]}` — the raw (still unvalidated)
+    /// `rows` value; decode against the serving schema with
+    /// [`rows_from_value`] when executing.
+    Append(Json),
+    /// Unparseable or invalid; answer with `{"error": …}`.
+    Bad(String),
+}
+
+/// Parses one request line: a JSON object with a `cmd` key is a
+/// control frame, anything else must decode as a [`QuerySpec`]. Never
+/// fails — invalid input becomes [`Request::Bad`] carrying the error
+/// message to send back.
+pub fn parse_request(line: &str) -> Request {
+    let value = match Json::parse(line) {
+        Ok(value) => value,
+        Err(e) => return Request::Bad(format!("bad request: {e}")),
+    };
+    match value {
+        Json::Obj(fields) if fields.iter().any(|(key, _)| key == "cmd") => parse_control(fields),
+        value => match spec_from_value(&value) {
+            Ok(spec) => Request::Spec(spec),
+            Err(e) => Request::Bad(format!("bad request: {e}")),
+        },
+    }
+}
+
+/// Strict control-frame parse: `{"cmd":"stats"}`, `{"cmd":"shutdown"}`
+/// (exactly one key), or `{"cmd":"append","rows":[…]}` (exactly those
+/// two keys) — extra keys or an unknown command are errors, mirroring
+/// the strict spec decoder (a typo must not silently become a no-op).
+/// Consumes the fields so an append frame's rows move into the request
+/// instead of being deep-cloned.
+fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
+    const SHAPE: &str = "bad request: a control frame is {\"cmd\": \"stats\"|\"shutdown\"} \
+                         or {\"cmd\": \"append\", \"rows\": [[…], …]}";
+    enum Cmd {
+        Stats,
+        Shutdown,
+        Append,
+        Unknown(String),
+    }
+    let cmd_pos = fields
+        .iter()
+        .position(|(key, _)| key == "cmd")
+        .expect("caller found a cmd key");
+    let cmd = match &fields[cmd_pos].1 {
+        Json::Str(cmd) if cmd == "stats" => Cmd::Stats,
+        Json::Str(cmd) if cmd == "shutdown" => Cmd::Shutdown,
+        Json::Str(cmd) if cmd == "append" => Cmd::Append,
+        other => Cmd::Unknown(other.encode()),
+    };
+    match cmd {
+        Cmd::Stats | Cmd::Shutdown if fields.len() != 1 => Request::Bad(SHAPE.into()),
+        Cmd::Stats => Request::Stats,
+        Cmd::Shutdown => Request::Shutdown,
+        Cmd::Append => {
+            // Length check first: with extra keys, `cmd` may sit past
+            // index 1 and `1 - cmd_pos` would underflow.
+            if fields.len() != 2 {
+                return Request::Bad(SHAPE.into());
+            }
+            let rows_pos = 1 - cmd_pos;
+            if fields[rows_pos].0 != "rows" {
+                return Request::Bad(SHAPE.into());
+            }
+            Request::Append(fields.swap_remove(rows_pos).1)
+        }
+        Cmd::Unknown(encoded) => Request::Bad(format!(
+            "bad request: unknown cmd {encoded} (expected \"stats\", \"shutdown\", or \"append\")"
+        )),
+    }
+}
+
+/// Executes parsed request frames **in program order** against one
+/// engine — the shared semantics of `optrules batch` and each server
+/// connection: consecutive specs form one planned batch *segment*
+/// (pinning one relation generation, run through `run_segment` so the
+/// transport can wrap execution — the server takes its in-flight gate
+/// permit there); a control frame flushes the open segment first, so
+/// `stats` reflects exactly the requests before it and specs after an
+/// `append` mine the new generation. Appends never go through
+/// `run_segment` — they serialize on the engine's writer lock only.
+///
+/// Returns one response per request, in request order, plus whether a
+/// shutdown frame was seen; `shutdown_response` is the transport's
+/// answer to it (`{"ok":"shutdown"}` for the server, an error envelope
+/// for batch mode). Requests after a shutdown frame still execute —
+/// acting on the flag is the caller's job once responses are written.
+pub fn execute_requests<R, F>(
+    engine: &crate::shared::SharedEngine<R>,
+    requests: Vec<Request>,
+    mut run_segment: F,
+    shutdown_response: impl Fn() -> Json,
+) -> (Vec<Json>, bool)
+where
+    R: optrules_relation::RandomAccess + optrules_relation::AppendRows + Send + Sync,
+    F: FnMut(&[QuerySpec]) -> Vec<crate::error::Result<RuleSet>>,
+{
+    fn flush<F: FnMut(&[QuerySpec]) -> Vec<crate::error::Result<RuleSet>>>(
+        pending: &mut Vec<(usize, QuerySpec)>,
+        responses: &mut [Option<Json>],
+        run_segment: &mut F,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let (indices, specs): (Vec<usize>, Vec<QuerySpec>) = pending.drain(..).unzip();
+        for (index, result) in indices.into_iter().zip(run_segment(&specs)) {
+            responses[index] = Some(match result {
+                Ok(rules) => ok_envelope(rule_set_to_value(&rules)),
+                Err(e) => error_envelope(e.to_string()),
+            });
+        }
+    }
+
+    let mut responses: Vec<Option<Json>> = (0..requests.len()).map(|_| None).collect();
+    let mut pending: Vec<(usize, QuerySpec)> = Vec::new();
+    let mut shutdown_requested = false;
+    for (index, request) in requests.into_iter().enumerate() {
+        match request {
+            Request::Spec(spec) => pending.push((index, spec)),
+            Request::Bad(msg) => responses[index] = Some(error_envelope(msg)),
+            Request::Stats => {
+                flush(&mut pending, &mut responses, &mut run_segment);
+                responses[index] = Some(ok_envelope(stats_to_value(&engine.snapshot())));
+            }
+            Request::Shutdown => {
+                flush(&mut pending, &mut responses, &mut run_segment);
+                shutdown_requested = true;
+                responses[index] = Some(shutdown_response());
+            }
+            Request::Append(rows_value) => {
+                flush(&mut pending, &mut responses, &mut run_segment);
+                let response = match rows_from_value(&rows_value, engine.schema()) {
+                    Ok(rows) => match engine.append_rows(&rows) {
+                        Ok(outcome) => ok_envelope(append_to_value(&outcome)),
+                        Err(e) => error_envelope(e.to_string()),
+                    },
+                    Err(e) => error_envelope(format!("bad request: {e}")),
+                };
+                responses[index] = Some(response);
+            }
+        }
+    }
+    flush(&mut pending, &mut responses, &mut run_segment);
+    let responses = responses
+        .into_iter()
+        .map(|response| response.expect("every request produced a response"))
+        .collect();
+    (responses, shutdown_requested)
+}
+
+/// Decodes and validates the `rows` value of an append frame against a
+/// schema. Each row is one JSON array holding the numeric cells (JSON
+/// numbers, in numeric column order) followed by the Boolean cells
+/// (JSON `true`/`false`, in Boolean column order) — strict: wrong
+/// arity, a non-numeric cell, a non-Boolean cell, an empty frame, or a
+/// frame over [`MAX_APPEND_ROWS`] all fail without applying anything.
+///
+/// # Errors
+///
+/// Fails on any shape or type violation, naming the offending row.
+pub fn rows_from_value(value: &Json, schema: &Schema) -> JsonResult<Vec<RowFrame>> {
+    let Json::Arr(rows) = value else {
+        return Err(JsonError::decode(format!(
+            "append rows must be an array of row arrays, got {}",
+            value.type_name()
+        )));
+    };
+    if rows.is_empty() {
+        return Err(JsonError::decode("append frame has no rows"));
+    }
+    if rows.len() > MAX_APPEND_ROWS {
+        return Err(JsonError::decode(format!(
+            "append frame exceeds {MAX_APPEND_ROWS} rows (got {})",
+            rows.len()
+        )));
+    }
+    let numeric = schema.numeric_count();
+    let boolean = schema.boolean_count();
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let Json::Arr(cells) = row else {
+                return Err(JsonError::decode(format!(
+                    "row {i} must be an array of cells, got {}",
+                    row.type_name()
+                )));
+            };
+            if cells.len() != numeric + boolean {
+                return Err(JsonError::decode(format!(
+                    "row {i} has {} cells; the schema needs {numeric} numeric + \
+                     {boolean} boolean = {}",
+                    cells.len(),
+                    numeric + boolean
+                )));
+            }
+            let mut frame = RowFrame {
+                numeric: Vec::with_capacity(numeric),
+                boolean: Vec::with_capacity(boolean),
+            };
+            for (j, cell) in cells.iter().enumerate() {
+                if j < numeric {
+                    let Json::Num(_) = cell else {
+                        return Err(JsonError::decode(format!(
+                            "row {i} cell {j}: expected a number, got {}",
+                            cell.type_name()
+                        )));
+                    };
+                    frame.numeric.push(cell.as_f64()?);
+                } else {
+                    let Json::Bool(b) = cell else {
+                        return Err(JsonError::decode(format!(
+                            "row {i} cell {j}: expected a boolean, got {}",
+                            cell.type_name()
+                        )));
+                    };
+                    frame.boolean.push(*b);
+                }
+            }
+            Ok(frame)
+        })
+        .collect()
+}
+
+/// Converts an [`AppendOutcome`] to the `{"ok": …}` payload of the
+/// append acknowledgment (schema in the [module docs](self)).
+pub fn append_to_value(outcome: &AppendOutcome) -> Json {
+    Json::Obj(vec![
+        ("appended".into(), Json::Num(Num::UInt(outcome.appended))),
+        (
+            "generation".into(),
+            Json::Num(Num::UInt(outcome.generation)),
+        ),
+        ("rows".into(), Json::Num(Num::UInt(outcome.total_rows))),
+    ])
 }
 
 #[cfg(test)]
@@ -1350,12 +1643,152 @@ mod tests {
         assert!(decode_spec(zero_den).is_err());
     }
 
+    fn assert_bad(request: Request, needle: &str) {
+        match request {
+            Request::Bad(msg) => assert!(msg.contains(needle), "{msg:?} missing {needle:?}"),
+            other => panic!("expected a bad request containing {needle:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_frames_parse_strictly() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Request::Shutdown
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"append","rows":[[1,true]]}"#),
+            Request::Append(_)
+        ));
+        // Key order in an append frame is irrelevant.
+        assert!(matches!(
+            parse_request(r#"{"rows":[[1,true]],"cmd":"append"}"#),
+            Request::Append(_)
+        ));
+        assert_bad(parse_request(r#"{"cmd":"reboot"}"#), "unknown cmd");
+        assert_bad(parse_request(r#"{"cmd":7}"#), "unknown cmd");
+        assert_bad(
+            parse_request(r#"{"cmd":"stats","verbose":true}"#),
+            "control frame",
+        );
+        assert_bad(parse_request(r#"{"cmd":"append"}"#), "control frame");
+        assert_bad(
+            parse_request(r#"{"cmd":"append","rows":[],"extra":1}"#),
+            "control frame",
+        );
+        // `cmd` past index 1 must not underflow the rows-position math.
+        assert_bad(
+            parse_request(r#"{"a":1,"b":2,"cmd":"append"}"#),
+            "control frame",
+        );
+        assert_bad(
+            parse_request(r#"{"rows":[[1,true]],"extra":0,"cmd":"append"}"#),
+            "control frame",
+        );
+        assert_bad(
+            parse_request(r#"{"cmd":"append","rowz":[[1,true]]}"#),
+            "control frame",
+        );
+    }
+
+    #[test]
+    fn specs_and_garbage_parse_as_expected() {
+        assert!(matches!(
+            parse_request(r#"{"attr":"A","objective":{"bool":"B"}}"#),
+            Request::Spec(_)
+        ));
+        assert_bad(parse_request("garbage"), "bad request");
+        assert_bad(
+            parse_request(r#"{"attr":"A","objective":{"bool":"B"},"bogus":1}"#),
+            "unknown key",
+        );
+    }
+
+    #[test]
+    fn append_rows_decode_strictly() {
+        let schema = Schema::builder()
+            .numeric("X")
+            .numeric("Y")
+            .boolean("B")
+            .build();
+        let rows = |text: &str| rows_from_value(&Json::parse(text).unwrap(), &schema);
+
+        let ok = rows(r#"[[1.5, 2, true], [3, -4.25, false]]"#).unwrap();
+        assert_eq!(
+            ok,
+            vec![
+                RowFrame {
+                    numeric: vec![1.5, 2.0],
+                    boolean: vec![true],
+                },
+                RowFrame {
+                    numeric: vec![3.0, -4.25],
+                    boolean: vec![false],
+                },
+            ]
+        );
+
+        for (bad, needle) in [
+            (r#"{"x":1}"#, "must be an array"),
+            (r#"[]"#, "has no rows"),
+            (r#"[7]"#, "row 0 must be an array"),
+            (r#"[[1, 2]]"#, "row 0 has 2 cells"),
+            (r#"[[1, 2, true, false]]"#, "row 0 has 4 cells"),
+            (r#"[[1, true, true]]"#, "row 0 cell 1: expected a number"),
+            (r#"[[1, "2", true]]"#, "row 0 cell 1: expected a number"),
+            (r#"[[1, 2, 3]]"#, "row 0 cell 2: expected a boolean"),
+            (
+                r#"[[1, 2, true], [1, 2, null]]"#,
+                "row 1 cell 2: expected a boolean",
+            ),
+        ] {
+            let err = rows(bad).unwrap_err();
+            assert!(err.msg.contains(needle), "{bad}: {err}");
+        }
+
+        // One row over the frame cap is rejected outright.
+        let over = format!(
+            "[{}]",
+            std::iter::repeat_n("[1,2,true]", MAX_APPEND_ROWS + 1)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let err = rows(&over).unwrap_err();
+        assert!(err.msg.contains("exceeds 1024 rows"), "{err}");
+        let at_cap = format!(
+            "[{}]",
+            std::iter::repeat_n("[1,2,true]", MAX_APPEND_ROWS)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert_eq!(rows(&at_cap).unwrap().len(), MAX_APPEND_ROWS);
+    }
+
+    #[test]
+    fn append_ack_encoding_golden() {
+        let outcome = AppendOutcome {
+            generation: 3,
+            appended: 2,
+            total_rows: 20_052,
+        };
+        assert_eq!(
+            ok_envelope(append_to_value(&outcome)).encode(),
+            r#"{"ok":{"appended":2,"generation":3,"rows":20052}}"#
+        );
+    }
+
     /// The stats control-frame payload is part of the wire protocol:
     /// field order and names are pinned, like the rule-set golden in
     /// `tests/batch.rs`.
     #[test]
     fn stats_snapshot_encoding_golden() {
         let snapshot = StatsSnapshot {
+            generation: 2,
+            rows: 20_050,
             engine: crate::engine::EngineStats {
                 bucketizations: 4,
                 bucket_cache_hits: 44,
@@ -1378,7 +1811,7 @@ mod tests {
         };
         assert_eq!(
             encode_stats(&snapshot),
-            r#"{"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}]}"#
+            r#"{"generation":2,"rows":20050,"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}]}"#
         );
     }
 

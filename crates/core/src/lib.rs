@@ -37,7 +37,11 @@
 //!   traffic) owning the relation plus a bounded, sharded, cost-aware
 //!   bucketization/scan cache, queried through the fluent
 //!   [`query::Query`] builder (the paper's "hundreds of attributes"
-//!   interactive scenario, §1.3);
+//!   interactive scenario, §1.3). The relation is **live**: appends
+//!   produce atomically-swapped generations, every query pins one
+//!   (snapshot isolation), and generation-tagged cache keys age stale
+//!   entries out with no invalidation
+//!   ([`SharedEngine::append_rows`](shared::SharedEngine::append_rows));
 //! * [`spec`], [`plan`], [`json`] — the declarative layer: plain-data
 //!   `Eq + Hash` [`spec::QuerySpec`]s, a batch planner that
 //!   deduplicates shared work units across many specs
@@ -87,7 +91,7 @@ pub use query::{AvgRule, Objective, Query, Rule, RuleSet, Task};
 pub use ratio::Ratio;
 pub use rule::{OptRange, RangeRule, RuleKind};
 pub use server::{ServerConfig, ServerHandle};
-pub use shared::{SharedEngine, StatsSnapshot};
+pub use shared::{AppendOutcome, Pinned, SharedEngine, StatsSnapshot};
 pub use spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
 pub use support::optimize_support;
 

@@ -82,14 +82,17 @@ impl ResolvedQuery {
     }
 }
 
-/// Resolves one spec: names → handles, descriptions rendered, engine
-/// defaults applied, thresholds validated. Pure with respect to the
-/// engine — no scan runs and no cache is touched.
+/// Resolves one spec against the given relation generation: names →
+/// handles, descriptions rendered, engine defaults applied, thresholds
+/// validated. Pure with respect to the engine — no scan runs and no
+/// cache is touched; `generation` only lands in the cache keys so the
+/// query reads (and computes) that generation's artifacts.
 pub(crate) fn resolve<R: RandomAccess>(
     engine: &SharedEngine<R>,
+    generation: u64,
     spec: &QuerySpec,
 ) -> Result<ResolvedQuery> {
-    let schema = engine.relation().schema();
+    let schema = engine.schema();
     let attr = schema.numeric(&spec.attr)?;
     let attr_name = schema.numeric_name(attr).to_string();
     let presumptive = resolve_conjunction(&spec.given, schema)?;
@@ -130,6 +133,7 @@ pub(crate) fn resolve<R: RandomAccess>(
         buckets: spec.buckets.unwrap_or(config.buckets),
         samples_per_bucket: spec.samples_per_bucket.unwrap_or(config.samples_per_bucket),
         seed: spec.seed.unwrap_or(config.seed),
+        generation,
     };
     let threads = spec.threads.unwrap_or(config.threads);
     let min_support = spec.min_support.unwrap_or(config.min_support);
@@ -339,8 +343,13 @@ pub struct Plan {
 
 impl Plan {
     /// Compiles a batch of specs against an engine's schema and
-    /// defaults. Never touches the relation data or the cache.
-    pub(crate) fn compile<R: RandomAccess>(engine: &SharedEngine<R>, specs: &[QuerySpec]) -> Plan {
+    /// defaults, keyed to the relation generation `generation`. Never
+    /// touches the relation data or the cache.
+    pub(crate) fn compile<R: RandomAccess>(
+        engine: &SharedEngine<R>,
+        generation: u64,
+        specs: &[QuerySpec],
+    ) -> Plan {
         let mut buckets = Vec::new();
         let mut seen_buckets = HashSet::new();
         let mut scans: Vec<ScanNode> = Vec::new();
@@ -348,7 +357,7 @@ impl Plan {
         let queries: Vec<Result<ResolvedQuery>> = specs
             .iter()
             .map(|spec| {
-                let resolved = resolve(engine, spec)?;
+                let resolved = resolve(engine, generation, spec)?;
                 if seen_buckets.insert(resolved.key) {
                     buckets.push(resolved.key);
                 }

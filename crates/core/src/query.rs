@@ -273,7 +273,7 @@ impl<'e, R: RandomAccess> Query<'e, R> {
     }
 
     pub(crate) fn by_attr(engine: &'e SharedEngine<R>, attr: NumAttr) -> Self {
-        let name = engine.relation().schema().numeric_name(attr).to_string();
+        let name = engine.schema().numeric_name(attr).to_string();
         Self::new(engine, name)
     }
 
@@ -300,17 +300,15 @@ impl<'e, R: RandomAccess> Query<'e, R> {
     /// With [`Query::average_of`], the average is likewise taken over
     /// tuples meeting `C1` only.
     pub fn given(mut self, condition: Condition) -> Self {
-        self.given.extend(CondSpec::from_condition(
-            &condition,
-            self.engine.relation().schema(),
-        ));
+        self.given
+            .extend(CondSpec::from_condition(&condition, self.engine.schema()));
         self
     }
 
     /// Sets the objective condition `C2`.
     pub fn objective(mut self, condition: Condition) -> Self {
         self.objective = Some(ObjectiveSpec::Cond {
-            all: CondSpec::from_condition(&condition, self.engine.relation().schema()),
+            all: CondSpec::from_condition(&condition, self.engine.schema()),
         });
         self
     }
@@ -335,12 +333,7 @@ impl<'e, R: RandomAccess> Query<'e, R> {
 
     /// Like [`Query::average_of`], by attribute handle.
     pub fn average_of_attr(self, target: NumAttr) -> Self {
-        let name = self
-            .engine
-            .relation()
-            .schema()
-            .numeric_name(target)
-            .to_string();
+        let name = self.engine.schema().numeric_name(target).to_string();
         self.average_of(name)
     }
 
@@ -348,16 +341,11 @@ impl<'e, R: RandomAccess> Query<'e, R> {
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = Some(match objective {
             Objective::Condition(cond) => ObjectiveSpec::Cond {
-                all: CondSpec::from_condition(&cond, self.engine.relation().schema()),
+                all: CondSpec::from_condition(&cond, self.engine.schema()),
             },
             Objective::ConditionName(target) => ObjectiveSpec::Bool { target },
             Objective::Average(attr) => ObjectiveSpec::Average {
-                target: self
-                    .engine
-                    .relation()
-                    .schema()
-                    .numeric_name(attr)
-                    .to_string(),
+                target: self.engine.schema().numeric_name(attr).to_string(),
             },
             Objective::AverageName(target) => ObjectiveSpec::Average { target },
         });
@@ -522,7 +510,7 @@ pub struct AllPairs<'e, R: RandomAccess> {
 
 impl<'e, R: RandomAccess> AllPairs<'e, R> {
     pub(crate) fn new(engine: &'e SharedEngine<R>) -> Self {
-        let schema = engine.relation().schema();
+        let schema = engine.schema();
         let numeric = schema.numeric_attrs().collect();
         let booleans = schema.boolean_attrs().collect();
         Self {

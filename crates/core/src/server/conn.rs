@@ -1,62 +1,13 @@
 //! Per-connection protocol loop: limited line framing, pipelined batch
-//! collection, control frames, ordered responses.
+//! collection, control frames (stats/shutdown/append), ordered
+//! responses.
 
 use super::Control;
-use crate::json::{self, Json};
+use crate::json::{self, Json, Request};
 use crate::shared::SharedEngine;
-use crate::spec::QuerySpec;
-use optrules_relation::RandomAccess;
+use optrules_relation::{AppendRows, RandomAccess};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-
-/// One parsed request line.
-enum Request {
-    /// A mining spec; answered from the framing batch's `run_batch`.
-    Spec(QuerySpec),
-    /// `{"cmd":"stats"}` — engine + shard counters, snapshotted when
-    /// the response is built (i.e. *after* the specs framed with it).
-    Stats,
-    /// `{"cmd":"shutdown"}` — acknowledge, then stop the server.
-    Shutdown,
-    /// Unparseable or invalid; answered with `{"error": …}`.
-    Bad(String),
-}
-
-fn parse_request(line: &str) -> Request {
-    let value = match Json::parse(line) {
-        Ok(value) => value,
-        Err(e) => return Request::Bad(format!("bad request: {e}")),
-    };
-    if let Json::Obj(fields) = &value {
-        if fields.iter().any(|(key, _)| key == "cmd") {
-            return parse_control(fields);
-        }
-    }
-    match json::spec_from_value(&value) {
-        Ok(spec) => Request::Spec(spec),
-        Err(e) => Request::Bad(format!("bad request: {e}")),
-    }
-}
-
-/// Strict control-frame parse: exactly `{"cmd": "stats"|"shutdown"}` —
-/// extra keys or an unknown command are errors, mirroring the strict
-/// spec decoder (a typo must not silently become a no-op).
-fn parse_control(fields: &[(String, Json)]) -> Request {
-    let [(key, cmd)] = fields else {
-        return Request::Bad(
-            "bad request: a control frame is {\"cmd\": \"stats\"|\"shutdown\"}".into(),
-        );
-    };
-    debug_assert_eq!(key, "cmd", "caller found a cmd key");
-    match cmd {
-        Json::Str(cmd) if cmd == "stats" => Request::Stats,
-        Json::Str(cmd) if cmd == "shutdown" => Request::Shutdown,
-        other => Request::Bad(format!(
-            "bad request: unknown cmd {} (expected \"stats\" or \"shutdown\")",
-            other.encode()
-        )),
-    }
-}
 
 /// Upper bound on requests collected into one framing batch. A client
 /// streaming NDJSON nonstop keeps the read buffer non-empty
@@ -120,13 +71,21 @@ fn read_line_limited(
 
 /// Serves one connection to completion: frame, execute, respond, until
 /// EOF, an oversized line, a shutdown frame, or an I/O error.
+///
+/// Requests execute in order: consecutive specs form one planned
+/// `run_batch` **segment** (pinning one relation generation, with
+/// plan-level dedup); a control frame first flushes the open segment,
+/// so `stats` reflects exactly the requests before it and specs after
+/// an `append` see the new generation. Appends take the engine's
+/// writer lock, never the batch gate — a slow mining batch on another
+/// connection cannot delay a write, and vice versa.
 pub(super) fn serve_conn<R>(
     engine: &SharedEngine<R>,
     stream: TcpStream,
     control: &Control,
 ) -> io::Result<()>
 where
-    R: RandomAccess + Send + Sync,
+    R: RandomAccess + AppendRows + Send + Sync,
 {
     let max_line = control.config.max_line_bytes;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -134,11 +93,11 @@ where
     let mut buf = Vec::new();
     loop {
         // Frame: the first line blocks; any further *complete* lines
-        // already sitting in the read buffer ride the same batch (the
+        // already sitting in the read buffer ride the same frame (the
         // newline check guarantees the extra reads cannot block on a
         // half-sent line). A pipelining client thus gets plan-level
-        // dedup across everything it sent at once, with no artificial
-        // latency added for interactive one-line clients.
+        // dedup across every spec run it sent at once, with no
+        // artificial latency added for interactive one-line clients.
         let mut requests: Vec<Request> = Vec::new();
         let mut eof = false;
         let mut overflow = false;
@@ -157,7 +116,7 @@ where
                     // `optrules batch` on stdin.
                     if !buf.iter().all(u8::is_ascii_whitespace) {
                         match std::str::from_utf8(&buf) {
-                            Ok(text) => requests.push(parse_request(text)),
+                            Ok(text) => requests.push(json::parse_request(text)),
                             Err(_) => requests.push(Request::Bad(
                                 "bad request: request line is not valid UTF-8".into(),
                             )),
@@ -170,40 +129,22 @@ where
             }
         }
 
-        // Execute the frame's specs as one planned batch, bounded by
-        // the server-wide in-flight gate.
-        let specs: Vec<QuerySpec> = requests
-            .iter()
-            .filter_map(|request| match request {
-                Request::Spec(spec) => Some(spec.clone()),
-                _ => None,
-            })
-            .collect();
-        let results = if specs.is_empty() {
-            Vec::new()
-        } else {
-            let _permit = control.gate.acquire();
-            engine.run_batch(&specs, control.config.batch_threads)
-        };
+        // Execute in request order: the shared executor batches
+        // consecutive specs into planned segments split at control
+        // frames; the in-flight gate wraps each segment's run_batch.
+        let (responses, shutdown_requested) = json::execute_requests(
+            engine,
+            requests,
+            |specs| {
+                let _permit = control.gate.acquire();
+                engine.run_batch(specs, control.config.batch_threads)
+            },
+            || json::ok_envelope(Json::Str("shutdown".into())),
+        );
 
-        // Respond in request order; stats frames see the batch that
-        // rode in with them already applied.
-        let mut results = results.into_iter();
-        let mut shutdown_requested = false;
+        // Respond in request order.
         let written: io::Result<()> = (|| {
-            for request in &requests {
-                let response = match request {
-                    Request::Bad(msg) => json::error_envelope(msg.clone()),
-                    Request::Spec(_) => match results.next().expect("one result per spec") {
-                        Ok(rules) => json::ok_envelope(json::rule_set_to_value(&rules)),
-                        Err(e) => json::error_envelope(e.to_string()),
-                    },
-                    Request::Stats => json::ok_envelope(json::stats_to_value(&engine.snapshot())),
-                    Request::Shutdown => {
-                        shutdown_requested = true;
-                        json::ok_envelope(Json::Str("shutdown".into()))
-                    }
-                };
+            for response in responses {
                 writeln!(writer, "{}", response.encode())?;
             }
             if overflow {
@@ -225,48 +166,5 @@ where
         if eof || overflow {
             return Ok(());
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn assert_bad(request: Request, needle: &str) {
-        match request {
-            Request::Bad(msg) => assert!(msg.contains(needle), "{msg:?} missing {needle:?}"),
-            _ => panic!("expected a bad request containing {needle:?}"),
-        }
-    }
-
-    #[test]
-    fn control_frames_parse_strictly() {
-        assert!(matches!(
-            parse_request(r#"{"cmd":"stats"}"#),
-            Request::Stats
-        ));
-        assert!(matches!(
-            parse_request(r#"{"cmd":"shutdown"}"#),
-            Request::Shutdown
-        ));
-        assert_bad(parse_request(r#"{"cmd":"reboot"}"#), "unknown cmd");
-        assert_bad(parse_request(r#"{"cmd":7}"#), "unknown cmd");
-        assert_bad(
-            parse_request(r#"{"cmd":"stats","verbose":true}"#),
-            "control frame",
-        );
-    }
-
-    #[test]
-    fn specs_and_garbage_parse_as_expected() {
-        assert!(matches!(
-            parse_request(r#"{"attr":"A","objective":{"bool":"B"}}"#),
-            Request::Spec(_)
-        ));
-        assert_bad(parse_request("garbage"), "bad request");
-        assert_bad(
-            parse_request(r#"{"attr":"A","objective":{"bool":"B"},"bogus":1}"#),
-            "unknown key",
-        );
     }
 }

@@ -11,16 +11,25 @@
 //! * **Protocol** — exactly the batch protocol, over TCP: one JSON
 //!   [`QuerySpec`](crate::spec::QuerySpec) per line in, one
 //!   `{"ok": …}` / `{"error": …}` response per line out, in request
-//!   order per connection. A request whose only key is `cmd` is a
-//!   *control frame* (`{"cmd":"stats"}`, `{"cmd":"shutdown"}` — schema
-//!   in [`crate::json`]).
+//!   order per connection. A request with a `cmd` key is a *control
+//!   frame* (`{"cmd":"stats"}`, `{"cmd":"shutdown"}`, and the live
+//!   write `{"cmd":"append","rows":[…]}` — schema in [`crate::json`]).
 //! * **Framing** — each worker reads one request line (blocking), then
 //!   drains any further complete lines its buffer already holds, and
-//!   runs them as **one**
-//!   [`run_batch`](crate::shared::SharedEngine::run_batch): a
+//!   runs each run of consecutive specs as **one**
+//!   [`run_batch`](crate::shared::SharedEngine::run_batch) segment: a
 //!   pipelining client gets plan-level dedup across everything it sent
 //!   at once, and concurrent clients coalesce cold misses across
 //!   connections through the engine's singleflight cache.
+//! * **Live appends** — an `append` frame produces the next relation
+//!   *generation*
+//!   ([`SharedEngine::append_rows`](crate::shared::SharedEngine::append_rows)).
+//!   Writes serialize against each other on the engine's writer lock
+//!   but never block (or wait for) in-flight batches: every batch
+//!   pinned its generation when it started and keeps scanning that
+//!   snapshot. Within a connection, order is program order — specs
+//!   after an append see the new generation, a `stats` frame reflects
+//!   exactly the requests before it.
 //! * **Concurrency & backpressure** — a fixed pool of
 //!   [`workers`](ServerConfig::workers) threads, each serving one
 //!   connection at a time, pulls from a **bounded** accept queue
@@ -64,7 +73,7 @@
 mod conn;
 
 use crate::shared::SharedEngine;
-use optrules_relation::RandomAccess;
+use optrules_relation::{AppendRows, RandomAccess};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -274,7 +283,7 @@ pub fn serve<R>(
     config: ServerConfig,
 ) -> io::Result<ServerHandle>
 where
-    R: RandomAccess + Send + Sync + 'static,
+    R: RandomAccess + AppendRows + Send + Sync + 'static,
 {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
@@ -338,7 +347,7 @@ fn acceptor(listener: &TcpListener, tx: &SyncSender<TcpStream>, control: &Contro
 /// connection only — the worker moves on to the next.
 fn worker<R>(rx: &Mutex<Receiver<TcpStream>>, engine: &SharedEngine<R>, control: &Control)
 where
-    R: RandomAccess + Send + Sync,
+    R: RandomAccess + AppendRows + Send + Sync,
 {
     loop {
         let stream = rx.lock().expect("accept queue poisoned").recv();

@@ -26,6 +26,31 @@
 //! `tests/proptest_cache.rs` and stress-tested against a cache-free
 //! oracle in the workspace `tests/concurrent_engine.rs`.
 //!
+//! # Live relations: generations and snapshot isolation
+//!
+//! The relation is **mutable by append** without giving up determinism
+//! or the warm cache. The engine holds the current relation version as
+//! an atomically swappable `Arc` **generation**:
+//!
+//! * [`append_rows`](SharedEngine::append_rows) (available when the
+//!   store implements [`AppendRows`] — use a
+//!   [`ChunkedRelation`](optrules_relation::ChunkedRelation) for O(k)
+//!   amortized appends) builds the next version *outside* any lock
+//!   readers take, then swaps it in and bumps the generation id.
+//!   Writers serialize against each other on a dedicated mutex and
+//!   never block in-flight queries;
+//! * every query and every batch **pins** one generation
+//!   ([`pin`](SharedEngine::pin)) for its whole lifetime: results are
+//!   byte-identical to running the same specs against that pinned
+//!   snapshot on a fresh engine — snapshot isolation, oracle-tested in
+//!   `crates/core/tests/proptest_live.rs`;
+//! * cache keys ([`BucketKey`]/[`ScanKey`]) carry the generation id, so
+//!   entries from old generations need no explicit invalidation: they
+//!   simply stop being looked up and age out through the cost-aware
+//!   LRU, while singleflight keeps coalescing per (generation, key).
+//!   [`clear_cache`](SharedEngine::clear_cache) is *never* needed
+//!   around appends.
+//!
 //! ```
 //! use optrules_core::{EngineConfig, SharedEngine};
 //! use optrules_relation::gen::{BankGenerator, DataGenerator};
@@ -63,22 +88,25 @@ use crate::plan::{self, Plan, ResolvedQuery, ScanNode};
 use crate::query::{AllPairs, Query, RuleSet};
 use crate::spec::QuerySpec;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use optrules_bucketing::{
     count_buckets, count_buckets_parallel, equi_depth_cuts, BucketCounts, BucketSpec, CountSpec,
     EquiDepthConfig, SamplingMethod,
 };
-use optrules_relation::{Condition, NumAttr, RandomAccess};
+use optrules_relation::{AppendRows, Condition, NumAttr, RandomAccess, RowFrame, Schema};
 
 /// Cache key for one bucketization: everything Algorithm 3.1's output
-/// depends on.
+/// depends on — including the relation **generation** it sampled, so a
+/// post-append query can never be served a stale bucketization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct BucketKey {
     pub attr: NumAttr,
     pub buckets: usize,
     pub samples_per_bucket: u64,
     pub seed: u64,
+    /// Relation generation the bucketization was computed over.
+    pub generation: u64,
 }
 
 /// What a cached counting scan counted.
@@ -153,19 +181,85 @@ struct WorkCounters {
 }
 
 /// A point-in-time observability snapshot of one [`SharedEngine`]:
-/// the engine-level [`EngineStats`] plus every cache shard's counters.
+/// the current relation generation, the engine-level [`EngineStats`],
+/// and every cache shard's counters.
 ///
 /// Produced by [`SharedEngine::snapshot`]; encoded as JSON for the
 /// server's `{"cmd":"stats"}` control frame by
 /// [`stats_to_value`](crate::json::stats_to_value). Under concurrent
-/// traffic the two halves are snapshotted back to back, not atomically
-/// together — totals may be mid-update by a few counts.
+/// traffic the halves are snapshotted back to back, not atomically
+/// together — totals may be mid-update by a few counts (`generation`
+/// and `rows` are read together and are always a consistent pair).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Current relation generation (0 until the first append).
+    pub generation: u64,
+    /// Row count of the current generation.
+    pub rows: u64,
     /// Engine-level work and cache counters.
     pub engine: EngineStats,
     /// Per-shard cache counters, indexed by shard.
     pub shards: Vec<ShardStats>,
+}
+
+/// The outcome of one [`SharedEngine::append_rows`] call — the payload
+/// of the server's `{"cmd":"append"}` acknowledgment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Generation the append produced (unchanged if `appended == 0`).
+    pub generation: u64,
+    /// Rows appended by this call.
+    pub appended: u64,
+    /// Total rows in the new generation.
+    pub total_rows: u64,
+}
+
+/// One pinned relation generation: an `Arc` of the relation version
+/// plus its generation id, as returned by [`SharedEngine::pin`].
+///
+/// A query or batch holds one `Pinned` for its whole lifetime, so
+/// concurrent appends can never change what it scans — and because the
+/// generation id is part of every cache key it touches, it can never
+/// be served another generation's cached artifacts either.
+#[derive(Debug)]
+pub struct Pinned<R> {
+    rel: Arc<R>,
+    generation: u64,
+}
+
+// Manual impl: the `Arc` clones regardless of whether `R: Clone`.
+impl<R> Clone for Pinned<R> {
+    fn clone(&self) -> Self {
+        Self {
+            rel: Arc::clone(&self.rel),
+            generation: self.generation,
+        }
+    }
+}
+
+impl<R: RandomAccess> Pinned<R> {
+    /// The pinned generation id.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Row count of the pinned generation.
+    pub fn rows(&self) -> u64 {
+        self.rel.len()
+    }
+
+    /// The pinned relation version.
+    pub fn relation(&self) -> &Arc<R> {
+        &self.rel
+    }
+}
+
+/// The swappable generation state: id + relation version, swapped
+/// together under one lock so a pin always sees a consistent pair.
+#[derive(Debug)]
+struct GenState<R> {
+    id: u64,
+    rel: Arc<R>,
 }
 
 /// A concurrent, long-lived mining session over one relation.
@@ -177,7 +271,15 @@ pub struct StatsSnapshot {
 /// thin facade over this type.
 #[derive(Debug)]
 pub struct SharedEngine<R: RandomAccess> {
-    rel: Arc<R>,
+    /// Current generation; readers take the read lock only to clone the
+    /// `Arc` (a pin), writers only to swap it.
+    current: RwLock<GenState<R>>,
+    /// Serializes appenders; never held while queries pin or scan, so a
+    /// slow append build blocks other writers only.
+    writer: Mutex<()>,
+    /// The schema, immutable across generations (appends cannot change
+    /// it), so resolution never needs to pin.
+    schema: Schema,
     config: EngineConfig,
     cache_config: CacheConfig,
     cache: ShardedCache<CacheKey, CacheValue>,
@@ -208,7 +310,9 @@ impl<R: RandomAccess> SharedEngine<R> {
     /// without copying it.
     pub fn from_arc(rel: Arc<R>, config: EngineConfig, cache: CacheConfig) -> Self {
         Self {
-            rel,
+            schema: rel.schema().clone(),
+            current: RwLock::new(GenState { id: 0, rel }),
+            writer: Mutex::new(()),
             config,
             cache_config: cache,
             cache: ShardedCache::new(cache),
@@ -226,14 +330,92 @@ impl<R: RandomAccess> SharedEngine<R> {
         self.cache_config
     }
 
-    /// The underlying relation.
-    pub fn relation(&self) -> &R {
-        &self.rel
+    /// The relation schema — shared by every generation (appends cannot
+    /// change it).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
     }
 
-    /// Consumes the engine and returns the shared relation handle.
+    /// Pins the current generation: the returned handle keeps that
+    /// relation version alive and scannable no matter how many appends
+    /// land afterwards. Every query/batch entry point pins internally;
+    /// call this directly to observe the generation id and row count as
+    /// one consistent pair.
+    pub fn pin(&self) -> Pinned<R> {
+        let current = self.current.read().expect("generation lock poisoned");
+        Pinned {
+            rel: Arc::clone(&current.rel),
+            generation: current.id,
+        }
+    }
+
+    /// The current generation id: 0 at construction, +1 per non-empty
+    /// [`append_rows`](Self::append_rows).
+    pub fn generation(&self) -> u64 {
+        self.current.read().expect("generation lock poisoned").id
+    }
+
+    /// The current generation's relation version (a pin without the
+    /// metadata — the `Arc` stays valid and bit-stable forever).
+    pub fn relation(&self) -> Arc<R> {
+        Arc::clone(&self.current.read().expect("generation lock poisoned").rel)
+    }
+
+    /// Consumes the engine and returns the current generation's shared
+    /// relation handle.
     pub fn into_relation(self) -> Arc<R> {
-        self.rel
+        self.current
+            .into_inner()
+            .expect("generation lock poisoned")
+            .rel
+    }
+
+    /// Appends rows, producing the next relation generation. The new
+    /// version is built copy-on-write *outside* any lock queries take
+    /// (O(k) amortized with a
+    /// [`ChunkedRelation`](optrules_relation::ChunkedRelation) store),
+    /// then swapped in atomically:
+    ///
+    /// * concurrent appenders serialize on a writer mutex — appends
+    ///   apply in a total order;
+    /// * in-flight queries and batches are untouched: they pinned a
+    ///   generation and keep scanning it (snapshot isolation);
+    /// * no cache invalidation happens or is needed — old generations'
+    ///   entries stop being looked up and age out via the LRU.
+    ///
+    /// Appending zero rows is a no-op that does **not** bump the
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any row's arities do not match the schema; the
+    /// generation is unchanged.
+    pub fn append_rows(&self, rows: &[RowFrame]) -> Result<AppendOutcome>
+    where
+        R: AppendRows,
+    {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let current = self.pin();
+        if rows.is_empty() {
+            return Ok(AppendOutcome {
+                generation: current.generation(),
+                appended: 0,
+                total_rows: current.rows(),
+            });
+        }
+        // Built outside the generation lock: readers pin and scan
+        // freely while this runs. The writer mutex makes `current` the
+        // latest version — no other append can land in between.
+        let next = Arc::new(current.rel.with_rows(rows)?);
+        let total_rows = next.len();
+        let mut current = self.current.write().expect("generation lock poisoned");
+        current.id += 1;
+        current.rel = next;
+        Ok(AppendOutcome {
+            generation: current.id,
+            appended: rows.len() as u64,
+            total_rows,
+        })
     }
 
     /// Cache/work counters since construction (or the last
@@ -254,12 +436,16 @@ impl<R: RandomAccess> SharedEngine<R> {
         }
     }
 
-    /// One coherent observability snapshot: the engine-level counters
-    /// plus the per-shard cache breakdown. This is the payload of the
-    /// server's `{"cmd":"stats"}` control frame (see
-    /// [`crate::server`] and [`crate::json::stats_to_value`]).
+    /// One coherent observability snapshot: the current generation and
+    /// row count, the engine-level counters, and the per-shard cache
+    /// breakdown. This is the payload of the server's `{"cmd":"stats"}`
+    /// control frame (see [`crate::server`] and
+    /// [`crate::json::stats_to_value`]).
     pub fn snapshot(&self) -> StatsSnapshot {
+        let pinned = self.pin();
         StatsSnapshot {
+            generation: pinned.generation(),
+            rows: pinned.rows(),
             engine: self.stats(),
             shards: self.shard_stats(),
         }
@@ -278,9 +464,10 @@ impl<R: RandomAccess> SharedEngine<R> {
     }
 
     /// Drops all cached bucketizations and scans and resets the
-    /// counters. Required after mutating the underlying relation
-    /// through interior mutability; never needed otherwise (the
-    /// bounded cache evicts on its own).
+    /// counters. Never needed around [`append_rows`](Self::append_rows)
+    /// — generation-tagged cache keys make stale entries unreachable —
+    /// nor for sizing (the bounded cache evicts on its own); it exists
+    /// for tests and for reclaiming memory eagerly.
     pub fn clear_cache(&self) {
         self.cache.clear();
         self.counters.bucketizations.store(0, Ordering::Relaxed);
@@ -326,7 +513,7 @@ impl<R: RandomAccess> SharedEngine<R> {
     where
         R: Send + Sync,
     {
-        let schema = self.relation().schema();
+        let schema = self.schema();
         let specs: Vec<QuerySpec> = schema
             .numeric_attrs()
             .flat_map(|a| {
@@ -341,24 +528,26 @@ impl<R: RandomAccess> SharedEngine<R> {
     /// Runs one declarative [`QuerySpec`] — the spec-level equivalent
     /// of the fluent [`query`](Self::query) builder (which produces
     /// specs internally), sharing the same caches and producing
-    /// identical `RuleSet`s.
+    /// identical `RuleSet`s. Pins the current generation for the whole
+    /// run: a concurrent append cannot change what this query scans.
     ///
     /// # Errors
     ///
     /// Fails on unknown attribute names, invalid thresholds, or
     /// bucketing/storage errors.
     pub fn run_spec(&self, spec: &QuerySpec) -> Result<RuleSet> {
-        let resolved = plan::resolve(self, spec)?;
-        let counts = self.counts_for_resolved(&resolved)?;
+        let pinned = self.pin();
+        let resolved = plan::resolve(self, pinned.generation(), spec)?;
+        let counts = self.counts_for_resolved(&resolved, &pinned.rel)?;
         plan::assemble(&resolved, &counts)
     }
 
     /// Compiles a batch of specs into its [`Plan`] without executing:
     /// the distinct bucketization and counting-scan work units, for
     /// inspecting what a batch will cost. Touches neither the relation
-    /// nor the cache.
+    /// data nor the cache. Compiled against the current generation.
     pub fn plan_batch(&self, specs: &[QuerySpec]) -> Plan {
-        Plan::compile(self, specs)
+        Plan::compile(self, self.generation(), specs)
     }
 
     /// Plans and executes a batch of specs: distinct work units are
@@ -367,11 +556,13 @@ impl<R: RandomAccess> SharedEngine<R> {
     /// then counting scans), after which every query is assembled from
     /// the warm cache in input order.
     ///
-    /// Results are deterministic and byte-identical to calling
-    /// [`run_spec`](Self::run_spec) on each spec in order, at every
-    /// `threads` value — node execution order cannot matter because
-    /// each node's output depends only on its key, and per-scan
-    /// parallelism is part of the key (`QuerySpec::threads`).
+    /// The batch pins **one** generation up front: every query in it
+    /// sees the same relation snapshot even while appends land
+    /// concurrently, and results are byte-identical to calling
+    /// [`run_spec`](Self::run_spec) on each spec in order against that
+    /// snapshot, at every `threads` value — node execution order cannot
+    /// matter because each node's output depends only on its key, and
+    /// per-scan parallelism is part of the key (`QuerySpec::threads`).
     ///
     /// Specs that fail (unknown names, bad thresholds, bucketing
     /// errors) fail individually; the rest of the batch is unaffected.
@@ -379,17 +570,19 @@ impl<R: RandomAccess> SharedEngine<R> {
     where
         R: Send + Sync,
     {
-        let plan = self.plan_batch(specs);
+        let pinned = self.pin();
+        let rel = &*pinned.rel;
+        let plan = Plan::compile(self, pinned.generation(), specs);
         // Phase 1: distinct bucketizations, once each. Errors are not
         // propagated here — every dependent query re-surfaces them
         // individually during assembly.
         fan_out(&plan.buckets, threads, |key| {
-            let _ = self.spec_for(*key);
+            let _ = self.spec_for(*key, rel);
         });
         // Phase 2: distinct counting scans, once each (bucket lookups
         // are all warm now).
         fan_out(&plan.scans, threads, |node| {
-            let _ = self.counts_for_node(node);
+            let _ = self.counts_for_node(node, rel);
         });
         // Phase 3: per-query assembly from the warm cache, in input
         // order — O(M) optimizer work per query, no relation access.
@@ -397,7 +590,7 @@ impl<R: RandomAccess> SharedEngine<R> {
             .into_iter()
             .map(|resolved| {
                 let resolved = resolved?;
-                let counts = self.counts_for_resolved(&resolved)?;
+                let counts = self.counts_for_resolved(&resolved, rel)?;
                 plan::assemble(&resolved, &counts)
             })
             .collect()
@@ -472,10 +665,12 @@ impl<R: RandomAccess> SharedEngine<R> {
     }
 
     /// Step 1 (cached, coalesced): bucket boundaries via Algorithm
-    /// 3.1. On a cold miss the sampling + sort runs *outside* any
-    /// lock, and concurrent misses on the same key wait for the one
-    /// computing thread instead of duplicating the work.
-    pub(crate) fn spec_for(&self, key: BucketKey) -> Result<Arc<BucketSpec>> {
+    /// 3.1 over `rel`, which **must** be the relation version of the
+    /// generation named by `key.gen` (callers pass their pinned
+    /// generation). On a cold miss the sampling + sort runs *outside*
+    /// any lock, and concurrent misses on the same key wait for the
+    /// one computing thread instead of duplicating the work.
+    pub(crate) fn spec_for(&self, key: BucketKey, rel: &R) -> Result<Arc<BucketSpec>> {
         let value = self.cached_or_compute(
             CacheKey::Bucket(key),
             &self.counters.bucket_cache_hits,
@@ -487,7 +682,7 @@ impl<R: RandomAccess> SharedEngine<R> {
                     seed: Self::attr_seed(key.seed, key.attr),
                     method: SamplingMethod::WithReplacement,
                 };
-                let spec = Arc::new(equi_depth_cuts(&*self.rel, key.attr, &cfg)?);
+                let spec = Arc::new(equi_depth_cuts(rel, key.attr, &cfg)?);
                 let cost = spec_cost(&spec);
                 Ok((CacheValue::Spec(spec), cost))
             },
@@ -505,6 +700,7 @@ impl<R: RandomAccess> SharedEngine<R> {
         &self,
         key: BucketKey,
         threads: usize,
+        rel: &R,
     ) -> Result<Arc<BucketCounts>> {
         self.counts_for_key(
             key,
@@ -520,6 +716,7 @@ impl<R: RandomAccess> SharedEngine<R> {
                 sum_targets: Vec::new(),
             },
             threads,
+            rel,
         )
     }
 
@@ -529,6 +726,7 @@ impl<R: RandomAccess> SharedEngine<R> {
         what: ScanWhat,
         build_spec: impl FnOnce(&R) -> CountSpec,
         threads: usize,
+        rel: &R,
     ) -> Result<Arc<BucketCounts>> {
         let scan_key = ScanKey {
             bucket: key,
@@ -540,12 +738,12 @@ impl<R: RandomAccess> SharedEngine<R> {
             &self.counters.scan_cache_hits,
             &self.counters.scans,
             || {
-                let what = build_spec(&self.rel);
-                let spec = self.spec_for(key)?;
+                let what = build_spec(rel);
+                let spec = self.spec_for(key, rel)?;
                 let counts = if threads > 1 {
-                    count_buckets_parallel(&*self.rel, &spec, &what, threads)?
+                    count_buckets_parallel(rel, &spec, &what, threads)?
                 } else {
-                    count_buckets(&*self.rel, &spec, &what)?
+                    count_buckets(rel, &spec, &what)?
                 };
                 // Cache the *compacted* counts: every consumer compacts
                 // before optimizing, so compacting once per scan keeps
@@ -563,31 +761,35 @@ impl<R: RandomAccess> SharedEngine<R> {
     }
 
     /// The counts a resolved query reads, via whichever scan shape it
-    /// planned (shared all-Booleans or its own counting spec).
+    /// planned (shared all-Booleans or its own counting spec). `rel`
+    /// must be the pinned generation the query resolved against.
     pub(crate) fn counts_for_resolved(
         &self,
         resolved: &ResolvedQuery,
+        rel: &R,
     ) -> Result<Arc<BucketCounts>> {
         match &resolved.count_spec {
-            None => self.counts_for_all_booleans(resolved.key, resolved.threads),
+            None => self.counts_for_all_booleans(resolved.key, resolved.threads, rel),
             Some(count_spec) => self.counts_for_key(
                 resolved.key,
                 resolved.what.clone(),
                 |_| count_spec.clone(),
                 resolved.threads,
+                rel,
             ),
         }
     }
 
     /// Executes one deduplicated scan node of a [`Plan`].
-    fn counts_for_node(&self, node: &ScanNode) -> Result<Arc<BucketCounts>> {
+    fn counts_for_node(&self, node: &ScanNode, rel: &R) -> Result<Arc<BucketCounts>> {
         match &node.count_spec {
-            None => self.counts_for_all_booleans(node.key, node.threads),
+            None => self.counts_for_all_booleans(node.key, node.threads, rel),
             Some(count_spec) => self.counts_for_key(
                 node.key,
                 node.what.clone(),
                 |_| count_spec.clone(),
                 node.threads,
+                rel,
             ),
         }
     }
@@ -742,6 +944,103 @@ mod tests {
             .unwrap();
         let stats = engine.stats();
         assert_eq!(stats.hits() + stats.misses(), stats.lookups, "{stats:?}");
+    }
+
+    #[test]
+    fn appends_bump_generations_and_pins_stay_stable() {
+        use optrules_relation::{ChunkedRelation, RowFrame};
+        let rel = ChunkedRelation::new(BankGenerator::default().to_relation(2_000, 3));
+        let engine = SharedEngine::with_config(
+            rel,
+            EngineConfig {
+                buckets: 20,
+                seed: 7,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.generation(), 0);
+        let pinned = engine.pin();
+        assert_eq!((pinned.generation(), pinned.rows()), (0, 2_000));
+
+        let row = RowFrame {
+            numeric: vec![3_100.0, 41.0, 1_200.0, 15_000.0],
+            boolean: vec![true, false, true],
+        };
+        let outcome = engine.append_rows(&[row.clone(), row.clone()]).unwrap();
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(outcome.appended, 2);
+        assert_eq!(outcome.total_rows, 2_002);
+        assert_eq!(engine.generation(), 1);
+        // The old pin still sees the old snapshot.
+        assert_eq!((pinned.generation(), pinned.rows()), (0, 2_000));
+        assert_eq!(engine.pin().rows(), 2_002);
+
+        // Queries reflect the generation they pin.
+        let rules = engine.query("Balance").objective_is("CardLoan").run();
+        assert_eq!(rules.unwrap().total_rows, 2_002);
+
+        // An empty append is a no-op, not a generation bump.
+        let outcome = engine.append_rows(&[]).unwrap();
+        assert_eq!((outcome.generation, outcome.appended), (1, 0));
+        assert_eq!(engine.generation(), 1);
+
+        // A malformed row appends nothing.
+        let bad = RowFrame {
+            numeric: vec![1.0],
+            boolean: vec![true],
+        };
+        assert!(engine.append_rows(&[bad]).is_err());
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.pin().rows(), 2_002);
+
+        // The snapshot exposes the generation/rows pair.
+        let snapshot = engine.snapshot();
+        assert_eq!((snapshot.generation, snapshot.rows), (1, 2_002));
+    }
+
+    #[test]
+    fn stale_generation_cache_entries_are_never_served() {
+        use optrules_relation::{ChunkedRelation, RowFrame};
+        let rel = ChunkedRelation::new(BankGenerator::default().to_relation(2_000, 3));
+        let engine = SharedEngine::with_config(
+            rel,
+            EngineConfig {
+                buckets: 20,
+                seed: 7,
+                ..EngineConfig::default()
+            },
+        );
+        let before = engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().scans, 1);
+        engine
+            .append_rows(&[RowFrame {
+                numeric: vec![3_100.0, 41.0, 1_200.0, 15_000.0],
+                boolean: vec![true, false, true],
+            }])
+            .unwrap();
+        // Same spec, new generation: a fresh scan, not the cached one.
+        let after = engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        assert_eq!(engine.stats().scans, 2);
+        assert_eq!(before.total_rows, 2_000);
+        assert_eq!(after.total_rows, 2_001);
+        // Re-running on the current generation is warm again.
+        engine
+            .query("Balance")
+            .objective_is("CardLoan")
+            .run()
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.scans, 2);
+        assert_eq!(stats.scan_cache_hits, 1);
+        assert_eq!(stats.hits() + stats.misses(), stats.lookups);
     }
 
     #[test]

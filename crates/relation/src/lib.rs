@@ -10,6 +10,12 @@
 //!   (Definition 2.1);
 //! * [`memory`] — an in-memory columnar [`memory::Relation`] for data
 //!   that fits in RAM;
+//! * [`chunked`] — copy-on-write relation *versions*
+//!   ([`chunked::ChunkedRelation`]): an immutable base store plus
+//!   `Arc`-shared frozen segments of appended rows, so producing the
+//!   next version after appending `k` rows is O(k) amortized and old
+//!   versions stay bit-stable snapshots (the substrate of the engine's
+//!   live-relation generations);
 //! * [`file`] — a file-backed fixed-width row store
 //!   ([`file::FileRelation`]) matching the paper's §6.1 layout (8
 //!   numeric and 8 Boolean attributes = 72 bytes/tuple), scanned
@@ -29,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod bitcol;
+pub mod chunked;
 pub mod condition;
 pub mod encoding;
 pub mod error;
@@ -39,6 +46,7 @@ pub mod scan;
 pub mod schema;
 
 pub use bitcol::BitColumn;
+pub use chunked::{AppendRows, ChunkedRelation, RowFrame};
 pub use condition::Condition;
 pub use error::RelationError;
 pub use file::{FileRelation, FileRelationWriter};

@@ -13,9 +13,10 @@
 //!               [--min-avg X] [--threads T] [--seed S] [--format text|json]
 //! optrules batch <path> [--buckets M] [--min-support P] [--min-confidence P]
 //!               [--threads T] [--seed S] [--cache-mb N] [--cache-shards N]
-//!               (query specs as NDJSON on stdin)
+//!               (query specs + stats/append frames as NDJSON on stdin)
 //! optrules serve <path> [--addr HOST:PORT] [--workers N] [--max-inflight N]
-//!               [--max-line-bytes N] [--cache-mb N] [--cache-shards N]
+//!               [--max-line-bytes N] [--write-timeout-secs N]
+//!               [--cache-mb N] [--cache-shards N]
 //!               [--buckets M] [--min-support P] [--min-confidence P]
 //!               [--threads T] [--seed S]
 //! ```
@@ -33,23 +34,30 @@
 //! so the output is byte-identical for every `--threads` value).
 //!
 //! `batch` is the request/response face of the engine: it reads one
-//! JSON query spec per stdin line (the schema is documented in
-//! `optrules::core::json`), plans the whole batch so shared
-//! bucketizations and counting scans run once each, and writes one
-//! JSON response per line — `{"ok": <result>}` or
-//! `{"error": "<message>"}` — in request order. The engine flags set
-//! session defaults that individual specs may override per query.
+//! JSON request frame per stdin line (the schema is documented in
+//! `optrules::core::json`), plans each run of consecutive query specs
+//! so shared bucketizations and counting scans run once each, and
+//! writes one JSON response per line — `{"ok": <result>}` or
+//! `{"error": "<message>"}` — in request order. `{"cmd":"append"}`
+//! frames append rows (a new relation *generation*; later specs mine
+//! it) and `{"cmd":"stats"}` reports engine counters plus the current
+//! generation and row count. The engine flags set session defaults
+//! that individual specs may override per query.
 //!
 //! `serve` keeps one warm `SharedEngine` behind a TCP listener and
-//! speaks the same NDJSON protocol per connection, plus the
-//! `{"cmd":"stats"}` / `{"cmd":"shutdown"}` control frames (see
-//! `optrules::core::server`). It prints `listening on <addr>` once
-//! bound (with `--addr host:0` the OS picks the port) and exits 0
-//! after a graceful shutdown. `--cache-mb`/`--cache-shards` size the
-//! engine's bounded cache without recompiling: `--cache-mb` is the
-//! total budget in MiB (`0` disables caching — every query runs
-//! cold), `--cache-shards` the lock granularity (≥ 1; the default is
-//! 32 MiB across 16 shards).
+//! speaks the same NDJSON protocol per connection, including the
+//! `{"cmd":"stats"}` / `{"cmd":"shutdown"}` /
+//! `{"cmd":"append","rows":…}` control frames (see
+//! `optrules::core::server`; appends never block in-flight queries —
+//! each batch pins its relation generation). It prints `listening on
+//! <addr>` once bound (with `--addr host:0` the OS picks the port)
+//! and exits 0 after a graceful shutdown.
+//! `--cache-mb`/`--cache-shards` size the engine's bounded cache
+//! without recompiling: `--cache-mb` is the total budget in MiB (`0`
+//! disables caching — every query runs cold), `--cache-shards` the
+//! lock granularity (≥ 1; the default is 32 MiB across 16 shards);
+//! `--write-timeout-secs` (default 30) bounds how long a response
+//! write may block on a client that stops reading.
 
 use optrules::core::json;
 use optrules::core::report::{render_rule_sets, sort_rule_sets, SortBy};
@@ -86,14 +94,17 @@ const USAGE: &str = "usage:
                 [--min-avg X] [--threads T] [--seed S] [--format text|json]
   optrules batch <path> [--buckets M] [--min-support P] [--min-confidence P]
                 [--threads T] [--seed S] [--cache-mb N] [--cache-shards N]
-                (query specs as NDJSON on stdin)
+                (query specs + stats/append frames as NDJSON on stdin)
   optrules serve <path> [--addr HOST:PORT] [--workers N] [--max-inflight N]
-                [--max-line-bytes N] [--cache-mb N] [--cache-shards N]
+                [--max-line-bytes N] [--write-timeout-secs N]
+                [--cache-mb N] [--cache-shards N]
                 [--buckets M] [--min-support P] [--min-confidence P]
                 [--threads T] [--seed S]
-                (NDJSON specs per TCP connection; --cache-mb sizes the
-                 shared cache in MiB, 0 disables it; --cache-shards
-                 sets lock granularity, at least 1)";
+                (NDJSON specs + stats/shutdown/append frames per TCP
+                 connection; --cache-mb sizes the shared cache in MiB,
+                 0 disables it; --cache-shards sets lock granularity;
+                 --write-timeout-secs drops clients that stop reading,
+                 both at least 1)";
 
 type CliResult = Result<(), String>;
 
@@ -204,6 +215,7 @@ const SERVE_FLAGS: &[&str] = &[
     "workers",
     "max-inflight",
     "max-line-bytes",
+    "write-timeout-secs",
     "cache-mb",
     "cache-shards",
     "buckets",
@@ -481,43 +493,58 @@ fn avg(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     Ok(())
 }
 
-/// The `batch` subcommand: NDJSON query specs on stdin → one NDJSON
-/// response per request, in request order. The whole batch is planned
-/// at once (`SharedEngine::run_batch`), so specs sharing a
-/// bucketization or scan run it exactly once; malformed or failing
-/// requests produce an `{"error": ...}` line without aborting the rest.
+/// The `batch` subcommand: NDJSON request frames on stdin → one NDJSON
+/// response per request, in request order. Consecutive query specs are
+/// planned as one segment (`SharedEngine::run_batch`), so specs
+/// sharing a bucketization or scan run it exactly once; control frames
+/// (`{"cmd":"stats"}` and the live write `{"cmd":"append","rows":…}`)
+/// split segments and apply in request order, so a spec after an
+/// append mines the new relation generation. Malformed or failing
+/// requests produce an `{"error": ...}` line without aborting the
+/// rest; `{"cmd":"shutdown"}` is a server command and answers an
+/// error here.
 fn batch(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     let threads: usize = flag_num(flags, "threads", 1)?;
     let cache = cache_from_flags(flags)?;
     let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
-    // Like mine-all, --threads fans whole queries out and every scan
-    // stays sequential, so output is byte-identical at any width (and
-    // at any cache sizing — caching is semantically invisible).
-    let engine = SharedEngine::with_cache(rel, config_from_flags(flags, 1)?, cache);
-    let mut requests: Vec<Result<QuerySpec, String>> = Vec::new();
+    // The chunked wrapper gives appends O(k) generation steps; the
+    // file-backed base is never copied. Like mine-all, --threads fans
+    // whole queries out and every scan stays sequential, so output is
+    // byte-identical at any width (and at any cache sizing — caching
+    // is semantically invisible).
+    let engine = SharedEngine::with_cache(
+        ChunkedRelation::new(rel),
+        config_from_flags(flags, 1)?,
+        cache,
+    );
+    let mut requests: Vec<json::Request> = Vec::new();
     for line in std::io::stdin().lock().lines() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
         if line.trim().is_empty() {
             continue;
         }
-        requests.push(json::decode_spec(&line).map_err(|e| format!("bad request: {e}")));
+        requests.push(json::parse_request(&line));
     }
-    let specs: Vec<QuerySpec> = requests
-        .iter()
-        .filter_map(|r| r.as_ref().ok())
-        .cloned()
-        .collect();
-    let mut results = engine.run_batch(&specs, threads).into_iter();
+
+    // Execute in request order through the shared executor —
+    // exactly the server's per-connection semantics (one code path,
+    // tested byte-identical across both transports by the live
+    // golden); only the shutdown answer differs, since batch mode has
+    // no server to stop.
+    let (responses, _shutdown_seen) = json::execute_requests(
+        &engine,
+        requests,
+        |specs| engine.run_batch(specs, threads),
+        || {
+            json::error_envelope(
+                "\"shutdown\" stops `optrules serve`; batch mode has no server to stop",
+            )
+        },
+    );
+
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    for request in requests {
-        let response = match request {
-            Err(msg) => json::error_envelope(msg),
-            Ok(_) => match results.next().expect("one result per decoded spec") {
-                Ok(rules) => json::ok_envelope(json::rule_set_to_value(&rules)),
-                Err(e) => json::error_envelope(e.to_string()),
-            },
-        };
+    for response in responses {
         writeln!(out, "{}", response.encode()).map_err(|e| format!("writing stdout: {e}"))?;
     }
     Ok(())
@@ -542,11 +569,17 @@ fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     if max_line_bytes == 0 {
         return Err("--max-line-bytes must be at least 1".into());
     }
+    let write_timeout_secs: u64 = flag_num(flags, "write-timeout-secs", 30)?;
+    if write_timeout_secs == 0 {
+        return Err("--write-timeout-secs must be at least 1".into());
+    }
     let batch_threads: usize = flag_num(flags, "threads", 1)?;
     let cache = cache_from_flags(flags)?;
     let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+    // Chunked over the file-backed base: `{"cmd":"append"}` frames
+    // produce O(k) relation generations without copying the file data.
     let engine = Arc::new(SharedEngine::with_cache(
-        rel,
+        ChunkedRelation::new(rel),
         config_from_flags(flags, 1)?,
         cache,
     ));
@@ -555,6 +588,7 @@ fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
         max_inflight_batches: max_inflight,
         max_line_bytes,
         batch_threads,
+        write_timeout: Some(std::time::Duration::from_secs(write_timeout_secs)),
         ..ServerConfig::default()
     };
     let handle = server::serve(engine, addr, config).map_err(|e| format!("binding {addr}: {e}"))?;

@@ -98,7 +98,10 @@
 //!   ([`core::json`]) — makes the engine drivable by other processes
 //!   (`optrules batch` on the CLI), and [`core::server`] serves that
 //!   protocol over TCP from one long-lived warm engine
-//!   (`optrules serve`).
+//!   (`optrules serve`). The relation is live: `{"cmd":"append"}`
+//!   frames push rows into a new atomically-swapped generation
+//!   ([`relation::ChunkedRelation`] keeps that O(k) amortized) while
+//!   every in-flight query keeps its pinned snapshot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -116,17 +119,18 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::core::Miner;
     pub use crate::core::{
-        optimize_confidence, optimize_support, AvgRule, CacheConfig, CondSpec, Engine,
-        EngineConfig, EngineStats, MinedAverage, MinedPair, MinerConfig, Objective, ObjectiveSpec,
-        OptRange, Plan, Query, QuerySpec, RangeRule, Ratio, Real, Rule, RuleKind, RuleSet,
-        ServerConfig, ServerHandle, ShardStats, SharedEngine, StatsSnapshot, Task,
+        optimize_confidence, optimize_support, AppendOutcome, AvgRule, CacheConfig, CondSpec,
+        Engine, EngineConfig, EngineStats, MinedAverage, MinedPair, MinerConfig, Objective,
+        ObjectiveSpec, OptRange, Pinned, Plan, Query, QuerySpec, RangeRule, Ratio, Real, Rule,
+        RuleKind, RuleSet, ServerConfig, ServerHandle, ShardStats, SharedEngine, StatsSnapshot,
+        Task,
     };
     pub use crate::relation::gen::{
         BankGenerator, DataGenerator, PlantedRangeGenerator, RetailGenerator, UniformWorkload,
     };
     pub use crate::relation::{
-        BoolAttr, Condition, FileRelation, FileRelationWriter, NumAttr, RandomAccess, Relation,
-        Schema, TupleScan,
+        AppendRows, BoolAttr, ChunkedRelation, Condition, FileRelation, FileRelationWriter,
+        NumAttr, RandomAccess, Relation, RowFrame, Schema, TupleScan,
     };
 }
 

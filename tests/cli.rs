@@ -330,6 +330,51 @@ fn batch_responses_parse_and_line_up_with_requests() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// The live-relation golden pair: piping `tests/data/live_specs.ndjson`
+/// (specs interleaved with append/stats control frames, plus every
+/// malformed-row shape) through `optrules batch` over the standard
+/// bank relation must reproduce `tests/data/live_expected.ndjson` byte
+/// for byte, at every `--threads` value. Pins the append ack bytes,
+/// the generation/row-count stats fields, and the error envelopes for
+/// wrong arity, non-numeric cells, and oversized frames. CI runs the
+/// same diff as a shell step (and once more over TCP through
+/// `optrules serve` — see `tests/serve.rs`).
+#[test]
+fn live_golden_output_is_stable() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let specs = std::fs::read_to_string(dir.join("live_specs.ndjson")).unwrap();
+    let expected = std::fs::read_to_string(dir.join("live_expected.ndjson")).unwrap();
+    let path = tmp("live-golden");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "20000", "--seed", "3"]);
+    for threads in ["1", "4"] {
+        let out = run_ok_stdin(
+            &[
+                "batch",
+                path_s,
+                "--buckets",
+                "100",
+                "--min-support",
+                "10",
+                "--min-confidence",
+                "60",
+                "--seed",
+                "7",
+                "--cache-shards",
+                "1",
+                "--threads",
+                threads,
+            ],
+            &specs,
+        );
+        assert_eq!(
+            out, expected,
+            "--threads {threads} diverged from live golden"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
 /// `--cache-mb` / `--cache-shards` validate strictly and never change
 /// output (caching is semantically invisible, only faster).
 #[test]
@@ -372,6 +417,18 @@ fn cache_flags_validate_and_leave_output_unchanged() {
         (
             vec!["serve", path_s, "--max-inflight", "0"],
             "--max-inflight must be at least 1",
+        ),
+        (
+            vec!["serve", path_s, "--write-timeout-secs", "0"],
+            "--write-timeout-secs must be at least 1",
+        ),
+        (
+            vec!["serve", path_s, "--write-timeout-secs", "soon"],
+            "--write-timeout-secs expects a number",
+        ),
+        (
+            vec!["batch", path_s, "--write-timeout-secs", "30"],
+            "unknown flag --write-timeout-secs",
         ),
         (
             vec!["serve", path_s, "--addr", "not-an-address"],

@@ -254,6 +254,135 @@ fn concurrent_cold_misses_coalesce_onto_one_scan() {
     );
 }
 
+/// Live-relation stress: 8 reader threads run batches while one writer
+/// appends generation after generation. Checks the issue's three
+/// promises under real races:
+///
+/// * generations observed by each reader are **monotone** (a later
+///   batch never sees an older snapshot);
+/// * **no batch mixes two generations** — every result in one batch
+///   reports the same `total_rows`, and that batch is byte-identical
+///   to the same specs run sequentially against a fresh engine over
+///   that generation's rows (snapshot isolation, not just row-count
+///   agreement);
+/// * the stats identity `hits + misses == lookups` holds under writes.
+#[test]
+fn readers_see_monotone_unmixed_generations_under_appends() {
+    const BASE_ROWS: u64 = 6_000;
+    const APPENDS: usize = 12;
+    const ROWS_PER_APPEND: usize = 25;
+    const ROUNDS: usize = 10;
+
+    // Deterministic rows for append i, so oracles can be precomputed.
+    fn rows_for(i: usize) -> Vec<RowFrame> {
+        (0..ROWS_PER_APPEND)
+            .map(|j| {
+                let v = (i * ROWS_PER_APPEND + j) as f64;
+                RowFrame {
+                    numeric: vec![
+                        (v * 37.0) % 20_000.0,
+                        20.0 + (v % 60.0),
+                        (v * 13.0) % 5_000.0,
+                        (v * 101.0) % 40_000.0,
+                    ],
+                    boolean: vec![j % 2 == 0, j % 3 == 0, j % 5 == 0],
+                }
+            })
+            .collect()
+    }
+
+    let specs = vec![
+        QuerySpec::boolean("Balance", "CardLoan"),
+        QuerySpec::boolean("Balance", "AutoWithdraw"),
+        QuerySpec::average("CheckingAccount", "SavingAccount"),
+    ];
+
+    // Oracle per generation: the same specs on a fresh engine over the
+    // flat concatenation of that generation's rows.
+    let base = BankGenerator::default().to_relation(BASE_ROWS, 11);
+    let mut flat = base.clone();
+    let oracle: Vec<Vec<RuleSet>> = (0..=APPENDS)
+        .map(|generation| {
+            if generation > 0 {
+                for row in rows_for(generation - 1) {
+                    flat.push_row(&row.numeric, &row.boolean).unwrap();
+                }
+            }
+            let fresh = SharedEngine::with_config(&flat, config());
+            fresh
+                .run_batch(&specs, 1)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect()
+        })
+        .collect();
+
+    let live = SharedEngine::with_config(ChunkedRelation::new(base), config());
+    std::thread::scope(|scope| {
+        let live = &live;
+        let specs = &specs;
+        let oracle = &oracle;
+        scope.spawn(move || {
+            for i in 0..APPENDS {
+                let outcome = live.append_rows(&rows_for(i)).unwrap();
+                assert_eq!(outcome.generation, (i + 1) as u64);
+                assert_eq!(outcome.appended, ROWS_PER_APPEND as u64);
+                // Let readers interleave between generations.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        for _ in 0..THREADS {
+            scope.spawn(move || {
+                let mut last_generation = 0u64;
+                for round in 0..ROUNDS {
+                    let results: Vec<RuleSet> = live
+                        .run_batch(specs, 1)
+                        .into_iter()
+                        .map(|r| r.unwrap())
+                        .collect();
+                    // No mixing: one total_rows across the whole batch.
+                    let total_rows = results[0].total_rows;
+                    assert!(
+                        results.iter().all(|r| r.total_rows == total_rows),
+                        "round {round}: a batch mixed generations: {:?}",
+                        results.iter().map(|r| r.total_rows).collect::<Vec<_>>()
+                    );
+                    // The row count maps back to exactly one generation.
+                    let delta = total_rows - BASE_ROWS;
+                    assert_eq!(delta % ROWS_PER_APPEND as u64, 0, "round {round}");
+                    let generation = delta / ROWS_PER_APPEND as u64;
+                    assert!(generation <= APPENDS as u64, "round {round}");
+                    // Monotone per reader.
+                    assert!(
+                        generation >= last_generation,
+                        "round {round}: generation went backwards \
+                         ({last_generation} -> {generation})"
+                    );
+                    last_generation = generation;
+                    // Snapshot isolation: byte-identical to the fresh
+                    // sequential run on that generation's rows.
+                    assert_eq!(
+                        results, oracle[generation as usize],
+                        "round {round}: generation {generation} diverged from its oracle"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = live.stats();
+    assert_eq!(
+        stats.hits() + stats.misses(),
+        stats.lookups,
+        "every lookup must be exactly one hit or one miss under writes: {stats:?}"
+    );
+    assert_eq!(live.generation(), APPENDS as u64);
+    assert_eq!(
+        live.pin().rows(),
+        BASE_ROWS + (APPENDS * ROWS_PER_APPEND) as u64
+    );
+}
+
 #[test]
 fn failing_leader_does_not_strand_concurrent_queries() {
     // A query whose computation fails (zero buckets) resolves its

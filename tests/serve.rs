@@ -230,10 +230,7 @@ fn interleaved_pipelined_requests_answer_in_order() {
         lines[1].starts_with("{\"error\":\"bad request"),
         "{lines:?}"
     );
-    assert!(
-        lines[2].starts_with("{\"ok\":{\"bucketizations\""),
-        "{lines:?}"
-    );
+    assert!(lines[2].starts_with("{\"ok\":{\"generation\""), "{lines:?}");
     assert!(lines[3].starts_with("{\"error\":"), "{lines:?}");
     assert!(
         lines[4].starts_with("{\"ok\":{\"attr\":\"Balance\""),
@@ -282,6 +279,110 @@ fn concurrent_identical_cold_specs_share_one_scan() {
     assert_eq!(stats_field(&stats, "scans"), 1, "{stats}");
     assert_eq!(stats_field(&stats, "bucketizations"), 1, "{stats}");
 
+    handle.shutdown();
+    handle.join();
+}
+
+/// Live appends over TCP: within one pipelined connection, order is
+/// program order (a spec before the append mines the old generation,
+/// a spec after it the new one, and the stats frame reflects exactly
+/// what preceded it); other connections then see the new generation;
+/// malformed rows error without appending anything.
+#[test]
+fn append_frames_apply_in_order_and_survive_connections() {
+    let handle = start(engine(3_000, 9), ServerConfig::default());
+    let row = "[3100.5,41,1200,15000,true,false,true]";
+    let input = format!(
+        concat!(
+            "{{\"attr\":\"Balance\",\"objective\":{{\"bool\":\"CardLoan\"}}}}\n",
+            "{{\"cmd\":\"append\",\"rows\":[{row},{row}]}}\n",
+            "{{\"attr\":\"Balance\",\"objective\":{{\"bool\":\"CardLoan\"}}}}\n",
+            "{{\"cmd\":\"append\",\"rows\":[[1,true]]}}\n",
+            "{{\"cmd\":\"stats\"}}\n",
+        ),
+        row = row
+    );
+    let lines = roundtrip(&handle, &input);
+    assert_eq!(lines.len(), 5, "{lines:?}");
+    let total_rows = |line: &str| {
+        let Ok(Json::Obj(envelope)) = Json::parse(line) else {
+            panic!("unparseable response {line:?}");
+        };
+        let Some((_, Json::Obj(rules))) = envelope.iter().find(|(key, _)| key == "ok") else {
+            panic!("response is not ok: {line:?}");
+        };
+        match rules.iter().find(|(key, _)| key == "total_rows") {
+            Some((_, Json::Num(Num::UInt(rows)))) => *rows,
+            other => panic!("total_rows missing: {other:?}"),
+        }
+    };
+    assert_eq!(total_rows(&lines[0]), 3_000, "pre-append spec");
+    assert_eq!(
+        lines[1], "{\"ok\":{\"appended\":2,\"generation\":1,\"rows\":3002}}",
+        "append ack bytes"
+    );
+    assert_eq!(total_rows(&lines[2]), 3_002, "post-append spec");
+    assert!(
+        lines[3].contains("row 0 has 2 cells"),
+        "malformed row: {lines:?}"
+    );
+    assert_eq!(stats_field(&lines[4], "generation"), 1);
+    assert_eq!(stats_field(&lines[4], "rows"), 3_002);
+
+    // A fresh connection mines the new generation.
+    let next = roundtrip(
+        &handle,
+        "{\"attr\":\"Balance\",\"objective\":{\"bool\":\"CardLoan\"}}\n",
+    );
+    assert_eq!(total_rows(&next[0]), 3_002);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Appends from concurrent connections serialize into a total order:
+/// every row lands exactly once and the final generation counts every
+/// append frame.
+#[test]
+fn concurrent_appends_serialize_without_losing_rows() {
+    let handle = start(
+        engine(2_000, 5),
+        ServerConfig {
+            workers: 8,
+            ..ServerConfig::default()
+        },
+    );
+    const CLIENTS: usize = 4;
+    const APPENDS_PER_CLIENT: usize = 5;
+    let barrier = std::sync::Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let handle = &handle;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..APPENDS_PER_CLIENT {
+                    let lines = roundtrip(
+                        handle,
+                        "{\"cmd\":\"append\",\"rows\":[[1,2,3,4,true,false,true]]}\n",
+                    );
+                    assert!(
+                        lines[0].starts_with("{\"ok\":{\"appended\":1,"),
+                        "{lines:?}"
+                    );
+                }
+            });
+        }
+    });
+    let stats = stats_line(&handle);
+    assert_eq!(
+        stats_field(&stats, "generation"),
+        (CLIENTS * APPENDS_PER_CLIENT) as u64
+    );
+    assert_eq!(
+        stats_field(&stats, "rows"),
+        2_000 + (CLIENTS * APPENDS_PER_CLIENT) as u64
+    );
     handle.shutdown();
     handle.join();
 }
@@ -449,6 +550,42 @@ mod binary {
             let status = server.child.wait().expect("server exits");
             assert!(status.success(), "graceful shutdown must exit 0");
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The live golden pair over TCP: a fresh `optrules serve` process
+    /// answers `tests/data/live_specs.ndjson` (specs + append/stats
+    /// frames + malformed rows) byte-identically to `optrules batch`
+    /// over the same relation — one wire contract, two transports.
+    /// Also exercises `--write-timeout-secs` end to end as a valid
+    /// flag.
+    #[test]
+    fn serve_speaks_the_live_golden_protocol() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+        let specs = std::fs::read_to_string(dir.join("live_specs.ndjson")).unwrap();
+        let expected: Vec<String> = std::fs::read_to_string(dir.join("live_expected.ndjson"))
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let path = tmp("live-golden");
+        let path_s = path.to_str().unwrap();
+        let gen = bin()
+            .args(["gen", "bank", path_s, "--rows", "20000", "--seed", "3"])
+            .output()
+            .expect("gen runs");
+        assert!(gen.status.success());
+
+        let mut server = spawn_server(
+            path_s,
+            &["--cache-shards", "1", "--write-timeout-secs", "20"],
+        );
+        let lines = tcp_roundtrip(&server.addr, &specs);
+        assert_eq!(lines, expected, "TCP live responses diverged from golden");
+
+        let bye = tcp_roundtrip(&server.addr, "{\"cmd\":\"shutdown\"}\n");
+        assert_eq!(bye, ["{\"ok\":\"shutdown\"}"]);
+        assert!(server.child.wait().expect("server exits").success());
         std::fs::remove_file(&path).unwrap();
     }
 }
