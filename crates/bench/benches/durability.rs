@@ -1,0 +1,234 @@
+//! Durable-append cost: what the WAL + checkpoint machinery charges
+//! per acknowledged row, against PR 5's in-memory append baseline
+//! (~11 ns/row on the reference machine).
+//!
+//! * `append/{memory,off,batch,always}` — `SharedEngine::append_rows`
+//!   of k = 1000-row frames over a 100k-row file-backed base:
+//!   `memory` is the plain `ChunkedRelation` live path, `off` adds the
+//!   durable wrapper without a WAL, `batch` writes the WAL through the
+//!   page cache, `always` fsyncs before every ack. The gap between
+//!   `batch` and `always` is the price of surviving power loss rather
+//!   than just process death — it is the storage stack's fsync
+//!   latency, not compute, and dominates everything else here.
+//! * `recovery` — time to reopen a store whose WAL holds
+//!   {16, 128, 1024} unflushed frames of 128 rows: replay must scale
+//!   linearly in WAL length.
+//! * a spill sweep appending 1M rows at `--spill-rows 65536`,
+//!   asserting the in-memory tail and the WAL stay bounded while
+//!   segments absorb the history.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bench::fmt_duration;
+use optrules_core::{EngineConfig, SharedEngine};
+use optrules_relation::gen::{BankGenerator, DataGenerator};
+use optrules_relation::{
+    ChunkedRelation, Durability, DurabilityConfig, DurableRelation, FileRelation, RowFrame, WalSync,
+};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rows per append frame, matching `append_throughput`'s K so the
+/// per-row numbers are directly comparable.
+const K: usize = 1_000;
+const BASE_ROWS: u64 = 100_000;
+/// Rebuild the engine (fresh data dir) after this many generations so
+/// the WAL cannot grow without bound inside a measurement window.
+const RESET_EVERY_GENERATIONS: u64 = 512;
+
+fn frame_rows(k: usize) -> Vec<RowFrame> {
+    (0..k)
+        .map(|i| {
+            let v = i as f64;
+            RowFrame {
+                numeric: vec![
+                    (v * 37.0) % 20_000.0,
+                    20.0 + (v % 60.0),
+                    (v * 13.0) % 5_000.0,
+                    (v * 101.0) % 40_000.0,
+                ],
+                boolean: vec![i % 2 == 0, i % 3 == 0, i % 5 == 0],
+            }
+        })
+        .collect()
+}
+
+/// Scratch space for this process; removed at the end of the run.
+fn scratch() -> PathBuf {
+    std::env::temp_dir().join(format!("optrules-bench-durability-{}", std::process::id()))
+}
+
+fn base_file(dir: &Path) -> PathBuf {
+    let path = dir.join("base.rel");
+    if !path.exists() {
+        BankGenerator::default()
+            .to_file(&path, BASE_ROWS, 3)
+            .expect("write base relation");
+    }
+    path
+}
+
+/// A fresh durable engine over its own data dir. `spill_rows` is set
+/// beyond the measurement window so appends measure WAL cost alone.
+fn durable_engine(base: &Path, dir: PathBuf, sync: WalSync) -> SharedEngine<DurableRelation> {
+    let _ = std::fs::remove_dir_all(&dir);
+    let recovered = DurableRelation::open(
+        base,
+        dir,
+        DurabilityConfig {
+            spill_rows: 1 << 20,
+            sync,
+        },
+    )
+    .expect("open durable store");
+    SharedEngine::from_arc_at(
+        Arc::new(recovered.relation),
+        recovered.generation,
+        EngineConfig::default(),
+        Default::default(),
+    )
+}
+
+fn bench_durable_appends(c: &mut Criterion) {
+    let root = scratch();
+    std::fs::create_dir_all(&root).expect("scratch dir");
+    let base = base_file(&root);
+    let rows = frame_rows(K);
+
+    let mut group = c.benchmark_group("durability");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.throughput(Throughput::Elements(K as u64));
+
+    // Baseline: the PR 5 in-memory live path over the same file base.
+    let fresh_memory = || {
+        SharedEngine::with_config(
+            ChunkedRelation::new(FileRelation::open(&base).expect("reopen base")),
+            EngineConfig::default(),
+        )
+    };
+    let mut engine = fresh_memory();
+    group.bench_with_input(BenchmarkId::new("append", "memory"), &(), |b, ()| {
+        b.iter(|| {
+            if engine.generation() >= RESET_EVERY_GENERATIONS {
+                engine = fresh_memory();
+            }
+            black_box(engine.append_rows(&rows).expect("schema matches"));
+        })
+    });
+
+    for (name, sync) in [
+        ("off", WalSync::Off),
+        ("batch", WalSync::Batch),
+        ("always", WalSync::Always),
+    ] {
+        let mut resets = 0u64;
+        let dir = |resets: u64| root.join(format!("append-{name}-{resets}"));
+        let mut engine = durable_engine(&base, dir(resets), sync);
+        group.bench_with_input(BenchmarkId::new("append", name), &(), |b, ()| {
+            b.iter(|| {
+                // A fresh store (generation restarts at 0) keeps the
+                // WAL bounded inside the measurement window.
+                if engine.generation() >= RESET_EVERY_GENERATIONS {
+                    let old = dir(resets);
+                    resets += 1;
+                    engine = durable_engine(&base, dir(resets), sync);
+                    let _ = std::fs::remove_dir_all(old);
+                }
+                black_box(engine.append_rows(&rows).expect("schema matches"));
+            })
+        });
+    }
+    group.finish();
+
+    // Recovery time vs WAL length: build a store whose WAL holds
+    // `frames` unflushed 128-row frames (Batch sync, no checkpoint),
+    // then time the reopen that replays them.
+    let replay_rows = frame_rows(128);
+    for frames in [16u64, 128, 1024] {
+        let dir = root.join(format!("recover-{frames}"));
+        {
+            let engine = durable_engine(&base, dir.clone(), WalSync::Batch);
+            for _ in 0..frames {
+                engine.append_rows(&replay_rows).expect("schema matches");
+            }
+            // Dropped without flush: the WAL is the only copy.
+        }
+        let start = std::time::Instant::now();
+        let recovered = DurableRelation::open(
+            &base,
+            &dir,
+            DurabilityConfig {
+                spill_rows: 1 << 20,
+                sync: WalSync::Batch,
+            },
+        )
+        .expect("recover");
+        let elapsed = start.elapsed();
+        assert_eq!(recovered.replayed_frames, frames);
+        println!(
+            "durability/recovery wal={frames:>4} frames ({:>6} rows): {} \
+             ({:.0} ns/row replayed)",
+            recovered.replayed_rows,
+            fmt_duration(elapsed),
+            elapsed.as_secs_f64() * 1e9 / recovered.replayed_rows as f64,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Spill sweep: 1M rows through a 65536-row budget. Memory tail and
+    // WAL bytes must stay bounded by the budget; the spilled segments
+    // hold the history.
+    let dir = root.join("spill-sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+    let recovered = DurableRelation::open(
+        &base,
+        &dir,
+        DurabilityConfig {
+            spill_rows: 65_536,
+            sync: WalSync::Batch,
+        },
+    )
+    .expect("open spill store");
+    let engine = SharedEngine::from_arc_at(
+        Arc::new(recovered.relation),
+        recovered.generation,
+        EngineConfig::default(),
+        Default::default(),
+    );
+    let frames = 1_000u64;
+    let start = std::time::Instant::now();
+    for _ in 0..frames {
+        engine.append_rows(&rows).expect("schema matches");
+    }
+    let elapsed = start.elapsed();
+    let appended = frames * K as u64;
+    let pinned = engine.pin();
+    let stats = pinned.relation().durability_stats().expect("durable stats");
+    let tail = pinned.relation().tail_rows();
+    assert!(
+        tail < 65_536,
+        "in-memory tail must stay under the spill budget, got {tail}"
+    );
+    assert!(
+        stats.wal_bytes < 65_536 * 64,
+        "WAL must truncate at checkpoints, got {} bytes",
+        stats.wal_bytes
+    );
+    assert_eq!(pinned.rows(), BASE_ROWS + appended);
+    println!(
+        "durability/spill appended {appended} rows at --spill-rows 65536: {} \
+         ({:.0} ns/row incl. {} spills), tail {tail} rows, wal {} bytes",
+        fmt_duration(elapsed),
+        elapsed.as_secs_f64() * 1e9 / appended as f64,
+        stats.segments_spilled,
+        stats.wal_bytes,
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_durable_appends);
+criterion_main!(benches);

@@ -74,12 +74,13 @@
 //!
 //! A request object with a `cmd` key is an operator command, not a
 //! query spec. The TCP server (`optrules serve`, [`crate::server`])
-//! and `optrules batch` share the grammar ([`parse_request`]); three
+//! and `optrules batch` share the grammar ([`parse_request`]); four
 //! commands exist:
 //!
 //! ```json
 //! {"cmd": "stats"}
 //! {"cmd": "shutdown"}
+//! {"cmd": "flush"}
 //! {"cmd": "append", "rows": [[3100.5, 41, 1200, 15000, true, false, true]]}
 //! ```
 //!
@@ -101,11 +102,28 @@
 //! }
 //! ```
 //!
+//! When the engine serves a durable relation (`--data-dir`), the
+//! snapshot additionally carries a `durability` object after `shards`:
+//!
+//! ```json
+//! {"durability": {"wal_bytes": 128, "unflushed_rows": 2,
+//!                 "segments_spilled": 3, "last_checkpoint_generation": 40}}
+//! ```
+//!
 //! Derived rates (hit rate, miss rate) are intentionally not encoded —
 //! operators compute them from the exact counters. `shutdown` answers
 //! `{"ok":"shutdown"}` and then gracefully stops the server (drain
 //! connections, flush responses); in batch mode, which has no server
 //! to stop, it answers with an error envelope.
+//!
+//! `flush` forces a durability checkpoint
+//! ([`SharedEngine::flush`](crate::shared::SharedEngine::flush)): the
+//! in-memory tail is spilled to a segment file and the write-ahead log
+//! is truncated. It answers `{"ok":{"flushed":true,"generation":g}}`
+//! with the current generation; over a non-durable (in-memory) relation
+//! it is a no-op with the same acknowledgment. The server's graceful
+//! shutdown drains through the same path, so a clean stop never leaves
+//! a WAL tail behind.
 //!
 //! `append` appends rows to the live relation, producing the next
 //! **generation** (see
@@ -1175,7 +1193,7 @@ fn shard_to_value(shard: &ShardStats) -> Json {
 /// control frame (schema in the [module docs](self)).
 pub fn stats_to_value(snapshot: &StatsSnapshot) -> Json {
     let e = &snapshot.engine;
-    Json::Obj(vec![
+    let mut fields = vec![
         (
             "generation".into(),
             Json::Num(Num::UInt(snapshot.generation)),
@@ -1206,6 +1224,35 @@ pub fn stats_to_value(snapshot: &StatsSnapshot) -> Json {
             "shards".into(),
             Json::Arr(snapshot.shards.iter().map(shard_to_value).collect()),
         ),
+    ];
+    if let Some(d) = &snapshot.durability {
+        fields.push((
+            "durability".into(),
+            Json::Obj(vec![
+                ("wal_bytes".into(), Json::Num(Num::UInt(d.wal_bytes))),
+                (
+                    "unflushed_rows".into(),
+                    Json::Num(Num::UInt(d.unflushed_rows)),
+                ),
+                (
+                    "segments_spilled".into(),
+                    Json::Num(Num::UInt(d.segments_spilled)),
+                ),
+                (
+                    "last_checkpoint_generation".into(),
+                    Json::Num(Num::UInt(d.last_checkpoint_generation)),
+                ),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// The `{"ok": …}` payload acknowledging a `{"cmd":"flush"}` frame.
+pub fn flush_to_value(generation: u64) -> Json {
+    Json::Obj(vec![
+        ("flushed".into(), Json::Bool(true)),
+        ("generation".into(), Json::Num(Num::UInt(generation))),
     ])
 }
 
@@ -1240,6 +1287,9 @@ pub enum Request {
     /// `{"cmd":"shutdown"}` — gracefully stop the server (an error in
     /// batch mode, which has no server to stop).
     Shutdown,
+    /// `{"cmd":"flush"}` — force a durability checkpoint (spill + WAL
+    /// truncation); a no-op acknowledgment for in-memory relations.
+    Flush,
     /// `{"cmd":"append","rows":[…]}` — the raw (still unvalidated)
     /// `rows` value; decode against the serving schema with
     /// [`rows_from_value`] when executing.
@@ -1273,11 +1323,13 @@ pub fn parse_request(line: &str) -> Request {
 /// Consumes the fields so an append frame's rows move into the request
 /// instead of being deep-cloned.
 fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
-    const SHAPE: &str = "bad request: a control frame is {\"cmd\": \"stats\"|\"shutdown\"} \
+    const SHAPE: &str = "bad request: a control frame is \
+                         {\"cmd\": \"stats\"|\"shutdown\"|\"flush\"} \
                          or {\"cmd\": \"append\", \"rows\": [[…], …]}";
     enum Cmd {
         Stats,
         Shutdown,
+        Flush,
         Append,
         Unknown(String),
     }
@@ -1288,13 +1340,15 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
     let cmd = match &fields[cmd_pos].1 {
         Json::Str(cmd) if cmd == "stats" => Cmd::Stats,
         Json::Str(cmd) if cmd == "shutdown" => Cmd::Shutdown,
+        Json::Str(cmd) if cmd == "flush" => Cmd::Flush,
         Json::Str(cmd) if cmd == "append" => Cmd::Append,
         other => Cmd::Unknown(other.encode()),
     };
     match cmd {
-        Cmd::Stats | Cmd::Shutdown if fields.len() != 1 => Request::Bad(SHAPE.into()),
+        Cmd::Stats | Cmd::Shutdown | Cmd::Flush if fields.len() != 1 => Request::Bad(SHAPE.into()),
         Cmd::Stats => Request::Stats,
         Cmd::Shutdown => Request::Shutdown,
+        Cmd::Flush => Request::Flush,
         Cmd::Append => {
             // Length check first: with extra keys, `cmd` may sit past
             // index 1 and `1 - cmd_pos` would underflow.
@@ -1308,7 +1362,8 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
             Request::Append(fields.swap_remove(rows_pos).1)
         }
         Cmd::Unknown(encoded) => Request::Bad(format!(
-            "bad request: unknown cmd {encoded} (expected \"stats\", \"shutdown\", or \"append\")"
+            "bad request: unknown cmd {encoded} \
+             (expected \"stats\", \"shutdown\", \"flush\", or \"append\")"
         )),
     }
 }
@@ -1335,7 +1390,11 @@ pub fn execute_requests<R, F>(
     shutdown_response: impl Fn() -> Json,
 ) -> (Vec<Json>, bool)
 where
-    R: optrules_relation::RandomAccess + optrules_relation::AppendRows + Send + Sync,
+    R: optrules_relation::RandomAccess
+        + optrules_relation::AppendRows
+        + optrules_relation::Durability
+        + Send
+        + Sync,
     F: FnMut(&[QuerySpec]) -> Vec<crate::error::Result<RuleSet>>,
 {
     fn flush<F: FnMut(&[QuerySpec]) -> Vec<crate::error::Result<RuleSet>>>(
@@ -1370,6 +1429,13 @@ where
                 flush(&mut pending, &mut responses, &mut run_segment);
                 shutdown_requested = true;
                 responses[index] = Some(shutdown_response());
+            }
+            Request::Flush => {
+                flush(&mut pending, &mut responses, &mut run_segment);
+                responses[index] = Some(match engine.flush() {
+                    Ok(generation) => ok_envelope(flush_to_value(generation)),
+                    Err(e) => error_envelope(e.to_string()),
+                });
             }
             Request::Append(rows_value) => {
                 flush(&mut pending, &mut responses, &mut run_segment);
@@ -1661,6 +1727,10 @@ mod tests {
             Request::Shutdown
         ));
         assert!(matches!(
+            parse_request(r#"{"cmd":"flush"}"#),
+            Request::Flush
+        ));
+        assert!(matches!(
             parse_request(r#"{"cmd":"append","rows":[[1,true]]}"#),
             Request::Append(_)
         ));
@@ -1673,6 +1743,10 @@ mod tests {
         assert_bad(parse_request(r#"{"cmd":7}"#), "unknown cmd");
         assert_bad(
             parse_request(r#"{"cmd":"stats","verbose":true}"#),
+            "control frame",
+        );
+        assert_bad(
+            parse_request(r#"{"cmd":"flush","force":true}"#),
             "control frame",
         );
         assert_bad(parse_request(r#"{"cmd":"append"}"#), "control frame");
@@ -1808,10 +1882,34 @@ mod tests {
                 cost: 10_040,
                 entries: 2,
             }],
+            durability: None,
         };
         assert_eq!(
             encode_stats(&snapshot),
             r#"{"generation":2,"rows":20050,"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}]}"#
+        );
+        // A durable relation appends its counters after `shards`; the
+        // in-memory encoding above is byte-identical to before.
+        let durable = StatsSnapshot {
+            durability: Some(optrules_relation::DurabilityStats {
+                wal_bytes: 128,
+                unflushed_rows: 2,
+                segments_spilled: 3,
+                last_checkpoint_generation: 40,
+            }),
+            ..snapshot
+        };
+        assert_eq!(
+            encode_stats(&durable),
+            r#"{"generation":2,"rows":20050,"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}],"durability":{"wal_bytes":128,"unflushed_rows":2,"segments_spilled":3,"last_checkpoint_generation":40}}"#
+        );
+    }
+
+    #[test]
+    fn flush_ack_encoding_golden() {
+        assert_eq!(
+            ok_envelope(flush_to_value(5)).encode(),
+            r#"{"ok":{"flushed":true,"generation":5}}"#
         );
     }
 

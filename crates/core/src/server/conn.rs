@@ -5,7 +5,7 @@
 use super::Control;
 use crate::json::{self, Json, Request};
 use crate::shared::SharedEngine;
-use optrules_relation::{AppendRows, RandomAccess};
+use optrules_relation::{AppendRows, Durability, RandomAccess};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
@@ -85,7 +85,7 @@ pub(super) fn serve_conn<R>(
     control: &Control,
 ) -> io::Result<()>
 where
-    R: RandomAccess + AppendRows + Send + Sync,
+    R: RandomAccess + AppendRows + Durability + Send + Sync,
 {
     let max_line = control.config.max_line_bytes;
     let mut reader = BufReader::new(stream.try_clone()?);

@@ -12,8 +12,9 @@
 //!   [`QuerySpec`](crate::spec::QuerySpec) per line in, one
 //!   `{"ok": …}` / `{"error": …}` response per line out, in request
 //!   order per connection. A request with a `cmd` key is a *control
-//!   frame* (`{"cmd":"stats"}`, `{"cmd":"shutdown"}`, and the live
-//!   write `{"cmd":"append","rows":[…]}` — schema in [`crate::json`]).
+//!   frame* (`{"cmd":"stats"}`, `{"cmd":"shutdown"}`,
+//!   `{"cmd":"flush"}`, and the live write
+//!   `{"cmd":"append","rows":[…]}` — schema in [`crate::json`]).
 //! * **Framing** — each worker reads one request line (blocking), then
 //!   drains any further complete lines its buffer already holds, and
 //!   runs each run of consecutive specs as **one**
@@ -52,8 +53,10 @@
 //! * **Graceful shutdown** — a `{"cmd":"shutdown"}` control frame (or
 //!   [`ServerHandle::shutdown`]) stops the acceptor, EOFs every parked
 //!   reader through a connection registry so in-flight connections
-//!   drain and flush their remaining responses, and lets
-//!   [`ServerHandle::join`] return. The server is dependency-free and
+//!   drain and flush their remaining responses, checkpoints a durable
+//!   engine ([`SharedEngine::flush`]) once the pool has exited, and
+//!   lets [`ServerHandle::join`] return. The server is dependency-free
+//!   and
 //!   installs no signal handler: SIGINT keeps its OS default
 //!   (immediate process exit); use the control frame for a clean stop.
 //!
@@ -73,7 +76,7 @@
 mod conn;
 
 use crate::shared::SharedEngine;
-use optrules_relation::{AppendRows, RandomAccess};
+use optrules_relation::{AppendRows, Durability, RandomAccess};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -283,7 +286,7 @@ pub fn serve<R>(
     config: ServerConfig,
 ) -> io::Result<ServerHandle>
 where
-    R: RandomAccess + AppendRows + Send + Sync + 'static,
+    R: RandomAccess + AppendRows + Durability + Send + Sync + 'static,
 {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
@@ -297,23 +300,36 @@ where
     });
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.max_pending.max(1));
     let rx = Arc::new(Mutex::new(rx));
-    let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+    let mut pool = Vec::with_capacity(config.workers.max(1) + 1);
     for _ in 0..config.workers.max(1) {
         let rx = Arc::clone(&rx);
         let engine = Arc::clone(&engine);
         let control = Arc::clone(&control);
-        threads.push(std::thread::spawn(move || worker(&rx, &engine, &control)));
+        pool.push(std::thread::spawn(move || worker(&rx, &engine, &control)));
     }
     {
         let control = Arc::clone(&control);
-        threads.push(std::thread::spawn(move || {
+        pool.push(std::thread::spawn(move || {
             acceptor(&listener, &tx, &control)
         }));
     }
+    // The supervisor owns the drain: once every worker and the
+    // acceptor have exited (all connections flushed their responses),
+    // it checkpoints the engine so a durable relation leaves no WAL
+    // tail behind a graceful shutdown. In-memory relations make this
+    // a no-op.
+    let supervisor = std::thread::spawn(move || {
+        for thread in pool {
+            let _ = thread.join();
+        }
+        if let Err(e) = engine.flush() {
+            eprintln!("optrules serve: final checkpoint failed: {e}");
+        }
+    });
     Ok(ServerHandle {
         addr,
         control,
-        threads,
+        threads: vec![supervisor],
     })
 }
 
@@ -347,7 +363,7 @@ fn acceptor(listener: &TcpListener, tx: &SyncSender<TcpStream>, control: &Contro
 /// connection only — the worker moves on to the next.
 fn worker<R>(rx: &Mutex<Receiver<TcpStream>>, engine: &SharedEngine<R>, control: &Control)
 where
-    R: RandomAccess + AppendRows + Send + Sync,
+    R: RandomAccess + AppendRows + Durability + Send + Sync,
 {
     loop {
         let stream = rx.lock().expect("accept queue poisoned").recv();

@@ -94,7 +94,9 @@ use optrules_bucketing::{
     count_buckets, count_buckets_parallel, equi_depth_cuts, BucketCounts, BucketSpec, CountSpec,
     EquiDepthConfig, SamplingMethod,
 };
-use optrules_relation::{AppendRows, Condition, NumAttr, RandomAccess, RowFrame, Schema};
+use optrules_relation::{
+    AppendRows, Condition, Durability, DurabilityStats, NumAttr, RandomAccess, RowFrame, Schema,
+};
 
 /// Cache key for one bucketization: everything Algorithm 3.1's output
 /// depends on — including the relation **generation** it sampled, so a
@@ -200,6 +202,9 @@ pub struct StatsSnapshot {
     pub engine: EngineStats,
     /// Per-shard cache counters, indexed by shard.
     pub shards: Vec<ShardStats>,
+    /// Durability counters when the relation store is durable
+    /// (WAL-backed), `None` for in-memory stores.
+    pub durability: Option<DurabilityStats>,
 }
 
 /// The outcome of one [`SharedEngine::append_rows`] call — the payload
@@ -309,9 +314,25 @@ impl<R: RandomAccess> SharedEngine<R> {
     /// to run several sessions (different configs) over one relation
     /// without copying it.
     pub fn from_arc(rel: Arc<R>, config: EngineConfig, cache: CacheConfig) -> Self {
+        Self::from_arc_at(rel, 0, config, cache)
+    }
+
+    /// Like [`from_arc`](Self::from_arc), starting the generation
+    /// counter at `generation` instead of 0 — used when resuming a
+    /// recovered durable relation so generation ids stay continuous
+    /// across restarts.
+    pub fn from_arc_at(
+        rel: Arc<R>,
+        generation: u64,
+        config: EngineConfig,
+        cache: CacheConfig,
+    ) -> Self {
         Self {
             schema: rel.schema().clone(),
-            current: RwLock::new(GenState { id: 0, rel }),
+            current: RwLock::new(GenState {
+                id: generation,
+                rel,
+            }),
             writer: Mutex::new(()),
             config,
             cache_config: cache,
@@ -441,14 +462,47 @@ impl<R: RandomAccess> SharedEngine<R> {
     /// breakdown. This is the payload of the server's `{"cmd":"stats"}`
     /// control frame (see [`crate::server`] and
     /// [`crate::json::stats_to_value`]).
-    pub fn snapshot(&self) -> StatsSnapshot {
+    pub fn snapshot(&self) -> StatsSnapshot
+    where
+        R: Durability,
+    {
         let pinned = self.pin();
         StatsSnapshot {
             generation: pinned.generation(),
             rows: pinned.rows(),
             engine: self.stats(),
             shards: self.shard_stats(),
+            durability: pinned.relation().durability_stats(),
         }
+    }
+
+    /// Forces a durability checkpoint: spills the in-memory tail to a
+    /// segment file and truncates the write-ahead log, then swaps the
+    /// checkpointed version in as the current relation. Returns the
+    /// current generation id.
+    ///
+    /// The swap does **not** bump the generation: the checkpointed
+    /// version holds the same rows in the same order, so every cache
+    /// entry tagged with the current generation stays valid, and pinned
+    /// snapshots are untouched. For stores without durability
+    /// ([`Durability`]'s no-op default) this is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the spill or manifest write.
+    pub fn flush(&self) -> Result<u64>
+    where
+        R: Durability,
+    {
+        // Same exclusion as appends: `current` is the latest version
+        // and stays the latest while the checkpoint runs.
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let current = self.pin();
+        if let Some(next) = current.relation().checkpointed()? {
+            let mut state = self.current.write().expect("generation lock poisoned");
+            state.rel = Arc::new(next);
+        }
+        Ok(self.generation())
     }
 
     /// Per-shard cache counters (hit/miss/eviction/cost), for

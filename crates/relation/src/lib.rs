@@ -23,6 +23,10 @@
 //! * [`scan`] — the [`scan::TupleScan`] / [`scan::RandomAccess`] traits
 //!   that bucketing and mining are written against, so every algorithm
 //!   runs unchanged on either store;
+//! * [`durable`] — crash-safe live relations
+//!   ([`durable::DurableRelation`]): a checksummed write-ahead log plus
+//!   segment spill over [`chunked::ChunkedRelation`], so appended rows
+//!   survive `kill -9` and restarts resume at the right generation;
 //! * [`condition`] — primitive conditions and conjunctions
 //!   (`A = yes`, `A ∈ [v1, v2]`, …) used for presumptive/objective
 //!   conditions of rules;
@@ -37,6 +41,7 @@
 pub mod bitcol;
 pub mod chunked;
 pub mod condition;
+pub mod durable;
 pub mod encoding;
 pub mod error;
 pub mod file;
@@ -48,6 +53,9 @@ pub mod schema;
 pub use bitcol::BitColumn;
 pub use chunked::{AppendRows, ChunkedRelation, RowFrame};
 pub use condition::Condition;
+pub use durable::{
+    Durability, DurabilityConfig, DurabilityStats, DurableRelation, Recovery, WalSync,
+};
 pub use error::RelationError;
 pub use file::{FileRelation, FileRelationWriter};
 pub use memory::Relation;

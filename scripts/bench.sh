@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Tiered bench harness: runs the criterion suite and distills the
+# report lines into machine-readable JSON so perf is diffable across
+# PRs (check the emitted file into the PR description, not the repo).
+#
+#   scripts/bench.sh [kick-tires|full] [output.json]
+#
+# kick-tires (default) runs the three benches that gate the hot paths
+# touched most often — the engine cache, the live append path, and the
+# durability subsystem — in a couple of minutes; full runs the entire
+# suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tier="${1:-kick-tires}"
+out="${2:-BENCH_PR6.json}"
+
+case "$tier" in
+  kick-tires)
+    benches=(engine_cache append_throughput durability)
+    ;;
+  full)
+    benches=(miner confidence support hull bucketing sample_size parallel
+             engine_cache concurrent_engine batch_plan serve_throughput
+             append_throughput durability)
+    ;;
+  *)
+    echo "usage: $0 [kick-tires|full] [output.json]" >&2
+    exit 2
+    ;;
+esac
+
+git_rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+for bench in "${benches[@]}"; do
+  echo "== $bench" >&2
+  cargo bench -q -p optrules-bench --bench "$bench" 2>&1 | tee -a "$raw" >&2
+done
+
+# Report lines look like:
+#   group/name/param   time:   242.2201 µs  (3312 iters)  thrpt: ...
+awk -v tier="$tier" -v rev="$git_rev" '
+  / time: / {
+    name = $1
+    for (i = 1; i <= NF; i++) if ($i == "time:") { t = $(i + 1); unit = $(i + 2) }
+    ns = t + 0
+    if (unit ~ /^ms/)                     ns *= 1e6
+    else if (unit ~ /^µs/ || unit ~ /^us/) ns *= 1e3
+    else if (unit ~ /^ns/)                 ns *= 1
+    else if (unit ~ /^s/)                  ns *= 1e9
+    results[++n] = sprintf("    {\"name\": \"%s\", \"time_ns\": %.1f}", name, ns)
+  }
+  END {
+    printf "{\n  \"tier\": \"%s\",\n  \"git\": \"%s\",\n  \"results\": [\n", tier, rev
+    for (i = 1; i <= n; i++) printf "%s%s\n", results[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$raw" > "$out"
+echo "wrote $out ($(grep -c time_ns "$out") results)" >&2

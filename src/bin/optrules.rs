@@ -13,10 +13,12 @@
 //!               [--min-avg X] [--threads T] [--seed S] [--format text|json]
 //! optrules batch <path> [--buckets M] [--min-support P] [--min-confidence P]
 //!               [--threads T] [--seed S] [--cache-mb N] [--cache-shards N]
-//!               (query specs + stats/append frames as NDJSON on stdin)
+//!               [--data-dir DIR] [--wal-sync always|batch|off] [--spill-rows N]
+//!               (query specs + stats/append/flush frames as NDJSON on stdin)
 //! optrules serve <path> [--addr HOST:PORT] [--workers N] [--max-inflight N]
 //!               [--max-line-bytes N] [--write-timeout-secs N]
 //!               [--cache-mb N] [--cache-shards N]
+//!               [--data-dir DIR] [--wal-sync always|batch|off] [--spill-rows N]
 //!               [--buckets M] [--min-support P] [--min-confidence P]
 //!               [--threads T] [--seed S]
 //! ```
@@ -58,6 +60,19 @@
 //! lock granularity (≥ 1; the default is 32 MiB across 16 shards);
 //! `--write-timeout-secs` (default 30) bounds how long a response
 //! write may block on a client that stops reading.
+//!
+//! `--data-dir DIR` makes the live relation *durable* for `batch` and
+//! `serve` (see `optrules::relation::durable`): appended rows are
+//! written to a write-ahead log in DIR before the ack, spilled into
+//! file-backed segments once the tail passes `--spill-rows` (default
+//! 65536), and replayed on the next start — acknowledged appends
+//! survive a crash, and the server resumes at the generation it
+//! stopped at. `--wal-sync` picks the ack guarantee: `always`
+//! (default; fsync per append — survives power loss), `batch`
+//! (OS page cache only — survives process crashes), `off` (no WAL —
+//! only spilled segments and checkpoints survive). Without
+//! `--data-dir` everything runs in memory and output is byte-identical
+//! to previous releases.
 
 use optrules::core::json;
 use optrules::core::report::{render_rule_sets, sort_rule_sets, SortBy};
@@ -94,17 +109,21 @@ const USAGE: &str = "usage:
                 [--min-avg X] [--threads T] [--seed S] [--format text|json]
   optrules batch <path> [--buckets M] [--min-support P] [--min-confidence P]
                 [--threads T] [--seed S] [--cache-mb N] [--cache-shards N]
-                (query specs + stats/append frames as NDJSON on stdin)
+                [--data-dir DIR] [--wal-sync always|batch|off] [--spill-rows N]
+                (query specs + stats/append/flush frames as NDJSON on stdin)
   optrules serve <path> [--addr HOST:PORT] [--workers N] [--max-inflight N]
                 [--max-line-bytes N] [--write-timeout-secs N]
                 [--cache-mb N] [--cache-shards N]
+                [--data-dir DIR] [--wal-sync always|batch|off] [--spill-rows N]
                 [--buckets M] [--min-support P] [--min-confidence P]
                 [--threads T] [--seed S]
-                (NDJSON specs + stats/shutdown/append frames per TCP
-                 connection; --cache-mb sizes the shared cache in MiB,
-                 0 disables it; --cache-shards sets lock granularity;
-                 --write-timeout-secs drops clients that stop reading,
-                 both at least 1)";
+                (NDJSON specs + stats/shutdown/flush/append frames per
+                 TCP connection; --cache-mb sizes the shared cache in
+                 MiB, 0 disables it; --cache-shards sets lock
+                 granularity; --write-timeout-secs drops clients that
+                 stop reading, both at least 1; --data-dir makes
+                 appends durable: WAL + segment spill + crash
+                 recovery)";
 
 type CliResult = Result<(), String>;
 
@@ -209,6 +228,9 @@ const BATCH_FLAGS: &[&str] = &[
     "seed",
     "cache-mb",
     "cache-shards",
+    "data-dir",
+    "wal-sync",
+    "spill-rows",
 ];
 const SERVE_FLAGS: &[&str] = &[
     "addr",
@@ -218,6 +240,9 @@ const SERVE_FLAGS: &[&str] = &[
     "write-timeout-secs",
     "cache-mb",
     "cache-shards",
+    "data-dir",
+    "wal-sync",
+    "spill-rows",
     "buckets",
     "min-support",
     "min-confidence",
@@ -378,6 +403,61 @@ fn cache_from_flags(flags: &HashMap<&str, &str>) -> Result<CacheConfig, String> 
     Ok(config)
 }
 
+/// The `--data-dir` / `--wal-sync` / `--spill-rows` durability flags.
+/// Returns `None` when `--data-dir` is absent (pure in-memory mode);
+/// the sync and spill flags are only meaningful with a data directory
+/// and are rejected without one.
+fn durability_from_flags(
+    flags: &HashMap<&str, &str>,
+) -> Result<Option<(String, DurabilityConfig)>, String> {
+    let Some(dir) = flags.get("data-dir").copied() else {
+        if flags.contains_key("wal-sync") {
+            return Err("--wal-sync requires --data-dir".into());
+        }
+        if flags.contains_key("spill-rows") {
+            return Err("--spill-rows requires --data-dir".into());
+        }
+        return Ok(None);
+    };
+    let sync = match flags.get("wal-sync").copied() {
+        None | Some("always") => WalSync::Always,
+        Some("batch") => WalSync::Batch,
+        Some("off") => WalSync::Off,
+        Some(other) => {
+            return Err(format!(
+                "--wal-sync expects always, batch, or off, got {other:?}"
+            ))
+        }
+    };
+    let spill_rows: u64 = flag_num(flags, "spill-rows", DurabilityConfig::default().spill_rows)?;
+    if spill_rows == 0 {
+        return Err("--spill-rows must be at least 1".into());
+    }
+    Ok(Some((
+        dir.to_string(),
+        DurabilityConfig { spill_rows, sync },
+    )))
+}
+
+/// Opens the durable store and reports the recovery outcome on stderr
+/// (stdout stays protocol-clean for `batch`/`serve`).
+fn recover_durable(
+    path: &str,
+    dir: &str,
+    config: DurabilityConfig,
+) -> Result<(Arc<DurableRelation>, u64), String> {
+    let recovered = DurableRelation::open(path, dir, config)
+        .map_err(|e| format!("opening data dir {dir}: {e}"))?;
+    eprintln!(
+        "recovered {dir}: {} rows ({} replayed from {} WAL frames), resuming at generation {}",
+        recovered.relation.len(),
+        recovered.replayed_rows,
+        recovered.replayed_frames,
+        recovered.generation,
+    );
+    Ok((Arc::new(recovered.relation), recovered.generation))
+}
+
 fn engine_from_flags(
     path: &str,
     flags: &HashMap<&str, &str>,
@@ -506,17 +586,40 @@ fn avg(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
 fn batch(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     let threads: usize = flag_num(flags, "threads", 1)?;
     let cache = cache_from_flags(flags)?;
-    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
-    // The chunked wrapper gives appends O(k) generation steps; the
-    // file-backed base is never copied. Like mine-all, --threads fans
-    // whole queries out and every scan stays sequential, so output is
-    // byte-identical at any width (and at any cache sizing — caching
-    // is semantically invisible).
-    let engine = SharedEngine::with_cache(
-        ChunkedRelation::new(rel),
-        config_from_flags(flags, 1)?,
-        cache,
-    );
+    let config = config_from_flags(flags, 1)?;
+    match durability_from_flags(flags)? {
+        // Durable mode: the WAL-backed relation replaces the plain
+        // chunked wrapper; the final flush checkpoints whatever tail
+        // the batch appended so the next start replays nothing.
+        Some((dir, dconfig)) => {
+            let (rel, generation) = recover_durable(path, &dir, dconfig)?;
+            let engine = SharedEngine::from_arc_at(rel, generation, config, cache);
+            batch_requests(&engine, threads)?;
+            engine
+                .flush()
+                .map_err(|e| format!("final checkpoint: {e}"))?;
+            Ok(())
+        }
+        None => {
+            let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+            // The chunked wrapper gives appends O(k) generation steps;
+            // the file-backed base is never copied. Like mine-all,
+            // --threads fans whole queries out and every scan stays
+            // sequential, so output is byte-identical at any width
+            // (and at any cache sizing — caching is semantically
+            // invisible).
+            let engine = SharedEngine::with_cache(ChunkedRelation::new(rel), config, cache);
+            batch_requests(&engine, threads)
+        }
+    }
+}
+
+/// The transport-independent half of `batch`: read NDJSON frames from
+/// stdin, execute them in order, write NDJSON responses to stdout.
+fn batch_requests<R>(engine: &SharedEngine<R>, threads: usize) -> CliResult
+where
+    R: RandomAccess + AppendRows + Durability + Send + Sync,
+{
     let mut requests: Vec<json::Request> = Vec::new();
     for line in std::io::stdin().lock().lines() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
@@ -532,7 +635,7 @@ fn batch(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     // golden); only the shutdown answer differs, since batch mode has
     // no server to stop.
     let (responses, _shutdown_seen) = json::execute_requests(
-        &engine,
+        engine,
         requests,
         |specs| engine.run_batch(specs, threads),
         || {
@@ -575,15 +678,8 @@ fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     }
     let batch_threads: usize = flag_num(flags, "threads", 1)?;
     let cache = cache_from_flags(flags)?;
-    let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
-    // Chunked over the file-backed base: `{"cmd":"append"}` frames
-    // produce O(k) relation generations without copying the file data.
-    let engine = Arc::new(SharedEngine::with_cache(
-        ChunkedRelation::new(rel),
-        config_from_flags(flags, 1)?,
-        cache,
-    ));
-    let config = ServerConfig {
+    let engine_config = config_from_flags(flags, 1)?;
+    let server_config = ServerConfig {
         workers,
         max_inflight_batches: max_inflight,
         max_line_bytes,
@@ -591,6 +687,41 @@ fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
         write_timeout: Some(std::time::Duration::from_secs(write_timeout_secs)),
         ..ServerConfig::default()
     };
+    match durability_from_flags(flags)? {
+        // Durable mode: recover base + segments + WAL tail, resume at
+        // the recovered generation; the server's shutdown drain
+        // checkpoints the tail.
+        Some((dir, dconfig)) => {
+            let (rel, generation) = recover_durable(path, &dir, dconfig)?;
+            let engine = Arc::new(SharedEngine::from_arc_at(
+                rel,
+                generation,
+                engine_config,
+                cache,
+            ));
+            run_server(engine, addr, server_config)
+        }
+        None => {
+            let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
+            // Chunked over the file-backed base: `{"cmd":"append"}`
+            // frames produce O(k) relation generations without copying
+            // the file data.
+            let engine = Arc::new(SharedEngine::with_cache(
+                ChunkedRelation::new(rel),
+                engine_config,
+                cache,
+            ));
+            run_server(engine, addr, server_config)
+        }
+    }
+}
+
+/// Binds, announces, and blocks on the server until a graceful
+/// shutdown drains (which checkpoints a durable engine).
+fn run_server<R>(engine: Arc<SharedEngine<R>>, addr: &str, config: ServerConfig) -> CliResult
+where
+    R: RandomAccess + AppendRows + Durability + Send + Sync + 'static,
+{
     let handle = server::serve(engine, addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
     // Parsed by scripts and tests; stdout is line-buffered, so this is
     // visible before the first connection.

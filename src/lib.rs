@@ -101,7 +101,11 @@
 //!   (`optrules serve`). The relation is live: `{"cmd":"append"}`
 //!   frames push rows into a new atomically-swapped generation
 //!   ([`relation::ChunkedRelation`] keeps that O(k) amortized) while
-//!   every in-flight query keeps its pinned snapshot.
+//!   every in-flight query keeps its pinned snapshot — and optionally
+//!   *durable*: [`relation::DurableRelation`] backs the live tail with
+//!   a write-ahead log and spills it into file segments
+//!   (`--data-dir` on the CLI), so acknowledged appends survive a
+//!   crash and `optrules serve` resumes where it left off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -129,8 +133,9 @@ pub mod prelude {
         BankGenerator, DataGenerator, PlantedRangeGenerator, RetailGenerator, UniformWorkload,
     };
     pub use crate::relation::{
-        AppendRows, BoolAttr, ChunkedRelation, Condition, FileRelation, FileRelationWriter,
-        NumAttr, RandomAccess, Relation, RowFrame, Schema, TupleScan,
+        AppendRows, BoolAttr, ChunkedRelation, Condition, Durability, DurabilityConfig,
+        DurabilityStats, DurableRelation, FileRelation, FileRelationWriter, NumAttr, RandomAccess,
+        Recovery, Relation, RowFrame, Schema, TupleScan, WalSync,
     };
 }
 

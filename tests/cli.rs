@@ -506,3 +506,108 @@ fn format_json_emits_decodable_results_and_text_stays_default() {
     );
     std::fs::remove_file(&path).unwrap();
 }
+
+/// `--data-dir` turns on durability; its companion flags validate
+/// strictly and are rejected without it.
+#[test]
+fn durability_flags_validate() {
+    let path = tmp("durability-flags");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "1000", "--seed", "3"]);
+    let dir = std::env::temp_dir().join(format!("optrules-cli-dflags-{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+    for (args, needle) in [
+        (
+            vec!["batch", path_s, "--wal-sync", "always"],
+            "--wal-sync requires --data-dir",
+        ),
+        (
+            vec!["serve", path_s, "--spill-rows", "100"],
+            "--spill-rows requires --data-dir",
+        ),
+        (
+            vec![
+                "batch",
+                path_s,
+                "--data-dir",
+                dir_s.as_str(),
+                "--wal-sync",
+                "sometimes",
+            ],
+            "--wal-sync expects always, batch, or off",
+        ),
+        (
+            vec![
+                "batch",
+                path_s,
+                "--data-dir",
+                dir_s.as_str(),
+                "--spill-rows",
+                "0",
+            ],
+            "--spill-rows must be at least 1",
+        ),
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Appends acknowledged by one `batch --data-dir` run are visible to
+/// the next run over the same directory: the WAL/checkpoint round
+/// trip preserves rows and the generation counter, `stats` reports
+/// the durability counters, and `flush` acks with the generation.
+#[test]
+fn batch_data_dir_persists_appends_across_runs() {
+    let path = tmp("batch-durable");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["gen", "bank", path_s, "--rows", "1000", "--seed", "3"]);
+    let dir = std::env::temp_dir().join(format!("optrules-cli-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    let requests = concat!(
+        r#"{"cmd":"append","rows":[[3100.5,41,1200,15000,true,false,true],[9000,22,800,500,false,false,true]]}"#,
+        "\n",
+        r#"{"cmd":"flush"}"#,
+        "\n",
+        r#"{"cmd":"stats"}"#,
+        "\n",
+    );
+    let out = run_ok_stdin(&["batch", path_s, "--data-dir", dir_s], requests);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3, "{out}");
+    assert_eq!(
+        lines[0],
+        r#"{"ok":{"appended":2,"generation":1,"rows":1002}}"#
+    );
+    assert_eq!(lines[1], r#"{"ok":{"flushed":true,"generation":1}}"#);
+    assert!(lines[2].contains(r#""rows":1002"#), "{out}");
+    assert!(lines[2].contains(r#""durability":{"wal_bytes":8"#), "{out}");
+    assert!(
+        lines[2].contains(r#""last_checkpoint_generation":1"#),
+        "{out}"
+    );
+
+    // Second run over the same directory: the appended rows and the
+    // generation counter survived the process exit.
+    let out = run_ok_stdin(
+        &["batch", path_s, "--data-dir", dir_s],
+        "{\"cmd\":\"stats\"}\n",
+    );
+    assert!(out.contains(r#""generation":1"#), "{out}");
+    assert!(out.contains(r#""rows":1002"#), "{out}");
+
+    // Without --data-dir the same relation file still reports its
+    // original row count — durability never mutates the base file.
+    let out = run_ok_stdin(&["batch", path_s], "{\"cmd\":\"stats\"}\n");
+    assert!(out.contains(r#""rows":1000"#), "{out}");
+    assert!(!out.contains("durability"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::remove_file(&path).unwrap();
+}
