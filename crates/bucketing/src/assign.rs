@@ -69,6 +69,14 @@ pub fn count_buckets<T: TupleScan + ?Sized>(
 /// Runs the counting scan over a row range — the per-worker unit of
 /// Algorithm 3.2.
 ///
+/// When the storage exposes a columnar capability
+/// ([`TupleScan::as_columnar`]), the scan runs through the compiled
+/// columnar kernels (zone-map block skipping, grid-probed bucket
+/// assignment, word-wise Boolean popcounts — see the `kernel` module
+/// docs) and produces **bit-identical** counts to this visitor
+/// path; otherwise it falls back to the generic row visitor below, so
+/// any `TupleScan` keeps working.
+///
 /// # Errors
 ///
 /// Propagates storage errors.
@@ -83,12 +91,21 @@ pub fn count_buckets_range<T: TupleScan + ?Sized>(
         what.bool_targets.len(),
         what.sum_targets.len(),
     );
+    if let Some(cols) = rel.as_columnar() {
+        crate::kernel::count_columnar(cols, spec, what, rows, &mut counts)?;
+        return Ok(counts);
+    }
     rel.for_each_row_in(rows, &mut |_, nums, bools| {
         counts.total_rows += 1;
         if !what.presumptive.eval(nums, bools) {
             return;
         }
         let x = nums[what.attr.0];
+        debug_assert!(
+            x.is_finite(),
+            "non-finite value {x} reached the counting scan: ingest validation \
+             rejects NaN/inf, so a leak means a new unvalidated edge"
+        );
         let b = spec.bucket_of(x);
         counts.u[b] += 1;
         let r = &mut counts.ranges[b];

@@ -1,0 +1,596 @@
+//! Columnar counting kernels: the fast path of the counting scan
+//! (Algorithm 3.1 step 4) over storage that exposes
+//! [`ColumnarScan`] blocks.
+//!
+//! The row-visitor path pays per row: scratch-buffer copies, a dyn
+//! closure call, a `Condition` tree walk, and an O(log M) binary
+//! search. The kernel removes all four:
+//!
+//! * conditions are **compiled** once into flat [`ColTest`] lists over
+//!   column ids, evaluated straight off the block's column slices;
+//! * block **zone maps** prove whole blocks irrelevant to a compiled
+//!   range test (skipped entirely) or confined to a **single bucket**
+//!   (counted with one add, a slice min/max sweep, and word-wise
+//!   popcounts of Boolean targets via [`BitSpan::count_ones`]);
+//! * bucket assignment replaces the full binary search with a
+//!   [`CutIndex`] grid probe that starts at the first cut of the
+//!   value's grid cell and usually decides in a single comparison;
+//! * the per-bucket inner loops run over contiguous `&[f64]` slices,
+//!   the shape LLVM autovectorizes.
+//!
+//! Every path is **bit-identical** to the visitor: the same bucket
+//! function (proved below for [`CutIndex`]), the same evaluation
+//! semantics ([`ColTest`] mirrors [`Condition::eval`] exactly), and
+//! the same float accumulation order (sums and observed ranges are
+//! folded sequentially in row order, with the identical operation
+//! pairing — IEEE-754 addition is not associative, so order is part of
+//! the contract). The equivalence proptest in
+//! `tests/proptest_kernel.rs` pins this down across storage layouts.
+//!
+//! [`BitSpan::count_ones`]: optrules_relation::BitSpan::count_ones
+//! [`Condition::eval`]: optrules_relation::Condition::eval
+
+use crate::assign::CountSpec;
+use crate::bucket::{BucketCounts, BucketSpec};
+use optrules_relation::columnar::{ColumnBlock, ColumnarScan};
+use optrules_relation::error::Result;
+use optrules_relation::Condition;
+use std::ops::Range;
+
+/// One primitive test compiled down to a column id — the flat form of
+/// a [`Condition`] conjunction. Evaluation must match
+/// [`Condition::eval`] exactly (same comparisons, same order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ColTest {
+    /// `bools[col] == want`.
+    BoolIs(usize, bool),
+    /// `nums[col] == v`.
+    NumEq(usize, f64),
+    /// `lo <= nums[col] && nums[col] <= hi`.
+    NumInRange(usize, f64, f64),
+}
+
+/// Flattens a [`Condition`] into primitive tests. Total: `True`
+/// compiles to the empty list (vacuously true) and `And` flattens in
+/// order, so every condition the crate can express has a compiled
+/// form.
+fn compile(cond: &Condition) -> Vec<ColTest> {
+    fn go(c: &Condition, out: &mut Vec<ColTest>) {
+        match c {
+            Condition::True => {}
+            Condition::BoolIs(attr, want) => out.push(ColTest::BoolIs(attr.0, *want)),
+            Condition::NumEq(attr, v) => out.push(ColTest::NumEq(attr.0, *v)),
+            Condition::NumInRange(attr, lo, hi) => {
+                out.push(ColTest::NumInRange(attr.0, *lo, *hi));
+            }
+            Condition::And(parts) => {
+                for p in parts {
+                    go(p, out);
+                }
+            }
+        }
+    }
+    let mut tests = Vec::new();
+    go(cond, &mut tests);
+    tests
+}
+
+/// Evaluates a compiled conjunction on row `i` of a block.
+#[inline]
+fn eval_tests(tests: &[ColTest], block: &ColumnBlock<'_>, i: usize) -> bool {
+    tests.iter().all(|t| match *t {
+        ColTest::BoolIs(col, want) => block.bits[col].get(i) == want,
+        ColTest::NumEq(col, v) => block.numeric[col][i] == v,
+        ColTest::NumInRange(col, lo, hi) => {
+            let x = block.numeric[col][i];
+            lo <= x && x <= hi
+        }
+    })
+}
+
+/// Whether the block's zone maps prove some test false for **every**
+/// row — the whole-block skip. Zones are (possibly loose) bounds, so a
+/// test whose accepted set misses `[min, max]` entirely cannot hold
+/// anywhere in the block; Boolean tests have no zones and never
+/// reject.
+fn zone_rejects(tests: &[ColTest], zones: &[(f64, f64)]) -> bool {
+    tests.iter().any(|t| match *t {
+        ColTest::BoolIs(..) => false,
+        ColTest::NumEq(col, v) => {
+            let (mn, mx) = zones[col];
+            v < mn || v > mx
+        }
+        ColTest::NumInRange(col, lo, hi) => {
+            let (mn, mx) = zones[col];
+            hi < mn || lo > mx
+        }
+    })
+}
+
+/// Grid-accelerated bucket assignment, exactly equal to
+/// `BucketSpec::bucket_of` (`cuts.partition_point(|&c| c < x)`).
+///
+/// A uniform grid over `[cuts[0], cuts[last]]` maps each value to a
+/// cell; `starts[g]` counts the cuts falling in cells before `g`.
+/// The cell map is `cell(x) = round((x - c0) * inv, clamped to
+/// [0, cells - 1])`, computed by [`cell_of`] without a float→int cast.
+/// Any cell map works as long as it is monotone non-decreasing in `x`
+/// and the **same** map builds `starts` and probes — rounding versus
+/// truncation is immaterial. This one is monotone: FP subtraction and
+/// multiplication by a positive finite constant are monotone under
+/// round-to-nearest, clamping is monotone, and so is rounding. By
+/// monotonicity, every cut in a cell before `cell(x)` is `< x`. The
+/// probe therefore starts at
+/// `b = starts[cell(x)]` and walks forward while `cuts[b] < x`: the
+/// walk stops at the first cut `>= x`, and since everything before the
+/// starting point is already known to be `< x`, the stop position *is*
+/// `partition_point(cuts, c < x)` — no upper bound per cell is needed,
+/// and `starts[g + 1]` is never read on the hot path. With
+/// [`GRID_CELLS_PER_CUT`] cells per cut the walk averages about one
+/// comparison for the near-uniform cut spacing equi-depth bucketing
+/// produces. The grid is disabled — falling back to the full binary
+/// search, still exact — when there are few cuts or the cut span is
+/// infinite or empty.
+struct CutIndex<'a> {
+    cuts: &'a [f64],
+    grid: Option<Grid>,
+}
+
+struct Grid {
+    c0: f64,
+    inv: f64,
+    /// `(cells - 1) as f64` — the clamp bound of the cell map.
+    max_cell: f64,
+    /// `starts[g]` = number of cuts in cells `< g`; `len = cells + 1`.
+    starts: Vec<u32>,
+}
+
+/// 2⁵² + 2⁵¹: adding it to a `t` in `[0, 2²⁰]` lands every result in
+/// one binade (ulp = 1.0), so the low mantissa bits of the sum are
+/// exactly `round(t)` — an integer cell in three cheap ops (add, bit
+/// move, mask) where a saturating `as usize` cast costs a convert plus
+/// range fixups on the probe's critical path.
+const CELL_MAGIC: f64 = 6_755_399_441_055_744.0;
+
+/// The grid cell map: `round((x - c0) * inv)` clamped to
+/// `[0, max_cell]`. Monotone non-decreasing in `x` (see [`CutIndex`]);
+/// the `max`/`min` pair also sends NaN to cell 0 rather than
+/// propagating it into the bit trick (NaN cannot reach a scan through
+/// the ingest guards, but a cell map that cannot index out of bounds
+/// on any input costs nothing).
+#[inline(always)]
+fn cell_of(c0: f64, inv: f64, max_cell: f64, x: f64) -> usize {
+    let t = ((x - c0) * inv).max(0.0).min(max_cell);
+    ((t + CELL_MAGIC).to_bits() & 0x7FFF_FFFF) as usize
+}
+
+/// Cap on grid cells so degenerate cut sets (two far-apart clusters)
+/// cannot allocate unbounded memory.
+const MAX_GRID_CELLS: usize = 1 << 20;
+
+/// Grid cells allocated per cut. Denser grids leave most cells with at
+/// most one cut, so the probe's forward walk usually decides in a
+/// single comparison; 32 measured fastest on the counting-scan
+/// benchmark (the `starts` table stays ≤ 128 KiB up to M = 1000, and
+/// [`MAX_GRID_CELLS`] bounds it beyond that).
+const GRID_CELLS_PER_CUT: usize = 32;
+
+impl<'a> CutIndex<'a> {
+    fn new(cuts: &'a [f64]) -> Self {
+        let grid = (|| {
+            if cuts.len() < 8 || cuts.len() > u32::MAX as usize {
+                return None;
+            }
+            let c0 = cuts[0];
+            let span = cuts[cuts.len() - 1] - c0;
+            if !span.is_finite() || span <= 0.0 {
+                return None;
+            }
+            let cells = (cuts.len() * GRID_CELLS_PER_CUT).min(MAX_GRID_CELLS);
+            let inv = cells as f64 / span;
+            if !inv.is_finite() || inv <= 0.0 {
+                return None;
+            }
+            let max_cell = (cells - 1) as f64;
+            let mut counts = vec![0u32; cells];
+            for &c in cuts {
+                counts[cell_of(c0, inv, max_cell, c)] += 1;
+            }
+            let mut starts = Vec::with_capacity(cells + 1);
+            let mut acc = 0u32;
+            starts.push(0);
+            for n in counts {
+                acc += n;
+                starts.push(acc);
+            }
+            Some(Grid {
+                c0,
+                inv,
+                max_cell,
+                starts,
+            })
+        })();
+        Self { cuts, grid }
+    }
+
+    #[inline]
+    fn bucket_of(&self, x: f64) -> usize {
+        match &self.grid {
+            Some(g) => grid_probe(g, self.cuts, x),
+            None => self.cuts.partition_point(|&c| c < x),
+        }
+    }
+}
+
+/// The grid probe: walk forward from the first cut of `x`'s cell until
+/// a cut `>= x` stops the walk. See [`CutIndex`] for why the stop
+/// position equals the global `partition_point` with no upper bound.
+#[inline(always)]
+fn grid_probe(g: &Grid, cuts: &[f64], x: f64) -> usize {
+    let mut b = g.starts[cell_of(g.c0, g.inv, g.max_cell, x)] as usize;
+    while b < cuts.len() && cuts[b] < x {
+        b += 1;
+    }
+    b
+}
+
+/// Runs the counting scan over columnar storage, accumulating into
+/// `counts` — the kernel behind `count_buckets_range` when
+/// `TupleScan::as_columnar` reports the capability. Bit-identical to
+/// the visitor path (see the module docs).
+///
+/// # Errors
+///
+/// Propagates storage errors from the block scan.
+pub(crate) fn count_columnar(
+    cols: &dyn ColumnarScan,
+    spec: &BucketSpec,
+    what: &CountSpec,
+    rows: Range<u64>,
+    counts: &mut BucketCounts,
+) -> Result<()> {
+    let presumptive = compile(&what.presumptive);
+    let targets: Vec<Vec<ColTest>> = what.bool_targets.iter().map(compile).collect();
+    let sum_cols: Vec<usize> = what.sum_targets.iter().map(|a| a.0).collect();
+    let index = CutIndex::new(spec.cuts());
+    let attr = what.attr.0;
+    // The canonical `CountSpec::simple` shape — no filter, one `BoolIs`
+    // target, no sums — gets a dedicated loop with no per-row dispatch.
+    let canonical: Option<(usize, bool)> =
+        if presumptive.is_empty() && sum_cols.is_empty() && targets.len() == 1 {
+            match targets[0][..] {
+                [ColTest::BoolIs(col, want)] => Some((col, want)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+    // Canonical scans accumulate per-bucket row count, target hits,
+    // and the observed-range fold in one 32-byte entry, folded into
+    // `counts` once after the scan — a single random cache line per
+    // row instead of three. Byte-identity holds: the integer adds
+    // commute exactly, and because *every* range update of a canonical
+    // scan goes through this scratch, it carries the one continuous
+    // row-order min/max fold from `(∞, −∞)` — the identical op pairing
+    // as the visitor — and the final merge into the still-pristine
+    // `(∞, −∞)` entries of the fresh `counts` is exact (min/max
+    // against an infinity never ties, so it returns the other operand
+    // bit-for-bit).
+    let mut acc: Vec<BucketAcc> = if canonical.is_some() {
+        vec![BucketAcc::EMPTY; counts.u.len()]
+    } else {
+        Vec::new()
+    };
+    let mut word_buf: Vec<u64> = Vec::new();
+    cols.for_each_block_in(rows, &mut |block| {
+        counts.total_rows += block.rows as u64;
+        if !presumptive.is_empty() && zone_rejects(&presumptive, &block.zones) {
+            // Every row fails the presumptive filter: only the row
+            // total moves, exactly as the visitor would.
+            return;
+        }
+        let xs = block.numeric[attr];
+        if presumptive.is_empty() {
+            let (zmin, zmax) = block.zones[attr];
+            let (blo, bhi) = (index.bucket_of(zmin), index.bucket_of(zmax));
+            if blo == bhi {
+                // bucket_of is monotone, so the zone bounds confining
+                // to one bucket confine every row to it.
+                if let Some((col, want)) = canonical {
+                    // Canonical shape: keep the popcount shortcut but
+                    // route the updates through the scratch so the
+                    // range fold stays one unbroken row-order chain.
+                    let e = &mut acc[blo];
+                    e.rows += block.rows as u64;
+                    let ones = block.bits[col].count_ones() as u64;
+                    e.hits += if want { ones } else { block.rows as u64 - ones };
+                    for &x in xs {
+                        debug_assert!(
+                            x.is_finite(),
+                            "non-finite value {x} reached the counting scan"
+                        );
+                        e.min = e.min.min(x);
+                        e.max = e.max.max(x);
+                    }
+                } else {
+                    single_bucket_block(blo, block, xs, counts, &targets, &sum_cols);
+                }
+                return;
+            }
+            if let Some((col, want)) = canonical {
+                block.bits[col].repack_into(&mut word_buf);
+                canonical_block(xs, &word_buf, want, &index, &mut acc);
+                return;
+            }
+        }
+        general_block(block, xs, &index, counts, &presumptive, &targets, &sum_cols);
+    })?;
+    if canonical.is_some() {
+        for (b, e) in acc.iter().enumerate() {
+            counts.u[b] += e.rows;
+            counts.bool_v[0][b] += e.hits;
+            let r = &mut counts.ranges[b];
+            r.0 = r.0.min(e.min);
+            r.1 = r.1.max(e.max);
+        }
+    }
+    Ok(())
+}
+
+/// Per-bucket scratch entry of the canonical loop: row count, target
+/// hits, and the running observed-range fold, packed so each row's
+/// three updates land on one cache line.
+#[derive(Clone, Copy)]
+struct BucketAcc {
+    rows: u64,
+    hits: u64,
+    min: f64,
+    max: f64,
+}
+
+impl BucketAcc {
+    const EMPTY: Self = Self {
+        rows: 0,
+        hits: 0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+}
+
+/// The canonical-shape hot loop: grid-probed bucket, then one
+/// [`BucketAcc`] update — row count, hit, and the row-order min/max
+/// fold all on one cache line. `words` is the target column repacked
+/// to offset 0, so the hit update is a shift and mask off a local
+/// slice, unconditional — `+= bit ^ flip` replaces a ~50% mispredicted
+/// branch on real Boolean columns.
+fn canonical_block(
+    xs: &[f64],
+    words: &[u64],
+    want: bool,
+    index: &CutIndex<'_>,
+    acc: &mut [BucketAcc],
+) {
+    let flip = !want as u64;
+    // Hoist the grid dispatch out of the row loop: one branch per
+    // block, not per row.
+    match &index.grid {
+        Some(g) => {
+            for (i, &x) in xs.iter().enumerate() {
+                debug_assert!(
+                    x.is_finite(),
+                    "non-finite value {x} reached the counting scan"
+                );
+                let e = &mut acc[grid_probe(g, index.cuts, x)];
+                e.rows += 1;
+                e.hits += ((words[i >> 6] >> (i & 63)) & 1) ^ flip;
+                e.min = e.min.min(x);
+                e.max = e.max.max(x);
+            }
+        }
+        None => {
+            for (i, &x) in xs.iter().enumerate() {
+                debug_assert!(
+                    x.is_finite(),
+                    "non-finite value {x} reached the counting scan"
+                );
+                let e = &mut acc[index.cuts.partition_point(|&c| c < x)];
+                e.rows += 1;
+                e.hits += ((words[i >> 6] >> (i & 63)) & 1) ^ flip;
+                e.min = e.min.min(x);
+                e.max = e.max.max(x);
+            }
+        }
+    }
+}
+
+/// Counts a block whose rows all land in bucket `b` with no
+/// presumptive filter: one add for `u`, a sequential min/max sweep for
+/// the observed range, popcounts for single-`BoolIs` targets, and
+/// sequential row-order adds for sums (the same op pairing as the
+/// visitor, keeping floats bit-identical).
+fn single_bucket_block(
+    b: usize,
+    block: &ColumnBlock<'_>,
+    xs: &[f64],
+    counts: &mut BucketCounts,
+    targets: &[Vec<ColTest>],
+    sum_cols: &[usize],
+) {
+    counts.u[b] += block.rows as u64;
+    let r = &mut counts.ranges[b];
+    for &x in xs {
+        debug_assert!(
+            x.is_finite(),
+            "non-finite value {x} reached the counting scan"
+        );
+        r.0 = r.0.min(x);
+        r.1 = r.1.max(x);
+    }
+    for (series, tests) in counts.bool_v.iter_mut().zip(targets) {
+        match tests[..] {
+            [] => series[b] += block.rows as u64,
+            [ColTest::BoolIs(col, want)] => {
+                let ones = block.bits[col].count_ones() as u64;
+                series[b] += if want { ones } else { block.rows as u64 - ones };
+            }
+            _ => {
+                if zone_rejects(tests, &block.zones) {
+                    continue;
+                }
+                for i in 0..block.rows {
+                    if eval_tests(tests, block, i) {
+                        series[b] += 1;
+                    }
+                }
+            }
+        }
+    }
+    for (series, &col) in counts.sums.iter_mut().zip(sum_cols) {
+        let acc = &mut series[b];
+        for &v in block.numeric[col] {
+            *acc += v;
+        }
+    }
+}
+
+/// The general per-row loop over a block: compiled presumptive filter,
+/// grid-probed bucket assignment, compiled target tests — the same
+/// per-row effects as the visitor in the same order.
+fn general_block(
+    block: &ColumnBlock<'_>,
+    xs: &[f64],
+    index: &CutIndex<'_>,
+    counts: &mut BucketCounts,
+    presumptive: &[ColTest],
+    targets: &[Vec<ColTest>],
+    sum_cols: &[usize],
+) {
+    for (i, &x) in xs.iter().enumerate() {
+        if !presumptive.is_empty() && !eval_tests(presumptive, block, i) {
+            continue;
+        }
+        debug_assert!(
+            x.is_finite(),
+            "non-finite value {x} reached the counting scan"
+        );
+        let b = index.bucket_of(x);
+        counts.u[b] += 1;
+        let r = &mut counts.ranges[b];
+        r.0 = r.0.min(x);
+        r.1 = r.1.max(x);
+        for (series, tests) in counts.bool_v.iter_mut().zip(targets) {
+            if eval_tests(tests, block, i) {
+                series[b] += 1;
+            }
+        }
+        for (series, &col) in counts.sums.iter_mut().zip(sum_cols) {
+            series[b] += block.numeric[col][i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optrules_relation::schema::{BoolAttr, NumAttr};
+
+    /// Deterministic pseudo-random f64s in [-1000, 1000).
+    fn xorshift_values(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 2_000_000) as f64 / 1000.0 - 1000.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cut_index_equals_partition_point_everywhere() {
+        for (label, cuts) in [
+            (
+                "uniform",
+                (0..100).map(|i| i as f64 * 3.5 - 100.0).collect::<Vec<_>>(),
+            ),
+            ("clustered", {
+                let mut c = xorshift_values(7, 64);
+                c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                c.dedup();
+                c
+            }),
+            ("tiny", vec![1.0, 2.0, 3.0]), // below the grid threshold
+            ("with-infinities", {
+                let mut c = vec![f64::NEG_INFINITY, f64::INFINITY];
+                c.extend((0..20).map(|i| i as f64));
+                c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                c
+            }),
+            ("zero-span-guard", vec![5.0; 1]),
+        ] {
+            let index = CutIndex::new(&cuts);
+            let mut probes = xorshift_values(99, 4000);
+            for &c in &cuts {
+                probes.push(c);
+                // Neighbouring representable values stress cell-edge
+                // rounding.
+                if c.is_finite() {
+                    probes.push(f64::from_bits(c.to_bits().wrapping_sub(1)));
+                    probes.push(f64::from_bits(c.to_bits() + 1));
+                }
+            }
+            probes.extend([f64::MIN, f64::MAX, 0.0, -0.0]);
+            for &x in &probes {
+                assert_eq!(
+                    index.bucket_of(x),
+                    cuts.partition_point(|&c| c < x),
+                    "{label}: x = {x:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_flattens_and_matches_eval() {
+        let cond = Condition::And(vec![
+            Condition::True,
+            Condition::BoolIs(BoolAttr(1), false),
+            Condition::And(vec![
+                Condition::NumEq(NumAttr(0), 4.0),
+                Condition::NumInRange(NumAttr(1), -1.0, 1.0),
+            ]),
+        ]);
+        let tests = compile(&cond);
+        assert_eq!(
+            tests,
+            vec![
+                ColTest::BoolIs(1, false),
+                ColTest::NumEq(0, 4.0),
+                ColTest::NumInRange(1, -1.0, 1.0),
+            ]
+        );
+        assert!(compile(&Condition::True).is_empty());
+    }
+
+    #[test]
+    fn zone_rejection_is_sound_and_fires() {
+        let zones = [(10.0, 20.0), (-5.0, 5.0)];
+        // Disjoint range: rejected.
+        assert!(zone_rejects(&[ColTest::NumInRange(0, 30.0, 40.0)], &zones));
+        assert!(zone_rejects(&[ColTest::NumInRange(0, 0.0, 9.0)], &zones));
+        // Touching or overlapping: kept.
+        assert!(!zone_rejects(&[ColTest::NumInRange(0, 20.0, 40.0)], &zones));
+        assert!(!zone_rejects(&[ColTest::NumInRange(0, 0.0, 10.0)], &zones));
+        // Equality out of / in zone.
+        assert!(zone_rejects(&[ColTest::NumEq(1, 6.0)], &zones));
+        assert!(!zone_rejects(&[ColTest::NumEq(1, 5.0)], &zones));
+        // Boolean tests never reject; one rejecting test suffices.
+        assert!(!zone_rejects(&[ColTest::BoolIs(0, true)], &zones));
+        assert!(zone_rejects(
+            &[ColTest::BoolIs(0, true), ColTest::NumEq(0, 99.0)],
+            &zones
+        ));
+        assert!(!zone_rejects(&[], &zones));
+    }
+}

@@ -21,7 +21,10 @@
 //!   single-pass reservoir sampling for streams;
 //! * [`boundaries`] — step 3: sample quantiles → cuts;
 //! * [`assign`] — step 4: the counting scan, with optional presumptive
-//!   filters (Section 4.3) and per-bucket numeric sums (Section 5);
+//!   filters (Section 4.3) and per-bucket numeric sums (Section 5),
+//!   dispatching to compiled columnar kernels (zone-map block
+//!   skipping, grid-probed bucket assignment, word-wise Boolean
+//!   popcounts) when the storage supports them;
 //! * [`equidepth`] — the Algorithm 3.1 driver;
 //! * [`parallel`] — Algorithm 3.2: communication-free partitioned
 //!   counting on worker threads;
@@ -47,6 +50,7 @@ pub mod equiwidth;
 pub mod error;
 pub mod external_sort;
 pub mod finest;
+mod kernel;
 pub mod naive;
 pub mod parallel;
 pub mod sampling;

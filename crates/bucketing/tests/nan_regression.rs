@@ -1,0 +1,140 @@
+//! Regression: why non-finite values must be rejected at ingest.
+//!
+//! `BucketSpec::bucket_of` places a tuple by
+//! `partition_point(|&c| c < x)`. Every comparison against NaN is
+//! false, so a NaN lands in **bucket 0** — yet
+//! `Condition::NumInRange::eval` is also false for NaN, so the same
+//! tuple is invisible to every range target, and `f64::min`/`max`
+//! ignore NaN in the observed ranges. Before the ingest guards, a NaN
+//! row silently inflated `u[0]` without ever matching a rule: support
+//! denominators drifted while numerators did not. These tests pin the
+//! hazard (so nobody "fixes" `bucket_of` into hiding it again) and
+//! prove every ingest edge now rejects the row with a structured
+//! error, applying nothing.
+
+use optrules_bucketing::{count_buckets, BucketSpec, CountSpec};
+use optrules_relation::{
+    AppendRows, ChunkedRelation, Condition, FileRelationWriter, NumAttr, Relation, RelationError,
+    RowFrame, Schema, TupleScan,
+};
+
+fn schema() -> Schema {
+    Schema::builder().numeric("X").boolean("B").build()
+}
+
+/// The hazard itself: NaN sorts nowhere, so binary search puts it in
+/// bucket 0 while every interval condition rejects it.
+#[test]
+fn nan_lands_in_bucket_zero_but_matches_no_range() {
+    let spec = BucketSpec::from_cuts(vec![10.0, 20.0, 30.0]);
+    assert_eq!(spec.bucket_of(f64::NAN), 0);
+    // The same value is invisible to the interval that *defines*
+    // bucket 0's reachable reports:
+    let c = Condition::NumInRange(NumAttr(0), f64::NEG_INFINITY, 10.0);
+    assert!(!c.eval(&[f64::NAN], &[]));
+    // And min/max would have masked it in the observed ranges.
+    assert_eq!(
+        f64::INFINITY.min(f64::NAN).to_bits(),
+        f64::INFINITY.to_bits()
+    );
+}
+
+/// The miscount a NaN row *would* cause if it ever reached the scan:
+/// `u[0]` counts it, no `NumInRange` target does. Reconstructed here
+/// by running the counting arithmetic by hand on the same inputs the
+/// scan would see — the storage layer refuses to hold such a row.
+#[test]
+fn the_old_silent_miscount_reconstructed() {
+    let spec = BucketSpec::from_cuts(vec![10.0]);
+    let values = [5.0, f64::NAN, 15.0];
+    let mut u = [0u64; 2];
+    let mut v = [0u64; 2]; // target: X ∈ [0, 10] — covers bucket 0
+    let target = Condition::NumInRange(NumAttr(0), 0.0, 10.0);
+    for &x in &values {
+        let b = spec.bucket_of(x);
+        u[b] += 1;
+        if target.eval(&[x], &[]) {
+            v[b] += 1;
+        }
+    }
+    // Bucket 0 claims two tuples but only one satisfies the interval
+    // that bucket 0 reports: confidence for [0,10] reads 1/2 instead
+    // of 1/1. That is the silent drift the ingest guards close off.
+    assert_eq!(u, [2, 1]);
+    assert_eq!(v, [1, 0]);
+}
+
+/// Edge 1: the in-memory `push_row` rejects, applying nothing.
+#[test]
+fn push_row_rejects_non_finite() {
+    let mut rel = Relation::new(schema());
+    rel.push_row(&[1.0], &[true]).unwrap();
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = rel.push_row(&[bad], &[false]).unwrap_err();
+        assert!(
+            matches!(err, RelationError::NonFiniteValue { column: 0, .. }),
+            "{bad}: {err}"
+        );
+    }
+    assert_eq!(rel.len(), 1);
+    let counts = count_buckets(
+        &rel,
+        &BucketSpec::from_cuts(vec![10.0]),
+        &CountSpec::simple(NumAttr(0), Condition::True),
+    )
+    .unwrap();
+    assert_eq!(counts.u, vec![1, 0]);
+}
+
+/// Edge 2: a `RowFrame` append on chunked storage rejects the whole
+/// frame — the clean rows in it are not applied either.
+#[test]
+fn chunked_append_rejects_whole_frame() {
+    let mut base = Relation::new(schema());
+    base.push_row(&[1.0], &[true]).unwrap();
+    let rel = ChunkedRelation::new(base);
+    let frames = vec![
+        RowFrame {
+            numeric: vec![2.0],
+            boolean: vec![true],
+        },
+        RowFrame {
+            numeric: vec![f64::NAN],
+            boolean: vec![false],
+        },
+    ];
+    let err = rel.with_rows(&frames).unwrap_err();
+    assert!(
+        matches!(err, RelationError::NonFiniteValue { column: 0, .. }),
+        "{err}"
+    );
+    assert_eq!(rel.len(), 1, "nothing applied");
+}
+
+/// Edge 3: the file writer rejects before any byte lands on disk, so
+/// the finished file never holds a non-finite cell.
+#[test]
+fn file_writer_rejects_non_finite() {
+    let path = std::env::temp_dir().join(format!(
+        "optrules-nan-regression-{}.rel",
+        std::process::id()
+    ));
+    let mut w = FileRelationWriter::create(&path, schema()).unwrap();
+    w.push_row(&[1.0], &[true]).unwrap();
+    let err = w.push_row(&[f64::INFINITY], &[false]).unwrap_err();
+    assert!(
+        matches!(err, RelationError::NonFiniteValue { column: 0, .. }),
+        "{err}"
+    );
+    w.push_row(&[2.0], &[true]).unwrap();
+    let rel = w.finish().unwrap();
+    assert_eq!(rel.len(), 2);
+    let counts = count_buckets(
+        &rel,
+        &BucketSpec::from_cuts(vec![10.0]),
+        &CountSpec::simple(NumAttr(0), Condition::True),
+    )
+    .unwrap();
+    assert_eq!(counts.u, vec![2, 0]);
+    std::fs::remove_file(&path).unwrap();
+}

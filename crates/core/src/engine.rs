@@ -128,6 +128,14 @@ pub struct EngineStats {
     pub scans: u64,
     /// Counting scans served from the cache.
     pub scan_cache_hits: u64,
+    /// Executed counting scans that ran through the columnar kernels
+    /// (storage exposed `TupleScan::as_columnar`: in-memory, file, and
+    /// chunked/durable relations all do). At quiescence
+    /// `kernel_scans + fallback_scans == scans`.
+    pub kernel_scans: u64,
+    /// Executed counting scans that fell back to the generic row
+    /// visitor (storage without the columnar capability).
+    pub fallback_scans: u64,
     /// Cold misses that parked on another thread's in-flight
     /// computation instead of duplicating it (singleflight). Counted
     /// as cache hits in [`hits`](Self::hits) — the waiter was served a

@@ -93,7 +93,8 @@
 //! {
 //!   "generation": 2, "rows": 20050,
 //!   "bucketizations": 4, "bucket_cache_hits": 44,
-//!   "scans": 4, "scan_cache_hits": 44, "coalesced_waits": 3,
+//!   "scans": 4, "scan_cache_hits": 44,
+//!   "kernel_scans": 4, "fallback_scans": 0, "coalesced_waits": 3,
 //!   "evictions": 0, "rejected": 0, "lookups": 96, "cached_cost": 40160,
 //!   "shards": [
 //!     {"hits": 11, "misses": 1, "evictions": 0, "rejected": 0,
@@ -1212,6 +1213,11 @@ pub fn stats_to_value(snapshot: &StatsSnapshot) -> Json {
             "scan_cache_hits".into(),
             Json::Num(Num::UInt(e.scan_cache_hits)),
         ),
+        ("kernel_scans".into(), Json::Num(Num::UInt(e.kernel_scans))),
+        (
+            "fallback_scans".into(),
+            Json::Num(Num::UInt(e.fallback_scans)),
+        ),
         (
             "coalesced_waits".into(),
             Json::Num(Num::UInt(e.coalesced_waits)),
@@ -1515,7 +1521,18 @@ pub fn rows_from_value(value: &Json, schema: &Schema) -> JsonResult<Vec<RowFrame
                             cell.type_name()
                         )));
                     };
-                    frame.numeric.push(cell.as_f64()?);
+                    let v = cell.as_f64()?;
+                    // The parser already rejects non-finite literals, so
+                    // this is defense in depth: no NaN/inf may reach
+                    // bucket assignment through the wire path, whatever
+                    // the frame's provenance.
+                    if !v.is_finite() {
+                        return Err(JsonError::decode(format!(
+                            "row {i} cell {j}: non-finite numeric value {v} \
+                             (NaN and ±inf cannot be bucketized)"
+                        )));
+                    }
+                    frame.numeric.push(v);
                 } else {
                     let Json::Bool(b) = cell else {
                         return Err(JsonError::decode(format!(
@@ -1824,6 +1841,20 @@ mod tests {
             assert!(err.msg.contains(needle), "{bad}: {err}");
         }
 
+        // The text parser refuses overflow-to-inf literals, so a
+        // non-finite number can only arrive in a hand-built value —
+        // and the decoder still rejects it (defense in depth for the
+        // bucket-0 NaN miscount).
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let value = Json::Arr(vec![Json::Arr(vec![
+                Json::Num(Num::Float(bad)),
+                Json::Num(Num::Float(2.0)),
+                Json::Bool(true),
+            ])]);
+            let err = rows_from_value(&value, &schema).unwrap_err();
+            assert!(err.msg.contains("non-finite numeric value"), "{bad}: {err}");
+        }
+
         // One row over the frame cap is rejected outright.
         let over = format!(
             "[{}]",
@@ -1868,6 +1899,8 @@ mod tests {
                 bucket_cache_hits: 44,
                 scans: 4,
                 scan_cache_hits: 44,
+                kernel_scans: 4,
+                fallback_scans: 0,
                 coalesced_waits: 3,
                 evictions: 0,
                 rejected: 0,
@@ -1886,7 +1919,7 @@ mod tests {
         };
         assert_eq!(
             encode_stats(&snapshot),
-            r#"{"generation":2,"rows":20050,"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}]}"#
+            r#"{"generation":2,"rows":20050,"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"kernel_scans":4,"fallback_scans":0,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}]}"#
         );
         // A durable relation appends its counters after `shards`; the
         // in-memory encoding above is byte-identical to before.
@@ -1901,7 +1934,7 @@ mod tests {
         };
         assert_eq!(
             encode_stats(&durable),
-            r#"{"generation":2,"rows":20050,"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}],"durability":{"wal_bytes":128,"unflushed_rows":2,"segments_spilled":3,"last_checkpoint_generation":40}}"#
+            r#"{"generation":2,"rows":20050,"bucketizations":4,"bucket_cache_hits":44,"scans":4,"scan_cache_hits":44,"kernel_scans":4,"fallback_scans":0,"coalesced_waits":3,"evictions":0,"rejected":0,"lookups":96,"cached_cost":40160,"shards":[{"hits":11,"misses":1,"evictions":0,"rejected":0,"cost":10040,"entries":2}],"durability":{"wal_bytes":128,"unflushed_rows":2,"segments_spilled":3,"last_checkpoint_generation":40}}"#
         );
     }
 

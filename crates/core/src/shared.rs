@@ -179,6 +179,8 @@ struct WorkCounters {
     bucket_cache_hits: AtomicU64,
     scans: AtomicU64,
     scan_cache_hits: AtomicU64,
+    kernel_scans: AtomicU64,
+    fallback_scans: AtomicU64,
     coalesced_waits: AtomicU64,
 }
 
@@ -449,6 +451,8 @@ impl<R: RandomAccess> SharedEngine<R> {
             bucket_cache_hits: self.counters.bucket_cache_hits.load(Ordering::Relaxed),
             scans: self.counters.scans.load(Ordering::Relaxed),
             scan_cache_hits: self.counters.scan_cache_hits.load(Ordering::Relaxed),
+            kernel_scans: self.counters.kernel_scans.load(Ordering::Relaxed),
+            fallback_scans: self.counters.fallback_scans.load(Ordering::Relaxed),
             coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
             evictions: self.cache.evictions(),
             rejected: self.cache.rejected(),
@@ -528,6 +532,8 @@ impl<R: RandomAccess> SharedEngine<R> {
         self.counters.bucket_cache_hits.store(0, Ordering::Relaxed);
         self.counters.scans.store(0, Ordering::Relaxed);
         self.counters.scan_cache_hits.store(0, Ordering::Relaxed);
+        self.counters.kernel_scans.store(0, Ordering::Relaxed);
+        self.counters.fallback_scans.store(0, Ordering::Relaxed);
         self.counters.coalesced_waits.store(0, Ordering::Relaxed);
     }
 
@@ -794,6 +800,15 @@ impl<R: RandomAccess> SharedEngine<R> {
             || {
                 let what = build_spec(rel);
                 let spec = self.spec_for(key, rel)?;
+                // Record which scan path this storage takes; parallel
+                // workers share the capability of `rel`, so one scan is
+                // wholly kernel or wholly fallback.
+                let path_counter = if rel.as_columnar().is_some() {
+                    &self.counters.kernel_scans
+                } else {
+                    &self.counters.fallback_scans
+                };
+                path_counter.fetch_add(1, Ordering::Relaxed);
                 let counts = if threads > 1 {
                     count_buckets_parallel(rel, &spec, &what, threads)?
                 } else {

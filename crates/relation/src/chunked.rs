@@ -30,6 +30,7 @@
 //! a flat relation holding the concatenated rows — the property the
 //! engine's oracle tests (`proptest_live.rs`) pin down.
 
+use crate::columnar::{BlockVisitor, ColumnarScan};
 use crate::error::{RelationError, Result};
 use crate::memory::Relation;
 use crate::scan::{RandomAccess, RowVisitor, TupleScan};
@@ -239,6 +240,50 @@ impl<B: TupleScan + Send> TupleScan for ChunkedRelation<B> {
         }
         Ok(())
     }
+
+    fn as_columnar(&self) -> Option<&dyn ColumnarScan> {
+        // Columnar only when the base is: tail segments are in-memory
+        // `Relation`s (always columnar), so the base is the only
+        // segment that can lack the capability.
+        self.base.as_columnar().map(|_| self as &dyn ColumnarScan)
+    }
+}
+
+impl<B: TupleScan + Send> ColumnarScan for ChunkedRelation<B> {
+    /// Forwards to each overlapping segment in row order, rebasing
+    /// segment-local blocks into the relation's global row space.
+    ///
+    /// Only callable when [`TupleScan::as_columnar`] returned `Some`,
+    /// which requires a columnar base.
+    fn for_each_block_in(&self, range: Range<u64>, f: BlockVisitor<'_>) -> Result<()> {
+        let start = range.start;
+        let end = range.end.min(self.rows);
+        if start >= end {
+            return Ok(());
+        }
+        if start < self.base_rows {
+            let base = self
+                .base
+                .as_columnar()
+                .expect("ColumnarScan invoked on a ChunkedRelation with a non-columnar base");
+            base.for_each_block_in(start..end.min(self.base_rows), f)?;
+        }
+        for (seg, &seg_start) in self.tail.iter().zip(&self.starts) {
+            if end <= seg_start {
+                break;
+            }
+            let seg_end = seg_start + seg.len();
+            if start >= seg_end {
+                continue;
+            }
+            let lo = start.max(seg_start) - seg_start;
+            let hi = end.min(seg_end) - seg_start;
+            seg.for_each_block_in(lo..hi, &mut |block| {
+                f(&block.rebased(seg_start + block.start));
+            })?;
+        }
+        Ok(())
+    }
 }
 
 impl<B: RandomAccess + Send> RandomAccess for ChunkedRelation<B> {
@@ -432,6 +477,45 @@ mod tests {
             .unwrap();
         assert_eq!(chunked.numeric_at(NumAttr(0), 2).unwrap(), 9.0);
         assert!(chunked.numeric_at(NumAttr(0), 3).is_err());
+    }
+
+    #[test]
+    fn columnar_blocks_match_visitor_across_segments() {
+        let mut chunked = ChunkedRelation::new(base(10));
+        for batch in 0..6 {
+            let rows: Vec<RowFrame> = (0..(batch * 3 + 1))
+                .map(|i| frame(100.0 + i as f64, batch as f64, i % 2 == 0))
+                .collect();
+            chunked = chunked.append(&rows).unwrap();
+        }
+        assert!(chunked.segments() > 1);
+        let n = chunked.len();
+        crate::columnar::tests::assert_blocks_match_visitor(&chunked, 0..n);
+        crate::columnar::tests::assert_blocks_match_visitor(&chunked, 3..(n - 2));
+        crate::columnar::tests::assert_blocks_match_visitor(&chunked, (n - 1)..(n + 50));
+        crate::columnar::tests::assert_blocks_match_visitor(&chunked, n..n + 1);
+    }
+
+    #[test]
+    fn columnar_capability_tracks_the_base() {
+        // In-memory base: columnar.
+        assert!(ChunkedRelation::new(base(3)).as_columnar().is_some());
+
+        // A base that only implements the row visitor: not columnar.
+        struct RowsOnly(Relation);
+        impl TupleScan for RowsOnly {
+            fn schema(&self) -> &Schema {
+                self.0.schema()
+            }
+            fn len(&self) -> u64 {
+                self.0.len()
+            }
+            fn for_each_row_in(&self, range: Range<u64>, f: RowVisitor<'_>) -> Result<()> {
+                self.0.for_each_row_in(range, f)
+            }
+        }
+        let wrapped = ChunkedRelation::new(RowsOnly(base(3)));
+        assert!(wrapped.as_columnar().is_none());
     }
 
     #[test]

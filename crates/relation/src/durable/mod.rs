@@ -38,6 +38,7 @@
 //! is idempotent.
 
 use crate::chunked::{AppendRows, ChunkedRelation, RowFrame};
+use crate::columnar::ColumnarScan;
 use crate::encoding::RecordLayout;
 use crate::error::Result;
 use crate::file::FileRelation;
@@ -287,6 +288,10 @@ impl TupleScan for DurableRelation {
     fn for_each_row_in(&self, range: Range<u64>, f: RowVisitor<'_>) -> Result<()> {
         self.inner.for_each_row_in(range, f)
     }
+
+    fn as_columnar(&self) -> Option<&dyn ColumnarScan> {
+        self.inner.as_columnar()
+    }
 }
 
 impl RandomAccess for DurableRelation {
@@ -494,6 +499,56 @@ mod tests {
         assert!(rel.with_rows(&[bad]).is_err());
         assert_eq!(rel.durability_stats().unwrap(), before);
         // The WAL gained no frame: reopening finds exactly the base.
+        let reopened = DurableRelation::open(&base, &data, DurabilityConfig::default()).unwrap();
+        assert_eq!(reopened.relation.len(), 5);
+        assert_eq!(reopened.generation, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn columnar_blocks_match_visitor_over_spilled_base_and_tail() {
+        let dir = tmp_dir("columnar");
+        let base = base_file(&dir, 20);
+        let data = dir.join("data");
+        let config = DurabilityConfig {
+            spill_rows: 8,
+            sync: WalSync::Always,
+        };
+        let mut rel = DurableRelation::open(&base, &data, config)
+            .unwrap()
+            .relation;
+        for batch in 0..7 {
+            rel = rel.with_rows(&frame(batch as f64, 5)).unwrap();
+        }
+        // Spilled segments and an in-memory tail both present.
+        let stats = rel.durability_stats().unwrap();
+        assert!(stats.segments_spilled >= 1);
+        assert!(rel.tail_rows() > 0);
+        let n = rel.len();
+        crate::columnar::tests::assert_blocks_match_visitor(&rel, 0..n);
+        crate::columnar::tests::assert_blocks_match_visitor(&rel, 7..(n - 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_finite_append_rejected_before_the_wal() {
+        let dir = tmp_dir("nonfinite");
+        let base = base_file(&dir, 5);
+        let data = dir.join("data");
+        let rel = DurableRelation::open(&base, &data, DurabilityConfig::default())
+            .unwrap()
+            .relation;
+        let before = rel.durability_stats().unwrap();
+        let bad = RowFrame {
+            numeric: vec![f64::NAN, 1.0],
+            boolean: vec![true],
+        };
+        match rel.with_rows(&[bad]) {
+            Err(crate::error::RelationError::NonFiniteValue { column: 0, .. }) => {}
+            other => panic!("expected NonFiniteValue, got {other:?}"),
+        }
+        assert_eq!(rel.durability_stats().unwrap(), before);
+        // The WAL gained no frame: reopening replays nothing.
         let reopened = DurableRelation::open(&base, &data, DurabilityConfig::default()).unwrap();
         assert_eq!(reopened.relation.len(), 5);
         assert_eq!(reopened.generation, 0);

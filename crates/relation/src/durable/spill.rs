@@ -11,6 +11,7 @@
 //! the old state or the new state, never a half-written file that the
 //! next open would trust.
 
+use crate::columnar::{BlockVisitor, ColumnarScan};
 use crate::error::{RelationError, Result};
 use crate::file::{FileRelation, FileRelationWriter};
 use crate::scan::{RandomAccess, RowVisitor, TupleScan};
@@ -102,6 +103,37 @@ impl TupleScan for BaseStack {
             let hi = end.min(part_end) - part_start;
             part.for_each_row_in(lo..hi, &mut |row, nums, bools| {
                 f(part_start + row, nums, bools);
+            })?;
+        }
+        Ok(())
+    }
+
+    fn as_columnar(&self) -> Option<&dyn ColumnarScan> {
+        Some(self)
+    }
+}
+
+impl ColumnarScan for BaseStack {
+    /// Forwards to each overlapping [`FileRelation`] part in row order,
+    /// rebasing part-local blocks into the stack's global row space.
+    fn for_each_block_in(&self, range: Range<u64>, f: BlockVisitor<'_>) -> Result<()> {
+        let start = range.start;
+        let end = range.end.min(self.rows);
+        if start >= end {
+            return Ok(());
+        }
+        for (part, &part_start) in self.parts.iter().zip(&self.starts) {
+            if end <= part_start {
+                break;
+            }
+            let part_end = part_start + part.len();
+            if start >= part_end {
+                continue;
+            }
+            let lo = start.max(part_start) - part_start;
+            let hi = end.min(part_end) - part_start;
+            part.for_each_block_in(lo..hi, &mut |block| {
+                f(&block.rebased(part_start + block.start));
             })?;
         }
         Ok(())

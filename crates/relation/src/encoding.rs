@@ -49,10 +49,17 @@ impl RecordLayout {
 
     /// Encodes one row into `out` (appended).
     ///
+    /// Validation happens in full before any byte is written, so a
+    /// rejected row leaves `out` untouched — the property the WAL
+    /// relies on to keep log frame and relation version failing
+    /// atomically together.
+    ///
     /// # Errors
     ///
-    /// Returns [`RelationError::SchemaMismatch`] when slice arities do not
-    /// match the layout.
+    /// Returns [`RelationError::SchemaMismatch`] when slice arities do
+    /// not match the layout, and [`RelationError::NonFiniteValue`] when
+    /// a numeric cell is NaN or infinite (see the ingest-validation
+    /// rationale on that variant).
     pub fn encode_row(&self, numeric: &[f64], boolean: &[bool], out: &mut Vec<u8>) -> Result<()> {
         if numeric.len() != self.numeric_count || boolean.len() != self.boolean_count {
             return Err(RelationError::SchemaMismatch {
@@ -61,6 +68,12 @@ impl RecordLayout {
                     self.numeric_count, self.boolean_count
                 ),
                 got: format!("{} numeric + {} boolean", numeric.len(), boolean.len()),
+            });
+        }
+        if let Some(column) = numeric.iter().position(|v| !v.is_finite()) {
+            return Err(RelationError::NonFiniteValue {
+                column,
+                value: numeric[column],
             });
         }
         out.reserve(self.record_size());
@@ -78,7 +91,12 @@ impl RecordLayout {
     ///
     /// # Errors
     ///
-    /// Returns [`RelationError::SchemaMismatch`] on a short/long slice.
+    /// Returns [`RelationError::SchemaMismatch`] on a short/long slice
+    /// and [`RelationError::NonFiniteValue`] when a stored numeric cell
+    /// is NaN or infinite — files written by this crate reject such
+    /// values at encode time, so this only fires on foreign or
+    /// corrupted data, keeping the no-NaN ingest invariant closed at
+    /// the file-load edge too.
     pub fn decode_row(
         &self,
         bytes: &[u8],
@@ -96,7 +114,14 @@ impl RecordLayout {
         for i in 0..self.numeric_count {
             let off = self.numeric_offset(i);
             let arr: [u8; 8] = bytes[off..off + 8].try_into().expect("8-byte slice");
-            numeric.push(f64::from_le_bytes(arr));
+            let v = f64::from_le_bytes(arr);
+            if !v.is_finite() {
+                return Err(RelationError::NonFiniteValue {
+                    column: i,
+                    value: v,
+                });
+            }
+            numeric.push(v);
         }
         for i in 0..self.boolean_count {
             boolean.push(bytes[self.boolean_offset(i)] != 0);
@@ -170,6 +195,29 @@ mod tests {
             .is_err());
         let (mut n, mut b) = (Vec::new(), Vec::new());
         assert!(layout.decode_row(&[0u8; 5], &mut n, &mut b).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected_both_directions() {
+        let layout = RecordLayout::new(2, 0);
+        let mut buf = Vec::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match layout.encode_row(&[1.0, bad], &[], &mut buf) {
+                Err(RelationError::NonFiniteValue { column: 1, .. }) => {}
+                other => panic!("expected NonFiniteValue, got {other:?}"),
+            }
+            // Nothing written: the WAL depends on all-or-nothing encode.
+            assert!(buf.is_empty());
+        }
+        // A foreign file holding NaN bytes fails at decode.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&2.0f64.to_le_bytes());
+        raw.extend_from_slice(&f64::NAN.to_le_bytes());
+        let (mut n, mut b) = (Vec::new(), Vec::new());
+        match layout.decode_row(&raw, &mut n, &mut b) {
+            Err(RelationError::NonFiniteValue { column: 1, .. }) => {}
+            other => panic!("expected NonFiniteValue, got {other:?}"),
+        }
     }
 
     #[test]

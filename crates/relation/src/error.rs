@@ -26,6 +26,18 @@ pub enum RelationError {
         /// Number of rows in the relation.
         len: u64,
     },
+    /// A numeric cell held a NaN or infinite value. Rejected at every
+    /// ingest edge because bucket assignment
+    /// (`partition_point(|&c| c < x)`) would silently place NaN in
+    /// bucket 0 while every range condition evaluates false on it —
+    /// the tuple would inflate bucket histograms yet stay invisible to
+    /// the rules mined from them.
+    NonFiniteValue {
+        /// Zero-based numeric column index of the offending cell.
+        column: usize,
+        /// The rejected value (NaN or ±∞).
+        value: f64,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -39,6 +51,12 @@ impl fmt::Display for RelationError {
             Self::UnknownAttribute(name) => write!(f, "unknown attribute: {name:?}"),
             Self::RowOutOfBounds { row, len } => {
                 write!(f, "row {row} out of bounds (relation has {len} rows)")
+            }
+            Self::NonFiniteValue { column, value } => {
+                write!(
+                    f,
+                    "non-finite numeric value {value} in column {column} (NaN and ±inf cannot be bucketized)"
+                )
             }
         }
     }
@@ -72,6 +90,11 @@ mod tests {
         assert!(e.to_string().contains("Balance"));
         let e = RelationError::RowOutOfBounds { row: 7, len: 3 };
         assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        let e = RelationError::NonFiniteValue {
+            column: 2,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("NaN") && e.to_string().contains('2'));
         let e = RelationError::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }

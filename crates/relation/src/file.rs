@@ -18,6 +18,8 @@
 //! with-replacement sampling) seeks directly to
 //! `data_start + row · record_size`.
 
+use crate::bitcol::BitColumn;
+use crate::columnar::{BlockVisitor, ColumnBlock, ColumnarScan};
 use crate::encoding::RecordLayout;
 use crate::error::{RelationError, Result};
 use crate::scan::{RandomAccess, TupleScan};
@@ -248,6 +250,84 @@ impl TupleScan for FileRelation {
         }
         Ok(())
     }
+
+    fn as_columnar(&self) -> Option<&dyn ColumnarScan> {
+        Some(self)
+    }
+}
+
+/// Rows decoded per [`ColumnarScan`] block: one bulk `read_exact` and
+/// one column-buffer transpose per block. At the paper's 72-byte
+/// tuples a block is ~576 KiB of file data — large enough to amortize
+/// the syscall, small enough to stay cache-resident while kernels
+/// re-walk the decoded columns.
+const COLUMNAR_BLOCK_ROWS: usize = 8192;
+
+impl ColumnarScan for FileRelation {
+    /// Decodes the range block by block (≤ [`COLUMNAR_BLOCK_ROWS`] rows
+    /// each): one bulk read per block, records transposed into column
+    /// buffers with per-block zone maps computed during the decode.
+    /// Non-finite stored values fail the scan just like
+    /// [`RecordLayout::decode_row`] would on the row path.
+    fn for_each_block_in(&self, range: Range<u64>, f: BlockVisitor<'_>) -> Result<()> {
+        let end = range.end.min(self.rows);
+        if range.start >= end {
+            return Ok(());
+        }
+        let record_size = self.layout.record_size();
+        let n_num = self.layout.numeric_count;
+        let n_bool = self.layout.boolean_count;
+        // A fresh handle per scan, as in the row path, so concurrent
+        // partitioned scans never contend.
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(
+            self.data_start + range.start * record_size as u64,
+        ))?;
+        let mut raw = Vec::new();
+        let mut num_bufs: Vec<Vec<f64>> = vec![Vec::new(); n_num];
+        let mut bit_bufs: Vec<BitColumn> = vec![BitColumn::new(); n_bool];
+        let mut start = range.start;
+        while start < end {
+            let rows = ((end - start) as usize).min(COLUMNAR_BLOCK_ROWS);
+            raw.resize(rows * record_size, 0);
+            file.read_exact(&mut raw)?;
+            let mut zones = vec![(f64::INFINITY, f64::NEG_INFINITY); n_num];
+            for buf in &mut num_bufs {
+                buf.clear();
+            }
+            for buf in &mut bit_bufs {
+                buf.clear();
+            }
+            for record in raw.chunks_exact(record_size) {
+                for col in 0..n_num {
+                    let v = self.layout.decode_numeric(record, col);
+                    if !v.is_finite() {
+                        return Err(RelationError::NonFiniteValue {
+                            column: col,
+                            value: v,
+                        });
+                    }
+                    num_bufs[col].push(v);
+                    let zone = &mut zones[col];
+                    zone.0 = zone.0.min(v);
+                    zone.1 = zone.1.max(v);
+                }
+                for (col, buf) in bit_bufs.iter_mut().enumerate() {
+                    buf.push(self.layout.decode_boolean(record, col));
+                }
+            }
+            let block = ColumnBlock {
+                start,
+                rows,
+                numeric: num_bufs.iter().map(|b| b.as_slice()).collect(),
+                bits: bit_bufs.iter().map(|b| b.span(0..rows)).collect(),
+                zones,
+            };
+            f(&block);
+            start += rows as u64;
+        }
+        Ok(())
+    }
 }
 
 impl RandomAccess for FileRelation {
@@ -371,6 +451,61 @@ mod tests {
         match FileRelation::open(&path) {
             Err(RelationError::BadHeader(_)) => {}
             other => panic!("expected BadHeader, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn columnar_blocks_match_visitor_across_block_boundaries() {
+        let path = tmp("columnar");
+        let schema = Schema::builder()
+            .numeric("X")
+            .numeric("Y")
+            .boolean("B")
+            .boolean("C")
+            .build();
+        let mut w = FileRelationWriter::create(&path, schema).unwrap();
+        // Cross the 8192-row block boundary so multi-block emission and
+        // per-block zones are both exercised.
+        let n = COLUMNAR_BLOCK_ROWS as u64 * 2 + 100;
+        for i in 0..n {
+            w.push_row(&[i as f64, (i % 97) as f64], &[i % 2 == 0, i % 5 == 0])
+                .unwrap();
+        }
+        let rel = w.finish().unwrap();
+        crate::columnar::tests::assert_blocks_match_visitor(&rel, 0..n);
+        crate::columnar::tests::assert_blocks_match_visitor(&rel, 5000..15000);
+        crate::columnar::tests::assert_blocks_match_visitor(&rel, (n - 10)..(n + 500));
+        crate::columnar::tests::assert_blocks_match_visitor(&rel, n..n + 5);
+        let mut block_count = 0;
+        rel.for_each_block_in(0..n, &mut |_| block_count += 1)
+            .unwrap();
+        assert_eq!(block_count, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn columnar_scan_rejects_foreign_nan_bytes() {
+        let path = tmp("columnar-nan");
+        let schema = Schema::builder().numeric("X").build();
+        let mut w = FileRelationWriter::create(&path, schema).unwrap();
+        for i in 0..10 {
+            w.push_row(&[i as f64], &[]).unwrap();
+        }
+        let rel = w.finish().unwrap();
+        // Corrupt row 4 in place with NaN bytes, as a foreign writer might.
+        let header = std::fs::metadata(&path).unwrap().len() - 10 * 8;
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = header as usize + 4 * 8;
+        bytes[off..off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let rel2 = FileRelation::open(rel.path()).unwrap();
+        let err = rel2
+            .for_each_block_in(0..10, &mut |_| panic!("block must not be emitted"))
+            .unwrap_err();
+        match err {
+            RelationError::NonFiniteValue { column: 0, .. } => {}
+            other => panic!("expected NonFiniteValue, got {other:?}"),
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -23,6 +23,11 @@
 //! * [`scan`] — the [`scan::TupleScan`] / [`scan::RandomAccess`] traits
 //!   that bucketing and mining are written against, so every algorithm
 //!   runs unchanged on either store;
+//! * [`columnar`] — the opt-in [`columnar::ColumnarScan`] fast path:
+//!   per-segment contiguous column slices, bit-packed Boolean spans,
+//!   and zone maps, discovered at runtime via
+//!   [`scan::TupleScan::as_columnar`] and consumed by the counting
+//!   kernels in the bucketing crate;
 //! * [`durable`] — crash-safe live relations
 //!   ([`durable::DurableRelation`]): a checksummed write-ahead log plus
 //!   segment spill over [`chunked::ChunkedRelation`], so appended rows
@@ -40,6 +45,7 @@
 
 pub mod bitcol;
 pub mod chunked;
+pub mod columnar;
 pub mod condition;
 pub mod durable;
 pub mod encoding;
@@ -50,8 +56,9 @@ pub mod memory;
 pub mod scan;
 pub mod schema;
 
-pub use bitcol::BitColumn;
+pub use bitcol::{BitColumn, BitSpan};
 pub use chunked::{AppendRows, ChunkedRelation, RowFrame};
+pub use columnar::{BlockVisitor, ColumnBlock, ColumnarScan};
 pub use condition::Condition;
 pub use durable::{
     Durability, DurabilityConfig, DurabilityStats, DurableRelation, Recovery, WalSync,

@@ -7,6 +7,7 @@
 //! (objective-condition counting).
 
 use crate::bitcol::BitColumn;
+use crate::columnar::{BlockVisitor, ColumnBlock, ColumnarScan};
 use crate::error::{RelationError, Result};
 use crate::scan::{RandomAccess, TupleScan};
 use crate::schema::{BoolAttr, NumAttr, Schema};
@@ -18,6 +19,9 @@ pub struct Relation {
     schema: Schema,
     numeric_cols: Vec<Vec<f64>>,
     bool_cols: Vec<BitColumn>,
+    /// Per-numeric-column `(min, max)` over all rows, maintained on
+    /// append — the relation's zone map. `(∞, −∞)` while empty.
+    zones: Vec<(f64, f64)>,
     rows: u64,
 }
 
@@ -28,10 +32,12 @@ impl Relation {
         let bool_cols = (0..schema.boolean_count())
             .map(|_| BitColumn::new())
             .collect();
+        let zones = vec![(f64::INFINITY, f64::NEG_INFINITY); schema.numeric_count()];
         Self {
             schema,
             numeric_cols,
             bool_cols,
+            zones,
             rows: 0,
         }
     }
@@ -44,10 +50,12 @@ impl Relation {
         let bool_cols = (0..schema.boolean_count())
             .map(|_| BitColumn::with_capacity(rows))
             .collect();
+        let zones = vec![(f64::INFINITY, f64::NEG_INFINITY); schema.numeric_count()];
         Self {
             schema,
             numeric_cols,
             bool_cols,
+            zones,
             rows: 0,
         }
     }
@@ -57,7 +65,10 @@ impl Relation {
     /// # Errors
     ///
     /// Returns [`RelationError::SchemaMismatch`] if the slice arities do
-    /// not match the schema.
+    /// not match the schema, and [`RelationError::NonFiniteValue`] if a
+    /// numeric cell is NaN or infinite (see that variant for why such
+    /// values can never be allowed to reach bucket assignment). On any
+    /// error nothing is appended.
     pub fn push_row(&mut self, numeric: &[f64], boolean: &[bool]) -> Result<()> {
         if numeric.len() != self.schema.numeric_count()
             || boolean.len() != self.schema.boolean_count()
@@ -71,14 +82,33 @@ impl Relation {
                 got: format!("{} numeric + {} boolean", numeric.len(), boolean.len()),
             });
         }
-        for (col, &v) in self.numeric_cols.iter_mut().zip(numeric) {
+        if let Some(column) = numeric.iter().position(|v| !v.is_finite()) {
+            return Err(RelationError::NonFiniteValue {
+                column,
+                value: numeric[column],
+            });
+        }
+        for ((col, zone), &v) in self
+            .numeric_cols
+            .iter_mut()
+            .zip(&mut self.zones)
+            .zip(numeric)
+        {
             col.push(v);
+            zone.0 = zone.0.min(v);
+            zone.1 = zone.1.max(v);
         }
         for (col, &b) in self.bool_cols.iter_mut().zip(boolean) {
             col.push(b);
         }
         self.rows += 1;
         Ok(())
+    }
+
+    /// The zone map: per-numeric-column `(min, max)` over all rows,
+    /// `(∞, −∞)` while the relation is empty.
+    pub fn zones(&self) -> &[(f64, f64)] {
+        &self.zones
     }
 
     /// Read-only view of a numeric column.
@@ -129,6 +159,33 @@ impl TupleScan for Relation {
             }
             f(row, &nums, &bools);
         }
+        Ok(())
+    }
+
+    fn as_columnar(&self) -> Option<&dyn ColumnarScan> {
+        Some(self)
+    }
+}
+
+impl ColumnarScan for Relation {
+    /// The whole requested range as a single block borrowing the
+    /// column storage directly — zero copying. The block's zones are
+    /// the relation-wide zone map, a valid (if loose, for partial
+    /// ranges) bound on any subrange.
+    fn for_each_block_in(&self, range: Range<u64>, f: BlockVisitor<'_>) -> Result<()> {
+        let end = range.end.min(self.rows);
+        if range.start >= end {
+            return Ok(());
+        }
+        let (lo, hi) = (range.start as usize, end as usize);
+        let block = ColumnBlock {
+            start: range.start,
+            rows: hi - lo,
+            numeric: self.numeric_cols.iter().map(|c| &c[lo..hi]).collect(),
+            bits: self.bool_cols.iter().map(|c| c.span(lo..hi)).collect(),
+            zones: self.zones.clone(),
+        };
+        f(&block);
         Ok(())
     }
 }
@@ -218,5 +275,32 @@ mod tests {
         assert!(rel.is_empty());
         rel.push_row(&[1.0], &[false]).unwrap();
         assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn zones_track_min_max_per_column() {
+        let rel = sample();
+        assert_eq!(rel.zones(), &[(1000.0, 2000.0), (30.0, 50.0)]);
+        let empty = Relation::new(Schema::builder().numeric("X").build());
+        assert_eq!(empty.zones(), &[(f64::INFINITY, f64::NEG_INFINITY)]);
+    }
+
+    #[test]
+    fn non_finite_row_rejected_and_nothing_applied() {
+        let mut rel = sample();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match rel.push_row(&[bad, 60.0], &[true]) {
+                Err(RelationError::NonFiniteValue { column: 0, .. }) => {}
+                other => panic!("expected NonFiniteValue, got {other:?}"),
+            }
+            match rel.push_row(&[3000.0, bad], &[true]) {
+                Err(RelationError::NonFiniteValue { column: 1, .. }) => {}
+                other => panic!("expected NonFiniteValue, got {other:?}"),
+            }
+        }
+        // Nothing appended, zones untouched.
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.numeric_col(NumAttr(0)).len(), 3);
+        assert_eq!(rel.zones(), &[(1000.0, 2000.0), (30.0, 50.0)]);
     }
 }

@@ -6,6 +6,7 @@
 //! in-memory columnar [`crate::memory::Relation`] and the file-backed
 //! [`crate::file::FileRelation`].
 
+use crate::columnar::ColumnarScan;
 use crate::error::Result;
 use crate::schema::{NumAttr, Schema};
 use std::ops::Range;
@@ -32,6 +33,17 @@ pub trait TupleScan: Sync {
     /// and the tuple's numeric and Boolean values in schema column
     /// order. Slices are only valid for the duration of the call.
     ///
+    /// # Out-of-bounds ranges
+    ///
+    /// `range.end` is **clamped** to [`len()`](Self::len): a range
+    /// reaching past the end visits only the rows that exist, and a
+    /// range that is empty or starts at/after `len()` visits nothing.
+    /// No implementation may error or panic on an out-of-bounds range —
+    /// parallel partitioners (Algorithm 3.2) and snapshot readers hand
+    /// out ranges computed from a row count that may have been observed
+    /// before or after concurrent appends, and rely on every storage
+    /// backend treating the overhang identically.
+    ///
     /// # Errors
     ///
     /// Propagates storage errors (I/O for file-backed relations).
@@ -44,6 +56,16 @@ pub trait TupleScan: Sync {
     /// Propagates storage errors (I/O for file-backed relations).
     fn for_each_row(&self, f: RowVisitor<'_>) -> Result<()> {
         self.for_each_row_in(0..self.len(), f)
+    }
+
+    /// The relation's columnar fast-path capability, if the storage
+    /// supports one (see [`ColumnarScan`]). Algorithms that have a
+    /// columnar kernel probe this at runtime and fall back to
+    /// [`for_each_row_in`](Self::for_each_row_in) on `None`; the
+    /// default is `None`, so generic or wrapper storage keeps working
+    /// without opting in.
+    fn as_columnar(&self) -> Option<&dyn ColumnarScan> {
+        None
     }
 }
 
@@ -76,6 +98,10 @@ impl<T: TupleScan + ?Sized> TupleScan for &T {
 
     fn for_each_row_in(&self, range: Range<u64>, f: RowVisitor<'_>) -> Result<()> {
         (**self).for_each_row_in(range, f)
+    }
+
+    fn as_columnar(&self) -> Option<&dyn ColumnarScan> {
+        (**self).as_columnar()
     }
 }
 

@@ -1,0 +1,204 @@
+//! Out-of-bounds scan ranges are **clamped**, never an error: every
+//! storage backend must treat `range.end > len()` as `len()` and an
+//! empty or inverted remainder as a no-op, identically on both the
+//! row-visitor path and the columnar block path. These tests pin that
+//! contract across `Relation`, `FileRelation`, `ChunkedRelation`, and
+//! `DurableRelation` so a new backend cannot quietly diverge.
+
+use optrules_relation::{
+    AppendRows, ChunkedRelation, DurabilityConfig, DurableRelation, FileRelationWriter, Relation,
+    RowFrame, Schema, TupleScan, WalSync,
+};
+use std::ops::Range;
+use std::path::PathBuf;
+
+const ROWS: u64 = 10;
+
+fn schema() -> Schema {
+    Schema::builder().numeric("X").boolean("B").build()
+}
+
+/// The canonical 10-row content every backend under test holds.
+fn row(i: u64) -> (f64, bool) {
+    (i as f64 * 1.5, i.is_multiple_of(3))
+}
+
+fn memory() -> Relation {
+    let mut rel = Relation::new(schema());
+    for i in 0..ROWS {
+        let (x, b) = row(i);
+        rel.push_row(&[x], &[b]).unwrap();
+    }
+    rel
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("optrules-scan-clamp-{}-{name}", std::process::id()))
+}
+
+fn file_backed(name: &str) -> optrules_relation::FileRelation {
+    let path = tmp(name);
+    let mut w = FileRelationWriter::create(&path, schema()).unwrap();
+    for i in 0..ROWS {
+        let (x, b) = row(i);
+        w.push_row(&[x], &[b]).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+/// 4 base rows + two appended segments of 3 rows each.
+fn chunked() -> ChunkedRelation<Relation> {
+    let mut base = Relation::new(schema());
+    for i in 0..4 {
+        let (x, b) = row(i);
+        base.push_row(&[x], &[b]).unwrap();
+    }
+    let frames = |range: Range<u64>| -> Vec<RowFrame> {
+        range
+            .map(|i| {
+                let (x, b) = row(i);
+                RowFrame {
+                    numeric: vec![x],
+                    boolean: vec![b],
+                }
+            })
+            .collect()
+    };
+    let rel = ChunkedRelation::new(base);
+    let rel = rel.with_rows(&frames(4..7)).unwrap();
+    rel.with_rows(&frames(7..10)).unwrap()
+}
+
+/// 4 durable base rows + appends small enough to leave a live tail.
+fn durable(name: &str) -> (DurableRelation, PathBuf) {
+    let dir = tmp(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.rel");
+    let mut w = FileRelationWriter::create(&base, schema()).unwrap();
+    for i in 0..4 {
+        let (x, b) = row(i);
+        w.push_row(&[x], &[b]).unwrap();
+    }
+    w.finish().unwrap();
+    let config = DurabilityConfig {
+        spill_rows: 5,
+        sync: WalSync::Off,
+    };
+    let mut rel = DurableRelation::open(&base, dir.join("data"), config)
+        .unwrap()
+        .relation;
+    for chunk in [4..7, 7..10] {
+        let frames: Vec<RowFrame> = chunk
+            .map(|i| {
+                let (x, b) = row(i);
+                RowFrame {
+                    numeric: vec![x],
+                    boolean: vec![b],
+                }
+            })
+            .collect();
+        rel = rel.with_rows(&frames).unwrap();
+    }
+    (rel, dir)
+}
+
+/// Rows visited through the row path for `range`.
+fn visit_rows<T: TupleScan + ?Sized>(rel: &T, range: Range<u64>) -> Vec<(u64, f64, bool)> {
+    let mut out = Vec::new();
+    rel.for_each_row_in(range, &mut |r, nums, bools| {
+        out.push((r, nums[0], bools[0]));
+    })
+    .unwrap();
+    out
+}
+
+/// Rows reconstructed through the columnar block path for `range`.
+fn visit_blocks<T: TupleScan + ?Sized>(rel: &T, range: Range<u64>) -> Vec<(u64, f64, bool)> {
+    let cols = rel.as_columnar().expect("backend must be columnar");
+    let mut out = Vec::new();
+    cols.for_each_block_in(range, &mut |block| {
+        for i in 0..block.rows {
+            out.push((
+                block.start + i as u64,
+                block.numeric[0][i],
+                block.bits[0].get(i),
+            ));
+        }
+    })
+    .unwrap();
+    out
+}
+
+/// The clamp cases every backend must agree on, as (range, expected
+/// visited rows).
+fn clamp_cases() -> Vec<(Range<u64>, Range<u64>)> {
+    vec![
+        (0..ROWS, 0..ROWS),         // exact
+        (0..ROWS + 1, 0..ROWS),     // end one past len
+        (0..u64::MAX, 0..ROWS),     // end far past len
+        (3..7, 3..7),               // interior
+        (3..ROWS + 100, 3..ROWS),   // start in bounds, end clamped
+        (ROWS..ROWS + 5, 0..0),     // start at len: empty
+        (ROWS + 7..ROWS + 9, 0..0), // entirely past len: empty
+        (5..5, 0..0),               // empty in bounds
+        #[allow(clippy::reversed_empty_ranges)]
+        (7..3, 0..0), // inverted: empty, not a panic
+    ]
+}
+
+fn check_backend<T: TupleScan + ?Sized>(rel: &T, label: &str) {
+    assert_eq!(rel.len(), ROWS, "{label}: fixture must hold {ROWS} rows");
+    for (range, expect) in clamp_cases() {
+        let expected: Vec<(u64, f64, bool)> = expect
+            .clone()
+            .map(|i| {
+                let (x, b) = row(i);
+                (i, x, b)
+            })
+            .collect();
+        assert_eq!(
+            visit_rows(rel, range.clone()),
+            expected,
+            "{label}: row path diverged on {range:?}"
+        );
+        assert_eq!(
+            visit_blocks(rel, range.clone()),
+            expected,
+            "{label}: block path diverged on {range:?}"
+        );
+    }
+}
+
+#[test]
+fn memory_clamps() {
+    check_backend(&memory(), "Relation");
+}
+
+#[test]
+fn file_clamps() {
+    let rel = file_backed("file");
+    check_backend(&rel, "FileRelation");
+}
+
+#[test]
+fn chunked_clamps() {
+    check_backend(&chunked(), "ChunkedRelation");
+}
+
+#[test]
+fn durable_clamps() {
+    let (rel, dir) = durable("durable");
+    check_backend(&rel, "DurableRelation");
+    drop(rel);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The same backend seen through `&T` and `&dyn TupleScan` keeps the
+/// clamp behavior — the blanket forwarding impls change nothing.
+#[test]
+fn references_and_trait_objects_clamp_identically() {
+    let rel = memory();
+    check_backend(&&rel, "&Relation");
+    check_backend(&rel as &dyn TupleScan, "&dyn TupleScan");
+}

@@ -13,7 +13,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tier="${1:-kick-tires}"
-out="${2:-BENCH_PR6.json}"
+out="${2:-BENCH_PR7.json}"
 
 case "$tier" in
   kick-tires)
