@@ -1,0 +1,181 @@
+//! Scatter-gather cost of the sharded coordinator
+//! (`optrules::coord`) against in-process `serve` shards on loopback:
+//! a 12-spec block through `Coordinator::run_segment` over 1/2/4
+//! shards, warm (every plan node cached at the coordinator — zero
+//! shard RPCs) and cold (a rotating per-iteration sampling seed forces
+//! the full remote data pass: sampling fetches, per-shard counting
+//! scans, and the merge). A single-node `SharedEngine` over the
+//! unsliced rows runs the same block as the baseline the coordinator's
+//! byte-identity contract is priced against.
+//!
+//! On a 1-CPU container the per-shard scans serialize, so cold numbers
+//! overstate the scatter-gather overhead — re-baseline on multi-core
+//! hardware, where shard scans genuinely overlap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optrules_bench::{fmt_duration, time_best_of};
+use optrules_coord::{CoordConfig, Coordinator};
+use optrules_core::server::{serve, ServerConfig, ServerHandle};
+use optrules_core::{CacheConfig, EngineConfig, QuerySpec, Ratio, SharedEngine};
+use optrules_relation::gen::{BankGenerator, DataGenerator};
+use optrules_relation::{Relation, TupleScan};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: u64 = 100_000;
+const ATTRS: [&str; 4] = ["Balance", "Age", "CheckingAccount", "SavingAccount"];
+const TARGETS: [&str; 3] = ["CardLoan", "AutoWithdraw", "OnlineBanking"];
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        buckets: 1000,
+        min_support: Ratio::percent(5),
+        min_confidence: Ratio::percent(55),
+        ..EngineConfig::default()
+    }
+}
+
+/// The 12-spec block: every (attr, target) pair, with `seed` pinning
+/// the bucketization sample so a new seed defeats every cache.
+fn spec_block(seed: u64) -> Vec<QuerySpec> {
+    let mut specs = Vec::new();
+    for attr in ATTRS {
+        for target in TARGETS {
+            specs.push(QuerySpec {
+                seed: Some(seed),
+                ..QuerySpec::boolean(attr, target)
+            });
+        }
+    }
+    specs
+}
+
+/// Splits `rel` into `shards` near-equal contiguous slices.
+fn split(rel: &Relation, shards: usize) -> Vec<Relation> {
+    let n = TupleScan::len(rel);
+    let per = n.div_ceil(shards as u64);
+    (0..shards as u64)
+        .map(|i| {
+            let mut part = Relation::new(TupleScan::schema(rel).clone());
+            rel.for_each_row_in(
+                (i * per).min(n)..((i + 1) * per).min(n),
+                &mut |_, nums, bools| {
+                    part.push_row(nums, bools).expect("same schema");
+                },
+            )
+            .expect("in-memory scan cannot fail");
+            part
+        })
+        .collect()
+}
+
+fn spawn_shards(rel: &Relation, shards: usize) -> (Vec<ServerHandle>, Vec<String>) {
+    let handles: Vec<ServerHandle> = split(rel, shards)
+        .into_iter()
+        .map(|part| {
+            let engine = Arc::new(SharedEngine::with_config(part, config()));
+            serve(
+                engine,
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 4,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind bench shard")
+        })
+        .collect();
+    let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+    (handles, addrs)
+}
+
+fn run(coord: &Coordinator, specs: &[QuerySpec]) {
+    for line in coord.run_segment(specs, 4) {
+        let encoded = line.encode();
+        assert!(
+            encoded.starts_with("{\"ok\":"),
+            "bench spec failed: {encoded}"
+        );
+    }
+}
+
+fn bench_coord_scatter_gather(c: &mut Criterion) {
+    let rel: Relation = BankGenerator::default().to_relation(ROWS, 3);
+    let warm_block = spec_block(41);
+    let lines = warm_block.len() as u64;
+
+    let mut group = c.benchmark_group("coord_scatter_gather");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(lines));
+
+    // The single-node baseline the coordinator must stay byte-identical to.
+    let single = SharedEngine::with_config(rel.clone(), config());
+    single.run_batch(&warm_block, 4);
+    group.bench_function(BenchmarkId::new("warm", "single_node"), |b| {
+        b.iter(|| single.run_batch(&warm_block, 4))
+    });
+    let mut cold_seed = 1_000u64;
+    group.bench_function(BenchmarkId::new("cold", "single_node"), |b| {
+        b.iter(|| {
+            cold_seed += 1;
+            single.run_batch(&spec_block(cold_seed), 4)
+        })
+    });
+
+    let mut topologies = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (handles, addrs) = spawn_shards(&rel, shards);
+        let coord = Coordinator::connect(
+            &addrs,
+            config(),
+            CacheConfig::default(),
+            CoordConfig::default(),
+        )
+        .expect("coordinator connects");
+        run(&coord, &warm_block);
+
+        group.bench_with_input(
+            BenchmarkId::new("warm", format!("{shards}_shards")),
+            &shards,
+            |b, _| b.iter(|| run(&coord, &warm_block)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cold", format!("{shards}_shards")),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    cold_seed += 1;
+                    run(&coord, &spec_block(cold_seed))
+                })
+            },
+        );
+        topologies.push((shards, handles, coord));
+    }
+    group.finish();
+
+    // Headline numbers: best-of specs/sec per topology, warm and cold.
+    for (shards, handles, coord) in topologies {
+        let warm = time_best_of(Duration::from_millis(800), || run(&coord, &warm_block));
+        let cold = time_best_of(Duration::from_millis(800), || {
+            cold_seed += 1;
+            run(&coord, &spec_block(cold_seed))
+        });
+        println!(
+            "coord_scatter_gather shards={shards}  warm {} ({:.0} spec/s)  cold {} ({:.1} spec/s)",
+            fmt_duration(warm),
+            lines as f64 / warm.as_secs_f64(),
+            fmt_duration(cold),
+            lines as f64 / cold.as_secs_f64(),
+        );
+        coord.drain_shards();
+        for handle in handles {
+            handle.join();
+        }
+    }
+}
+
+criterion_group!(benches, bench_coord_scatter_gather);
+criterion_main!(benches);

@@ -57,6 +57,7 @@ pub mod sampling;
 pub mod vertical;
 
 pub use assign::{count_buckets, CountSpec};
+pub use boundaries::cuts_from_sample;
 pub use bucket::{BucketCounts, BucketSpec};
 pub use equidepth::{equi_depth_cuts, EquiDepthConfig, SamplingMethod};
 pub use equiwidth::equi_width_cuts;
@@ -64,4 +65,5 @@ pub use error::BucketingError;
 pub use finest::{finest_cuts, finest_cuts_for_integer_domain};
 pub use naive::{exact_equi_depth_cuts, naive_sort_cuts};
 pub use parallel::count_buckets_parallel;
+pub use sampling::sample_indices;
 pub use vertical::vertical_split_cuts;

@@ -14,6 +14,23 @@ use optrules_relation::{NumAttr, RandomAccess, TupleScan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The row indices that [`sample_with_replacement`] visits, in draw
+/// order: `s` draws from `0..n`, deterministic in `seed`.
+///
+/// Exposed so a distributed caller can reproduce the exact sampling
+/// stream of a single-node engine — generate the indices centrally,
+/// fetch the values wherever the rows live, and feed them to
+/// [`cuts_from_sample`](crate::cuts_from_sample) in this order.
+///
+/// # Panics
+///
+/// Panics if `n == 0`; callers must reject an empty relation first
+/// (as [`sample_with_replacement`] does).
+pub fn sample_indices(n: u64, s: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..s).map(|_| rng.gen_range(0..n)).collect()
+}
+
 /// Draws `s` values of `attr` uniformly with replacement.
 ///
 /// # Errors
@@ -29,10 +46,8 @@ pub fn sample_with_replacement<R: RandomAccess + ?Sized>(
     if n == 0 {
         return Err(BucketingError::EmptyRelation);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(s as usize);
-    for _ in 0..s {
-        let row = rng.gen_range(0..n);
+    for row in sample_indices(n, s, seed) {
         out.push(rel.numeric_at(attr, row)?);
     }
     Ok(out)
@@ -106,6 +121,16 @@ mod tests {
         let c = sample_with_replacement(&rel, NumAttr(0), 100, 8).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn indices_match_value_sampling() {
+        let rel = ramp(64);
+        let values = sample_with_replacement(&rel, NumAttr(0), 200, 11).unwrap();
+        let indices = sample_indices(64, 200, 11);
+        assert_eq!(indices.len(), 200);
+        let via_indices: Vec<f64> = indices.iter().map(|&i| i as f64).collect();
+        assert_eq!(values, via_indices);
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Error type for the scatter-gather coordinator.
+
+use optrules_core::CoreError;
+use std::fmt;
+
+/// Errors produced by the coordinator.
+///
+/// The split matters for the wire protocol: a [`Core`](Self::Core)
+/// error renders as the plain string `{"error":"…"}` envelope,
+/// byte-identical to the same failure on a single-node engine, while a
+/// [`Shard`](Self::Shard) error renders as the structured
+/// `{"error":{"shard":i,"message":"…"}}` envelope so clients can tell
+/// "your request was bad" from "a backend shard failed".
+#[derive(Debug)]
+pub enum CoordError {
+    /// A backend shard failed (connect, transport, protocol, or a
+    /// generation mismatch against the pinned snapshot).
+    Shard {
+        /// Index of the failing shard, in `--shards` order.
+        shard: usize,
+        /// What went wrong, for the error envelope.
+        message: String,
+    },
+    /// A failure the single-node engine could equally have produced
+    /// (resolution, bucketing, optimization).
+    Core(CoreError),
+    /// The shard topology is unusable (no shards, mismatched schemas).
+    Config(String),
+}
+
+impl CoordError {
+    /// Builds a shard error from anything displayable.
+    pub fn shard(shard: usize, message: impl Into<String>) -> Self {
+        Self::Shard {
+            shard,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shard { shard, message } => write!(f, "shard {shard}: {message}"),
+            Self::Core(e) => fmt::Display::fmt(e, f),
+            Self::Config(msg) => write!(f, "coordinator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl From<CoreError> for CoordError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoordError>;

@@ -1,0 +1,759 @@
+//! Scatter-gather coordinator: plan centrally, count on shards,
+//! optimize once.
+//!
+//! The optimization step of every query in this system is cheap — it
+//! runs over `M` (≤ thousands) bucket summaries, not `N` (millions of)
+//! rows. What costs is the data pass: sampling for Algorithm 3.1's
+//! bucket boundaries and the counting scan that fills them. This crate
+//! splits the two across machines:
+//!
+//! ```text
+//!                      ┌────────────┐  specs / stats / append
+//!            clients ─▶│ optrules   │◀─ NDJSON over TCP
+//!                      │   coord    │
+//!                      └─────┬──────┘
+//!        plan, cache, merge, │ optimize   (cheap, centralized)
+//!            ┌───────────────┼───────────────┐
+//!            ▼               ▼               ▼
+//!      ┌───────────┐   ┌───────────┐   ┌───────────┐
+//!      │ optrules  │   │ optrules  │   │ optrules  │   values/count
+//!      │  serve #0 │   │  serve #1 │   │  serve #2 │   frames only
+//!      └───────────┘   └───────────┘   └───────────┘
+//!        rows 0..a       rows a..b       rows b..N    (concatenation)
+//! ```
+//!
+//! The shards are plain `optrules serve` processes; they never
+//! optimize for the coordinator — they answer two internal frames:
+//! `{"cmd":"values"}` (fetch sampled rows for bucketization) and
+//! `{"cmd":"count"}` (one raw counting scan, partials left
+//! uncompacted). The coordinator owns everything a single-node
+//! engine's shared layer owns — planning, cross-query dedup, the
+//! artifact cache, singleflight — and merges per-shard partial
+//! [`BucketCounts`] in shard order before compacting once and
+//! assembling rules.
+//!
+//! # Byte-identity
+//!
+//! Responses are byte-identical to a single-node `optrules serve` over
+//! the concatenated relation: the sampling index stream is reproduced
+//! centrally ([`sample_indices`] + [`attr_seed`]) and the drawn values
+//! are fetched from whichever shard holds each row, so the bucket
+//! boundaries — and hence every count and every optimized rule — match
+//! the single-node run exactly. (Caveat: `sums` of *non-integer* f64
+//! values may differ in low bits from a differently-partitioned run,
+//! since float addition is not associative; integer-valued data is
+//! exact.)
+//!
+//! # Consistency model
+//!
+//! Each query pins a **generation vector** — one `(generation, rows)`
+//! pair per shard. An append routes to the last shard and bumps only
+//! that entry; there is no cross-shard append atomicity. Every shard
+//! reply carries the generation it served; a mismatch against the pin
+//! fails that query with a structured shard error (and refreshes the
+//! coordinator's view for subsequent segments). The wire-visible
+//! `generation` is the **epoch** — the sum over the vector — which
+//! advances by exactly one per append, matching single-node numbering.
+//!
+//! # Degradation
+//!
+//! A dead or hung shard fails only the requests that needed it, with
+//! the structured `{"error":{"shard":i,"message":…}}` envelope; the
+//! coordinator itself keeps serving and recovers when the shard comes
+//! back (connections are redialed per RPC, and a generation refresh
+//! re-pins the restarted shard's state).
+
+#![warn(missing_docs)]
+
+mod error;
+mod shardset;
+
+pub use error::{CoordError, Result};
+pub use shardset::{CoordConfig, ShardSet};
+
+use optrules_bucketing::{
+    cuts_from_sample, sample_indices, BucketCounts, BucketSpec, BucketingError, CountSpec,
+};
+use optrules_core::cache::{CacheConfig, FlightRole, ShardedCache};
+use optrules_core::json::{self, Json, Num, Request};
+use optrules_core::plan::{self, Plan};
+use optrules_core::server::{Gate, Service};
+use optrules_core::shared::{
+    attr_seed, counts_cost, fan_out, spec_cost, AppendOutcome, BucketKey, CacheKey, CacheValue,
+    ScanKey, ScanWhat,
+};
+use optrules_core::{CoreError, EngineConfig, QuerySpec, RuleSet};
+use optrules_relation::Schema;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Row indices per `{"cmd":"values"}` frame: keeps each request line
+/// comfortably under the shards' line-length limit while still
+/// amortizing round trips (all chunks for one shard are pipelined in a
+/// single write).
+const VALUES_CHUNK: usize = 8192;
+
+/// The coordinator's pinned view of shard state: one `(generation,
+/// rows)` pair per shard plus a local **pin identity** that changes
+/// whenever the vector does. Cache keys carry the pin identity, not
+/// the epoch — two distinct vectors could share an epoch sum (e.g.
+/// after a shard restart), and artifacts from different vectors must
+/// never be served interchangeably.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShardView {
+    gens: Vec<u64>,
+    rows: Vec<u64>,
+    pin_id: u64,
+}
+
+impl ShardView {
+    /// Wire-visible generation: the sum of per-shard generations.
+    /// Advances by exactly one per append (an append bumps one shard's
+    /// generation by one), matching single-node numbering.
+    fn epoch(&self) -> u64 {
+        self.gens.iter().sum()
+    }
+
+    /// Total rows across the concatenation.
+    fn total_rows(&self) -> u64 {
+        self.rows.iter().sum()
+    }
+
+    /// Global row offset at which each shard's segment begins.
+    fn offsets(&self) -> Vec<u64> {
+        let mut offsets = Vec::with_capacity(self.rows.len());
+        let mut acc = 0u64;
+        for &r in &self.rows {
+            offsets.push(acc);
+            acc += r;
+        }
+        offsets
+    }
+}
+
+/// The scatter-gather coordinator: a [`Service`] that owns the spec →
+/// plan layer (resolution, dedup, caching, assembly) and delegates the
+/// data pass to backend shards. See the [module docs](self).
+pub struct Coordinator {
+    shards: ShardSet,
+    schema: Schema,
+    config: EngineConfig,
+    cache: ShardedCache<CacheKey, CacheValue>,
+    state: RwLock<ShardView>,
+    next_pin: AtomicU64,
+    merged_nodes: AtomicU64,
+    bucketizations: AtomicU64,
+    bucket_cache_hits: AtomicU64,
+    scans: AtomicU64,
+    scan_cache_hits: AtomicU64,
+}
+
+/// Parses one shard reply line and unwraps its `{"ok":…}` payload; an
+/// `{"error":…}` reply or a protocol violation becomes a shard error.
+fn parse_ok(shard: usize, line: &str) -> Result<Json> {
+    let value = Json::parse(line)
+        .map_err(|e| CoordError::shard(shard, format!("unparseable reply: {e}")))?;
+    match json::envelope_from_value(&value)
+        .map_err(|e| CoordError::shard(shard, format!("bad reply envelope: {e}")))?
+    {
+        Ok(payload) => Ok(payload.clone()),
+        Err(Json::Str(msg)) => Err(CoordError::shard(shard, msg.clone())),
+        Err(detail) => Err(CoordError::shard(shard, detail.encode())),
+    }
+}
+
+/// Reads a top-level `u64` field out of a JSON object, if present.
+fn obj_u64(value: &Json, key: &str) -> Option<u64> {
+    let Json::Obj(fields) = value else {
+        return None;
+    };
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+        if let Json::Num(Num::UInt(n)) = v {
+            Some(*n)
+        } else {
+            None
+        }
+    })
+}
+
+/// Renders a [`CoordError`] as its response envelope: shard failures
+/// get the structured form, everything else the plain string form a
+/// single-node engine would produce for the same failure.
+fn render_error(e: CoordError) -> Json {
+    match e {
+        CoordError::Shard { shard, message } => json::shard_error_envelope(shard, message),
+        other => json::error_envelope(other.to_string()),
+    }
+}
+
+fn cmd_line(cmd: &str) -> String {
+    Json::Obj(vec![("cmd".into(), Json::Str(cmd.into()))]).encode()
+}
+
+impl Coordinator {
+    /// Connects to the shard set: fetches every shard's schema (they
+    /// must all match) and records the initial generation vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addrs` is empty, a shard is unreachable, or the
+    /// shards disagree on the schema.
+    pub fn connect(
+        addrs: &[String],
+        config: EngineConfig,
+        cache: CacheConfig,
+        net: CoordConfig,
+    ) -> Result<Coordinator> {
+        if addrs.is_empty() {
+            return Err(CoordError::Config(
+                "at least one shard address is required".into(),
+            ));
+        }
+        let shards = ShardSet::new(addrs, net);
+        let replies = shards.broadcast(&cmd_line("schema"), true, false);
+        let mut schema: Option<Schema> = None;
+        let mut gens = Vec::with_capacity(addrs.len());
+        let mut rows = Vec::with_capacity(addrs.len());
+        for (i, reply) in replies.into_iter().enumerate() {
+            let lines = reply?;
+            let payload = parse_ok(i, &lines[0])?;
+            let (shard_schema, generation, shard_rows) = json::schema_from_value(&payload)
+                .map_err(|e| CoordError::shard(i, format!("bad schema reply: {e}")))?;
+            match &schema {
+                None => schema = Some(shard_schema),
+                Some(first) => {
+                    if *first != shard_schema {
+                        return Err(CoordError::Config(format!(
+                            "shard {i} ({}) serves a different schema than shard 0",
+                            shards.addr(i)
+                        )));
+                    }
+                }
+            }
+            gens.push(generation);
+            rows.push(shard_rows);
+        }
+        Ok(Coordinator {
+            shards,
+            schema: schema.expect("addrs is non-empty"),
+            config,
+            cache: ShardedCache::new(cache),
+            state: RwLock::new(ShardView {
+                gens,
+                rows,
+                pin_id: 0,
+            }),
+            next_pin: AtomicU64::new(1),
+            merged_nodes: AtomicU64::new(0),
+            bucketizations: AtomicU64::new(0),
+            bucket_cache_hits: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            scan_cache_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The schema every shard serves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of backend shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current wire-visible generation (the epoch; see [module
+    /// docs](self)).
+    pub fn generation(&self) -> u64 {
+        self.state.read().expect("state poisoned").epoch()
+    }
+
+    /// Records a freshly observed `(generation, rows)` for one shard;
+    /// any change invalidates the pin identity so later segments
+    /// re-plan (and re-cache) against the new vector.
+    fn observe_shard(&self, shard: usize, generation: u64, rows: u64) {
+        let mut st = self.state.write().expect("state poisoned");
+        if st.gens[shard] != generation || st.rows[shard] != rows {
+            st.gens[shard] = generation;
+            st.rows[shard] = rows;
+            st.pin_id = self.next_pin.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-reads one shard's `(generation, rows)` after a mismatch —
+    /// how the coordinator re-pins a restarted shard. Best effort: a
+    /// failure here just leaves the stale view for the next attempt.
+    fn resync(&self, shard: usize) {
+        if let Ok(lines) = self.shards.rpc(shard, &[cmd_line("schema")], true, false) {
+            if let Ok(payload) = parse_ok(shard, &lines[0]) {
+                if let Ok((_, generation, rows)) = json::schema_from_value(&payload) {
+                    self.observe_shard(shard, generation, rows);
+                }
+            }
+        }
+    }
+
+    /// A generation-mismatch failure: fails the current query and
+    /// kicks off a resync so the next segment pins the new state.
+    fn stale_pin(&self, shard: usize, pinned: u64, observed: u64) -> CoordError {
+        self.resync(shard);
+        CoordError::shard(
+            shard,
+            format!(
+                "generation changed under the pinned snapshot (pinned {pinned}, now {observed})"
+            ),
+        )
+    }
+
+    /// The same lookup → singleflight → compute discipline as the
+    /// single-node shared engine, generic over [`CoordError`].
+    fn cached_or_compute(
+        &self,
+        key: CacheKey,
+        hit_counter: &AtomicU64,
+        work_counter: &AtomicU64,
+        compute: impl FnOnce() -> Result<(CacheValue, u64)>,
+    ) -> Result<CacheValue> {
+        if let Some(value) = self.cache.get(&key) {
+            hit_counter.fetch_add(1, Ordering::Relaxed);
+            return Ok(value);
+        }
+        let mut compute = Some(compute);
+        loop {
+            match self.cache.begin(&key) {
+                FlightRole::Ready(value) => {
+                    hit_counter.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value);
+                }
+                FlightRole::Leader(flight) => {
+                    work_counter.fetch_add(1, Ordering::Relaxed);
+                    let compute = compute.take().expect("a caller leads at most one flight");
+                    match compute() {
+                        Ok((value, cost)) => {
+                            self.cache.insert(key, value.clone(), cost);
+                            flight.finish(Some(value.clone()));
+                            return Ok(value);
+                        }
+                        Err(e) => {
+                            flight.finish(None);
+                            return Err(e);
+                        }
+                    }
+                }
+                FlightRole::Waiter(flight) => {
+                    if let Some(value) = flight.wait() {
+                        hit_counter.fetch_add(1, Ordering::Relaxed);
+                        return Ok(value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Step 1–3 of Algorithm 3.1 with the rows living on shards:
+    /// reproduce the single-node sampling index stream, fetch each
+    /// drawn value from the shard that holds its row, and cut the
+    /// reassembled sample centrally.
+    fn bucketize(&self, key: BucketKey, pin: &ShardView) -> Result<BucketSpec> {
+        let total = pin.total_rows();
+        if total == 0 {
+            // Checked before index generation, exactly where the
+            // single-node sampler rejects an empty relation.
+            return Err(CoreError::from(BucketingError::EmptyRelation).into());
+        }
+        let s = key.samples_per_bucket * key.buckets as u64;
+        let indices = sample_indices(total, s, attr_seed(key.seed, key.attr));
+        let offsets = pin.offsets();
+        // Group draws by owning shard, remembering each draw's position
+        // in the stream so the sample reassembles in draw order.
+        let mut per_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
+        for (draw, &global) in indices.iter().enumerate() {
+            let shard = offsets.partition_point(|&o| o <= global) - 1;
+            per_shard[shard].push((draw, global - offsets[shard]));
+        }
+        let attr_name = self.schema.numeric_name(key.attr);
+        let lines_per_shard: Vec<Vec<String>> = per_shard
+            .iter()
+            .map(|draws| {
+                draws
+                    .chunks(VALUES_CHUNK)
+                    .map(|chunk| {
+                        let locals: Vec<u64> = chunk.iter().map(|&(_, local)| local).collect();
+                        json::values_frame_to_value(attr_name, &locals).encode()
+                    })
+                    .collect()
+            })
+            .collect();
+        let results = self.shards.fan(
+            |i| {
+                if lines_per_shard[i].is_empty() {
+                    None
+                } else {
+                    Some(lines_per_shard[i].clone())
+                }
+            },
+            true,
+            true,
+        );
+        let mut sample = vec![0.0f64; indices.len()];
+        for (shard, result) in results.into_iter().enumerate() {
+            if per_shard[shard].is_empty() {
+                continue;
+            }
+            let lines = result?;
+            let mut draws = per_shard[shard].iter();
+            for line in &lines {
+                let payload = parse_ok(shard, line)?;
+                let (values, generation) = json::values_reply_from_value(&payload)
+                    .map_err(|e| CoordError::shard(shard, format!("bad values reply: {e}")))?;
+                if generation != pin.gens[shard] {
+                    return Err(self.stale_pin(shard, pin.gens[shard], generation));
+                }
+                for value in values {
+                    let &(draw, _) = draws.next().ok_or_else(|| {
+                        CoordError::shard(shard, "values reply returned too many values")
+                    })?;
+                    sample[draw] = value;
+                }
+            }
+            if draws.next().is_some() {
+                return Err(CoordError::shard(
+                    shard,
+                    "values reply returned too few values",
+                ));
+            }
+        }
+        cuts_from_sample(&mut sample, key.buckets).map_err(|e| CoreError::from(e).into())
+    }
+
+    /// Cached, coalesced bucket boundaries for `key`.
+    fn spec_for(&self, key: BucketKey, pin: &ShardView) -> Result<Arc<BucketSpec>> {
+        let value = self.cached_or_compute(
+            CacheKey::Bucket(key),
+            &self.bucket_cache_hits,
+            &self.bucketizations,
+            || {
+                let spec = Arc::new(self.bucketize(key, pin)?);
+                let cost = spec_cost(&spec);
+                Ok((CacheValue::Spec(spec), cost))
+            },
+        )?;
+        match value {
+            CacheValue::Spec(spec) => Ok(spec),
+            CacheValue::Counts(_) => unreachable!("bucket key holds a spec"),
+        }
+    }
+
+    /// Cached, coalesced counting scan for one plan node: broadcast the
+    /// count frame to every non-empty shard, verify each partial
+    /// against the pin, merge **in shard order** (the concatenation
+    /// order), compact once, cache the compacted counts — exactly what
+    /// a single-node engine caches for the same key.
+    fn counts_for(
+        &self,
+        key: BucketKey,
+        threads: usize,
+        what: &ScanWhat,
+        count_spec: Option<&CountSpec>,
+        pin: &ShardView,
+    ) -> Result<Arc<BucketCounts>> {
+        let scan_key = ScanKey {
+            bucket: key,
+            threads,
+            what: what.clone(),
+        };
+        let value = self.cached_or_compute(
+            CacheKey::Scan(scan_key),
+            &self.scan_cache_hits,
+            &self.scans,
+            || {
+                let cuts = self.spec_for(key, pin)?;
+                let frame =
+                    json::count_frame_to_value(&self.schema, key.attr, &cuts, count_spec, threads)
+                        .encode();
+                let results = self.shards.fan(
+                    |i| {
+                        if pin.rows[i] == 0 {
+                            // An empty shard's partial is all zeros —
+                            // skip the RPC (and the EmptyRelation error
+                            // its scan would raise).
+                            None
+                        } else {
+                            Some(vec![frame.clone()])
+                        }
+                    },
+                    true,
+                    true,
+                );
+                let mut merged: Option<BucketCounts> = None;
+                let mut counted = 0u64;
+                for (shard, result) in results.into_iter().enumerate() {
+                    if pin.rows[shard] == 0 {
+                        continue;
+                    }
+                    let lines = result?;
+                    let payload = parse_ok(shard, &lines[0])?;
+                    let (counts, generation) = json::counts_from_value(&payload)
+                        .map_err(|e| CoordError::shard(shard, format!("bad count reply: {e}")))?;
+                    if generation != pin.gens[shard] {
+                        return Err(self.stale_pin(shard, pin.gens[shard], generation));
+                    }
+                    if counts.total_rows != pin.rows[shard] {
+                        return Err(self.stale_pin(shard, pin.rows[shard], counts.total_rows));
+                    }
+                    if counts.bucket_count() != cuts.bucket_count() {
+                        return Err(CoordError::shard(
+                            shard,
+                            "count reply disagrees on bucket count",
+                        ));
+                    }
+                    counted += 1;
+                    match &mut merged {
+                        None => merged = Some(counts),
+                        Some(m) => m.merge(&counts),
+                    }
+                }
+                let merged = merged.expect("a non-empty relation has a non-empty shard");
+                self.merged_nodes.fetch_add(counted, Ordering::Relaxed);
+                let (_, compacted) = merged.compact();
+                let counts = Arc::new(compacted);
+                let cost = counts_cost(&counts);
+                Ok((CacheValue::Counts(counts), cost))
+            },
+        )?;
+        match value {
+            CacheValue::Counts(counts) => Ok(counts),
+            CacheValue::Spec(_) => unreachable!("scan key holds counts"),
+        }
+    }
+
+    /// Runs one segment of consecutive specs as a planned batch,
+    /// returning one response envelope per spec in order. `threads`
+    /// fans deduplicated plan nodes out in parallel (each scan node is
+    /// additionally parallel across shards internally).
+    pub fn run_segment(&self, specs: &[QuerySpec], threads: usize) -> Vec<Json> {
+        let pin = self.state.read().expect("state poisoned").clone();
+        let plan = Plan::compile(&self.schema, &self.config, pin.pin_id, specs);
+        fan_out(&plan.buckets, threads, |key| {
+            let _ = self.spec_for(*key, &pin);
+        });
+        fan_out(&plan.scans, threads, |node| {
+            let _ = self.counts_for(
+                node.key,
+                node.threads,
+                &node.what,
+                node.count_spec.as_ref(),
+                &pin,
+            );
+        });
+        plan.queries
+            .into_iter()
+            .map(|resolved| {
+                let outcome: Result<RuleSet> = resolved.map_err(CoordError::from).and_then(|r| {
+                    let counts =
+                        self.counts_for(r.key, r.threads, &r.what, r.count_spec.as_ref(), &pin)?;
+                    plan::assemble(&r, &counts).map_err(CoordError::from)
+                });
+                match outcome {
+                    Ok(rules) => json::ok_envelope(json::rule_set_to_value(&rules)),
+                    Err(e) => render_error(e),
+                }
+            })
+            .collect()
+    }
+
+    /// Answers an append frame: validate centrally (invalid frames
+    /// render byte-identically to a single-node engine and never reach
+    /// a shard), route the rows to the **last** shard (preserving
+    /// concatenation order), and rewrite the acknowledgment into epoch
+    /// terms. Appends never retry after bytes were written — the frame
+    /// is not idempotent.
+    pub fn append(&self, rows_value: &Json) -> Json {
+        if let Err(e) = json::rows_from_value(rows_value, &self.schema) {
+            return json::error_envelope(format!("bad request: {e}"));
+        }
+        let last = self.shards.len() - 1;
+        let frame = Json::Obj(vec![
+            ("cmd".into(), Json::Str("append".into())),
+            ("rows".into(), rows_value.clone()),
+        ])
+        .encode();
+        let lines = match self.shards.rpc(last, &[frame], false, true) {
+            Ok(lines) => lines,
+            Err(e) => return render_error(e),
+        };
+        let parsed = match Json::parse(&lines[0]) {
+            Ok(value) => value,
+            Err(e) => {
+                return render_error(CoordError::shard(last, format!("unparseable reply: {e}")))
+            }
+        };
+        let payload = match json::envelope_from_value(&parsed) {
+            // The shard rejected the append (e.g. a storage failure):
+            // its error envelope is forwarded verbatim, byte-identical
+            // to the same failure on a single-node engine.
+            Ok(Err(_)) => return parsed,
+            Ok(Ok(payload)) => payload.clone(),
+            Err(e) => {
+                return render_error(CoordError::shard(last, format!("bad reply envelope: {e}")))
+            }
+        };
+        let ack = match json::append_from_value(&payload) {
+            Ok(ack) => ack,
+            Err(e) => {
+                return render_error(CoordError::shard(last, format!("bad append reply: {e}")))
+            }
+        };
+        self.observe_shard(last, ack.generation, ack.total_rows);
+        let st = self.state.read().expect("state poisoned");
+        json::ok_envelope(json::append_to_value(&AppendOutcome {
+            appended: ack.appended,
+            generation: st.epoch(),
+            total_rows: st.total_rows(),
+        }))
+    }
+
+    /// Answers a stats frame: aggregates every shard's own stats
+    /// payload under `"shards"` and adds the coordinator's counters.
+    /// Also refreshes the pinned generation vector from the replies —
+    /// the cheap way to re-pin after shard restarts.
+    pub fn stats(&self) -> Json {
+        let results = self.shards.broadcast(&cmd_line("stats"), true, false);
+        let mut payloads = Vec::with_capacity(results.len());
+        for (shard, result) in results.into_iter().enumerate() {
+            let payload = match result.and_then(|lines| parse_ok(shard, &lines[0])) {
+                Ok(payload) => payload,
+                Err(e) => return render_error(e),
+            };
+            if let (Some(generation), Some(rows)) =
+                (obj_u64(&payload, "generation"), obj_u64(&payload, "rows"))
+            {
+                self.observe_shard(shard, generation, rows);
+            }
+            payloads.push(payload);
+        }
+        let st = self.state.read().expect("state poisoned").clone();
+        let (shard_rpcs, shard_retries, shard_errors) = self.shards.counters();
+        let num = |n: u64| Json::Num(Num::UInt(n));
+        json::ok_envelope(Json::Obj(vec![
+            ("generation".into(), num(st.epoch())),
+            ("rows".into(), num(st.total_rows())),
+            ("shard_rpcs".into(), num(shard_rpcs)),
+            ("shard_retries".into(), num(shard_retries)),
+            ("shard_errors".into(), num(shard_errors)),
+            (
+                "merged_nodes".into(),
+                num(self.merged_nodes.load(Ordering::Relaxed)),
+            ),
+            (
+                "bucketizations".into(),
+                num(self.bucketizations.load(Ordering::Relaxed)),
+            ),
+            (
+                "bucket_cache_hits".into(),
+                num(self.bucket_cache_hits.load(Ordering::Relaxed)),
+            ),
+            ("scans".into(), num(self.scans.load(Ordering::Relaxed))),
+            (
+                "scan_cache_hits".into(),
+                num(self.scan_cache_hits.load(Ordering::Relaxed)),
+            ),
+            ("shards".into(), Json::Arr(payloads)),
+        ]))
+    }
+
+    /// Answers a flush frame: a durability barrier across **all**
+    /// shards. Any shard failure fails the barrier with a structured
+    /// shard error.
+    pub fn flush(&self) -> Json {
+        let results = self.shards.broadcast(&cmd_line("flush"), true, true);
+        for (shard, result) in results.into_iter().enumerate() {
+            if let Err(e) = result.and_then(|lines| parse_ok(shard, &lines[0])) {
+                return render_error(e);
+            }
+        }
+        let st = self.state.read().expect("state poisoned");
+        json::ok_envelope(json::flush_to_value(st.epoch()))
+    }
+
+    /// Answers a schema frame from the coordinator's own (validated)
+    /// view — no shard round trip.
+    pub fn schema_frame(&self) -> Json {
+        let st = self.state.read().expect("state poisoned");
+        json::ok_envelope(json::schema_to_value(
+            &self.schema,
+            st.epoch(),
+            st.total_rows(),
+        ))
+    }
+
+    /// Propagates shutdown to every shard **in parallel**, tolerating
+    /// shards that are already gone — one dead backend must not stall
+    /// (or fail) the coordinator's own teardown.
+    pub fn drain_shards(&self) {
+        let _ = self.shards.broadcast(&cmd_line("shutdown"), true, false);
+    }
+}
+
+/// The coordinator behind the [`json::FrameHandler`] grammar — what a
+/// TCP connection (or any other transport) drives.
+struct CoordFrames<'a> {
+    coord: &'a Coordinator,
+    gate: &'a Gate,
+    batch_threads: usize,
+}
+
+impl json::FrameHandler for CoordFrames<'_> {
+    fn run_segment(&mut self, specs: &[QuerySpec]) -> Vec<Json> {
+        let _permit = self.gate.acquire();
+        self.coord.run_segment(specs, self.batch_threads)
+    }
+
+    fn stats(&mut self) -> Json {
+        self.coord.stats()
+    }
+
+    fn flush(&mut self) -> Json {
+        self.coord.flush()
+    }
+
+    fn append(&mut self, rows: &Json) -> Json {
+        self.coord.append(rows)
+    }
+
+    fn schema(&mut self) -> Json {
+        self.coord.schema_frame()
+    }
+
+    fn values(&mut self, _frame: &Json) -> Json {
+        json::error_envelope("bad request: \"values\" is a shard-internal frame")
+    }
+
+    fn count(&mut self, _frame: &Json) -> Json {
+        json::error_envelope("bad request: \"count\" is a shard-internal frame")
+    }
+
+    fn shutdown_ack(&mut self) -> Json {
+        json::ok_envelope(Json::Str("shutdown".into()))
+    }
+}
+
+impl Service for Coordinator {
+    fn execute(
+        &self,
+        requests: Vec<Request>,
+        gate: &Gate,
+        batch_threads: usize,
+    ) -> (Vec<Json>, bool) {
+        let mut frames = CoordFrames {
+            coord: self,
+            gate,
+            batch_threads,
+        };
+        json::execute_frames(&mut frames, requests)
+    }
+
+    fn drain(&self) {
+        self.drain_shards();
+    }
+}

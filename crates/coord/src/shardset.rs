@@ -1,0 +1,272 @@
+//! Shard connection layer: pooled TCP connections with pipelining,
+//! timeouts, and bounded retries.
+//!
+//! Each shard gets a small pool of persistent connections (the NDJSON
+//! protocol is stateless per line, so any connection works for any
+//! request). An RPC checks a connection out, writes all request lines
+//! in one syscall, reads exactly as many reply lines, and returns the
+//! connection to the pool — pipelining for free. Any failure drops the
+//! connection on the floor; the next RPC dials a fresh one.
+//!
+//! Retries are bounded and backoff doubles per attempt. A request that
+//! is not idempotent (an append) is retried only when the failure
+//! happened **before any bytes were written** — a connect error — so a
+//! write can never be applied twice.
+
+use crate::error::{CoordError, Result};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+/// Network tuning for the coordinator's shard connections.
+#[derive(Debug, Clone)]
+pub struct CoordConfig {
+    /// Dial timeout per connection attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout once connected; a shard that stalls longer
+    /// than this fails the RPC instead of hanging the coordinator.
+    pub rpc_timeout: Duration,
+    /// Retries after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_millis(2_000),
+            rpc_timeout: Duration::from_millis(30_000),
+            retries: 2,
+            retry_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A checked-out connection: reads must go through one persistent
+/// `BufReader` (it may read ahead past the current reply), writes go
+/// straight to the socket.
+struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+/// One backend shard: its address and a pool of idle connections.
+struct Shard {
+    addr: String,
+    pool: Mutex<Vec<Conn>>,
+}
+
+/// A fixed set of backend shards, indexed in `--shards` order.
+pub struct ShardSet {
+    shards: Vec<Shard>,
+    config: CoordConfig,
+    shard_rpcs: AtomicU64,
+    shard_retries: AtomicU64,
+    shard_errors: AtomicU64,
+}
+
+/// How one RPC attempt failed.
+enum Attempt {
+    /// Dial failed; nothing was sent, safe to retry anything.
+    Connect(String),
+    /// Failure after bytes hit the wire; only idempotent requests may
+    /// retry.
+    Transport(String),
+}
+
+impl ShardSet {
+    /// Builds a shard set over `addrs` (no connections are dialed yet;
+    /// the first RPC to each shard dials lazily).
+    pub fn new(addrs: &[String], config: CoordConfig) -> Self {
+        Self {
+            shards: addrs
+                .iter()
+                .map(|addr| Shard {
+                    addr: addr.clone(),
+                    pool: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            config,
+            shard_rpcs: AtomicU64::new(0),
+            shard_retries: AtomicU64::new(0),
+            shard_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the set has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Address of shard `i`, as given to [`ShardSet::new`].
+    pub fn addr(&self, shard: usize) -> &str {
+        &self.shards[shard].addr
+    }
+
+    /// Counter snapshot: `(shard_rpcs, shard_retries, shard_errors)`.
+    /// `shard_rpcs` counts data-plane request frames only (values,
+    /// count, append, flush) so a fully cache-warm query batch leaves
+    /// it unchanged; control frames (stats, schema, shutdown) are free.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.shard_rpcs.load(Ordering::Relaxed),
+            self.shard_retries.load(Ordering::Relaxed),
+            self.shard_errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Sends `lines` to shard `shard` as one pipelined write and reads
+    /// one reply line per request line, in order.
+    ///
+    /// `idempotent` requests retry on any failure; non-idempotent ones
+    /// (appends) only when the dial itself failed. `data_plane` marks
+    /// the frames as real work for the `shard_rpcs` counter.
+    pub fn rpc(
+        &self,
+        shard: usize,
+        lines: &[String],
+        idempotent: bool,
+        data_plane: bool,
+    ) -> Result<Vec<String>> {
+        if data_plane {
+            self.shard_rpcs
+                .fetch_add(lines.len() as u64, Ordering::Relaxed);
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.try_rpc(shard, lines) {
+                Ok(replies) => return Ok(replies),
+                Err(failure) => {
+                    self.shard_errors.fetch_add(1, Ordering::Relaxed);
+                    let (retryable, message) = match failure {
+                        Attempt::Connect(m) => (true, m),
+                        Attempt::Transport(m) => (idempotent, m),
+                    };
+                    if retryable && attempt < self.config.retries {
+                        self.shard_retries.fetch_add(1, Ordering::Relaxed);
+                        thread::sleep(self.config.retry_backoff * (1 << attempt.min(16)));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(CoordError::shard(shard, message));
+                }
+            }
+        }
+    }
+
+    /// Sends the same single line to every shard in parallel, returning
+    /// per-shard results in shard order.
+    pub fn broadcast(
+        &self,
+        line: &str,
+        idempotent: bool,
+        data_plane: bool,
+    ) -> Vec<Result<Vec<String>>> {
+        self.fan(
+            |_shard| Some(vec![line.to_string()]),
+            idempotent,
+            data_plane,
+        )
+    }
+
+    /// Sends a per-shard batch of lines in parallel. `build` returns
+    /// `None` to skip a shard (its slot in the result is `Ok(vec![])`).
+    pub fn fan<F>(&self, build: F, idempotent: bool, data_plane: bool) -> Vec<Result<Vec<String>>>
+    where
+        F: Fn(usize) -> Option<Vec<String>> + Sync,
+    {
+        let mut out: Vec<Result<Vec<String>>> = Vec::with_capacity(self.shards.len());
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|shard| {
+                    let lines = build(shard);
+                    scope.spawn(move || match lines {
+                        Some(lines) if !lines.is_empty() => {
+                            self.rpc(shard, &lines, idempotent, data_plane)
+                        }
+                        _ => Ok(Vec::new()),
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.push(match handle.join() {
+                    Ok(result) => result,
+                    Err(_) => Err(CoordError::Config("shard worker panicked".into())),
+                });
+            }
+        });
+        out
+    }
+
+    /// One attempt: checkout (or dial), pipelined write, ordered reads.
+    fn try_rpc(&self, shard: usize, lines: &[String]) -> std::result::Result<Vec<String>, Attempt> {
+        let slot = &self.shards[shard];
+        let pooled = slot.pool.lock().expect("shard pool poisoned").pop();
+        let mut conn = match pooled {
+            Some(conn) => conn,
+            None => self.dial(&slot.addr).map_err(Attempt::Connect)?,
+        };
+        // Single write for the whole pipeline: the shard frames
+        // consecutive buffered lines into one batch, preserving
+        // cross-request dedup on its side.
+        let mut payload = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        conn.reader
+            .get_mut()
+            .write_all(payload.as_bytes())
+            .map_err(|e| Attempt::Transport(format!("write to {}: {e}", slot.addr)))?;
+        let mut replies = Vec::with_capacity(lines.len());
+        let mut line = String::new();
+        for _ in lines {
+            line.clear();
+            let n = conn
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| Attempt::Transport(format!("read from {}: {e}", slot.addr)))?;
+            if n == 0 {
+                return Err(Attempt::Transport(format!(
+                    "connection to {} closed mid-reply",
+                    slot.addr
+                )));
+            }
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            replies.push(line.clone());
+        }
+        slot.pool.lock().expect("shard pool poisoned").push(conn);
+        Ok(replies)
+    }
+
+    /// Dials a fresh connection with the configured timeouts.
+    fn dial(&self, addr: &str) -> std::result::Result<Conn, String> {
+        let resolved: SocketAddr = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {addr}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("resolve {addr}: no addresses"))?;
+        let stream = TcpStream::connect_timeout(&resolved, self.config.connect_timeout)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(self.config.rpc_timeout))
+            .map_err(|e| format!("configure {addr}: {e}"))?;
+        stream
+            .set_write_timeout(Some(self.config.rpc_timeout))
+            .map_err(|e| format!("configure {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            reader: BufReader::new(stream),
+        })
+    }
+}

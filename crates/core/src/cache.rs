@@ -135,7 +135,7 @@ struct Counters {
 /// leader resolves the flight with `Done(Some(value))` (success) or
 /// `Done(None)` (failure — retry).
 #[derive(Debug)]
-pub(crate) struct Flight<V> {
+pub struct Flight<V> {
     state: Mutex<FlightState<V>>,
     cv: Condvar,
 }
@@ -157,7 +157,7 @@ impl<V: Clone> Flight<V> {
     /// Blocks until the leader resolves the flight. `Some` is the
     /// computed value; `None` means the leader failed and the caller
     /// should retry (possibly becoming the new leader).
-    pub(crate) fn wait(&self) -> Option<V> {
+    pub fn wait(&self) -> Option<V> {
         let mut state = self.state.lock().expect("flight poisoned");
         loop {
             match &*state {
@@ -174,7 +174,7 @@ impl<V: Clone> Flight<V> {
 }
 
 /// What [`ShardedCache::begin`] assigned the caller.
-pub(crate) enum FlightRole<'a, K: Eq + Hash + Clone, V: Clone> {
+pub enum FlightRole<'a, K: Eq + Hash + Clone, V: Clone> {
     /// The value landed in the cache between the caller's miss and this
     /// call — no computation needed.
     Ready(V),
@@ -188,7 +188,7 @@ pub(crate) enum FlightRole<'a, K: Eq + Hash + Clone, V: Clone> {
 /// Leadership of one flight. Resolving happens exactly once: through
 /// [`finish`](Self::finish), or on drop (as a failure) if the leader
 /// unwinds.
-pub(crate) struct FlightGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+pub struct FlightGuard<'a, K: Eq + Hash + Clone, V: Clone> {
     cache: &'a ShardedCache<K, V>,
     shard: usize,
     key: Option<K>,
@@ -198,7 +198,7 @@ impl<K: Eq + Hash + Clone, V: Clone> FlightGuard<'_, K, V> {
     /// Publishes the flight's outcome to every waiter and retires the
     /// flight. Pass `Some` *after* inserting the value into the cache,
     /// so threads arriving post-retirement find it there.
-    pub(crate) fn finish(mut self, value: Option<V>) {
+    pub fn finish(mut self, value: Option<V>) {
         self.complete(value);
     }
 
@@ -223,7 +223,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Drop for FlightGuard<'_, K, V> {
 /// The sharded cost-aware LRU cache. Interior-mutable: all operations
 /// take `&self`.
 #[derive(Debug)]
-pub(crate) struct ShardedCache<K, V> {
+pub struct ShardedCache<K, V> {
     shards: Vec<RwLock<Shard<K, V>>>,
     counters: Vec<Counters>,
     /// Per-shard singleflight registry: keys currently being computed.
@@ -234,7 +234,9 @@ pub(crate) struct ShardedCache<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
-    pub(crate) fn new(config: CacheConfig) -> Self {
+    /// Builds an empty cache with `config.shards` shards splitting the
+    /// `config.max_cost` budget evenly.
+    pub fn new(config: CacheConfig) -> Self {
         let shards = config.shards.max(1);
         Self {
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
@@ -257,7 +259,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
 
     /// Looks up `key`, refreshing its recency on a hit. Takes only the
     /// shard's read lock.
-    pub(crate) fn get(&self, key: &K) -> Option<V> {
+    pub fn get(&self, key: &K) -> Option<V> {
         let s = self.shard_of(key);
         match self.peek(s, key) {
             Some(value) => {
@@ -289,7 +291,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     /// already published the value, returns it as [`FlightRole::Ready`]
     /// — the cache is re-checked *under the registry lock*, closing the
     /// race where a miss predates the leader's insert.
-    pub(crate) fn begin(&self, key: &K) -> FlightRole<'_, K, V> {
+    pub fn begin(&self, key: &K) -> FlightRole<'_, K, V> {
         let s = self.shard_of(key);
         let mut inflight = self.inflight[s].lock().expect("inflight registry poisoned");
         if let Some(flight) = inflight.get(key) {
@@ -315,7 +317,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     /// the shard budget the entry is not admitted. If another thread
     /// raced the same key in first, the existing entry is kept (both
     /// computed the same deterministic value).
-    pub(crate) fn insert(&self, key: K, value: V, cost: u64) {
+    pub fn insert(&self, key: K, value: V, cost: u64) {
         let s = self.shard_of(&key);
         if cost > self.per_shard_budget {
             self.counters[s].rejected.fetch_add(1, Ordering::Relaxed);
@@ -362,7 +364,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     /// computations are left alone: removing a registry entry here
     /// would strand its waiters, and the flight resolves through its
     /// own guard regardless.
-    pub(crate) fn clear(&self) {
+    pub fn clear(&self) {
         for (shard, counters) in self.shards.iter().zip(&self.counters) {
             let mut shard = shard.write().expect("cache shard poisoned");
             shard.map.clear();
@@ -376,7 +378,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Current total cost across shards.
-    pub(crate) fn current_cost(&self) -> u64 {
+    pub fn current_cost(&self) -> u64 {
         self.shards
             .iter()
             .map(|s| s.read().expect("cache shard poisoned").cost)
@@ -384,7 +386,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Total lookups (hits + misses) across shards.
-    pub(crate) fn lookups(&self) -> u64 {
+    pub fn lookups(&self) -> u64 {
         self.counters
             .iter()
             .map(|c| c.hits.load(Ordering::Relaxed) + c.misses.load(Ordering::Relaxed))
@@ -392,7 +394,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Total evictions across shards.
-    pub(crate) fn evictions(&self) -> u64 {
+    pub fn evictions(&self) -> u64 {
         self.counters
             .iter()
             .map(|c| c.evictions.load(Ordering::Relaxed))
@@ -400,7 +402,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Total oversized-entry rejections across shards.
-    pub(crate) fn rejected(&self) -> u64 {
+    pub fn rejected(&self) -> u64 {
         self.counters
             .iter()
             .map(|c| c.rejected.load(Ordering::Relaxed))
@@ -408,7 +410,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     }
 
     /// Per-shard counter snapshots.
-    pub(crate) fn shard_stats(&self) -> Vec<ShardStats> {
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards
             .iter()
             .zip(&self.counters)

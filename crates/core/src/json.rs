@@ -147,6 +147,35 @@
 //! requests before it. Like specs, control frames are strict: extra
 //! keys or an unknown `cmd` produce an `{"error": …}` response.
 //!
+//! Three further frames exist for the scatter-gather coordinator
+//! (`optrules coord`), which plans centrally and pushes only the
+//! counting down to its backend shards:
+//!
+//! ```json
+//! {"cmd": "schema"}
+//! {"cmd": "values", "attr": "Balance", "indices": [0, 417, 3]}
+//! {"cmd": "count", "attr": "Balance", "cuts": [10.5, 20.0],
+//!  "threads": 1, "all_booleans": true}
+//! ```
+//!
+//! `schema` answers `{"ok": {"numeric": [...], "boolean": [...],
+//! "generation": g, "rows": n}}` — the attribute names in column
+//! order, so a coordinator can verify every shard serves the same
+//! relation shape. `values` fetches numeric cells by row index (the
+//! coordinator reproduces a single-node engine's sampling index
+//! stream centrally and fetches the drawn values from whichever shard
+//! holds each row), answering `{"ok": {"generation": g, "values":
+//! [...]}}`. `count` runs one **raw** counting scan over
+//! caller-provided bucket boundaries — instead of `all_booleans`, a
+//! spec-shaped frame carries `given` (a resolved condition),
+//! `bool_targets`, and `sum_targets` — and answers with the
+//! **uncompacted** per-bucket counts
+//! (`{"ok": {"generation": g, "rows": n, "u": [...], "v": [[...]],
+//! "sums": [[...]], "ranges": [[lo, hi], ...]}}`), so partial counts
+//! from row-partitioned shards stay bucket-aligned for merging. The
+//! shard never optimizes and never caches these frames — the
+//! coordinator owns caching and deduplication.
+//!
 //! # Numbers
 //!
 //! Integers round-trip exactly across the full `u64`/`i64` range (the
@@ -166,9 +195,10 @@ use crate::error::CoreError;
 use crate::query::{AvgRule, Rule, RuleSet, Task};
 use crate::ratio::Ratio;
 use crate::rule::{RangeRule, RuleKind};
-use crate::shared::{AppendOutcome, StatsSnapshot};
+use crate::shared::{AppendOutcome, SharedEngine, StatsSnapshot};
 use crate::spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
-use optrules_relation::{RowFrame, Schema};
+use optrules_bucketing::{BucketCounts, BucketSpec, CountSpec};
+use optrules_relation::{Condition, NumAttr, RowFrame, Schema};
 use std::fmt;
 
 /// Maximum nesting depth the parser accepts — far deeper than any
@@ -1300,6 +1330,17 @@ pub enum Request {
     /// `rows` value; decode against the serving schema with
     /// [`rows_from_value`] when executing.
     Append(Json),
+    /// `{"cmd":"schema"}` — describe the serving relation: attribute
+    /// names in column order, generation, rows.
+    Schema,
+    /// `{"cmd":"values",…}` — the raw (still unvalidated) frame body;
+    /// decode against the serving schema with
+    /// [`values_frame_from_value`] when executing.
+    Values(Json),
+    /// `{"cmd":"count",…}` — the raw (still unvalidated) frame body;
+    /// decode against the serving schema with
+    /// [`count_frame_from_value`] when executing.
+    Count(Json),
     /// Unparseable or invalid; answer with `{"error": …}`.
     Bad(String),
 }
@@ -1330,13 +1371,17 @@ pub fn parse_request(line: &str) -> Request {
 /// instead of being deep-cloned.
 fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
     const SHAPE: &str = "bad request: a control frame is \
-                         {\"cmd\": \"stats\"|\"shutdown\"|\"flush\"} \
-                         or {\"cmd\": \"append\", \"rows\": [[…], …]}";
+                         {\"cmd\": \"stats\"|\"shutdown\"|\"flush\"|\"schema\"}, \
+                         {\"cmd\": \"append\", \"rows\": [[…], …]}, \
+                         or an internal \"values\"/\"count\" frame";
     enum Cmd {
         Stats,
         Shutdown,
         Flush,
         Append,
+        Schema,
+        Values,
+        Count,
         Unknown(String),
     }
     let cmd_pos = fields
@@ -1348,13 +1393,19 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
         Json::Str(cmd) if cmd == "shutdown" => Cmd::Shutdown,
         Json::Str(cmd) if cmd == "flush" => Cmd::Flush,
         Json::Str(cmd) if cmd == "append" => Cmd::Append,
+        Json::Str(cmd) if cmd == "schema" => Cmd::Schema,
+        Json::Str(cmd) if cmd == "values" => Cmd::Values,
+        Json::Str(cmd) if cmd == "count" => Cmd::Count,
         other => Cmd::Unknown(other.encode()),
     };
     match cmd {
-        Cmd::Stats | Cmd::Shutdown | Cmd::Flush if fields.len() != 1 => Request::Bad(SHAPE.into()),
+        Cmd::Stats | Cmd::Shutdown | Cmd::Flush | Cmd::Schema if fields.len() != 1 => {
+            Request::Bad(SHAPE.into())
+        }
         Cmd::Stats => Request::Stats,
         Cmd::Shutdown => Request::Shutdown,
         Cmd::Flush => Request::Flush,
+        Cmd::Schema => Request::Schema,
         Cmd::Append => {
             // Length check first: with extra keys, `cmd` may sit past
             // index 1 and `1 - cmd_pos` would underflow.
@@ -1367,32 +1418,256 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
             }
             Request::Append(fields.swap_remove(rows_pos).1)
         }
+        Cmd::Values | Cmd::Count => {
+            // The frame body keeps its shape and is decoded strictly
+            // against the serving schema at execution time (like an
+            // append's rows); only the `cmd` key is consumed here.
+            fields.remove(cmd_pos);
+            match cmd {
+                Cmd::Values => Request::Values(Json::Obj(fields)),
+                _ => Request::Count(Json::Obj(fields)),
+            }
+        }
         Cmd::Unknown(encoded) => Request::Bad(format!(
             "bad request: unknown cmd {encoded} \
-             (expected \"stats\", \"shutdown\", \"flush\", or \"append\")"
+             (expected \"stats\", \"shutdown\", \"flush\", \"append\", \
+             \"schema\", \"values\", or \"count\")"
         )),
     }
 }
 
+/// What it takes to answer the NDJSON request grammar. One
+/// implementation per *serving identity*: the single-node engine (via
+/// [`execute_requests`]) and the scatter-gather coordinator (the
+/// `optrules-coord` crate) both sit behind this trait, so every
+/// transport (batch stdin, TCP connection) drives them identically
+/// through [`execute_frames`].
+///
+/// Every method returns a **complete response envelope** (`{"ok":…}`
+/// or `{"error":…}`) — the handler owns its error rendering, which is
+/// how the coordinator gets its structured per-shard error form.
+pub trait FrameHandler {
+    /// Runs one segment of consecutive specs as a planned batch and
+    /// returns one envelope per spec, in order.
+    fn run_segment(&mut self, specs: &[QuerySpec]) -> Vec<Json>;
+    /// Answers `{"cmd":"stats"}`.
+    fn stats(&mut self) -> Json;
+    /// Answers `{"cmd":"flush"}`.
+    fn flush(&mut self) -> Json;
+    /// Answers `{"cmd":"append","rows":…}`; `rows` is the raw,
+    /// still-unvalidated value.
+    fn append(&mut self, rows: &Json) -> Json;
+    /// Answers `{"cmd":"schema"}`.
+    fn schema(&mut self) -> Json;
+    /// Answers `{"cmd":"values",…}`; `frame` is the raw body minus its
+    /// `cmd` key.
+    fn values(&mut self, frame: &Json) -> Json;
+    /// Answers `{"cmd":"count",…}`; `frame` is the raw body minus its
+    /// `cmd` key.
+    fn count(&mut self, frame: &Json) -> Json;
+    /// The acknowledgment for `{"cmd":"shutdown"}` — transports that
+    /// cannot shut down (batch mode) answer an error envelope here.
+    fn shutdown_ack(&mut self) -> Json;
+}
+
 /// Executes parsed request frames **in program order** against one
-/// engine — the shared semantics of `optrules batch` and each server
-/// connection: consecutive specs form one planned batch *segment*
-/// (pinning one relation generation, run through `run_segment` so the
-/// transport can wrap execution — the server takes its in-flight gate
-/// permit there); a control frame flushes the open segment first, so
-/// `stats` reflects exactly the requests before it and specs after an
-/// `append` mine the new generation. Appends never go through
-/// `run_segment` — they serialize on the engine's writer lock only.
+/// handler — the shared semantics of `optrules batch` and each server
+/// connection: consecutive specs form one *segment* (run through
+/// [`FrameHandler::run_segment`] as a planned batch pinning one
+/// relation generation); any control frame flushes the open segment
+/// first, so `stats` reflects exactly the requests before it and specs
+/// after an `append` mine the new generation.
 ///
 /// Returns one response per request, in request order, plus whether a
-/// shutdown frame was seen; `shutdown_response` is the transport's
-/// answer to it (`{"ok":"shutdown"}` for the server, an error envelope
-/// for batch mode). Requests after a shutdown frame still execute —
-/// acting on the flag is the caller's job once responses are written.
+/// shutdown frame was seen. Requests after a shutdown frame still
+/// execute — acting on the flag is the caller's job once responses are
+/// written.
+pub fn execute_frames<H: FrameHandler + ?Sized>(
+    handler: &mut H,
+    requests: Vec<Request>,
+) -> (Vec<Json>, bool) {
+    fn flush<H: FrameHandler + ?Sized>(
+        handler: &mut H,
+        pending: &mut Vec<(usize, QuerySpec)>,
+        responses: &mut [Option<Json>],
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let (indices, specs): (Vec<usize>, Vec<QuerySpec>) = pending.drain(..).unzip();
+        for (index, envelope) in indices.into_iter().zip(handler.run_segment(&specs)) {
+            responses[index] = Some(envelope);
+        }
+    }
+
+    let mut responses: Vec<Option<Json>> = (0..requests.len()).map(|_| None).collect();
+    let mut pending: Vec<(usize, QuerySpec)> = Vec::new();
+    let mut shutdown_requested = false;
+    for (index, request) in requests.into_iter().enumerate() {
+        let response = match request {
+            Request::Spec(spec) => {
+                pending.push((index, spec));
+                continue;
+            }
+            Request::Bad(msg) => error_envelope(msg),
+            Request::Stats => {
+                flush(handler, &mut pending, &mut responses);
+                handler.stats()
+            }
+            Request::Shutdown => {
+                flush(handler, &mut pending, &mut responses);
+                shutdown_requested = true;
+                handler.shutdown_ack()
+            }
+            Request::Flush => {
+                flush(handler, &mut pending, &mut responses);
+                handler.flush()
+            }
+            Request::Append(rows_value) => {
+                flush(handler, &mut pending, &mut responses);
+                handler.append(&rows_value)
+            }
+            Request::Schema => {
+                flush(handler, &mut pending, &mut responses);
+                handler.schema()
+            }
+            Request::Values(frame) => {
+                flush(handler, &mut pending, &mut responses);
+                handler.values(&frame)
+            }
+            Request::Count(frame) => {
+                flush(handler, &mut pending, &mut responses);
+                handler.count(&frame)
+            }
+        };
+        responses[index] = Some(response);
+    }
+    flush(handler, &mut pending, &mut responses);
+    let responses = responses
+        .into_iter()
+        .map(|response| response.expect("every request produced a response"))
+        .collect();
+    (responses, shutdown_requested)
+}
+
+/// The single-node engine behind the [`FrameHandler`] grammar — the
+/// identity `optrules batch` and `optrules serve` both expose.
+struct EngineFrames<'a, R, F, S>
+where
+    R: optrules_relation::RandomAccess,
+{
+    engine: &'a SharedEngine<R>,
+    run_segment: F,
+    shutdown_response: S,
+}
+
+impl<R, F, S> FrameHandler for EngineFrames<'_, R, F, S>
+where
+    R: optrules_relation::RandomAccess
+        + optrules_relation::AppendRows
+        + optrules_relation::Durability
+        + Send
+        + Sync,
+    F: FnMut(&[QuerySpec]) -> Vec<crate::error::Result<RuleSet>>,
+    S: Fn() -> Json,
+{
+    fn run_segment(&mut self, specs: &[QuerySpec]) -> Vec<Json> {
+        (self.run_segment)(specs)
+            .into_iter()
+            .map(|result| match result {
+                Ok(rules) => ok_envelope(rule_set_to_value(&rules)),
+                Err(e) => error_envelope(e.to_string()),
+            })
+            .collect()
+    }
+
+    fn stats(&mut self) -> Json {
+        ok_envelope(stats_to_value(&self.engine.snapshot()))
+    }
+
+    fn flush(&mut self) -> Json {
+        match self.engine.flush() {
+            Ok(generation) => ok_envelope(flush_to_value(generation)),
+            Err(e) => error_envelope(e.to_string()),
+        }
+    }
+
+    fn append(&mut self, rows: &Json) -> Json {
+        match rows_from_value(rows, self.engine.schema()) {
+            Ok(rows) => match self.engine.append_rows(&rows) {
+                Ok(outcome) => ok_envelope(append_to_value(&outcome)),
+                Err(e) => error_envelope(e.to_string()),
+            },
+            Err(e) => error_envelope(format!("bad request: {e}")),
+        }
+    }
+
+    fn schema(&mut self) -> Json {
+        let pinned = self.engine.pin();
+        ok_envelope(schema_to_value(
+            self.engine.schema(),
+            pinned.generation(),
+            pinned.rows(),
+        ))
+    }
+
+    fn values(&mut self, frame: &Json) -> Json {
+        let (attr, indices) = match values_frame_from_value(frame, self.engine.schema()) {
+            Ok(decoded) => decoded,
+            Err(e) => return error_envelope(format!("bad request: {e}")),
+        };
+        let pinned = self.engine.pin();
+        let rows = pinned.rows();
+        let mut values = Vec::with_capacity(indices.len());
+        for index in indices {
+            if index >= rows {
+                return error_envelope(format!(
+                    "bad request: row index {index} out of range ({rows} rows)"
+                ));
+            }
+            match pinned.relation().numeric_at(attr, index) {
+                Ok(value) => values.push(value),
+                Err(e) => return error_envelope(e.to_string()),
+            }
+        }
+        ok_envelope(values_reply_to_value(&values, pinned.generation()))
+    }
+
+    fn count(&mut self, frame: &Json) -> Json {
+        let (cuts, what, threads) = match count_frame_from_value(frame, self.engine.schema()) {
+            Ok(decoded) => decoded,
+            Err(e) => return error_envelope(format!("bad request: {e}")),
+        };
+        let pinned = self.engine.pin();
+        match self
+            .engine
+            .count_raw(&cuts, &what, threads, pinned.relation().as_ref())
+        {
+            Ok(counts) => ok_envelope(counts_to_value(&counts, pinned.generation())),
+            Err(e) => error_envelope(e.to_string()),
+        }
+    }
+
+    fn shutdown_ack(&mut self) -> Json {
+        (self.shutdown_response)()
+    }
+}
+
+/// Executes parsed request frames against one single-node engine — the
+/// engine-backed instantiation of [`execute_frames`]: consecutive
+/// specs run as one planned segment through `run_segment` (so the
+/// transport can wrap execution — the server takes its in-flight gate
+/// permit there); control frames flush the open segment first. Appends
+/// never go through `run_segment` — they serialize on the engine's
+/// writer lock only.
+///
+/// `shutdown_response` is the transport's answer to a shutdown frame
+/// (`{"ok":"shutdown"}` for the server, an error envelope for batch
+/// mode).
 pub fn execute_requests<R, F>(
     engine: &crate::shared::SharedEngine<R>,
     requests: Vec<Request>,
-    mut run_segment: F,
+    run_segment: F,
     shutdown_response: impl Fn() -> Json,
 ) -> (Vec<Json>, bool)
 where
@@ -1403,65 +1678,12 @@ where
         + Sync,
     F: FnMut(&[QuerySpec]) -> Vec<crate::error::Result<RuleSet>>,
 {
-    fn flush<F: FnMut(&[QuerySpec]) -> Vec<crate::error::Result<RuleSet>>>(
-        pending: &mut Vec<(usize, QuerySpec)>,
-        responses: &mut [Option<Json>],
-        run_segment: &mut F,
-    ) {
-        if pending.is_empty() {
-            return;
-        }
-        let (indices, specs): (Vec<usize>, Vec<QuerySpec>) = pending.drain(..).unzip();
-        for (index, result) in indices.into_iter().zip(run_segment(&specs)) {
-            responses[index] = Some(match result {
-                Ok(rules) => ok_envelope(rule_set_to_value(&rules)),
-                Err(e) => error_envelope(e.to_string()),
-            });
-        }
-    }
-
-    let mut responses: Vec<Option<Json>> = (0..requests.len()).map(|_| None).collect();
-    let mut pending: Vec<(usize, QuerySpec)> = Vec::new();
-    let mut shutdown_requested = false;
-    for (index, request) in requests.into_iter().enumerate() {
-        match request {
-            Request::Spec(spec) => pending.push((index, spec)),
-            Request::Bad(msg) => responses[index] = Some(error_envelope(msg)),
-            Request::Stats => {
-                flush(&mut pending, &mut responses, &mut run_segment);
-                responses[index] = Some(ok_envelope(stats_to_value(&engine.snapshot())));
-            }
-            Request::Shutdown => {
-                flush(&mut pending, &mut responses, &mut run_segment);
-                shutdown_requested = true;
-                responses[index] = Some(shutdown_response());
-            }
-            Request::Flush => {
-                flush(&mut pending, &mut responses, &mut run_segment);
-                responses[index] = Some(match engine.flush() {
-                    Ok(generation) => ok_envelope(flush_to_value(generation)),
-                    Err(e) => error_envelope(e.to_string()),
-                });
-            }
-            Request::Append(rows_value) => {
-                flush(&mut pending, &mut responses, &mut run_segment);
-                let response = match rows_from_value(&rows_value, engine.schema()) {
-                    Ok(rows) => match engine.append_rows(&rows) {
-                        Ok(outcome) => ok_envelope(append_to_value(&outcome)),
-                        Err(e) => error_envelope(e.to_string()),
-                    },
-                    Err(e) => error_envelope(format!("bad request: {e}")),
-                };
-                responses[index] = Some(response);
-            }
-        }
-    }
-    flush(&mut pending, &mut responses, &mut run_segment);
-    let responses = responses
-        .into_iter()
-        .map(|response| response.expect("every request produced a response"))
-        .collect();
-    (responses, shutdown_requested)
+    let mut handler = EngineFrames {
+        engine,
+        run_segment,
+        shutdown_response,
+    };
+    execute_frames(&mut handler, requests)
 }
 
 /// Decodes and validates the `rows` value of an append frame against a
@@ -1559,6 +1781,490 @@ pub fn append_to_value(outcome: &AppendOutcome) -> Json {
         ),
         ("rows".into(), Json::Num(Num::UInt(outcome.total_rows))),
     ])
+}
+
+// ---------------------------------------------------------------------
+// Coordinator frames: schema / values / count — the internal RPCs of
+// the scatter-gather topology (the `optrules-coord` crate). Encoders
+// build the request/response values the coordinator sends and the
+// shard answers; decoders are the strict mirrors.
+// ---------------------------------------------------------------------
+
+/// Wraps a per-shard failure in the coordinator's structured error
+/// envelope: `{"error":{"shard":i,"message":"…"}}`. Distinguishable
+/// from the string-valued `{"error":"…"}` envelope so clients can tell
+/// "your request was bad" from "a backend shard failed".
+pub fn shard_error_envelope(shard: usize, msg: impl Into<String>) -> Json {
+    Json::Obj(vec![(
+        "error".into(),
+        Json::Obj(vec![
+            ("shard".into(), Json::Num(Num::UInt(shard as u64))),
+            ("message".into(), Json::Str(msg.into())),
+        ]),
+    )])
+}
+
+/// Splits a response line into its envelope halves: `Ok(payload)` for
+/// `{"ok": …}`, `Err(detail)` for `{"error": …}` (the detail may be a
+/// plain string or the structured shard object). Anything else is a
+/// protocol violation.
+pub fn envelope_from_value(value: &Json) -> JsonResult<std::result::Result<&Json, &Json>> {
+    let Json::Obj(fields) = value else {
+        return Err(JsonError::decode(format!(
+            "a response envelope is an object, got {}",
+            value.type_name()
+        )));
+    };
+    match fields.as_slice() {
+        [(key, payload)] if key == "ok" => Ok(Ok(payload)),
+        [(key, detail)] if key == "error" => Ok(Err(detail)),
+        _ => Err(JsonError::decode(
+            "a response envelope has exactly one of \"ok\" or \"error\"",
+        )),
+    }
+}
+
+/// Decodes an append acknowledgment payload (the `{"ok": …}` body)
+/// back into an [`AppendOutcome`]. Strict mirror of
+/// [`append_to_value`].
+pub fn append_from_value(value: &Json) -> JsonResult<AppendOutcome> {
+    let mut obj = ObjReader::new("an append acknowledgment", value)?;
+    let outcome = AppendOutcome {
+        appended: obj.required("appended")?.as_u64()?,
+        generation: obj.required("generation")?.as_u64()?,
+        total_rows: obj.required("rows")?.as_u64()?,
+    };
+    obj.finish()?;
+    Ok(outcome)
+}
+
+/// Encodes a **resolved** [`Condition`] for the count frame, attribute
+/// handles rendered as schema names: `true` (always), `{"bool":…,
+/// "is":…}`, `{"num":…,"eq":…}`, `{"num":…,"in":[lo,hi]}`, or
+/// `{"and":[…]}`.
+fn condition_to_value(cond: &Condition, schema: &Schema) -> Json {
+    match cond {
+        Condition::True => Json::Bool(true),
+        Condition::BoolIs(attr, value) => Json::Obj(vec![
+            (
+                "bool".into(),
+                Json::Str(schema.boolean_name(*attr).to_string()),
+            ),
+            ("is".into(), Json::Bool(*value)),
+        ]),
+        Condition::NumEq(attr, value) => Json::Obj(vec![
+            (
+                "num".into(),
+                Json::Str(schema.numeric_name(*attr).to_string()),
+            ),
+            ("eq".into(), enc_f64(*value)),
+        ]),
+        Condition::NumInRange(attr, lo, hi) => Json::Obj(vec![
+            (
+                "num".into(),
+                Json::Str(schema.numeric_name(*attr).to_string()),
+            ),
+            ("in".into(), Json::Arr(vec![enc_f64(*lo), enc_f64(*hi)])),
+        ]),
+        Condition::And(parts) => Json::Obj(vec![(
+            "and".into(),
+            Json::Arr(
+                parts
+                    .iter()
+                    .map(|part| condition_to_value(part, schema))
+                    .collect(),
+            ),
+        )]),
+    }
+}
+
+fn condition_from_value(value: &Json, schema: &Schema) -> JsonResult<Condition> {
+    if let Json::Bool(true) = value {
+        return Ok(Condition::True);
+    }
+    let mut obj = ObjReader::new("a resolved condition", value)?;
+    let cond = if let Some(attr) = obj.optional("bool") {
+        let attr = schema
+            .boolean(attr.as_str()?)
+            .map_err(|e| JsonError::decode(e.to_string()))?;
+        Condition::BoolIs(attr, obj.required("is")?.as_bool()?)
+    } else if let Some(attr) = obj.optional("num") {
+        let attr = schema
+            .numeric(attr.as_str()?)
+            .map_err(|e| JsonError::decode(e.to_string()))?;
+        if let Some(eq) = obj.optional("eq") {
+            Condition::NumEq(attr, eq.as_f64()?)
+        } else {
+            let bounds = obj.required("in")?.as_arr()?;
+            let [lo, hi] = bounds else {
+                return Err(JsonError::decode("\"in\" expects [lo, hi]"));
+            };
+            Condition::NumInRange(attr, lo.as_f64()?, hi.as_f64()?)
+        }
+    } else if let Some(parts) = obj.optional("and") {
+        Condition::And(
+            parts
+                .as_arr()?
+                .iter()
+                .map(|part| condition_from_value(part, schema))
+                .collect::<JsonResult<_>>()?,
+        )
+    } else {
+        return Err(JsonError::decode(
+            "a resolved condition needs \"bool\", \"num\", or \"and\" (or is `true`)",
+        ));
+    };
+    obj.finish()?;
+    Ok(cond)
+}
+
+/// Builds one complete `{"cmd":"values"}` request object.
+pub fn values_frame_to_value(attr: &str, indices: &[u64]) -> Json {
+    Json::Obj(vec![
+        ("cmd".into(), Json::Str("values".into())),
+        ("attr".into(), Json::Str(attr.into())),
+        (
+            "indices".into(),
+            Json::Arr(indices.iter().map(|&i| Json::Num(Num::UInt(i))).collect()),
+        ),
+    ])
+}
+
+/// Decodes a values frame body (the request minus its `cmd` key)
+/// against the serving schema.
+///
+/// # Errors
+///
+/// Fails on unknown attributes or shape violations.
+pub fn values_frame_from_value(value: &Json, schema: &Schema) -> JsonResult<(NumAttr, Vec<u64>)> {
+    let mut obj = ObjReader::new("a values frame", value)?;
+    let attr = schema
+        .numeric(obj.required("attr")?.as_str()?)
+        .map_err(|e| JsonError::decode(e.to_string()))?;
+    let indices = obj
+        .required("indices")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<JsonResult<Vec<u64>>>()?;
+    obj.finish()?;
+    Ok((attr, indices))
+}
+
+/// The `{"ok": …}` payload answering a values frame.
+pub fn values_reply_to_value(values: &[f64], generation: u64) -> Json {
+    Json::Obj(vec![
+        ("generation".into(), Json::Num(Num::UInt(generation))),
+        (
+            "values".into(),
+            Json::Arr(values.iter().map(|&x| enc_f64(x)).collect()),
+        ),
+    ])
+}
+
+/// Decodes a values reply payload into `(values, generation)`.
+///
+/// # Errors
+///
+/// Fails on shape violations.
+pub fn values_reply_from_value(value: &Json) -> JsonResult<(Vec<f64>, u64)> {
+    let mut obj = ObjReader::new("a values reply", value)?;
+    let generation = obj.required("generation")?.as_u64()?;
+    let values = obj
+        .required("values")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<JsonResult<Vec<f64>>>()?;
+    obj.finish()?;
+    Ok((values, generation))
+}
+
+/// Builds one complete `{"cmd":"count"}` request object for a scan
+/// work unit: the bucket boundaries plus *what* to count — `None` is
+/// the shared all-Booleans scan, `Some` an explicit counting spec
+/// (whose `attr` must equal `attr`).
+pub fn count_frame_to_value(
+    schema: &Schema,
+    attr: NumAttr,
+    cuts: &BucketSpec,
+    what: Option<&CountSpec>,
+    threads: usize,
+) -> Json {
+    let mut fields = vec![
+        ("cmd".into(), Json::Str("count".into())),
+        (
+            "attr".into(),
+            Json::Str(schema.numeric_name(attr).to_string()),
+        ),
+        (
+            "cuts".into(),
+            Json::Arr(cuts.cuts().iter().map(|&c| enc_f64(c)).collect()),
+        ),
+        ("threads".into(), Json::Num(Num::UInt(threads as u64))),
+    ];
+    match what {
+        None => fields.push(("all_booleans".into(), Json::Bool(true))),
+        Some(spec) => {
+            fields.push((
+                "given".into(),
+                condition_to_value(&spec.presumptive, schema),
+            ));
+            fields.push((
+                "bool_targets".into(),
+                Json::Arr(
+                    spec.bool_targets
+                        .iter()
+                        .map(|t| condition_to_value(t, schema))
+                        .collect(),
+                ),
+            ));
+            fields.push((
+                "sum_targets".into(),
+                Json::Arr(
+                    spec.sum_targets
+                        .iter()
+                        .map(|&t| Json::Str(schema.numeric_name(t).to_string()))
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes a count frame body (the request minus its `cmd` key)
+/// against the serving schema. An `all_booleans` frame expands to the
+/// same [`CountSpec`] a single-node engine builds for its shared
+/// simple-query scan, so shard partials merge into byte-identical
+/// totals.
+///
+/// # Errors
+///
+/// Fails on unknown attributes, non-finite cuts, or shape violations.
+pub fn count_frame_from_value(
+    value: &Json,
+    schema: &Schema,
+) -> JsonResult<(BucketSpec, CountSpec, usize)> {
+    let mut obj = ObjReader::new("a count frame", value)?;
+    let attr = schema
+        .numeric(obj.required("attr")?.as_str()?)
+        .map_err(|e| JsonError::decode(e.to_string()))?;
+    let cuts = obj
+        .required("cuts")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<JsonResult<Vec<f64>>>()?;
+    // `BucketSpec::from_cuts` sorts with a NaN-unaware comparator;
+    // reject non-finite cuts before they can reach it.
+    if cuts.iter().any(|c| !c.is_finite()) {
+        return Err(JsonError::decode("count frame cuts must be finite"));
+    }
+    let threads = obj.required("threads")?.as_u64()? as usize;
+    let spec = if let Some(flag) = obj.optional("all_booleans") {
+        if !flag.as_bool()? {
+            return Err(JsonError::decode(
+                "\"all_booleans\" must be true when present",
+            ));
+        }
+        CountSpec {
+            attr,
+            presumptive: Condition::True,
+            bool_targets: schema
+                .boolean_attrs()
+                .map(|battr| Condition::BoolIs(battr, true))
+                .collect(),
+            sum_targets: Vec::new(),
+        }
+    } else {
+        CountSpec {
+            attr,
+            presumptive: condition_from_value(obj.required("given")?, schema)?,
+            bool_targets: obj
+                .required("bool_targets")?
+                .as_arr()?
+                .iter()
+                .map(|t| condition_from_value(t, schema))
+                .collect::<JsonResult<_>>()?,
+            sum_targets: obj
+                .required("sum_targets")?
+                .as_arr()?
+                .iter()
+                .map(|t| {
+                    schema
+                        .numeric(t.as_str()?)
+                        .map_err(|e| JsonError::decode(e.to_string()))
+                })
+                .collect::<JsonResult<_>>()?,
+        }
+    };
+    obj.finish()?;
+    Ok((BucketSpec::from_cuts(cuts), spec, threads))
+}
+
+/// The `{"ok": …}` payload answering a count frame: the **raw,
+/// uncompacted** per-bucket counts plus the generation they were
+/// scanned at.
+pub fn counts_to_value(counts: &BucketCounts, generation: u64) -> Json {
+    Json::Obj(vec![
+        ("generation".into(), Json::Num(Num::UInt(generation))),
+        ("rows".into(), Json::Num(Num::UInt(counts.total_rows))),
+        (
+            "u".into(),
+            Json::Arr(counts.u.iter().map(|&n| Json::Num(Num::UInt(n))).collect()),
+        ),
+        (
+            "v".into(),
+            Json::Arr(
+                counts
+                    .bool_v
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|&n| Json::Num(Num::UInt(n))).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "sums".into(),
+            Json::Arr(
+                counts
+                    .sums
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|&x| enc_f64(x)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "ranges".into(),
+            Json::Arr(
+                counts
+                    .ranges
+                    .iter()
+                    .map(|&(lo, hi)| Json::Arr(vec![enc_f64(lo), enc_f64(hi)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a count reply payload into `(counts, generation)`.
+///
+/// # Errors
+///
+/// Fails on shape violations or mismatched per-bucket arities.
+pub fn counts_from_value(value: &Json) -> JsonResult<(BucketCounts, u64)> {
+    let mut obj = ObjReader::new("a count reply", value)?;
+    let generation = obj.required("generation")?.as_u64()?;
+    let total_rows = obj.required("rows")?.as_u64()?;
+    let u = obj
+        .required("u")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<JsonResult<Vec<u64>>>()?;
+    let bool_v = obj
+        .required("v")?
+        .as_arr()?
+        .iter()
+        .map(|row| {
+            row.as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<JsonResult<Vec<u64>>>()
+        })
+        .collect::<JsonResult<Vec<_>>>()?;
+    let sums = obj
+        .required("sums")?
+        .as_arr()?
+        .iter()
+        .map(|row| {
+            row.as_arr()?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<JsonResult<Vec<f64>>>()
+        })
+        .collect::<JsonResult<Vec<_>>>()?;
+    let ranges = obj
+        .required("ranges")?
+        .as_arr()?
+        .iter()
+        .map(|pair| {
+            let [lo, hi] = pair.as_arr()? else {
+                return Err(JsonError::decode("a range expects [lo, hi]"));
+            };
+            Ok((lo.as_f64()?, hi.as_f64()?))
+        })
+        .collect::<JsonResult<Vec<_>>>()?;
+    obj.finish()?;
+    let buckets = u.len();
+    if ranges.len() != buckets
+        || bool_v.iter().any(|row| row.len() != buckets)
+        || sums.iter().any(|row| row.len() != buckets)
+    {
+        return Err(JsonError::decode(
+            "count reply series disagree on bucket count",
+        ));
+    }
+    Ok((
+        BucketCounts {
+            u,
+            bool_v,
+            sums,
+            ranges,
+            total_rows,
+        },
+        generation,
+    ))
+}
+
+/// The `{"ok": …}` payload answering a `{"cmd":"schema"}` frame:
+/// attribute names in column order plus the current generation and row
+/// count.
+pub fn schema_to_value(schema: &Schema, generation: u64, rows: u64) -> Json {
+    Json::Obj(vec![
+        (
+            "numeric".into(),
+            Json::Arr(
+                schema
+                    .numeric_names()
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "boolean".into(),
+            Json::Arr(
+                schema
+                    .boolean_names()
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+        ("generation".into(), Json::Num(Num::UInt(generation))),
+        ("rows".into(), Json::Num(Num::UInt(rows))),
+    ])
+}
+
+/// Decodes a schema reply payload into `(schema, generation, rows)`.
+///
+/// # Errors
+///
+/// Fails on shape violations.
+pub fn schema_from_value(value: &Json) -> JsonResult<(Schema, u64, u64)> {
+    let mut obj = ObjReader::new("a schema reply", value)?;
+    let mut builder = Schema::builder();
+    for name in obj.required("numeric")?.as_arr()? {
+        builder = builder.numeric(name.as_str()?);
+    }
+    for name in obj.required("boolean")?.as_arr()? {
+        builder = builder.boolean(name.as_str()?);
+    }
+    let generation = obj.required("generation")?.as_u64()?;
+    let rows = obj.required("rows")?.as_u64()?;
+    obj.finish()?;
+    Ok((builder.build(), generation, rows))
 }
 
 #[cfg(test)]
@@ -1974,5 +2680,169 @@ mod tests {
         };
         let text = encode_rule_set(&rules);
         assert_eq!(decode_rule_set(&text).unwrap(), rules, "{text}");
+    }
+
+    #[test]
+    fn shard_error_envelope_golden() {
+        assert_eq!(
+            shard_error_envelope(2, "connect refused").encode(),
+            r#"{"error":{"shard":2,"message":"connect refused"}}"#
+        );
+    }
+
+    #[test]
+    fn envelope_splits_ok_and_error() {
+        let ok = Json::parse(r#"{"ok":{"rows":3}}"#).unwrap();
+        assert!(matches!(envelope_from_value(&ok), Ok(Ok(_))));
+        let err = Json::parse(r#"{"error":"nope"}"#).unwrap();
+        assert!(matches!(envelope_from_value(&err), Ok(Err(_))));
+        let neither = Json::parse(r#"{"rows":3}"#).unwrap();
+        assert!(envelope_from_value(&neither).is_err());
+        let both = Json::parse(r#"{"ok":1,"error":"x"}"#).unwrap();
+        assert!(envelope_from_value(&both).is_err());
+    }
+
+    #[test]
+    fn append_ack_round_trips() {
+        let outcome = AppendOutcome {
+            appended: 3,
+            generation: 7,
+            total_rows: 1_003,
+        };
+        let decoded = append_from_value(&append_to_value(&outcome)).unwrap();
+        assert_eq!(decoded.appended, 3);
+        assert_eq!(decoded.generation, 7);
+        assert_eq!(decoded.total_rows, 1_003);
+    }
+
+    #[test]
+    fn values_frame_round_trips() {
+        let schema = Schema::builder().numeric("X").numeric("Y").build();
+        let frame = values_frame_to_value("Y", &[0, 5, 2]);
+        // The server strips the cmd key before handing the body over.
+        let Json::Obj(mut fields) = frame else {
+            panic!()
+        };
+        fields.retain(|(k, _)| k != "cmd");
+        let (attr, indices) = values_frame_from_value(&Json::Obj(fields), &schema).unwrap();
+        assert_eq!(attr, NumAttr(1));
+        assert_eq!(indices, vec![0, 5, 2]);
+
+        let reply = values_reply_to_value(&[1.5, -2.0], 4);
+        assert_eq!(reply.encode(), r#"{"generation":4,"values":[1.5,-2]}"#);
+        let (values, generation) = values_reply_from_value(&reply).unwrap();
+        assert_eq!(values, vec![1.5, -2.0]);
+        assert_eq!(generation, 4);
+    }
+
+    #[test]
+    fn count_frame_round_trips_explicit_spec() {
+        let schema = Schema::builder()
+            .numeric("X")
+            .numeric("T")
+            .boolean("B")
+            .build();
+        let cuts = BucketSpec::from_cuts(vec![1.0, 2.5]);
+        let what = CountSpec {
+            attr: NumAttr(0),
+            presumptive: Condition::And(vec![
+                Condition::BoolIs(optrules_relation::BoolAttr(0), false),
+                Condition::NumInRange(NumAttr(1), 0.5, 9.5),
+            ]),
+            bool_targets: vec![Condition::BoolIs(optrules_relation::BoolAttr(0), true)],
+            sum_targets: vec![NumAttr(1)],
+        };
+        let frame = count_frame_to_value(&schema, NumAttr(0), &cuts, Some(&what), 3);
+        let Json::Obj(mut fields) = frame else {
+            panic!()
+        };
+        fields.retain(|(k, _)| k != "cmd");
+        let (cuts2, what2, threads) = count_frame_from_value(&Json::Obj(fields), &schema).unwrap();
+        assert_eq!(cuts2, cuts);
+        assert_eq!(threads, 3);
+        assert_eq!(format!("{what2:?}"), format!("{what:?}"));
+    }
+
+    #[test]
+    fn count_frame_all_booleans_expands_like_the_engine() {
+        let schema = Schema::builder()
+            .numeric("X")
+            .boolean("B1")
+            .boolean("B2")
+            .build();
+        let cuts = BucketSpec::from_cuts(vec![0.0]);
+        let frame = count_frame_to_value(&schema, NumAttr(0), &cuts, None, 1);
+        let Json::Obj(mut fields) = frame else {
+            panic!()
+        };
+        fields.retain(|(k, _)| k != "cmd");
+        let (_, what, _) = count_frame_from_value(&Json::Obj(fields), &schema).unwrap();
+        assert_eq!(what.attr, NumAttr(0));
+        assert!(matches!(what.presumptive, Condition::True));
+        assert_eq!(what.bool_targets.len(), 2);
+        assert!(what.sum_targets.is_empty());
+    }
+
+    #[test]
+    fn count_frame_rejects_non_finite_cuts() {
+        let schema = Schema::builder().numeric("X").build();
+        // "Infinity" decodes as a number on the string channel, so it
+        // must be caught by the explicit finiteness guard.
+        let frame =
+            Json::parse(r#"{"attr":"X","cuts":[1.0,"Infinity"],"threads":1,"all_booleans":true}"#)
+                .unwrap();
+        assert!(count_frame_from_value(&frame, &schema).is_err());
+    }
+
+    #[test]
+    fn count_reply_round_trips() {
+        let counts = BucketCounts {
+            u: vec![2, 0, 3],
+            bool_v: vec![vec![1, 0, 2]],
+            sums: vec![vec![1.5, 0.0, -3.25]],
+            ranges: vec![(1.0, 2.0), (f64::INFINITY, f64::NEG_INFINITY), (5.0, 9.0)],
+            total_rows: 5,
+        };
+        let reply = counts_to_value(&counts, 9);
+        let (decoded, generation) = counts_from_value(&reply).unwrap();
+        assert_eq!(generation, 9);
+        assert_eq!(decoded.u, counts.u);
+        assert_eq!(decoded.bool_v, counts.bool_v);
+        assert_eq!(decoded.sums, counts.sums);
+        assert_eq!(decoded.ranges, counts.ranges);
+        assert_eq!(decoded.total_rows, 5);
+    }
+
+    #[test]
+    fn schema_reply_round_trips() {
+        let schema = Schema::builder()
+            .numeric("X")
+            .numeric("Y")
+            .boolean("B")
+            .build();
+        let (decoded, generation, rows) =
+            schema_from_value(&schema_to_value(&schema, 3, 42)).unwrap();
+        assert_eq!(decoded, schema);
+        assert_eq!(generation, 3);
+        assert_eq!(rows, 42);
+    }
+
+    #[test]
+    fn parse_control_accepts_coordinator_frames() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"schema"}"#),
+            Request::Schema
+        ));
+        match parse_request(r#"{"cmd":"values","attr":"X","indices":[1]}"#) {
+            Request::Values(body) => {
+                // The cmd key is stripped; the body keeps the rest.
+                assert!(matches!(&body, Json::Obj(fields) if fields.len() == 2));
+            }
+            other => panic!("expected Values, got {other:?}"),
+        }
+        match parse_request(r#"{"cmd":"count","attr":"X","cuts":[],"threads":1}"#) {
+            Request::Count(_) => {}
+            other => panic!("expected Count, got {other:?}"),
+        }
     }
 }

@@ -28,20 +28,21 @@
 //! [`ScanKey`]: crate::shared::ScanKey
 //! [`SharedEngine::run_batch`]: crate::shared::SharedEngine::run_batch
 
+use crate::engine::EngineConfig;
 use crate::error::{CoreError, Result};
 use crate::query::{AvgRule, Rule, RuleSet, Task};
 use crate::ratio::Ratio;
 use crate::rule::{AvgRange, RangeRule, RuleKind};
-use crate::shared::{spec_fingerprint, BucketKey, ScanKey, ScanWhat, SharedEngine};
+use crate::shared::{spec_fingerprint, BucketKey, ScanKey, ScanWhat};
 use crate::spec::{resolve_conjunction, ObjectiveSpec, QuerySpec};
 use crate::{average, confidence, support};
 use optrules_bucketing::{BucketCounts, CountSpec};
-use optrules_relation::{Condition, RandomAccess};
+use optrules_relation::{Condition, Schema};
 use std::collections::HashSet;
 
 /// How a resolved query turns its scan's counts into rules.
 #[derive(Debug, Clone)]
-pub(crate) enum Assemble {
+pub enum Assemble {
     /// Boolean objective: optimize over `v = bool_v[v_index]`.
     Boolean {
         /// Index of the query's target series in the scan's `bool_v`.
@@ -55,25 +56,35 @@ pub(crate) enum Assemble {
 /// keys it needs, the counting spec to run on a cold scan, and the
 /// thresholds/task for assembly.
 #[derive(Debug, Clone)]
-pub(crate) struct ResolvedQuery {
-    pub(crate) key: BucketKey,
-    pub(crate) threads: usize,
-    pub(crate) what: ScanWhat,
+pub struct ResolvedQuery {
+    /// The bucketization this query reads.
+    pub key: BucketKey,
+    /// Scan parallelism (part of the scan-cache key).
+    pub threads: usize,
+    /// What the counting scan counts (part of the scan-cache key).
+    pub what: ScanWhat,
     /// The counting spec for a cold scan; `None` means the shared
     /// all-Booleans scan (built from the schema on demand).
-    pub(crate) count_spec: Option<CountSpec>,
-    pub(crate) assemble: Assemble,
-    pub(crate) attr_name: String,
-    pub(crate) objective_desc: String,
-    pub(crate) min_support: Ratio,
-    pub(crate) min_confidence: Ratio,
-    pub(crate) min_average: f64,
-    pub(crate) task: Task,
+    pub count_spec: Option<CountSpec>,
+    /// How the scan's counts become rules.
+    pub assemble: Assemble,
+    /// Display name of the bucketized attribute.
+    pub attr_name: String,
+    /// Display form of the objective (and presumptive condition).
+    pub objective_desc: String,
+    /// Minimum support threshold for assembly.
+    pub min_support: Ratio,
+    /// Minimum confidence threshold for assembly.
+    pub min_confidence: Ratio,
+    /// Minimum average threshold for assembly (average objectives).
+    pub min_average: f64,
+    /// Which optimizations to run.
+    pub task: Task,
 }
 
 impl ResolvedQuery {
     /// The scan-cache key this query reads.
-    pub(crate) fn scan_key(&self) -> ScanKey {
+    pub fn scan_key(&self) -> ScanKey {
         ScanKey {
             bucket: self.key,
             threads: self.threads,
@@ -82,17 +93,19 @@ impl ResolvedQuery {
     }
 }
 
-/// Resolves one spec against the given relation generation: names →
-/// handles, descriptions rendered, engine defaults applied, thresholds
-/// validated. Pure with respect to the engine — no scan runs and no
-/// cache is touched; `generation` only lands in the cache keys so the
-/// query reads (and computes) that generation's artifacts.
-pub(crate) fn resolve<R: RandomAccess>(
-    engine: &SharedEngine<R>,
+/// Resolves one spec against a schema and engine defaults: names →
+/// handles, descriptions rendered, defaults applied, thresholds
+/// validated. Pure — no scan runs and no cache is touched;
+/// `generation` only lands in the cache keys so the query reads (and
+/// computes) that generation's artifacts. Taking the schema and config
+/// rather than an engine lets a coordinator plan against remote shards
+/// it never holds an engine for.
+pub fn resolve(
+    schema: &Schema,
+    config: &EngineConfig,
     generation: u64,
     spec: &QuerySpec,
 ) -> Result<ResolvedQuery> {
-    let schema = engine.schema();
     let attr = schema.numeric(&spec.attr)?;
     let attr_name = schema.numeric_name(attr).to_string();
     let presumptive = resolve_conjunction(&spec.given, schema)?;
@@ -127,7 +140,6 @@ pub(crate) fn resolve<R: RandomAccess>(
         _ => {}
     }
 
-    let config = *engine.config();
     let key = BucketKey {
         attr,
         buckets: spec.buckets.unwrap_or(config.buckets),
@@ -220,7 +232,7 @@ pub(crate) fn resolve<R: RandomAccess>(
 
 /// Turns a scan's (compacted) counts into the query's [`RuleSet`] —
 /// O(M) optimizer work, no relation access.
-pub(crate) fn assemble(resolved: &ResolvedQuery, counts: &BucketCounts) -> Result<RuleSet> {
+pub fn assemble(resolved: &ResolvedQuery, counts: &BucketCounts) -> Result<RuleSet> {
     let total_rows = counts.total_rows;
     let mut rules = Vec::new();
     if counts.bucket_count() > 0 {
@@ -316,11 +328,26 @@ fn instantiate(
 
 /// One deduplicated counting-scan work unit of a [`Plan`].
 #[derive(Debug, Clone)]
-pub(crate) struct ScanNode {
-    pub(crate) key: BucketKey,
-    pub(crate) threads: usize,
-    pub(crate) what: ScanWhat,
-    pub(crate) count_spec: Option<CountSpec>,
+pub struct ScanNode {
+    /// The bucketization the scan runs over.
+    pub key: BucketKey,
+    /// Scan parallelism (part of the cache key).
+    pub threads: usize,
+    /// What the scan counts (part of the cache key).
+    pub what: ScanWhat,
+    /// The counting spec; `None` means the shared all-Booleans scan.
+    pub count_spec: Option<CountSpec>,
+}
+
+impl ScanNode {
+    /// The scan-cache key this node fills.
+    pub fn scan_key(&self) -> ScanKey {
+        ScanKey {
+            bucket: self.key,
+            threads: self.threads,
+            what: self.what.clone(),
+        }
+    }
 }
 
 /// A compiled batch: the deduplicated work units of many specs, plus
@@ -336,17 +363,22 @@ pub(crate) struct ScanNode {
 /// one bucket node and one scan node, however large `N` is.
 #[derive(Debug)]
 pub struct Plan {
-    pub(crate) buckets: Vec<BucketKey>,
-    pub(crate) scans: Vec<ScanNode>,
-    pub(crate) queries: Vec<Result<ResolvedQuery>>,
+    /// Deduplicated bucketization work units.
+    pub buckets: Vec<BucketKey>,
+    /// Deduplicated counting-scan work units.
+    pub scans: Vec<ScanNode>,
+    /// One assembly recipe (or resolution error) per input spec, in
+    /// input order.
+    pub queries: Vec<Result<ResolvedQuery>>,
 }
 
 impl Plan {
-    /// Compiles a batch of specs against an engine's schema and
-    /// defaults, keyed to the relation generation `generation`. Never
-    /// touches the relation data or the cache.
-    pub(crate) fn compile<R: RandomAccess>(
-        engine: &SharedEngine<R>,
+    /// Compiles a batch of specs against a schema and engine defaults,
+    /// keyed to the relation generation `generation`. Never touches
+    /// relation data or any cache.
+    pub fn compile(
+        schema: &Schema,
+        config: &EngineConfig,
         generation: u64,
         specs: &[QuerySpec],
     ) -> Plan {
@@ -357,7 +389,7 @@ impl Plan {
         let queries: Vec<Result<ResolvedQuery>> = specs
             .iter()
             .map(|spec| {
-                let resolved = resolve(engine, generation, spec)?;
+                let resolved = resolve(schema, config, generation, spec)?;
                 if seen_buckets.insert(resolved.key) {
                     buckets.push(resolved.key);
                 }

@@ -2,10 +2,8 @@
 //! collection, control frames (stats/shutdown/append), ordered
 //! responses.
 
-use super::Control;
-use crate::json::{self, Json, Request};
-use crate::shared::SharedEngine;
-use optrules_relation::{AppendRows, Durability, RandomAccess};
+use super::{Control, Service};
+use crate::json::{self, Request};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
@@ -79,14 +77,11 @@ fn read_line_limited(
 /// an `append` see the new generation. Appends take the engine's
 /// writer lock, never the batch gate — a slow mining batch on another
 /// connection cannot delay a write, and vice versa.
-pub(super) fn serve_conn<R>(
-    engine: &SharedEngine<R>,
+pub(super) fn serve_conn<S: Service>(
+    service: &S,
     stream: TcpStream,
     control: &Control,
-) -> io::Result<()>
-where
-    R: RandomAccess + AppendRows + Durability + Send + Sync,
-{
+) -> io::Result<()> {
     let max_line = control.config.max_line_bytes;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -129,18 +124,11 @@ where
             }
         }
 
-        // Execute in request order: the shared executor batches
-        // consecutive specs into planned segments split at control
-        // frames; the in-flight gate wraps each segment's run_batch.
-        let (responses, shutdown_requested) = json::execute_requests(
-            engine,
-            requests,
-            |specs| {
-                let _permit = control.gate.acquire();
-                engine.run_batch(specs, control.config.batch_threads)
-            },
-            || json::ok_envelope(Json::Str("shutdown".into())),
-        );
+        // Execute in request order: the service batches consecutive
+        // specs into planned segments split at control frames, taking
+        // an in-flight gate permit around each segment.
+        let (responses, shutdown_requested) =
+            service.execute(requests, &control.gate, control.config.batch_threads);
 
         // Respond in request order.
         let written: io::Result<()> = (|| {

@@ -75,6 +75,7 @@
 
 mod conn;
 
+use crate::json::{self, Json, Request};
 use crate::shared::SharedEngine;
 use optrules_relation::{AppendRows, Durability, RandomAccess};
 use std::collections::HashMap;
@@ -139,16 +140,20 @@ impl Default for ServerConfig {
 }
 
 /// Counting semaphore bounding concurrent batch executions
-/// ([`ServerConfig::max_inflight_batches`]).
+/// ([`ServerConfig::max_inflight_batches`]). Handed to
+/// [`Service::execute`] so the serving identity takes a permit around
+/// each planned segment it runs.
 #[derive(Debug)]
-struct Gate {
+pub struct Gate {
     max: usize,
     inflight: Mutex<usize>,
     cv: Condvar,
 }
 
 impl Gate {
-    fn new(max: usize) -> Self {
+    /// A gate admitting at most `max` concurrent permits (clamped to at
+    /// least 1).
+    pub fn new(max: usize) -> Self {
         Self {
             max: max.max(1),
             inflight: Mutex::new(0),
@@ -157,7 +162,7 @@ impl Gate {
     }
 
     /// Blocks until a slot frees up; the guard releases it on drop.
-    fn acquire(&self) -> GateGuard<'_> {
+    pub fn acquire(&self) -> GateGuard<'_> {
         let mut inflight = self.inflight.lock().expect("gate poisoned");
         while *inflight >= self.max {
             inflight = self.cv.wait(inflight).expect("gate poisoned");
@@ -167,12 +172,76 @@ impl Gate {
     }
 }
 
-struct GateGuard<'a>(&'a Gate);
+/// An acquired [`Gate`] slot; dropping it releases the slot.
+pub struct GateGuard<'a>(&'a Gate);
 
 impl Drop for GateGuard<'_> {
     fn drop(&mut self) {
         *self.0.inflight.lock().expect("gate poisoned") -= 1;
         self.0.cv.notify_one();
+    }
+}
+
+/// A serving identity behind the TCP front end. The transport machinery
+/// (acceptor, worker pool, framing, registry, graceful shutdown) is
+/// identical for every identity; what differs is who answers the
+/// request grammar — the single-node engine ([`serve`]) or the
+/// scatter-gather coordinator (the `optrules-coord` crate, via
+/// [`serve_service`]).
+pub trait Service: Send + Sync + 'static {
+    /// Executes one framing batch of parsed requests **in program
+    /// order**, returning one response envelope per request plus
+    /// whether a shutdown frame was seen. `gate` is the server's
+    /// in-flight batch gate — implementations take a permit around each
+    /// planned spec segment (never around appends or other control
+    /// frames); `batch_threads` is [`ServerConfig::batch_threads`].
+    fn execute(
+        &self,
+        requests: Vec<Request>,
+        gate: &Gate,
+        batch_threads: usize,
+    ) -> (Vec<Json>, bool);
+
+    /// Called exactly once by the supervisor after the acceptor and
+    /// every worker have exited — the final-checkpoint / backend-drain
+    /// hook of a graceful shutdown. The default does nothing.
+    fn drain(&self) {}
+}
+
+/// The single-node identity: one warm [`SharedEngine`] answers every
+/// connection.
+struct EngineService<R: RandomAccess> {
+    engine: Arc<SharedEngine<R>>,
+}
+
+impl<R> Service for EngineService<R>
+where
+    R: RandomAccess + AppendRows + Durability + Send + Sync + 'static,
+{
+    fn execute(
+        &self,
+        requests: Vec<Request>,
+        gate: &Gate,
+        batch_threads: usize,
+    ) -> (Vec<Json>, bool) {
+        json::execute_requests(
+            &self.engine,
+            requests,
+            |specs| {
+                let _permit = gate.acquire();
+                self.engine.run_batch(specs, batch_threads)
+            },
+            || json::ok_envelope(Json::Str("shutdown".into())),
+        )
+    }
+
+    /// Checkpoint the engine so a durable relation leaves no WAL tail
+    /// behind a graceful shutdown. In-memory relations make this a
+    /// no-op.
+    fn drain(&self) {
+        if let Err(e) = self.engine.flush() {
+            eprintln!("optrules serve: final checkpoint failed: {e}");
+        }
     }
 }
 
@@ -288,6 +357,23 @@ pub fn serve<R>(
 where
     R: RandomAccess + AppendRows + Durability + Send + Sync + 'static,
 {
+    serve_service(Arc::new(EngineService { engine }), addr, config)
+}
+
+/// Binds `addr` and serves the NDJSON query protocol over an arbitrary
+/// [`Service`] — the transport layer of [`serve`], reusable by any
+/// serving identity (the scatter-gather coordinator rides it too).
+/// Same lifecycle: returns immediately with a [`ServerHandle`]; the
+/// supervisor calls [`Service::drain`] once everything has exited.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound or inspected.
+pub fn serve_service<S: Service>(
+    service: Arc<S>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let control = Arc::new(Control {
@@ -303,9 +389,9 @@ where
     let mut pool = Vec::with_capacity(config.workers.max(1) + 1);
     for _ in 0..config.workers.max(1) {
         let rx = Arc::clone(&rx);
-        let engine = Arc::clone(&engine);
+        let service = Arc::clone(&service);
         let control = Arc::clone(&control);
-        pool.push(std::thread::spawn(move || worker(&rx, &engine, &control)));
+        pool.push(std::thread::spawn(move || worker(&rx, &*service, &control)));
     }
     {
         let control = Arc::clone(&control);
@@ -315,16 +401,14 @@ where
     }
     // The supervisor owns the drain: once every worker and the
     // acceptor have exited (all connections flushed their responses),
-    // it checkpoints the engine so a durable relation leaves no WAL
-    // tail behind a graceful shutdown. In-memory relations make this
-    // a no-op.
+    // the service runs its final-checkpoint hook — for the engine
+    // identity, a durability flush so a graceful shutdown leaves no
+    // WAL tail.
     let supervisor = std::thread::spawn(move || {
         for thread in pool {
             let _ = thread.join();
         }
-        if let Err(e) = engine.flush() {
-            eprintln!("optrules serve: final checkpoint failed: {e}");
-        }
+        service.drain();
     });
     Ok(ServerHandle {
         addr,
@@ -361,10 +445,7 @@ fn acceptor(listener: &TcpListener, tx: &SyncSender<TcpStream>, control: &Contro
 /// One pool worker: serve queued connections until the acceptor hangs
 /// up and the queue is drained. Connection-level I/O errors end that
 /// connection only — the worker moves on to the next.
-fn worker<R>(rx: &Mutex<Receiver<TcpStream>>, engine: &SharedEngine<R>, control: &Control)
-where
-    R: RandomAccess + AppendRows + Durability + Send + Sync,
-{
+fn worker<S: Service>(rx: &Mutex<Receiver<TcpStream>>, service: &S, control: &Control) {
     loop {
         let stream = rx.lock().expect("accept queue poisoned").recv();
         let Ok(stream) = stream else { break };
@@ -385,7 +466,7 @@ where
             control.deregister(id);
             continue;
         }
-        let _ = conn::serve_conn(engine, stream, control);
+        let _ = conn::serve_conn(service, stream, control);
         control.deregister(id);
     }
 }

@@ -102,10 +102,14 @@ use optrules_relation::{
 /// depends on — including the relation **generation** it sampled, so a
 /// post-append query can never be served a stale bucketization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct BucketKey {
+pub struct BucketKey {
+    /// The numeric attribute being bucketized.
     pub attr: NumAttr,
+    /// Number of equi-depth buckets.
     pub buckets: usize,
+    /// Sample size per bucket (Algorithm 3.1's `S = samples · M`).
     pub samples_per_bucket: u64,
+    /// Session sampling seed (pre-mixing; see [`attr_seed`]).
     pub seed: u64,
     /// Relation generation the bucketization was computed over.
     pub generation: u64,
@@ -113,7 +117,7 @@ pub(crate) struct BucketKey {
 
 /// What a cached counting scan counted.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub(crate) enum ScanWhat {
+pub enum ScanWhat {
     /// The shared simple-query scan: every Boolean attribute as a
     /// `(B = yes)` target, no presumptive filter. A structural variant
     /// so warm lookups need no spec rebuild or fingerprinting.
@@ -132,13 +136,28 @@ pub(crate) enum ScanWhat {
 /// breaking the cache-is-invisible guarantee. Integer counts would be
 /// safe to share, but one honest key is simpler than a split cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub(crate) struct ScanKey {
+pub struct ScanKey {
+    /// The bucketization the scan ran over.
     pub bucket: BucketKey,
+    /// Worker threads the scan used (accumulation order matters for
+    /// float sums).
     pub threads: usize,
+    /// What was counted.
     pub what: ScanWhat,
 }
 
-pub(crate) fn spec_fingerprint(what: &CountSpec) -> ScanWhat {
+/// The per-attribute sampling seed: the session seed mixed with the
+/// attribute index so distinct attributes draw distinct samples.
+///
+/// Public because a coordinator reproducing a shard-distributed
+/// bucketization must seed its index stream exactly as
+/// [`SharedEngine::spec_for`] does.
+pub fn attr_seed(seed: u64, attr: NumAttr) -> u64 {
+    seed ^ (attr.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Canonical [`ScanWhat`] fingerprint of an arbitrary counting spec.
+pub fn spec_fingerprint(what: &CountSpec) -> ScanWhat {
     ScanWhat::Spec(format!(
         "{:?}|{:?}|{:?}",
         what.presumptive, what.bool_targets, what.sum_targets
@@ -146,27 +165,34 @@ pub(crate) fn spec_fingerprint(what: &CountSpec) -> ScanWhat {
 }
 
 /// Both artifact kinds share one sharded cache (and hence one cost
-/// budget), keyed by this enum.
+/// budget), keyed by this enum. Public so a coordinator can run the
+/// same caching discipline over artifacts it assembles from remote
+/// shards.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum CacheKey {
+pub enum CacheKey {
+    /// A bucketization artifact.
     Bucket(BucketKey),
+    /// A counting-scan artifact.
     Scan(ScanKey),
 }
 
+/// The artifact stored under a [`CacheKey`].
 #[derive(Debug, Clone)]
-enum CacheValue {
+pub enum CacheValue {
+    /// Bucket boundaries.
     Spec(Arc<BucketSpec>),
+    /// (Compacted) per-bucket counts.
     Counts(Arc<BucketCounts>),
 }
 
 /// Cost of a cached bucketization, in cells: the cut points held.
-fn spec_cost(spec: &BucketSpec) -> u64 {
+pub fn spec_cost(spec: &BucketSpec) -> u64 {
     (spec.bucket_count() as u64).max(1)
 }
 
 /// Cost of a cached counting scan, in cells: `u`, per-bucket ranges
 /// (2 cells), and one row per Boolean/sum target.
-fn counts_cost(counts: &BucketCounts) -> u64 {
+pub fn counts_cost(counts: &BucketCounts) -> u64 {
     let per_bucket = 3 + counts.bool_v.len() as u64 + counts.sums.len() as u64;
     (counts.bucket_count() as u64 * per_bucket).max(1)
 }
@@ -597,7 +623,7 @@ impl<R: RandomAccess> SharedEngine<R> {
     /// bucketing/storage errors.
     pub fn run_spec(&self, spec: &QuerySpec) -> Result<RuleSet> {
         let pinned = self.pin();
-        let resolved = plan::resolve(self, pinned.generation(), spec)?;
+        let resolved = plan::resolve(&self.schema, &self.config, pinned.generation(), spec)?;
         let counts = self.counts_for_resolved(&resolved, &pinned.rel)?;
         plan::assemble(&resolved, &counts)
     }
@@ -607,7 +633,7 @@ impl<R: RandomAccess> SharedEngine<R> {
     /// inspecting what a batch will cost. Touches neither the relation
     /// data nor the cache. Compiled against the current generation.
     pub fn plan_batch(&self, specs: &[QuerySpec]) -> Plan {
-        Plan::compile(self, self.generation(), specs)
+        Plan::compile(&self.schema, &self.config, self.generation(), specs)
     }
 
     /// Plans and executes a batch of specs: distinct work units are
@@ -632,7 +658,7 @@ impl<R: RandomAccess> SharedEngine<R> {
     {
         let pinned = self.pin();
         let rel = &*pinned.rel;
-        let plan = Plan::compile(self, pinned.generation(), specs);
+        let plan = Plan::compile(&self.schema, &self.config, pinned.generation(), specs);
         // Phase 1: distinct bucketizations, once each. Errors are not
         // propagated here — every dependent query re-surfaces them
         // individually during assembly.
@@ -654,12 +680,6 @@ impl<R: RandomAccess> SharedEngine<R> {
                 plan::assemble(&resolved, &counts)
             })
             .collect()
-    }
-
-    /// The per-attribute sampling seed: the session seed mixed with the
-    /// attribute index so distinct attributes draw distinct samples.
-    pub(crate) fn attr_seed(seed: u64, attr: NumAttr) -> u64 {
-        seed ^ (attr.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 
     /// The singleflight cached-compute path shared by bucketizations
@@ -739,7 +759,7 @@ impl<R: RandomAccess> SharedEngine<R> {
                 let cfg = EquiDepthConfig {
                     buckets: key.buckets,
                     samples_per_bucket: key.samples_per_bucket,
-                    seed: Self::attr_seed(key.seed, key.attr),
+                    seed: attr_seed(key.seed, key.attr),
                     method: SamplingMethod::WithReplacement,
                 };
                 let spec = Arc::new(equi_depth_cuts(rel, key.attr, &cfg)?);
@@ -849,6 +869,36 @@ impl<R: RandomAccess> SharedEngine<R> {
         }
     }
 
+    /// Runs one **raw, uncached** counting scan over `rel` with the
+    /// given bucket boundaries — the building block of a shard's
+    /// `{"cmd":"count"}` frame. The result is left **uncompacted** so
+    /// partial counts from different shards stay bucket-aligned for
+    /// [`BucketCounts::merge`]; the coordinator compacts once after
+    /// merging. No cache is consulted or filled and no counters are
+    /// bumped: in a scatter-gather topology the coordinator owns
+    /// caching, deduplication, and the observability for this work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates counting/storage errors.
+    pub fn count_raw(
+        &self,
+        spec: &BucketSpec,
+        what: &CountSpec,
+        threads: usize,
+        rel: &R,
+    ) -> Result<BucketCounts>
+    where
+        R: Send + Sync,
+    {
+        let counts = if threads > 1 {
+            count_buckets_parallel(rel, spec, what, threads)?
+        } else {
+            count_buckets(rel, spec, what)?
+        };
+        Ok(counts)
+    }
+
     /// Executes one deduplicated scan node of a [`Plan`].
     fn counts_for_node(&self, node: &ScanNode, rel: &R) -> Result<Arc<BucketCounts>> {
         match &node.count_spec {
@@ -868,7 +918,9 @@ impl<R: RandomAccess> SharedEngine<R> {
 /// from a shared index — the work-queue used for plan-node execution.
 /// Order of execution is irrelevant by construction (each item's
 /// effect depends only on the item), so no reassembly is needed.
-fn fan_out<T: Sync>(items: &[T], threads: usize, run: impl Fn(&T) + Sync) {
+/// Public so plan executors outside this crate (the scatter-gather
+/// coordinator) can run nodes with the same discipline.
+pub fn fan_out<T: Sync>(items: &[T], threads: usize, run: impl Fn(&T) + Sync) {
     let workers = threads.max(1).min(items.len());
     if workers <= 1 {
         for item in items {

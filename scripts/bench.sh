@@ -7,22 +7,22 @@
 #
 # kick-tires (default) runs the three benches that gate the hot paths
 # touched most often — the engine cache, the live append path, and the
-# durability subsystem — in a couple of minutes; full runs the entire
-# suite.
+# sharded scatter-gather coordinator — in a couple of minutes; full
+# runs the entire suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tier="${1:-kick-tires}"
-out="${2:-BENCH_PR7.json}"
+out="${2:-BENCH_PR8.json}"
 
 case "$tier" in
   kick-tires)
-    benches=(engine_cache append_throughput durability)
+    benches=(engine_cache append_throughput coord_scatter_gather)
     ;;
   full)
     benches=(miner confidence support hull bucketing sample_size parallel
              engine_cache concurrent_engine batch_plan serve_throughput
-             append_throughput durability)
+             append_throughput durability coord_scatter_gather)
     ;;
   *)
     echo "usage: $0 [kick-tires|full] [output.json]" >&2

@@ -21,6 +21,14 @@
 //!               [--data-dir DIR] [--wal-sync always|batch|off] [--spill-rows N]
 //!               [--buckets M] [--min-support P] [--min-confidence P]
 //!               [--threads T] [--seed S]
+//! optrules coord --shards H:P,H:P[,…] [--addr HOST:PORT] [--workers N]
+//!               [--max-inflight N] [--max-line-bytes N] [--write-timeout-secs N]
+//!               [--cache-mb N] [--cache-shards N]
+//!               [--connect-timeout-ms N] [--rpc-timeout-ms N]
+//!               [--retries N] [--retry-backoff-ms N]
+//!               [--buckets M] [--min-support P] [--min-confidence P]
+//!               [--threads T] [--seed S]
+//! optrules slice <src> <dst> [--start N] [--end N]
 //! ```
 //!
 //! Relation files are the fixed-width format written by
@@ -60,6 +68,20 @@
 //! lock granularity (≥ 1; the default is 32 MiB across 16 shards);
 //! `--write-timeout-secs` (default 30) bounds how long a response
 //! write may block on a client that stops reading.
+//!
+//! `coord` serves the same NDJSON protocol but owns no rows at all: it
+//! plans every query centrally and scatters the data pass (sampling
+//! fetches and counting scans) across the `optrules serve` backends
+//! named by `--shards`, merging their partial bucket counts before the
+//! cheap centralized optimization step. Responses are byte-identical
+//! to a single-node server over the concatenated shard relations (see
+//! `optrules::coord`). A dead shard fails only the requests that
+//! needed it — those answer the structured
+//! `{"error":{"shard":i,"message":…}}` envelope — and the coordinator
+//! keeps serving, re-pinning the shard when it comes back. `slice`
+//! cuts a row range of a relation file into a new file — the shard
+//! files of a scatter-gather deployment are plain slices of the
+//! original.
 //!
 //! `--data-dir DIR` makes the live relation *durable* for `batch` and
 //! `serve` (see `optrules::relation::durable`): appended rows are
@@ -123,7 +145,21 @@ const USAGE: &str = "usage:
                  granularity; --write-timeout-secs drops clients that
                  stop reading, both at least 1; --data-dir makes
                  appends durable: WAL + segment spill + crash
-                 recovery)";
+                 recovery)
+  optrules coord --shards H:P,H:P[,…] [--addr HOST:PORT] [--workers N]
+                [--max-inflight N] [--max-line-bytes N] [--write-timeout-secs N]
+                [--cache-mb N] [--cache-shards N]
+                [--connect-timeout-ms N] [--rpc-timeout-ms N]
+                [--retries N] [--retry-backoff-ms N]
+                [--buckets M] [--min-support P] [--min-confidence P]
+                [--threads T] [--seed S]
+                (scatter-gather front end over `optrules serve` shards:
+                 plans and optimizes centrally, counts on the shards,
+                 answers byte-identically to one server over the
+                 concatenated rows; appends route to the last shard)
+  optrules slice <src> <dst> [--start N] [--end N]
+                (copies rows start..end of a relation file into a new
+                 file — for cutting a relation into shard files)";
 
 type CliResult = Result<(), String>;
 
@@ -249,6 +285,25 @@ const SERVE_FLAGS: &[&str] = &[
     "threads",
     "seed",
 ];
+const COORD_FLAGS: &[&str] = &[
+    "shards",
+    "addr",
+    "workers",
+    "max-inflight",
+    "max-line-bytes",
+    "write-timeout-secs",
+    "cache-mb",
+    "cache-shards",
+    "connect-timeout-ms",
+    "rpc-timeout-ms",
+    "retries",
+    "retry-backoff-ms",
+    "buckets",
+    "min-support",
+    "min-confidence",
+    "threads",
+    "seed",
+];
 
 /// Output format shared by the mining subcommands: `text` (the default,
 /// byte-identical to the pre-`--format` output) or `json` (the
@@ -297,6 +352,14 @@ fn run(args: &[String]) -> CliResult {
         ["serve", path] => {
             reject_unknown(&flags, SERVE_FLAGS)?;
             serve(path, &flags)
+        }
+        ["coord"] => {
+            reject_unknown(&flags, COORD_FLAGS)?;
+            coord(&flags)
+        }
+        ["slice", src, dst] => {
+            reject_unknown(&flags, &["start", "end"])?;
+            slice(src, dst, &flags)
         }
         [] => Err("missing command".into()),
         other => Err(format!("unrecognized command {other:?}")),
@@ -660,33 +723,9 @@ where
 /// until the graceful drain completes.
 fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
-    let workers: usize = flag_num(flags, "workers", 4)?;
-    if workers == 0 {
-        return Err("--workers must be at least 1".into());
-    }
-    let max_inflight: usize = flag_num(flags, "max-inflight", workers)?;
-    if max_inflight == 0 {
-        return Err("--max-inflight must be at least 1".into());
-    }
-    let max_line_bytes: usize = flag_num(flags, "max-line-bytes", 1 << 20)?;
-    if max_line_bytes == 0 {
-        return Err("--max-line-bytes must be at least 1".into());
-    }
-    let write_timeout_secs: u64 = flag_num(flags, "write-timeout-secs", 30)?;
-    if write_timeout_secs == 0 {
-        return Err("--write-timeout-secs must be at least 1".into());
-    }
-    let batch_threads: usize = flag_num(flags, "threads", 1)?;
     let cache = cache_from_flags(flags)?;
     let engine_config = config_from_flags(flags, 1)?;
-    let server_config = ServerConfig {
-        workers,
-        max_inflight_batches: max_inflight,
-        max_line_bytes,
-        batch_threads,
-        write_timeout: Some(std::time::Duration::from_secs(write_timeout_secs)),
-        ..ServerConfig::default()
-    };
+    let server_config = server_config_from_flags(flags)?;
     match durability_from_flags(flags)? {
         // Durable mode: recover base + segments + WAL tail, resume at
         // the recovered generation; the server's shutdown drain
@@ -728,6 +767,121 @@ where
     println!("listening on {}", handle.addr());
     handle.join();
     println!("server stopped");
+    Ok(())
+}
+
+/// The TCP front-end flags shared by `serve` and `coord`.
+fn server_config_from_flags(flags: &HashMap<&str, &str>) -> Result<ServerConfig, String> {
+    let workers: usize = flag_num(flags, "workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let max_inflight: usize = flag_num(flags, "max-inflight", workers)?;
+    if max_inflight == 0 {
+        return Err("--max-inflight must be at least 1".into());
+    }
+    let max_line_bytes: usize = flag_num(flags, "max-line-bytes", 1 << 20)?;
+    if max_line_bytes == 0 {
+        return Err("--max-line-bytes must be at least 1".into());
+    }
+    let write_timeout_secs: u64 = flag_num(flags, "write-timeout-secs", 30)?;
+    if write_timeout_secs == 0 {
+        return Err("--write-timeout-secs must be at least 1".into());
+    }
+    Ok(ServerConfig {
+        workers,
+        max_inflight_batches: max_inflight,
+        max_line_bytes,
+        batch_threads: flag_num(flags, "threads", 1)?,
+        write_timeout: Some(std::time::Duration::from_secs(write_timeout_secs)),
+        ..ServerConfig::default()
+    })
+}
+
+/// The `coord` subcommand: a scatter-gather front end over a set of
+/// `optrules serve` shards (see `optrules::coord`). It holds no rows —
+/// it plans, caches, merges, and optimizes; the shards count. The
+/// engine flags (`--buckets` etc.) set the same session defaults a
+/// single-node server would, so answers stay byte-identical to one
+/// `optrules serve` over the concatenated shard rows.
+fn coord(flags: &HashMap<&str, &str>) -> CliResult {
+    let shards_raw = *flags
+        .get("shards")
+        .ok_or("--shards is required (comma-separated host:port list)")?;
+    let shard_addrs: Vec<String> = shards_raw
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shard_addrs.is_empty() {
+        return Err("--shards expects at least one host:port".into());
+    }
+    let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7879");
+    let net = CoordConfig {
+        connect_timeout: std::time::Duration::from_millis(flag_num(
+            flags,
+            "connect-timeout-ms",
+            2_000u64,
+        )?),
+        rpc_timeout: std::time::Duration::from_millis(flag_num(
+            flags,
+            "rpc-timeout-ms",
+            30_000u64,
+        )?),
+        retries: flag_num(flags, "retries", 2u32)?,
+        retry_backoff: std::time::Duration::from_millis(flag_num(
+            flags,
+            "retry-backoff-ms",
+            50u64,
+        )?),
+    };
+    let server_config = server_config_from_flags(flags)?;
+    let coordinator = Coordinator::connect(
+        &shard_addrs,
+        config_from_flags(flags, 1)?,
+        cache_from_flags(flags)?,
+        net,
+    )
+    .map_err(|e| e.to_string())?;
+    let handle = server::serve_service(Arc::new(coordinator), addr, server_config)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("listening on {}", handle.addr());
+    handle.join();
+    println!("server stopped");
+    Ok(())
+}
+
+/// The `slice` subcommand: copies rows `start..end` of a relation file
+/// into a new relation file with the same schema — how a deployment
+/// cuts one relation into per-shard files whose concatenation is the
+/// original.
+fn slice(src: &str, dst: &str, flags: &HashMap<&str, &str>) -> CliResult {
+    let rel = FileRelation::open(src).map_err(|e| e.to_string())?;
+    let rows = rel.len();
+    let start: u64 = flag_num(flags, "start", 0)?;
+    let end: u64 = flag_num(flags, "end", rows)?;
+    if start > end || end > rows {
+        return Err(format!(
+            "--start/--end must satisfy start <= end <= {rows}, got {start}..{end}"
+        ));
+    }
+    let mut writer = FileRelationWriter::create(dst, rel.schema().clone())
+        .map_err(|e| format!("creating {dst}: {e}"))?;
+    let mut write_err: Result<(), String> = Ok(());
+    rel.for_each_row_in(start..end, &mut |_, numeric, boolean| {
+        if write_err.is_ok() {
+            if let Err(e) = writer.push_row(numeric, boolean) {
+                write_err = Err(format!("writing {dst}: {e}"));
+            }
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    write_err?;
+    let out = writer.finish().map_err(|e| format!("writing {dst}: {e}"))?;
+    println!(
+        "wrote {} rows ({start}..{end} of {src}) to {dst}",
+        out.len()
+    );
     Ok(())
 }
 

@@ -105,12 +105,20 @@
 //!   *durable*: [`relation::DurableRelation`] backs the live tail with
 //!   a write-ahead log and spills it into file segments
 //!   (`--data-dir` on the CLI), so acknowledged appends survive a
-//!   crash and `optrules serve` resumes where it left off.
+//!   crash and `optrules serve` resumes where it left off;
+//! * [`coord`] — the scatter-gather coordinator (`optrules coord`): a
+//!   thin front end that plans and optimizes centrally but delegates
+//!   the data pass (sampling fetches, counting scans) to a set of
+//!   `optrules serve` shards over the same NDJSON protocol, merging
+//!   per-shard partial bucket counts — answers byte-identical to a
+//!   single node over the concatenated rows, with structured
+//!   `{"error":{"shard":i,…}}` envelopes when a backend fails.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use optrules_bucketing as bucketing;
+pub use optrules_coord as coord;
 pub use optrules_core as core;
 pub use optrules_geometry as geometry;
 pub use optrules_relation as relation;
@@ -119,6 +127,7 @@ pub use optrules_stats as stats;
 /// One-stop imports for typical mining sessions.
 pub mod prelude {
     pub use crate::bucketing::{BucketSpec, CountSpec, EquiDepthConfig, SamplingMethod};
+    pub use crate::coord::{CoordConfig, CoordError, Coordinator, ShardSet};
     pub use crate::core::average::{maximum_average_range, maximum_support_range};
     #[allow(deprecated)]
     pub use crate::core::Miner;

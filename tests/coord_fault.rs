@@ -1,0 +1,208 @@
+//! Fault injection for the sharded topology: three real `optrules
+//! serve` shard processes behind a real `optrules coord` process,
+//! SIGKILL one shard mid-batch, and assert the coordinator degrades —
+//! warm specs still answer byte-identically, cold specs that need the
+//! dead shard fail with the structured `{"error":{"shard":i,…}}`
+//! envelope, the coordinator never goes down, and it recovers the
+//! moment the shard is restarted on its old address. Finally the
+//! coordinator's shutdown must drain the surviving shards even though
+//! one backend is (again) already dead.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_optrules"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "optrules-coord-fault-{}-{name}.rel",
+        std::process::id()
+    ))
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns a subcommand that prints `listening on <addr>` and parses
+/// the bound address from its stdout.
+fn spawn_listening(args: &[&str]) -> Server {
+    let mut child = bin()
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("process spawns");
+    let stdout = child.stdout.as_mut().expect("stdout piped");
+    let mut first = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first)
+        .expect("read listening line");
+    let addr = first
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line {first:?}"))
+        .to_string();
+    Server { child, addr }
+}
+
+fn spawn_shard(path: &str, addr: &str) -> Server {
+    spawn_listening(&[
+        "serve",
+        path,
+        "--addr",
+        addr,
+        "--buckets",
+        "80",
+        "--min-support",
+        "10",
+        "--min-confidence",
+        "60",
+        "--seed",
+        "7",
+    ])
+}
+
+fn roundtrip(addr: &str, input: &str) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(input.as_bytes()).expect("send");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    BufReader::new(stream)
+        .lines()
+        .map(|line| line.expect("read"))
+        .collect()
+}
+
+const WARM_SPEC: &str = "{\"attr\":\"Balance\",\"objective\":{\"bool\":\"CardLoan\"}}\n";
+const COLD_SPEC: &str =
+    "{\"attr\":\"CheckingAccount\",\"objective\":{\"bool\":\"AutoWithdraw\"}}\n";
+
+#[test]
+fn killing_a_shard_degrades_gracefully_and_recovers() {
+    // One bank relation, sliced into three shard files whose
+    // concatenation is the original (also exercising `optrules slice`).
+    let full = tmp("full");
+    let full_s = full.to_str().unwrap();
+    let gen = bin()
+        .args(["gen", "bank", full_s, "--rows", "6000", "--seed", "3"])
+        .output()
+        .expect("gen runs");
+    assert!(gen.status.success());
+    let mut shard_paths = Vec::new();
+    for (i, (start, end)) in [(0, 2000), (2000, 4000), (4000, 6000)].iter().enumerate() {
+        let path = tmp(&format!("shard{i}"));
+        let out = bin()
+            .args([
+                "slice",
+                full_s,
+                path.to_str().unwrap(),
+                "--start",
+                &start.to_string(),
+                "--end",
+                &end.to_string(),
+            ])
+            .output()
+            .expect("slice runs");
+        assert!(out.status.success(), "{out:?}");
+        shard_paths.push(path);
+    }
+
+    // The single-node oracle over the unsliced rows.
+    let mut single = spawn_shard(full_s, "127.0.0.1:0");
+    let warm_expected = roundtrip(&single.addr, WARM_SPEC);
+    let cold_expected = roundtrip(&single.addr, COLD_SPEC);
+
+    let mut shards: Vec<Server> = shard_paths
+        .iter()
+        .map(|p| spawn_shard(p.to_str().unwrap(), "127.0.0.1:0"))
+        .collect();
+    let shard_list = shards
+        .iter()
+        .map(|s| s.addr.clone())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut coord = spawn_listening(&[
+        "coord",
+        "--shards",
+        &shard_list,
+        "--buckets",
+        "80",
+        "--min-support",
+        "10",
+        "--min-confidence",
+        "60",
+        "--seed",
+        "7",
+        "--retry-backoff-ms",
+        "10",
+    ]);
+
+    // Warm up, verifying byte-identity against the single node.
+    assert_eq!(roundtrip(&coord.addr, WARM_SPEC), warm_expected);
+
+    // SIGKILL the middle shard, then send one pipelined batch mixing a
+    // warm spec and a cold one that needs the dead shard.
+    shards[1].child.kill().expect("kill -9 shard 1");
+    shards[1].child.wait().expect("reap shard 1");
+    let mixed = roundtrip(&coord.addr, &format!("{WARM_SPEC}{COLD_SPEC}"));
+    assert_eq!(mixed.len(), 2, "{mixed:?}");
+    assert_eq!(
+        mixed[0], warm_expected[0],
+        "warm spec must survive the dead shard byte-identically"
+    );
+    assert!(
+        mixed[1].starts_with("{\"error\":{\"shard\":1,"),
+        "cold spec must fail with the structured shard error: {}",
+        mixed[1]
+    );
+
+    // Zero downtime: the coordinator keeps answering, and its stats
+    // frame names the dead shard in the same structured form.
+    assert_eq!(roundtrip(&coord.addr, WARM_SPEC), warm_expected);
+    let stats = roundtrip(&coord.addr, "{\"cmd\":\"stats\"}\n");
+    assert!(
+        stats[0].starts_with("{\"error\":{\"shard\":1,"),
+        "stats must report the dead shard: {}",
+        stats[0]
+    );
+
+    // Restart the shard on its old address: the cold spec now succeeds
+    // and matches the single-node answer exactly.
+    shards[1] = spawn_shard(shard_paths[1].to_str().unwrap(), &shards[1].addr);
+    assert_eq!(
+        roundtrip(&coord.addr, COLD_SPEC),
+        cold_expected,
+        "recovered shard must restore byte-identity"
+    );
+    let stats = roundtrip(&coord.addr, "{\"cmd\":\"stats\"}\n");
+    assert!(stats[0].starts_with("{\"ok\":"), "{stats:?}");
+    assert!(stats[0].contains("\"shard_errors\":"), "{stats:?}");
+
+    // Kill a different shard and shut the coordinator down: the drain
+    // must tolerate the dead backend (in parallel) and still stop the
+    // survivors.
+    shards[0].child.kill().expect("kill shard 0");
+    shards[0].child.wait().expect("reap shard 0");
+    let bye = roundtrip(&coord.addr, "{\"cmd\":\"shutdown\"}\n");
+    assert_eq!(bye, ["{\"ok\":\"shutdown\"}"]);
+    assert!(
+        coord.child.wait().expect("coordinator exits").success(),
+        "graceful coordinator shutdown must exit 0 with a dead shard"
+    );
+    assert!(shards[1].child.wait().expect("shard 1 exits").success());
+    assert!(shards[2].child.wait().expect("shard 2 exits").success());
+
+    let bye = roundtrip(&single.addr, "{\"cmd\":\"shutdown\"}\n");
+    assert_eq!(bye, ["{\"ok\":\"shutdown\"}"]);
+    assert!(single.child.wait().expect("single exits").success());
+
+    std::fs::remove_file(&full).unwrap();
+    for path in shard_paths {
+        std::fs::remove_file(path).unwrap();
+    }
+}
