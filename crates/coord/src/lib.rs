@@ -69,20 +69,21 @@ mod error;
 mod shardset;
 
 pub use error::{CoordError, Result};
-pub use shardset::{CoordConfig, ShardSet};
+pub use shardset::{CoordConfig, RpcKind, ShardRpcMetrics, ShardSet};
 
 use optrules_bucketing::{
     cuts_from_sample, sample_indices, BucketCounts, BucketSpec, BucketingError, CountSpec,
 };
 use optrules_core::cache::{CacheConfig, FlightRole, ShardedCache};
-use optrules_core::json::{self, Json, Num, Request};
+use optrules_core::json::{self, Json, Num, Request, ServerProbe};
 use optrules_core::plan::{self, Plan};
-use optrules_core::server::{Gate, Service};
+use optrules_core::server::{ExecuteCtx, Gate, Service};
 use optrules_core::shared::{
     attr_seed, counts_cost, fan_out, spec_cost, AppendOutcome, BucketKey, CacheKey, CacheValue,
     ScanKey, ScanWhat,
 };
 use optrules_core::{CoreError, EngineConfig, QuerySpec, RuleSet};
+use optrules_obs::{Gauges, Histogram, Span, Timer, TraceSink};
 use optrules_relation::Schema;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -146,6 +147,20 @@ pub struct Coordinator {
     bucket_cache_hits: AtomicU64,
     scans: AtomicU64,
     scan_cache_hits: AtomicU64,
+    obs: CoordObs,
+    trace: Option<Arc<TraceSink>>,
+}
+
+/// Coordinator-side phase histograms: gathering/merging shard partials
+/// and the central optimization step — the two things a coordinator
+/// does that a shard doesn't.
+#[derive(Debug, Default)]
+struct CoordObs {
+    /// Decode + pin-verify + merge + compact of per-shard partial
+    /// counts, per cold scan node.
+    merge: Histogram,
+    /// Central rule assembly ([`plan::assemble`]), per query.
+    optimize: Histogram,
 }
 
 /// Parses one shard reply line and unwraps its `{"ok":…}` payload; an
@@ -210,7 +225,7 @@ impl Coordinator {
             ));
         }
         let shards = ShardSet::new(addrs, net);
-        let replies = shards.broadcast(&cmd_line("schema"), true, false);
+        let replies = shards.broadcast(&cmd_line("schema"), true, RpcKind::Control);
         let mut schema: Option<Schema> = None;
         let mut gens = Vec::with_capacity(addrs.len());
         let mut rows = Vec::with_capacity(addrs.len());
@@ -249,7 +264,19 @@ impl Coordinator {
             bucket_cache_hits: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             scan_cache_hits: AtomicU64::new(0),
+            obs: CoordObs::default(),
+            trace: None,
         })
+    }
+
+    /// Installs a trace sink: every client segment gets a fresh trace
+    /// id, every shard RPC a span under it, and the same id rides the
+    /// internal frames so shard-side logs correlate. Builder-style, for
+    /// use between [`Coordinator::connect`] and serving.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<Arc<TraceSink>>) -> Coordinator {
+        self.trace = trace;
+        self
     }
 
     /// The schema every shard serves.
@@ -284,7 +311,10 @@ impl Coordinator {
     /// how the coordinator re-pins a restarted shard. Best effort: a
     /// failure here just leaves the stale view for the next attempt.
     fn resync(&self, shard: usize) {
-        if let Ok(lines) = self.shards.rpc(shard, &[cmd_line("schema")], true, false) {
+        if let Ok(lines) = self
+            .shards
+            .rpc(shard, &[cmd_line("schema")], true, RpcKind::Control)
+        {
             if let Ok(payload) = parse_ok(shard, &lines[0]) {
                 if let Ok((_, generation, rows)) = json::schema_from_value(&payload) {
                     self.observe_shard(shard, generation, rows);
@@ -350,11 +380,41 @@ impl Coordinator {
         }
     }
 
+    /// Emits one span per non-`skip`ped shard of a timed fan-out,
+    /// under the segment's trace id.
+    fn emit_shard_spans(
+        &self,
+        name: &'static str,
+        trace: Option<&str>,
+        timed: &[(Result<Vec<String>>, u64, u64)],
+        skip: impl Fn(usize) -> bool,
+    ) {
+        if let (Some(sink), Some(trace)) = (self.trace.as_deref(), trace) {
+            for (shard, &(_, start_ns, dur_ns)) in timed.iter().enumerate() {
+                if skip(shard) {
+                    continue;
+                }
+                sink.emit(&Span {
+                    trace,
+                    span: name,
+                    shard: Some(shard),
+                    start_ns,
+                    dur_ns,
+                });
+            }
+        }
+    }
+
     /// Step 1–3 of Algorithm 3.1 with the rows living on shards:
     /// reproduce the single-node sampling index stream, fetch each
     /// drawn value from the shard that holds its row, and cut the
     /// reassembled sample centrally.
-    fn bucketize(&self, key: BucketKey, pin: &ShardView) -> Result<BucketSpec> {
+    fn bucketize(
+        &self,
+        key: BucketKey,
+        pin: &ShardView,
+        trace: Option<&str>,
+    ) -> Result<BucketSpec> {
         let total = pin.total_rows();
         if total == 0 {
             // Checked before index generation, exactly where the
@@ -379,12 +439,12 @@ impl Coordinator {
                     .chunks(VALUES_CHUNK)
                     .map(|chunk| {
                         let locals: Vec<u64> = chunk.iter().map(|&(_, local)| local).collect();
-                        json::values_frame_to_value(attr_name, &locals).encode()
+                        json::values_frame_to_value(attr_name, &locals, trace).encode()
                     })
                     .collect()
             })
             .collect();
-        let results = self.shards.fan(
+        let results = self.shards.fan_timed(
             |i| {
                 if lines_per_shard[i].is_empty() {
                     None
@@ -393,10 +453,13 @@ impl Coordinator {
                 }
             },
             true,
-            true,
+            RpcKind::Values,
         );
+        self.emit_shard_spans("rpc_values", trace, &results, |shard| {
+            per_shard[shard].is_empty()
+        });
         let mut sample = vec![0.0f64; indices.len()];
-        for (shard, result) in results.into_iter().enumerate() {
+        for (shard, (result, _, _)) in results.into_iter().enumerate() {
             if per_shard[shard].is_empty() {
                 continue;
             }
@@ -427,13 +490,18 @@ impl Coordinator {
     }
 
     /// Cached, coalesced bucket boundaries for `key`.
-    fn spec_for(&self, key: BucketKey, pin: &ShardView) -> Result<Arc<BucketSpec>> {
+    fn spec_for(
+        &self,
+        key: BucketKey,
+        pin: &ShardView,
+        trace: Option<&str>,
+    ) -> Result<Arc<BucketSpec>> {
         let value = self.cached_or_compute(
             CacheKey::Bucket(key),
             &self.bucket_cache_hits,
             &self.bucketizations,
             || {
-                let spec = Arc::new(self.bucketize(key, pin)?);
+                let spec = Arc::new(self.bucketize(key, pin, trace)?);
                 let cost = spec_cost(&spec);
                 Ok((CacheValue::Spec(spec), cost))
             },
@@ -456,6 +524,7 @@ impl Coordinator {
         what: &ScanWhat,
         count_spec: Option<&CountSpec>,
         pin: &ShardView,
+        trace: Option<&str>,
     ) -> Result<Arc<BucketCounts>> {
         let scan_key = ScanKey {
             bucket: key,
@@ -467,11 +536,17 @@ impl Coordinator {
             &self.scan_cache_hits,
             &self.scans,
             || {
-                let cuts = self.spec_for(key, pin)?;
-                let frame =
-                    json::count_frame_to_value(&self.schema, key.attr, &cuts, count_spec, threads)
-                        .encode();
-                let results = self.shards.fan(
+                let cuts = self.spec_for(key, pin, trace)?;
+                let frame = json::count_frame_to_value(
+                    &self.schema,
+                    key.attr,
+                    &cuts,
+                    count_spec,
+                    threads,
+                    trace,
+                )
+                .encode();
+                let results = self.shards.fan_timed(
                     |i| {
                         if pin.rows[i] == 0 {
                             // An empty shard's partial is all zeros —
@@ -483,11 +558,13 @@ impl Coordinator {
                         }
                     },
                     true,
-                    true,
+                    RpcKind::Count,
                 );
+                self.emit_shard_spans("rpc_count", trace, &results, |shard| pin.rows[shard] == 0);
+                let merge_timer = Timer::start();
                 let mut merged: Option<BucketCounts> = None;
                 let mut counted = 0u64;
-                for (shard, result) in results.into_iter().enumerate() {
+                for (shard, (result, _, _)) in results.into_iter().enumerate() {
                     if pin.rows[shard] == 0 {
                         continue;
                     }
@@ -516,6 +593,7 @@ impl Coordinator {
                 let merged = merged.expect("a non-empty relation has a non-empty shard");
                 self.merged_nodes.fetch_add(counted, Ordering::Relaxed);
                 let (_, compacted) = merged.compact();
+                merge_timer.stop(&self.obs.merge);
                 let counts = Arc::new(compacted);
                 let cost = counts_cost(&counts);
                 Ok((CacheValue::Counts(counts), cost))
@@ -532,10 +610,13 @@ impl Coordinator {
     /// fans deduplicated plan nodes out in parallel (each scan node is
     /// additionally parallel across shards internally).
     pub fn run_segment(&self, specs: &[QuerySpec], threads: usize) -> Vec<Json> {
+        let segment_timer = Timer::start();
+        let trace_id = self.trace.as_ref().map(|sink| sink.next_trace_id());
+        let trace = trace_id.as_deref();
         let pin = self.state.read().expect("state poisoned").clone();
         let plan = Plan::compile(&self.schema, &self.config, pin.pin_id, specs);
         fan_out(&plan.buckets, threads, |key| {
-            let _ = self.spec_for(*key, &pin);
+            let _ = self.spec_for(*key, &pin, trace);
         });
         fan_out(&plan.scans, threads, |node| {
             let _ = self.counts_for(
@@ -544,22 +625,43 @@ impl Coordinator {
                 &node.what,
                 node.count_spec.as_ref(),
                 &pin,
+                trace,
             );
         });
-        plan.queries
+        let responses = plan
+            .queries
             .into_iter()
             .map(|resolved| {
                 let outcome: Result<RuleSet> = resolved.map_err(CoordError::from).and_then(|r| {
-                    let counts =
-                        self.counts_for(r.key, r.threads, &r.what, r.count_spec.as_ref(), &pin)?;
-                    plan::assemble(&r, &counts).map_err(CoordError::from)
+                    let counts = self.counts_for(
+                        r.key,
+                        r.threads,
+                        &r.what,
+                        r.count_spec.as_ref(),
+                        &pin,
+                        trace,
+                    )?;
+                    let timer = Timer::start();
+                    let rules = plan::assemble(&r, &counts).map_err(CoordError::from);
+                    timer.stop(&self.obs.optimize);
+                    rules
                 });
                 match outcome {
                     Ok(rules) => json::ok_envelope(json::rule_set_to_value(&rules)),
                     Err(e) => render_error(e),
                 }
             })
-            .collect()
+            .collect();
+        if let (Some(sink), Some(trace)) = (self.trace.as_deref(), trace) {
+            sink.emit(&Span {
+                trace,
+                span: "segment",
+                shard: None,
+                start_ns: segment_timer.start_ns(),
+                dur_ns: segment_timer.elapsed_ns(),
+            });
+        }
+        responses
     }
 
     /// Answers an append frame: validate centrally (invalid frames
@@ -578,7 +680,7 @@ impl Coordinator {
             ("rows".into(), rows_value.clone()),
         ])
         .encode();
-        let lines = match self.shards.rpc(last, &[frame], false, true) {
+        let lines = match self.shards.rpc(last, &[frame], false, RpcKind::Append) {
             Ok(lines) => lines,
             Err(e) => return render_error(e),
         };
@@ -617,8 +719,14 @@ impl Coordinator {
     /// payload under `"shards"` and adds the coordinator's counters.
     /// Also refreshes the pinned generation vector from the replies —
     /// the cheap way to re-pin after shard restarts.
-    pub fn stats(&self) -> Json {
-        let results = self.shards.broadcast(&cmd_line("stats"), true, false);
+    ///
+    /// When served over TCP, `gauges` carries the server's liveness
+    /// gauges and is appended as a trailing `"gauges"` object — batch
+    /// contexts pass `None` and render byte-identically to before.
+    pub fn stats(&self, gauges: Option<&Gauges>) -> Json {
+        let results = self
+            .shards
+            .broadcast(&cmd_line("stats"), true, RpcKind::Control);
         let mut payloads = Vec::with_capacity(results.len());
         for (shard, result) in results.into_iter().enumerate() {
             let payload = match result.and_then(|lines| parse_ok(shard, &lines[0])) {
@@ -635,7 +743,7 @@ impl Coordinator {
         let st = self.state.read().expect("state poisoned").clone();
         let (shard_rpcs, shard_retries, shard_errors) = self.shards.counters();
         let num = |n: u64| Json::Num(Num::UInt(n));
-        json::ok_envelope(Json::Obj(vec![
+        let mut fields = vec![
             ("generation".into(), num(st.epoch())),
             ("rows".into(), num(st.total_rows())),
             ("shard_rpcs".into(), num(shard_rpcs)),
@@ -659,14 +767,58 @@ impl Coordinator {
                 num(self.scan_cache_hits.load(Ordering::Relaxed)),
             ),
             ("shards".into(), Json::Arr(payloads)),
-        ]))
+        ];
+        if let Some(g) = gauges {
+            fields.push(("gauges".into(), json::gauges_to_value(g)));
+        }
+        json::ok_envelope(Json::Obj(fields))
+    }
+
+    /// Answers a metrics frame: the coordinator's own scatter-gather
+    /// latency profile — per-shard `values`/`count`/`append` RPC
+    /// histograms plus central `merge` and `optimize` time — and, when
+    /// served over TCP, the server section from `probe`. No shard
+    /// round trip: these are the coordinator's measurements of its own
+    /// RPCs, not the shards' engine metrics (scrape each shard's
+    /// `metrics` frame for those).
+    pub fn metrics(&self, probe: Option<&ServerProbe<'_>>) -> Json {
+        let shards = self
+            .shards
+            .shard_metrics()
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("values".into(), json::histogram_to_value(&m.values)),
+                    ("count".into(), json::histogram_to_value(&m.count)),
+                    ("append".into(), json::histogram_to_value(&m.append)),
+                ])
+            })
+            .collect();
+        let coord = Json::Obj(vec![
+            (
+                "merge".into(),
+                json::histogram_to_value(&self.obs.merge.snapshot()),
+            ),
+            (
+                "optimize".into(),
+                json::histogram_to_value(&self.obs.optimize.snapshot()),
+            ),
+            ("shards".into(), Json::Arr(shards)),
+        ]);
+        let mut doc = vec![("coord".into(), coord)];
+        if let Some(probe) = probe {
+            doc.push(("server".into(), json::server_metrics_to_value(probe)));
+        }
+        json::ok_envelope(Json::Obj(doc))
     }
 
     /// Answers a flush frame: a durability barrier across **all**
     /// shards. Any shard failure fails the barrier with a structured
     /// shard error.
     pub fn flush(&self) -> Json {
-        let results = self.shards.broadcast(&cmd_line("flush"), true, true);
+        let results = self
+            .shards
+            .broadcast(&cmd_line("flush"), true, RpcKind::Flush);
         for (shard, result) in results.into_iter().enumerate() {
             if let Err(e) = result.and_then(|lines| parse_ok(shard, &lines[0])) {
                 return render_error(e);
@@ -691,7 +843,9 @@ impl Coordinator {
     /// shards that are already gone — one dead backend must not stall
     /// (or fail) the coordinator's own teardown.
     pub fn drain_shards(&self) {
-        let _ = self.shards.broadcast(&cmd_line("shutdown"), true, false);
+        let _ = self
+            .shards
+            .broadcast(&cmd_line("shutdown"), true, RpcKind::Control);
     }
 }
 
@@ -701,6 +855,7 @@ struct CoordFrames<'a> {
     coord: &'a Coordinator,
     gate: &'a Gate,
     batch_threads: usize,
+    probe: Option<ServerProbe<'a>>,
 }
 
 impl json::FrameHandler for CoordFrames<'_> {
@@ -710,7 +865,11 @@ impl json::FrameHandler for CoordFrames<'_> {
     }
 
     fn stats(&mut self) -> Json {
-        self.coord.stats()
+        self.coord.stats(self.probe.as_ref().map(|p| &p.gauges))
+    }
+
+    fn metrics(&mut self) -> Json {
+        self.coord.metrics(self.probe.as_ref())
     }
 
     fn flush(&mut self) -> Json {
@@ -739,16 +898,12 @@ impl json::FrameHandler for CoordFrames<'_> {
 }
 
 impl Service for Coordinator {
-    fn execute(
-        &self,
-        requests: Vec<Request>,
-        gate: &Gate,
-        batch_threads: usize,
-    ) -> (Vec<Json>, bool) {
+    fn execute(&self, requests: Vec<Request>, ctx: ExecuteCtx<'_>) -> (Vec<Json>, bool) {
         let mut frames = CoordFrames {
             coord: self,
-            gate,
-            batch_threads,
+            gate: ctx.gate,
+            batch_threads: ctx.batch_threads,
+            probe: ctx.probe,
         };
         json::execute_frames(&mut frames, requests)
     }

@@ -14,6 +14,7 @@
 //! write can never be applied twice.
 
 use crate::error::{CoordError, Result};
+use optrules_obs::{Histogram, HistogramSnapshot, Timer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,10 +54,58 @@ struct Conn {
     reader: BufReader<TcpStream>,
 }
 
-/// One backend shard: its address and a pool of idle connections.
+/// One backend shard: its address, a pool of idle connections, and
+/// its RPC latency histograms.
 struct Shard {
     addr: String,
     pool: Mutex<Vec<Conn>>,
+    obs: ShardObs,
+}
+
+/// Per-shard RPC latency histograms, one per data-plane frame kind
+/// the coordinator fans out per query (`flush` is data-plane for the
+/// counters but too rare to deserve a histogram).
+#[derive(Debug, Default)]
+struct ShardObs {
+    values: Histogram,
+    count: Histogram,
+    append: Histogram,
+}
+
+/// Snapshot of one shard's RPC latency histograms — one entry of the
+/// `shards` array in the coordinator's `{"cmd":"metrics"}` reply.
+#[derive(Debug, Clone)]
+pub struct ShardRpcMetrics {
+    /// Latency of `{"cmd":"values"}` fan-out RPCs to this shard.
+    pub values: HistogramSnapshot,
+    /// Latency of `{"cmd":"count"}` fan-out RPCs to this shard.
+    pub count: HistogramSnapshot,
+    /// Latency of `{"cmd":"append"}` RPCs routed to this shard.
+    pub append: HistogramSnapshot,
+}
+
+/// What a batch of frames *is*, for the RPC counters and latency
+/// histograms. Everything but [`RpcKind::Control`] is data-plane work
+/// counted in `shard_rpcs` — a fully cache-warm query batch sends only
+/// control frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcKind {
+    /// `{"cmd":"values"}` — sampled-value fetch during bucketization.
+    Values,
+    /// `{"cmd":"count"}` — a counting scan work unit.
+    Count,
+    /// `{"cmd":"append"}` — a live write routed to one shard.
+    Append,
+    /// `{"cmd":"flush"}` — a broadcast durability checkpoint.
+    Flush,
+    /// Control traffic (stats, schema, shutdown, metrics) — free.
+    Control,
+}
+
+impl RpcKind {
+    fn data_plane(self) -> bool {
+        self != RpcKind::Control
+    }
 }
 
 /// A fixed set of backend shards, indexed in `--shards` order.
@@ -87,6 +136,7 @@ impl ShardSet {
                 .map(|addr| Shard {
                     addr: addr.clone(),
                     pool: Mutex::new(Vec::new()),
+                    obs: ShardObs::default(),
                 })
                 .collect(),
             config,
@@ -127,19 +177,46 @@ impl ShardSet {
     /// one reply line per request line, in order.
     ///
     /// `idempotent` requests retry on any failure; non-idempotent ones
-    /// (appends) only when the dial itself failed. `data_plane` marks
-    /// the frames as real work for the `shard_rpcs` counter.
+    /// (appends) only when the dial itself failed. `kind` classifies
+    /// the frames for the `shard_rpcs` counter and selects which
+    /// per-shard latency histogram records the call (retries and
+    /// backoff included — this is the latency the coordinator saw).
     pub fn rpc(
         &self,
         shard: usize,
         lines: &[String],
         idempotent: bool,
-        data_plane: bool,
+        kind: RpcKind,
     ) -> Result<Vec<String>> {
-        if data_plane {
+        if kind.data_plane() {
             self.shard_rpcs
                 .fetch_add(lines.len() as u64, Ordering::Relaxed);
         }
+        let timer = Timer::start();
+        let result = self.rpc_attempts(shard, lines, idempotent);
+        let obs = &self.shards[shard].obs;
+        match kind {
+            RpcKind::Values => {
+                timer.stop(&obs.values);
+            }
+            RpcKind::Count => {
+                timer.stop(&obs.count);
+            }
+            RpcKind::Append => {
+                timer.stop(&obs.append);
+            }
+            RpcKind::Flush | RpcKind::Control => {}
+        }
+        result
+    }
+
+    /// The retry loop of [`ShardSet::rpc`].
+    fn rpc_attempts(
+        &self,
+        shard: usize,
+        lines: &[String],
+        idempotent: bool,
+    ) -> Result<Vec<String>> {
         let mut attempt = 0u32;
         loop {
             match self.try_rpc(shard, lines) {
@@ -162,44 +239,79 @@ impl ShardSet {
         }
     }
 
+    /// Per-shard RPC latency snapshots, in shard order — the `shards`
+    /// array of the coordinator's metrics document.
+    pub fn shard_metrics(&self) -> Vec<ShardRpcMetrics> {
+        self.shards
+            .iter()
+            .map(|shard| ShardRpcMetrics {
+                values: shard.obs.values.snapshot(),
+                count: shard.obs.count.snapshot(),
+                append: shard.obs.append.snapshot(),
+            })
+            .collect()
+    }
+
     /// Sends the same single line to every shard in parallel, returning
     /// per-shard results in shard order.
     pub fn broadcast(
         &self,
         line: &str,
         idempotent: bool,
-        data_plane: bool,
+        kind: RpcKind,
     ) -> Vec<Result<Vec<String>>> {
-        self.fan(
-            |_shard| Some(vec![line.to_string()]),
-            idempotent,
-            data_plane,
-        )
+        self.fan(|_shard| Some(vec![line.to_string()]), idempotent, kind)
     }
 
     /// Sends a per-shard batch of lines in parallel. `build` returns
     /// `None` to skip a shard (its slot in the result is `Ok(vec![])`).
-    pub fn fan<F>(&self, build: F, idempotent: bool, data_plane: bool) -> Vec<Result<Vec<String>>>
+    pub fn fan<F>(&self, build: F, idempotent: bool, kind: RpcKind) -> Vec<Result<Vec<String>>>
     where
         F: Fn(usize) -> Option<Vec<String>> + Sync,
     {
-        let mut out: Vec<Result<Vec<String>>> = Vec::with_capacity(self.shards.len());
+        self.fan_timed(build, idempotent, kind)
+            .into_iter()
+            .map(|(result, _, _)| result)
+            .collect()
+    }
+
+    /// [`ShardSet::fan`] plus per-shard timing: each slot carries
+    /// `(result, start_ns, dur_ns)` of that shard's RPC, so the
+    /// coordinator can emit one trace span per shard without this
+    /// layer knowing about trace ids. Skipped shards report `(Ok([]),
+    /// 0, 0)`.
+    pub fn fan_timed<F>(
+        &self,
+        build: F,
+        idempotent: bool,
+        kind: RpcKind,
+    ) -> Vec<(Result<Vec<String>>, u64, u64)>
+    where
+        F: Fn(usize) -> Option<Vec<String>> + Sync,
+    {
+        let mut out: Vec<(Result<Vec<String>>, u64, u64)> = Vec::with_capacity(self.shards.len());
         thread::scope(|scope| {
             let handles: Vec<_> = (0..self.shards.len())
                 .map(|shard| {
                     let lines = build(shard);
                     scope.spawn(move || match lines {
                         Some(lines) if !lines.is_empty() => {
-                            self.rpc(shard, &lines, idempotent, data_plane)
+                            let timer = Timer::start();
+                            let result = self.rpc(shard, &lines, idempotent, kind);
+                            (result, timer.start_ns(), timer.elapsed_ns())
                         }
-                        _ => Ok(Vec::new()),
+                        _ => (Ok(Vec::new()), 0, 0),
                     })
                 })
                 .collect();
             for handle in handles {
                 out.push(match handle.join() {
                     Ok(result) => result,
-                    Err(_) => Err(CoordError::Config("shard worker panicked".into())),
+                    Err(_) => (
+                        Err(CoordError::Config("shard worker panicked".into())),
+                        0,
+                        0,
+                    ),
                 });
             }
         });

@@ -155,6 +155,18 @@ pub struct EngineStats {
     /// Current total cost of cached entries, in cells (one cached
     /// `u64`/`f64`). Never exceeds the configured `max_cost`.
     pub cached_cost: u64,
+    /// Total wall time spent computing bucketizations, in nanoseconds
+    /// (the sum of the `bucketize` latency histogram; 0 under the
+    /// frozen clock or with metrics disabled).
+    pub bucketize_ns: u64,
+    /// Total wall time in columnar-kernel counting scans, nanoseconds.
+    pub kernel_scan_ns: u64,
+    /// Total wall time in row-visitor fallback counting scans,
+    /// nanoseconds.
+    pub fallback_scan_ns: u64,
+    /// Total wall time in the optimization step (rule assembly over
+    /// bucket summaries), nanoseconds.
+    pub optimize_ns: u64,
 }
 
 impl EngineStats {

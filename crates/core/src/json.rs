@@ -74,11 +74,12 @@
 //!
 //! A request object with a `cmd` key is an operator command, not a
 //! query spec. The TCP server (`optrules serve`, [`crate::server`])
-//! and `optrules batch` share the grammar ([`parse_request`]); four
+//! and `optrules batch` share the grammar ([`parse_request`]); five
 //! commands exist:
 //!
 //! ```json
 //! {"cmd": "stats"}
+//! {"cmd": "metrics"}
 //! {"cmd": "shutdown"}
 //! {"cmd": "flush"}
 //! {"cmd": "append", "rows": [[3100.5, 41, 1200, 15000, true, false, true]]}
@@ -110,6 +111,60 @@
 //! {"durability": {"wal_bytes": 128, "unflushed_rows": 2,
 //!                 "segments_spilled": 3, "last_checkpoint_generation": 40}}
 //! ```
+//!
+//! In server context the snapshot ends with a `gauges` object —
+//! point-in-time values that exist only while serving (batch-mode
+//! stats bytes are unchanged):
+//!
+//! ```json
+//! {"gauges": {"uptime_ns": 81234567, "connections": 2,
+//!             "inflight_batches": 1}}
+//! ```
+//!
+//! `metrics` answers `{"ok": <document>}` with the latency-histogram
+//! document: per-phase engine timings, the server request lifecycle,
+//! and (durable relations only) durability fsync/checkpoint latency.
+//! Every histogram `H` has the same shape — exact counters plus
+//! bucket-estimated quantiles, with only the nonzero buckets of the
+//! fixed 256-bucket log-scale layout encoded as
+//! `[lower_bound_ns, count]` pairs ([`histogram_to_value`]):
+//!
+//! ```json
+//! {"count": 12, "sum_ns": 340129, "max_ns": 91200,
+//!  "p50_ns": 24575, "p90_ns": 49151, "p99_ns": 98303,
+//!  "buckets": [[16384, 7], [24576, 3], [49152, 2]]}
+//! ```
+//!
+//! The single-node document is
+//!
+//! ```json
+//! {"engine": {"bucketize": H, "kernel_scan": H,
+//!             "fallback_scan": H, "optimize": H},
+//!  "server": {"uptime_ns": 81234567, "connections": 2,
+//!             "inflight_batches": 1, "queue_wait": H,
+//!             "batch_execute": H, "response_write": H},
+//!  "durability": {"wal_fsync": H, "checkpoint": H}}
+//! ```
+//!
+//! where `server` appears only under `optrules serve` (batch mode has
+//! no request lifecycle) and `durability` only with `--data-dir`. The
+//! coordinator (`optrules coord`) answers with its own document:
+//! scatter-gather merge and central-optimize timings plus one
+//! `{"values": H, "count": H, "append": H}` object per backend shard,
+//! in shard order:
+//!
+//! ```json
+//! {"coord": {"merge": H, "optimize": H,
+//!            "shards": [{"values": H, "count": H, "append": H}]},
+//!  "server": {…}}
+//! ```
+//!
+//! All durations are nanoseconds. Quantiles are bucket upper bounds
+//! clamped to the recorded maximum, so `p50 ≤ p90 ≤ p99 ≤ max` always
+//! holds. Histograms merge associatively across shards and threads —
+//! the same fixed bucket layout everywhere — and are recorded by
+//! lock-free atomic counters (`OPTRULES_METRICS=off` disables
+//! recording; the frame then reports empty histograms).
 //!
 //! Derived rates (hit rate, miss rate) are intentionally not encoded —
 //! operators compute them from the exact counters. `shutdown` answers
@@ -176,6 +231,13 @@
 //! shard never optimizes and never caches these frames — the
 //! coordinator owns caching and deduplication.
 //!
+//! `values` and `count` frames optionally carry a `"trace": "<id>"`
+//! key: the coordinator stamps each internal RPC with the trace id of
+//! the client request that caused it, and a shard running with
+//! `--trace-log` emits its `shard_values`/`shard_count` spans under
+//! that propagated id — one cold request correlates end-to-end across
+//! the scatter-gather fan.
+//!
 //! # Numbers
 //!
 //! Integers round-trip exactly across the full `u64`/`i64` range (the
@@ -198,6 +260,7 @@ use crate::rule::{RangeRule, RuleKind};
 use crate::shared::{AppendOutcome, SharedEngine, StatsSnapshot};
 use crate::spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
 use optrules_bucketing::{BucketCounts, BucketSpec, CountSpec};
+use optrules_obs::{Gauges, HistogramSnapshot, ServiceObs, Span, Timer, TraceSink};
 use optrules_relation::{Condition, NumAttr, RowFrame, Schema};
 use std::fmt;
 
@@ -1221,8 +1284,11 @@ fn shard_to_value(shard: &ShardStats) -> Json {
 
 /// Converts a [`StatsSnapshot`] to its canonical [`Json`] value — the
 /// `{"ok": …}` payload the server returns for a `{"cmd":"stats"}`
-/// control frame (schema in the [module docs](self)).
-pub fn stats_to_value(snapshot: &StatsSnapshot) -> Json {
+/// control frame (schema in the [module docs](self)). `gauges` are
+/// appended as a trailing `"gauges"` object in server context only —
+/// batch mode has no uptime or connection count to report, and its
+/// stats bytes stay exactly as before.
+pub fn stats_to_value(snapshot: &StatsSnapshot, gauges: Option<&Gauges>) -> Json {
     let e = &snapshot.engine;
     let mut fields = vec![
         (
@@ -1281,7 +1347,94 @@ pub fn stats_to_value(snapshot: &StatsSnapshot) -> Json {
             ]),
         ));
     }
+    if let Some(g) = gauges {
+        fields.push(("gauges".into(), gauges_to_value(g)));
+    }
     Json::Obj(fields)
+}
+
+// ---------------------------------------------------------------------
+// Metrics encode (the `{"cmd":"metrics"}` control-frame payload)
+// ---------------------------------------------------------------------
+
+/// Observability handles a serving transport passes down to its
+/// [`FrameHandler`]: the request-lifecycle histograms, point-in-time
+/// gauges (sampled when the frame batch was dequeued), and the span
+/// sink when tracing is on. `None` in batch mode — there is no server
+/// lifecycle to report.
+pub struct ServerProbe<'a> {
+    /// Request-lifecycle histograms of the serving process.
+    pub obs: &'a ServiceObs,
+    /// Uptime, live connections, in-flight batches at dequeue time.
+    pub gauges: Gauges,
+    /// Span sink for trace emission; `None` when tracing is off.
+    pub trace: Option<&'a TraceSink>,
+}
+
+/// Encodes one latency histogram snapshot for the metrics document:
+/// exact counters plus bucket-estimated quantiles, and only the
+/// **nonzero** buckets as `[lower_bound_ns, count]` pairs (the bucket
+/// layout is fixed, so sparse encoding loses nothing).
+pub fn histogram_to_value(h: &HistogramSnapshot) -> Json {
+    let buckets = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n != 0)
+        .map(|(i, &n)| {
+            let (lo, _) = optrules_obs::bucket_bounds(i);
+            Json::Arr(vec![Json::Num(Num::UInt(lo)), Json::Num(Num::UInt(n))])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("count".into(), Json::Num(Num::UInt(h.count))),
+        ("sum_ns".into(), Json::Num(Num::UInt(h.sum))),
+        ("max_ns".into(), Json::Num(Num::UInt(h.max))),
+        ("p50_ns".into(), Json::Num(Num::UInt(h.quantile(0.50)))),
+        ("p90_ns".into(), Json::Num(Num::UInt(h.quantile(0.90)))),
+        ("p99_ns".into(), Json::Num(Num::UInt(h.quantile(0.99)))),
+        ("buckets".into(), Json::Arr(buckets)),
+    ])
+}
+
+/// Encodes server liveness gauges as the trailing `"gauges"` object of
+/// a stats payload (shared by the single-node engine and the
+/// coordinator, so the shape cannot drift).
+pub fn gauges_to_value(g: &Gauges) -> Json {
+    Json::Obj(vec![
+        ("uptime_ns".into(), Json::Num(Num::UInt(g.uptime_ns))),
+        ("connections".into(), Json::Num(Num::UInt(g.connections))),
+        (
+            "inflight_batches".into(),
+            Json::Num(Num::UInt(g.inflight_batches)),
+        ),
+    ])
+}
+
+/// Encodes the `server` object of the metrics document: the gauges
+/// followed by the request-lifecycle histograms.
+pub fn server_metrics_to_value(probe: &ServerProbe<'_>) -> Json {
+    let m = probe.obs.snapshot();
+    Json::Obj(vec![
+        (
+            "uptime_ns".into(),
+            Json::Num(Num::UInt(probe.gauges.uptime_ns)),
+        ),
+        (
+            "connections".into(),
+            Json::Num(Num::UInt(probe.gauges.connections)),
+        ),
+        (
+            "inflight_batches".into(),
+            Json::Num(Num::UInt(probe.gauges.inflight_batches)),
+        ),
+        ("queue_wait".into(), histogram_to_value(&m.queue_wait)),
+        ("batch_execute".into(), histogram_to_value(&m.batch_execute)),
+        (
+            "response_write".into(),
+            histogram_to_value(&m.response_write),
+        ),
+    ])
 }
 
 /// The `{"ok": …}` payload acknowledging a `{"cmd":"flush"}` frame.
@@ -1292,9 +1445,10 @@ pub fn flush_to_value(generation: u64) -> Json {
     ])
 }
 
-/// Encodes a stats snapshot as one compact JSON line.
+/// Encodes a stats snapshot as one compact JSON line (no gauges — the
+/// batch-mode byte contract).
 pub fn encode_stats(snapshot: &StatsSnapshot) -> String {
-    stats_to_value(snapshot).encode()
+    stats_to_value(snapshot, None).encode()
 }
 
 // ---------------------------------------------------------------------
@@ -1320,6 +1474,9 @@ pub enum Request {
     Spec(QuerySpec),
     /// `{"cmd":"stats"}` — answer with the engine snapshot.
     Stats,
+    /// `{"cmd":"metrics"}` — answer with the latency-histogram
+    /// document (phase timers, request lifecycle, shard RPCs).
+    Metrics,
     /// `{"cmd":"shutdown"}` — gracefully stop the server (an error in
     /// batch mode, which has no server to stop).
     Shutdown,
@@ -1371,11 +1528,12 @@ pub fn parse_request(line: &str) -> Request {
 /// instead of being deep-cloned.
 fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
     const SHAPE: &str = "bad request: a control frame is \
-                         {\"cmd\": \"stats\"|\"shutdown\"|\"flush\"|\"schema\"}, \
+                         {\"cmd\": \"stats\"|\"metrics\"|\"shutdown\"|\"flush\"|\"schema\"}, \
                          {\"cmd\": \"append\", \"rows\": [[…], …]}, \
                          or an internal \"values\"/\"count\" frame";
     enum Cmd {
         Stats,
+        Metrics,
         Shutdown,
         Flush,
         Append,
@@ -1390,6 +1548,7 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
         .expect("caller found a cmd key");
     let cmd = match &fields[cmd_pos].1 {
         Json::Str(cmd) if cmd == "stats" => Cmd::Stats,
+        Json::Str(cmd) if cmd == "metrics" => Cmd::Metrics,
         Json::Str(cmd) if cmd == "shutdown" => Cmd::Shutdown,
         Json::Str(cmd) if cmd == "flush" => Cmd::Flush,
         Json::Str(cmd) if cmd == "append" => Cmd::Append,
@@ -1399,10 +1558,13 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
         other => Cmd::Unknown(other.encode()),
     };
     match cmd {
-        Cmd::Stats | Cmd::Shutdown | Cmd::Flush | Cmd::Schema if fields.len() != 1 => {
+        Cmd::Stats | Cmd::Metrics | Cmd::Shutdown | Cmd::Flush | Cmd::Schema
+            if fields.len() != 1 =>
+        {
             Request::Bad(SHAPE.into())
         }
         Cmd::Stats => Request::Stats,
+        Cmd::Metrics => Request::Metrics,
         Cmd::Shutdown => Request::Shutdown,
         Cmd::Flush => Request::Flush,
         Cmd::Schema => Request::Schema,
@@ -1430,8 +1592,8 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
         }
         Cmd::Unknown(encoded) => Request::Bad(format!(
             "bad request: unknown cmd {encoded} \
-             (expected \"stats\", \"shutdown\", \"flush\", \"append\", \
-             \"schema\", \"values\", or \"count\")"
+             (expected \"stats\", \"metrics\", \"shutdown\", \"flush\", \
+             \"append\", \"schema\", \"values\", or \"count\")"
         )),
     }
 }
@@ -1452,6 +1614,9 @@ pub trait FrameHandler {
     fn run_segment(&mut self, specs: &[QuerySpec]) -> Vec<Json>;
     /// Answers `{"cmd":"stats"}`.
     fn stats(&mut self) -> Json;
+    /// Answers `{"cmd":"metrics"}` — the latency-histogram document
+    /// (schema in the [module docs](self)).
+    fn metrics(&mut self) -> Json;
     /// Answers `{"cmd":"flush"}`.
     fn flush(&mut self) -> Json;
     /// Answers `{"cmd":"append","rows":…}`; `rows` is the raw,
@@ -1514,6 +1679,10 @@ pub fn execute_frames<H: FrameHandler + ?Sized>(
                 flush(handler, &mut pending, &mut responses);
                 handler.stats()
             }
+            Request::Metrics => {
+                flush(handler, &mut pending, &mut responses);
+                handler.metrics()
+            }
             Request::Shutdown => {
                 flush(handler, &mut pending, &mut responses);
                 shutdown_requested = true;
@@ -1559,6 +1728,28 @@ where
     engine: &'a SharedEngine<R>,
     run_segment: F,
     shutdown_response: S,
+    probe: Option<ServerProbe<'a>>,
+}
+
+impl<R, F, S> EngineFrames<'_, R, F, S>
+where
+    R: optrules_relation::RandomAccess,
+{
+    /// Emits one span to the serving transport's trace sink, if both a
+    /// sink and a trace id are present. Shard-internal frames carry
+    /// the coordinator's propagated trace id, so one cold request
+    /// correlates across the whole scatter-gather fan.
+    fn emit_span(&self, name: &'static str, trace: Option<&str>, timer: &Timer) {
+        if let (Some(sink), Some(trace)) = (self.probe.as_ref().and_then(|p| p.trace), trace) {
+            sink.emit(&Span {
+                trace,
+                span: name,
+                shard: None,
+                start_ns: timer.start_ns(),
+                dur_ns: timer.elapsed_ns(),
+            });
+        }
+    }
 }
 
 impl<R, F, S> FrameHandler for EngineFrames<'_, R, F, S>
@@ -1572,17 +1763,61 @@ where
     S: Fn() -> Json,
 {
     fn run_segment(&mut self, specs: &[QuerySpec]) -> Vec<Json> {
-        (self.run_segment)(specs)
+        let timer = Timer::start();
+        let responses = (self.run_segment)(specs)
             .into_iter()
             .map(|result| match result {
                 Ok(rules) => ok_envelope(rule_set_to_value(&rules)),
                 Err(e) => error_envelope(e.to_string()),
             })
-            .collect()
+            .collect();
+        if let Some(sink) = self.probe.as_ref().and_then(|p| p.trace) {
+            let trace = sink.next_trace_id();
+            sink.emit(&Span {
+                trace: &trace,
+                span: "segment",
+                shard: None,
+                start_ns: timer.start_ns(),
+                dur_ns: timer.elapsed_ns(),
+            });
+        }
+        responses
     }
 
     fn stats(&mut self) -> Json {
-        ok_envelope(stats_to_value(&self.engine.snapshot()))
+        ok_envelope(stats_to_value(
+            &self.engine.snapshot(),
+            self.probe.as_ref().map(|p| &p.gauges),
+        ))
+    }
+
+    fn metrics(&mut self) -> Json {
+        let em = self.engine.engine_metrics();
+        let mut fields = vec![(
+            "engine".into(),
+            Json::Obj(vec![
+                ("bucketize".into(), histogram_to_value(&em.bucketize)),
+                ("kernel_scan".into(), histogram_to_value(&em.kernel_scan)),
+                (
+                    "fallback_scan".into(),
+                    histogram_to_value(&em.fallback_scan),
+                ),
+                ("optimize".into(), histogram_to_value(&em.optimize)),
+            ]),
+        )];
+        if let Some(probe) = &self.probe {
+            fields.push(("server".into(), server_metrics_to_value(probe)));
+        }
+        if let Some(d) = self.engine.durability_metrics() {
+            fields.push((
+                "durability".into(),
+                Json::Obj(vec![
+                    ("wal_fsync".into(), histogram_to_value(&d.wal_fsync)),
+                    ("checkpoint".into(), histogram_to_value(&d.checkpoint)),
+                ]),
+            ));
+        }
+        ok_envelope(Json::Obj(fields))
     }
 
     fn flush(&mut self) -> Json {
@@ -1612,40 +1847,50 @@ where
     }
 
     fn values(&mut self, frame: &Json) -> Json {
-        let (attr, indices) = match values_frame_from_value(frame, self.engine.schema()) {
+        let (attr, indices, trace) = match values_frame_from_value(frame, self.engine.schema()) {
             Ok(decoded) => decoded,
             Err(e) => return error_envelope(format!("bad request: {e}")),
         };
-        let pinned = self.engine.pin();
-        let rows = pinned.rows();
-        let mut values = Vec::with_capacity(indices.len());
-        for index in indices {
-            if index >= rows {
-                return error_envelope(format!(
-                    "bad request: row index {index} out of range ({rows} rows)"
-                ));
+        let timer = Timer::start();
+        let response = (|| {
+            let pinned = self.engine.pin();
+            let rows = pinned.rows();
+            let mut values = Vec::with_capacity(indices.len());
+            for index in indices {
+                if index >= rows {
+                    return error_envelope(format!(
+                        "bad request: row index {index} out of range ({rows} rows)"
+                    ));
+                }
+                match pinned.relation().numeric_at(attr, index) {
+                    Ok(value) => values.push(value),
+                    Err(e) => return error_envelope(e.to_string()),
+                }
             }
-            match pinned.relation().numeric_at(attr, index) {
-                Ok(value) => values.push(value),
-                Err(e) => return error_envelope(e.to_string()),
-            }
-        }
-        ok_envelope(values_reply_to_value(&values, pinned.generation()))
+            ok_envelope(values_reply_to_value(&values, pinned.generation()))
+        })();
+        self.emit_span("shard_values", trace.as_deref(), &timer);
+        response
     }
 
     fn count(&mut self, frame: &Json) -> Json {
-        let (cuts, what, threads) = match count_frame_from_value(frame, self.engine.schema()) {
+        let (cuts, what, threads, trace) = match count_frame_from_value(frame, self.engine.schema())
+        {
             Ok(decoded) => decoded,
             Err(e) => return error_envelope(format!("bad request: {e}")),
         };
+        let timer = Timer::start();
         let pinned = self.engine.pin();
-        match self
-            .engine
-            .count_raw(&cuts, &what, threads, pinned.relation().as_ref())
-        {
-            Ok(counts) => ok_envelope(counts_to_value(&counts, pinned.generation())),
-            Err(e) => error_envelope(e.to_string()),
-        }
+        let response =
+            match self
+                .engine
+                .count_raw(&cuts, &what, threads, pinned.relation().as_ref())
+            {
+                Ok(counts) => ok_envelope(counts_to_value(&counts, pinned.generation())),
+                Err(e) => error_envelope(e.to_string()),
+            };
+        self.emit_span("shard_count", trace.as_deref(), &timer);
+        response
     }
 
     fn shutdown_ack(&mut self) -> Json {
@@ -1663,12 +1908,15 @@ where
 ///
 /// `shutdown_response` is the transport's answer to a shutdown frame
 /// (`{"ok":"shutdown"}` for the server, an error envelope for batch
-/// mode).
+/// mode). `probe` carries the serving transport's observability
+/// handles ([`ServerProbe`]) — `None` in batch mode, which reports no
+/// server lifecycle and emits no spans.
 pub fn execute_requests<R, F>(
     engine: &crate::shared::SharedEngine<R>,
     requests: Vec<Request>,
     run_segment: F,
     shutdown_response: impl Fn() -> Json,
+    probe: Option<ServerProbe<'_>>,
 ) -> (Vec<Json>, bool)
 where
     R: optrules_relation::RandomAccess
@@ -1682,6 +1930,7 @@ where
         engine,
         run_segment,
         shutdown_response,
+        probe,
     };
     execute_frames(&mut handler, requests)
 }
@@ -1918,25 +2167,35 @@ fn condition_from_value(value: &Json, schema: &Schema) -> JsonResult<Condition> 
     Ok(cond)
 }
 
-/// Builds one complete `{"cmd":"values"}` request object.
-pub fn values_frame_to_value(attr: &str, indices: &[u64]) -> Json {
-    Json::Obj(vec![
+/// Builds one complete `{"cmd":"values"}` request object. `trace` is
+/// the coordinator's trace id, stamped on the frame so the shard's own
+/// trace log correlates with the coordinator's spans.
+pub fn values_frame_to_value(attr: &str, indices: &[u64], trace: Option<&str>) -> Json {
+    let mut fields = vec![
         ("cmd".into(), Json::Str("values".into())),
         ("attr".into(), Json::Str(attr.into())),
         (
             "indices".into(),
             Json::Arr(indices.iter().map(|&i| Json::Num(Num::UInt(i))).collect()),
         ),
-    ])
+    ];
+    if let Some(trace) = trace {
+        fields.push(("trace".into(), Json::Str(trace.into())));
+    }
+    Json::Obj(fields)
 }
 
 /// Decodes a values frame body (the request minus its `cmd` key)
-/// against the serving schema.
+/// against the serving schema, returning the attribute, the row
+/// indices, and the propagated trace id (if any).
 ///
 /// # Errors
 ///
 /// Fails on unknown attributes or shape violations.
-pub fn values_frame_from_value(value: &Json, schema: &Schema) -> JsonResult<(NumAttr, Vec<u64>)> {
+pub fn values_frame_from_value(
+    value: &Json,
+    schema: &Schema,
+) -> JsonResult<(NumAttr, Vec<u64>, Option<String>)> {
     let mut obj = ObjReader::new("a values frame", value)?;
     let attr = schema
         .numeric(obj.required("attr")?.as_str()?)
@@ -1947,8 +2206,12 @@ pub fn values_frame_from_value(value: &Json, schema: &Schema) -> JsonResult<(Num
         .iter()
         .map(Json::as_u64)
         .collect::<JsonResult<Vec<u64>>>()?;
+    let trace = match obj.optional("trace") {
+        Some(t) => Some(t.as_str()?.to_string()),
+        None => None,
+    };
     obj.finish()?;
-    Ok((attr, indices))
+    Ok((attr, indices, trace))
 }
 
 /// The `{"ok": …}` payload answering a values frame.
@@ -1990,6 +2253,7 @@ pub fn count_frame_to_value(
     cuts: &BucketSpec,
     what: Option<&CountSpec>,
     threads: usize,
+    trace: Option<&str>,
 ) -> Json {
     let mut fields = vec![
         ("cmd".into(), Json::Str("count".into())),
@@ -2030,6 +2294,9 @@ pub fn count_frame_to_value(
             ));
         }
     }
+    if let Some(trace) = trace {
+        fields.push(("trace".into(), Json::Str(trace.into())));
+    }
     Json::Obj(fields)
 }
 
@@ -2045,7 +2312,7 @@ pub fn count_frame_to_value(
 pub fn count_frame_from_value(
     value: &Json,
     schema: &Schema,
-) -> JsonResult<(BucketSpec, CountSpec, usize)> {
+) -> JsonResult<(BucketSpec, CountSpec, usize, Option<String>)> {
     let mut obj = ObjReader::new("a count frame", value)?;
     let attr = schema
         .numeric(obj.required("attr")?.as_str()?)
@@ -2099,8 +2366,12 @@ pub fn count_frame_from_value(
                 .collect::<JsonResult<_>>()?,
         }
     };
+    let trace = match obj.optional("trace") {
+        Some(t) => Some(t.as_str()?.to_string()),
+        None => None,
+    };
     obj.finish()?;
-    Ok((BucketSpec::from_cuts(cuts), spec, threads))
+    Ok((BucketSpec::from_cuts(cuts), spec, threads, trace))
 }
 
 /// The `{"ok": …}` payload answering a count frame: the **raw,
@@ -2612,6 +2883,10 @@ mod tests {
                 rejected: 0,
                 lookups: 96,
                 cached_cost: 40_160,
+                bucketize_ns: 0,
+                kernel_scan_ns: 0,
+                fallback_scan_ns: 0,
+                optimize_ns: 0,
             },
             shards: vec![ShardStats {
                 hits: 11,
@@ -2718,15 +2993,16 @@ mod tests {
     #[test]
     fn values_frame_round_trips() {
         let schema = Schema::builder().numeric("X").numeric("Y").build();
-        let frame = values_frame_to_value("Y", &[0, 5, 2]);
+        let frame = values_frame_to_value("Y", &[0, 5, 2], Some("t7"));
         // The server strips the cmd key before handing the body over.
         let Json::Obj(mut fields) = frame else {
             panic!()
         };
         fields.retain(|(k, _)| k != "cmd");
-        let (attr, indices) = values_frame_from_value(&Json::Obj(fields), &schema).unwrap();
+        let (attr, indices, trace) = values_frame_from_value(&Json::Obj(fields), &schema).unwrap();
         assert_eq!(attr, NumAttr(1));
         assert_eq!(indices, vec![0, 5, 2]);
+        assert_eq!(trace.as_deref(), Some("t7"));
 
         let reply = values_reply_to_value(&[1.5, -2.0], 4);
         assert_eq!(reply.encode(), r#"{"generation":4,"values":[1.5,-2]}"#);
@@ -2752,14 +3028,16 @@ mod tests {
             bool_targets: vec![Condition::BoolIs(optrules_relation::BoolAttr(0), true)],
             sum_targets: vec![NumAttr(1)],
         };
-        let frame = count_frame_to_value(&schema, NumAttr(0), &cuts, Some(&what), 3);
+        let frame = count_frame_to_value(&schema, NumAttr(0), &cuts, Some(&what), 3, None);
         let Json::Obj(mut fields) = frame else {
             panic!()
         };
         fields.retain(|(k, _)| k != "cmd");
-        let (cuts2, what2, threads) = count_frame_from_value(&Json::Obj(fields), &schema).unwrap();
+        let (cuts2, what2, threads, trace) =
+            count_frame_from_value(&Json::Obj(fields), &schema).unwrap();
         assert_eq!(cuts2, cuts);
         assert_eq!(threads, 3);
+        assert_eq!(trace, None);
         assert_eq!(format!("{what2:?}"), format!("{what:?}"));
     }
 
@@ -2771,12 +3049,12 @@ mod tests {
             .boolean("B2")
             .build();
         let cuts = BucketSpec::from_cuts(vec![0.0]);
-        let frame = count_frame_to_value(&schema, NumAttr(0), &cuts, None, 1);
+        let frame = count_frame_to_value(&schema, NumAttr(0), &cuts, None, 1, None);
         let Json::Obj(mut fields) = frame else {
             panic!()
         };
         fields.retain(|(k, _)| k != "cmd");
-        let (_, what, _) = count_frame_from_value(&Json::Obj(fields), &schema).unwrap();
+        let (_, what, _, _) = count_frame_from_value(&Json::Obj(fields), &schema).unwrap();
         assert_eq!(what.attr, NumAttr(0));
         assert!(matches!(what.presumptive, Condition::True));
         assert_eq!(what.bool_targets.len(), 2);

@@ -2,8 +2,9 @@
 //! collection, control frames (stats/shutdown/append), ordered
 //! responses.
 
-use super::{Control, Service};
+use super::{Control, ExecuteCtx, Service};
 use crate::json::{self, Request};
+use optrules_obs::Timer;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
@@ -127,10 +128,23 @@ pub(super) fn serve_conn<S: Service>(
         // Execute in request order: the service batches consecutive
         // specs into planned segments split at control frames, taking
         // an in-flight gate permit around each segment.
-        let (responses, shutdown_requested) =
-            service.execute(requests, &control.gate, control.config.batch_threads);
+        let executed = !requests.is_empty();
+        let ctx = ExecuteCtx {
+            gate: &control.gate,
+            batch_threads: control.config.batch_threads,
+            probe: Some(control.probe()),
+        };
+        let timer = Timer::start();
+        let (responses, shutdown_requested) = service.execute(requests, ctx);
+        // EOF produces an empty frame that still runs through execute;
+        // recording it would pollute the histogram with no-op samples.
+        if executed {
+            timer.stop(&control.obs.batch_execute);
+        }
 
         // Respond in request order.
+        let responded = !responses.is_empty();
+        let timer = Timer::start();
         let written: io::Result<()> = (|| {
             for response in responses {
                 writeln!(writer, "{}", response.encode())?;
@@ -141,6 +155,9 @@ pub(super) fn serve_conn<S: Service>(
             }
             writer.flush()
         })();
+        if responded {
+            timer.stop(&control.obs.response_write);
+        }
 
         // An accepted shutdown frame stops the server even when the
         // requester vanished before reading its ack (the write above

@@ -75,8 +75,9 @@
 
 mod conn;
 
-use crate::json::{self, Json, Request};
+use crate::json::{self, Json, Request, ServerProbe};
 use crate::shared::SharedEngine;
+use optrules_obs::{now_ns, Gauges, ServiceObs, Timer, TraceSink};
 use optrules_relation::{AppendRows, Durability, RandomAccess};
 use std::collections::HashMap;
 use std::io;
@@ -170,6 +171,12 @@ impl Gate {
         *inflight += 1;
         GateGuard(self)
     }
+
+    /// How many permits are currently held — the in-flight-batches
+    /// gauge of the stats/metrics frames.
+    pub fn in_flight(&self) -> usize {
+        *self.inflight.lock().expect("gate poisoned")
+    }
 }
 
 /// An acquired [`Gate`] slot; dropping it releases the slot.
@@ -191,16 +198,12 @@ impl Drop for GateGuard<'_> {
 pub trait Service: Send + Sync + 'static {
     /// Executes one framing batch of parsed requests **in program
     /// order**, returning one response envelope per request plus
-    /// whether a shutdown frame was seen. `gate` is the server's
-    /// in-flight batch gate — implementations take a permit around each
-    /// planned spec segment (never around appends or other control
-    /// frames); `batch_threads` is [`ServerConfig::batch_threads`].
-    fn execute(
-        &self,
-        requests: Vec<Request>,
-        gate: &Gate,
-        batch_threads: usize,
-    ) -> (Vec<Json>, bool);
+    /// whether a shutdown frame was seen. `ctx` carries the server's
+    /// in-flight batch gate (implementations take a permit around each
+    /// planned spec segment — never around appends or other control
+    /// frames), [`ServerConfig::batch_threads`], and the transport's
+    /// observability probe.
+    fn execute(&self, requests: Vec<Request>, ctx: ExecuteCtx<'_>) -> (Vec<Json>, bool);
 
     /// Called exactly once by the supervisor after the acceptor and
     /// every worker have exited — the final-checkpoint / backend-drain
@@ -208,30 +211,46 @@ pub trait Service: Send + Sync + 'static {
     fn drain(&self) {}
 }
 
+/// Per-execute transport context handed to [`Service::execute`]: the
+/// in-flight gate, the batch fan-out width, and the observability
+/// probe (request-lifecycle histograms + gauges). The probe's trace
+/// sink is `None` here — the *service* owns its sink and substitutes
+/// it, since tracing belongs to the serving identity, not the
+/// transport.
+pub struct ExecuteCtx<'a> {
+    /// The server's in-flight batch gate.
+    pub gate: &'a Gate,
+    /// [`ServerConfig::batch_threads`].
+    pub batch_threads: usize,
+    /// Observability handles for the metrics/stats frames.
+    pub probe: Option<ServerProbe<'a>>,
+}
+
 /// The single-node identity: one warm [`SharedEngine`] answers every
 /// connection.
 struct EngineService<R: RandomAccess> {
     engine: Arc<SharedEngine<R>>,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl<R> Service for EngineService<R>
 where
     R: RandomAccess + AppendRows + Durability + Send + Sync + 'static,
 {
-    fn execute(
-        &self,
-        requests: Vec<Request>,
-        gate: &Gate,
-        batch_threads: usize,
-    ) -> (Vec<Json>, bool) {
+    fn execute(&self, requests: Vec<Request>, ctx: ExecuteCtx<'_>) -> (Vec<Json>, bool) {
+        let probe = ctx.probe.map(|mut probe| {
+            probe.trace = self.trace.as_deref();
+            probe
+        });
         json::execute_requests(
             &self.engine,
             requests,
             |specs| {
-                let _permit = gate.acquire();
-                self.engine.run_batch(specs, batch_threads)
+                let _permit = ctx.gate.acquire();
+                self.engine.run_batch(specs, ctx.batch_threads)
             },
             || json::ok_envelope(Json::Str("shutdown".into())),
+            probe,
         )
     }
 
@@ -258,9 +277,29 @@ struct Control {
     live: Mutex<HashMap<u64, TcpStream>>,
     gate: Gate,
     config: ServerConfig,
+    /// Request-lifecycle histograms (queue wait, batch execute,
+    /// response write) — pool-wide, lock-free, always on.
+    obs: ServiceObs,
+    /// [`now_ns`] at bind time, for the uptime gauge.
+    started_ns: u64,
 }
 
 impl Control {
+    /// Builds the observability probe for one frame batch: borrows the
+    /// lifecycle histograms and samples the gauges now. The trace sink
+    /// is the service's to substitute.
+    fn probe(&self) -> ServerProbe<'_> {
+        ServerProbe {
+            obs: &self.obs,
+            gauges: Gauges {
+                uptime_ns: now_ns().saturating_sub(self.started_ns),
+                connections: self.live.lock().expect("registry poisoned").len() as u64,
+                inflight_batches: self.gate.in_flight() as u64,
+            },
+            trace: None,
+        }
+    }
+
     fn shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::SeqCst)
     }
@@ -357,7 +396,26 @@ pub fn serve<R>(
 where
     R: RandomAccess + AppendRows + Durability + Send + Sync + 'static,
 {
-    serve_service(Arc::new(EngineService { engine }), addr, config)
+    serve_traced(engine, addr, config, None)
+}
+
+/// [`serve`] with a trace sink: every planned segment and every
+/// shard-internal frame emits one NDJSON span to `trace` (the CLI's
+/// `--trace-log`). `None` is exactly [`serve`].
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound or inspected.
+pub fn serve_traced<R>(
+    engine: Arc<SharedEngine<R>>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+    trace: Option<Arc<TraceSink>>,
+) -> io::Result<ServerHandle>
+where
+    R: RandomAccess + AppendRows + Durability + Send + Sync + 'static,
+{
+    serve_service(Arc::new(EngineService { engine, trace }), addr, config)
 }
 
 /// Binds `addr` and serves the NDJSON query protocol over an arbitrary
@@ -383,8 +441,13 @@ pub fn serve_service<S: Service>(
         live: Mutex::new(HashMap::new()),
         gate: Gate::new(config.max_inflight_batches),
         config,
+        obs: ServiceObs::default(),
+        started_ns: now_ns(),
     });
-    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.max_pending.max(1));
+    // Each queued connection carries the timer started at accept, so
+    // the dequeuing worker can record how long it sat waiting for a
+    // free worker (the `queue_wait` histogram).
+    let (tx, rx) = mpsc::sync_channel::<(TcpStream, Timer)>(config.max_pending.max(1));
     let rx = Arc::new(Mutex::new(rx));
     let mut pool = Vec::with_capacity(config.workers.max(1) + 1);
     for _ in 0..config.workers.max(1) {
@@ -420,7 +483,7 @@ pub fn serve_service<S: Service>(
 /// The accept loop: push connections into the bounded queue until
 /// shutdown. Exiting drops `tx`, which is what tells idle workers
 /// (parked in `recv`) to exit once the queue drains.
-fn acceptor(listener: &TcpListener, tx: &SyncSender<TcpStream>, control: &Control) {
+fn acceptor(listener: &TcpListener, tx: &SyncSender<(TcpStream, Timer)>, control: &Control) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -436,7 +499,7 @@ fn acceptor(listener: &TcpListener, tx: &SyncSender<TcpStream>, control: &Contro
         }
         // Blocks while the queue is full: bounded memory; the OS
         // listen backlog queues behind it.
-        if tx.send(stream).is_err() {
+        if tx.send((stream, Timer::start())).is_err() {
             break;
         }
     }
@@ -445,10 +508,11 @@ fn acceptor(listener: &TcpListener, tx: &SyncSender<TcpStream>, control: &Contro
 /// One pool worker: serve queued connections until the acceptor hangs
 /// up and the queue is drained. Connection-level I/O errors end that
 /// connection only — the worker moves on to the next.
-fn worker<S: Service>(rx: &Mutex<Receiver<TcpStream>>, service: &S, control: &Control) {
+fn worker<S: Service>(rx: &Mutex<Receiver<(TcpStream, Timer)>>, service: &S, control: &Control) {
     loop {
         let stream = rx.lock().expect("accept queue poisoned").recv();
-        let Ok(stream) = stream else { break };
+        let Ok((stream, queued)) = stream else { break };
+        queued.stop(&control.obs.queue_wait);
         // A connection we cannot register (try_clone failure) must not
         // be served either: shutdown could never EOF it, and an idle
         // client would then hold `join` forever. Dropping it is the

@@ -94,8 +94,10 @@ use optrules_bucketing::{
     count_buckets, count_buckets_parallel, equi_depth_cuts, BucketCounts, BucketSpec, CountSpec,
     EquiDepthConfig, SamplingMethod,
 };
+use optrules_obs::{Histogram, HistogramSnapshot, Timer};
 use optrules_relation::{
-    AppendRows, Condition, Durability, DurabilityStats, NumAttr, RandomAccess, RowFrame, Schema,
+    AppendRows, Condition, Durability, DurabilityMetrics, DurabilityStats, NumAttr, RandomAccess,
+    RowFrame, Schema,
 };
 
 /// Cache key for one bucketization: everything Algorithm 3.1's output
@@ -317,6 +319,36 @@ pub struct SharedEngine<R: RandomAccess> {
     cache_config: CacheConfig,
     cache: ShardedCache<CacheKey, CacheValue>,
     counters: WorkCounters,
+    obs: EngineObs,
+}
+
+/// Per-phase latency histograms for the engine's O(N) hot path —
+/// recorded at the *compute* sites only, so cache hits stay free and
+/// the counts line up with the work counters in [`EngineStats`].
+#[derive(Debug, Default)]
+pub struct EngineObs {
+    /// Algorithm 3.1 bucketizations (sample + sort + cut).
+    pub bucketize: Histogram,
+    /// Counting scans through the columnar kernels.
+    pub kernel_scan: Histogram,
+    /// Counting scans through the row-visitor fallback.
+    pub fallback_scan: Histogram,
+    /// Rule assembly (the optimization step over bucket summaries).
+    pub optimize: Histogram,
+}
+
+/// Snapshot of [`EngineObs`] — the `engine` object of the server's
+/// `{"cmd":"metrics"}` reply.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Snapshot of [`EngineObs::bucketize`].
+    pub bucketize: HistogramSnapshot,
+    /// Snapshot of [`EngineObs::kernel_scan`].
+    pub kernel_scan: HistogramSnapshot,
+    /// Snapshot of [`EngineObs::fallback_scan`].
+    pub fallback_scan: HistogramSnapshot,
+    /// Snapshot of [`EngineObs::optimize`].
+    pub optimize: HistogramSnapshot,
 }
 
 impl<R: RandomAccess> SharedEngine<R> {
@@ -366,6 +398,7 @@ impl<R: RandomAccess> SharedEngine<R> {
             cache_config: cache,
             cache: ShardedCache::new(cache),
             counters: WorkCounters::default(),
+            obs: EngineObs::default(),
         }
     }
 
@@ -484,7 +517,31 @@ impl<R: RandomAccess> SharedEngine<R> {
             rejected: self.cache.rejected(),
             lookups: self.cache.lookups(),
             cached_cost: self.cache.current_cost(),
+            bucketize_ns: self.obs.bucketize.sum(),
+            kernel_scan_ns: self.obs.kernel_scan.sum(),
+            fallback_scan_ns: self.obs.fallback_scan.sum(),
+            optimize_ns: self.obs.optimize.sum(),
         }
+    }
+
+    /// Per-phase latency histograms (see [`EngineObs`]), snapshotted
+    /// for the `{"cmd":"metrics"}` wire frame.
+    pub fn engine_metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            bucketize: self.obs.bucketize.snapshot(),
+            kernel_scan: self.obs.kernel_scan.snapshot(),
+            fallback_scan: self.obs.fallback_scan.snapshot(),
+            optimize: self.obs.optimize.snapshot(),
+        }
+    }
+
+    /// Durability latency histograms of the current relation version
+    /// (WAL fsync, spill checkpoint), or `None` for in-memory stores.
+    pub fn durability_metrics(&self) -> Option<DurabilityMetrics>
+    where
+        R: Durability,
+    {
+        self.pin().relation().durability_metrics()
     }
 
     /// One coherent observability snapshot: the current generation and
@@ -561,6 +618,10 @@ impl<R: RandomAccess> SharedEngine<R> {
         self.counters.kernel_scans.store(0, Ordering::Relaxed);
         self.counters.fallback_scans.store(0, Ordering::Relaxed);
         self.counters.coalesced_waits.store(0, Ordering::Relaxed);
+        self.obs.bucketize.reset();
+        self.obs.kernel_scan.reset();
+        self.obs.fallback_scan.reset();
+        self.obs.optimize.reset();
     }
 
     /// Starts a fluent query over the numeric attribute named `attr`.
@@ -625,7 +686,10 @@ impl<R: RandomAccess> SharedEngine<R> {
         let pinned = self.pin();
         let resolved = plan::resolve(&self.schema, &self.config, pinned.generation(), spec)?;
         let counts = self.counts_for_resolved(&resolved, &pinned.rel)?;
-        plan::assemble(&resolved, &counts)
+        let timer = Timer::start();
+        let rules = plan::assemble(&resolved, &counts);
+        timer.stop(&self.obs.optimize);
+        rules
     }
 
     /// Compiles a batch of specs into its [`Plan`] without executing:
@@ -677,7 +741,10 @@ impl<R: RandomAccess> SharedEngine<R> {
             .map(|resolved| {
                 let resolved = resolved?;
                 let counts = self.counts_for_resolved(&resolved, rel)?;
-                plan::assemble(&resolved, &counts)
+                let timer = Timer::start();
+                let rules = plan::assemble(&resolved, &counts);
+                timer.stop(&self.obs.optimize);
+                rules
             })
             .collect()
     }
@@ -762,7 +829,9 @@ impl<R: RandomAccess> SharedEngine<R> {
                     seed: attr_seed(key.seed, key.attr),
                     method: SamplingMethod::WithReplacement,
                 };
+                let timer = Timer::start();
                 let spec = Arc::new(equi_depth_cuts(rel, key.attr, &cfg)?);
+                timer.stop(&self.obs.bucketize);
                 let cost = spec_cost(&spec);
                 Ok((CacheValue::Spec(spec), cost))
             },
@@ -823,17 +892,19 @@ impl<R: RandomAccess> SharedEngine<R> {
                 // Record which scan path this storage takes; parallel
                 // workers share the capability of `rel`, so one scan is
                 // wholly kernel or wholly fallback.
-                let path_counter = if rel.as_columnar().is_some() {
-                    &self.counters.kernel_scans
+                let (path_counter, path_histogram) = if rel.as_columnar().is_some() {
+                    (&self.counters.kernel_scans, &self.obs.kernel_scan)
                 } else {
-                    &self.counters.fallback_scans
+                    (&self.counters.fallback_scans, &self.obs.fallback_scan)
                 };
                 path_counter.fetch_add(1, Ordering::Relaxed);
+                let timer = Timer::start();
                 let counts = if threads > 1 {
                     count_buckets_parallel(rel, &spec, &what, threads)?
                 } else {
                     count_buckets(rel, &spec, &what)?
                 };
+                timer.stop(path_histogram);
                 // Cache the *compacted* counts: every consumer compacts
                 // before optimizing, so compacting once per scan keeps
                 // warm queries free of the O(M · targets) copy.

@@ -1,0 +1,99 @@
+//! Property tests for the latency histogram: bucket placement, the
+//! merge ≡ single-recording identity the coordinator's per-shard
+//! aggregation relies on, and bucket-edge-bounded quantiles.
+
+use optrules_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKET_COUNT};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Durations spanning the interesting magnitudes: exact small values,
+/// sub-microsecond, and the wide log-bucket range.
+fn duration() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        16u64..4096,
+        4096u64..10_000_000,
+        10_000_000u64..u64::MAX,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every recorded duration lands in a bucket whose inclusive
+    /// bounds contain it.
+    #[test]
+    fn recorded_duration_lands_in_its_bucket(v in duration()) {
+        let index = bucket_index(v);
+        prop_assert!(index < BUCKET_COUNT);
+        let (lo, hi) = bucket_bounds(index);
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}] (bucket {index})");
+    }
+
+    /// Recording a value then snapshotting shows it in exactly the
+    /// bucket `bucket_index` names.
+    #[test]
+    fn histogram_places_values_where_the_index_says(values in vec(duration(), 1..64)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        for &v in &values {
+            prop_assert!(snap.buckets[bucket_index(v)] > 0);
+        }
+        let placed: u64 = snap.buckets.iter().sum();
+        prop_assert_eq!(placed, values.len() as u64);
+    }
+
+    /// Shard-order merge of per-shard histograms equals recording the
+    /// concatenated stream into one histogram — the identity that lets
+    /// the coordinator aggregate per-shard latency like it merges
+    /// partial bucket counts.
+    #[test]
+    fn shard_merge_equals_single_histogram(
+        shards in vec(vec(duration(), 0..32), 1..5),
+    ) {
+        let whole = Histogram::new();
+        let mut merged = HistogramSnapshot::empty();
+        for shard_values in &shards {
+            let shard = Histogram::new();
+            for &v in shard_values {
+                shard.record(v);
+                whole.record(v);
+            }
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+
+    /// Quantile estimates are bounded by the edges of the bucket that
+    /// holds the true rank value, clamped to the recorded maximum —
+    /// and the p50/p90/p99 ladder is monotone.
+    #[test]
+    fn quantiles_are_bounded_by_bucket_edges(
+        mut values in vec(duration(), 1..128),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let estimate = snap.quantile(q);
+
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1];
+        let (lo, hi) = bucket_bounds(bucket_index(truth));
+        prop_assert!(
+            lo <= estimate && estimate <= hi.min(snap.max),
+            "quantile({q}) = {estimate} outside [{lo}, {}] (true value {truth})",
+            hi.min(snap.max)
+        );
+
+        let (p50, p90, p99) = (snap.quantile(0.50), snap.quantile(0.90), snap.quantile(0.99));
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= snap.max);
+    }
+}

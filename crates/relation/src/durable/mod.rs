@@ -45,6 +45,7 @@ use crate::file::FileRelation;
 use crate::memory::Relation;
 use crate::scan::{RandomAccess, RowVisitor, TupleScan};
 use crate::schema::{NumAttr, Schema};
+use optrules_obs::{Histogram, HistogramSnapshot, Timer};
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -108,6 +109,18 @@ pub struct DurabilityStats {
     pub last_checkpoint_generation: u64,
 }
 
+/// Latency histograms for the durability hot path — the `durability`
+/// object of the server's `{"cmd":"metrics"}` reply.
+#[derive(Debug, Clone)]
+pub struct DurabilityMetrics {
+    /// Latency of one WAL append (including the fsync under
+    /// [`WalSync::Always`]) — the cost every acked durable append pays.
+    pub wal_fsync: HistogramSnapshot,
+    /// Latency of one spill checkpoint (segment write + manifest +
+    /// WAL truncate).
+    pub checkpoint: HistogramSnapshot,
+}
+
 /// Optional durability hooks a relation store may provide. The default
 /// implementations report "not durable" and make flush a no-op, so
 /// engine and server code can be generic over both plain in-memory
@@ -115,6 +128,12 @@ pub struct DurabilityStats {
 pub trait Durability: Sized {
     /// Durability counters, or `None` for stores with no backing log.
     fn durability_stats(&self) -> Option<DurabilityStats> {
+        None
+    }
+
+    /// Durability latency histograms, or `None` for stores with no
+    /// backing log.
+    fn durability_metrics(&self) -> Option<DurabilityMetrics> {
         None
     }
 
@@ -139,6 +158,9 @@ impl<B> Durability for ChunkedRelation<B> {}
 impl<T: Durability> Durability for &T {
     fn durability_stats(&self) -> Option<DurabilityStats> {
         (**self).durability_stats()
+    }
+    fn durability_metrics(&self) -> Option<DurabilityMetrics> {
+        (**self).durability_metrics()
     }
     // `checkpointed` keeps the no-op default: a shared reference cannot
     // produce a new owned version to swap in.
@@ -172,6 +194,10 @@ struct DurableStore {
     layout: RecordLayout,
     config: DurabilityConfig,
     state: Mutex<StoreState>,
+    /// WAL-append latency (fsync included under [`WalSync::Always`]).
+    wal_fsync: Histogram,
+    /// Spill-checkpoint latency (segment + manifest + WAL truncate).
+    checkpoint: Histogram,
 }
 
 /// A crash-safe live relation: a [`ChunkedRelation`] over stacked file
@@ -231,6 +257,7 @@ impl DurableRelation {
     /// truncates the WAL. The caller holds the state lock and `self`
     /// must be the latest version.
     fn checkpoint_locked(&self, state: &mut StoreState) -> Result<Self> {
+        let timer = Timer::start();
         let len = self.inner.len();
         let tail = self.inner.appended_rows();
         let next = if tail > 0 {
@@ -265,6 +292,7 @@ impl DurableRelation {
         if let Some(wal) = state.wal.as_mut() {
             wal.truncate()?;
         }
+        timer.stop(&self.store.checkpoint);
         Ok(next)
     }
 
@@ -312,11 +340,13 @@ impl AppendRows for DurableRelation {
         }
         let mut state = self.store.state.lock().expect("durable state poisoned");
         if let Some(wal) = state.wal.as_mut() {
+            let timer = Timer::start();
             wal.append(
                 self.inner.len(),
                 rows,
                 self.store.config.sync == WalSync::Always,
             )?;
+            timer.stop(&self.store.wal_fsync);
         }
         let inner = self.inner.with_rows(rows)?;
         state.generation += 1;
@@ -338,6 +368,13 @@ impl Durability for DurableRelation {
             unflushed_rows: self.inner.len().saturating_sub(state.durable_rows),
             segments_spilled: state.segments.len() as u64,
             last_checkpoint_generation: state.last_checkpoint_generation,
+        })
+    }
+
+    fn durability_metrics(&self) -> Option<DurabilityMetrics> {
+        Some(DurabilityMetrics {
+            wal_fsync: self.store.wal_fsync.snapshot(),
+            checkpoint: self.store.checkpoint.snapshot(),
         })
     }
 

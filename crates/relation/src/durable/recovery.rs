@@ -144,6 +144,8 @@ pub(crate) fn recover(base: &Path, dir: &Path, config: DurabilityConfig) -> Resu
             next_segment_id,
             base_rows: base_rel.len(),
         }),
+        wal_fsync: optrules_obs::Histogram::new(),
+        checkpoint: optrules_obs::Histogram::new(),
     });
     let mut relation = DurableRelation::from_parts(inner, store);
 

@@ -61,7 +61,8 @@ pub use chunked::{AppendRows, ChunkedRelation, RowFrame};
 pub use columnar::{BlockVisitor, ColumnBlock, ColumnarScan};
 pub use condition::Condition;
 pub use durable::{
-    Durability, DurabilityConfig, DurabilityStats, DurableRelation, Recovery, WalSync,
+    Durability, DurabilityConfig, DurabilityMetrics, DurabilityStats, DurableRelation, Recovery,
+    WalSync,
 };
 pub use error::RelationError;
 pub use file::{FileRelation, FileRelationWriter};

@@ -8,6 +8,7 @@
 //! optrules serve data.rel --addr 127.0.0.1:7878 &
 //! cargo run --example serve_client -- 127.0.0.1:7878 < specs.ndjson
 //! cargo run --example serve_client -- 127.0.0.1:7878 --stats < /dev/null
+//! cargo run --example serve_client -- 127.0.0.1:7878 --metrics < /dev/null
 //! cargo run --example serve_client -- 127.0.0.1:7878 --shutdown < /dev/null
 //! ```
 //!
@@ -20,13 +21,16 @@ use std::net::{Shutdown, TcpStream};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let usage = "usage: serve_client <host:port> [--stats] [--shutdown]  (specs on stdin)";
+    let usage =
+        "usage: serve_client <host:port> [--stats] [--metrics] [--shutdown]  (specs on stdin)";
     let addr = args.next().ok_or(usage)?;
     let mut stats = false;
+    let mut metrics = false;
     let mut shutdown = false;
     for arg in args {
         match arg.as_str() {
             "--stats" => stats = true,
+            "--metrics" => metrics = true,
             "--shutdown" => shutdown = true,
             other => return Err(format!("unknown argument {other:?}\n{usage}").into()),
         }
@@ -59,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if stats {
         writeln!(writer, "{{\"cmd\":\"stats\"}}")?;
+    }
+    if metrics {
+        writeln!(writer, "{{\"cmd\":\"metrics\"}}")?;
     }
     if shutdown {
         writeln!(writer, "{{\"cmd\":\"shutdown\"}}")?;

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a `{"cmd":"metrics"}` response document read from stdin.
+
+Structural checks always run: the line must parse as JSON with an
+`"ok"` envelope, and every histogram object in the document must
+satisfy `p50 <= p90 <= p99 <= max` with bucket counts summing to its
+`count` (the invariants the fixed log-bucket layout guarantees).
+
+Exact-count assertions ride `--expect dotted.path=N`, e.g.
+
+    check_metrics.py --expect engine.optimize.count=12
+    check_metrics.py --expect coord.shards[1].append.count=1
+
+Paths are resolved inside the `"ok"` payload; `[i]` indexes arrays.
+Exits non-zero (with the offending path) on any violation.
+"""
+
+import json
+import re
+import sys
+
+HISTOGRAM_KEYS = {"count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns", "buckets"}
+
+
+def histograms(value, path=""):
+    """Yields (dotted-path, histogram-dict) for every histogram shape."""
+    if isinstance(value, dict):
+        if HISTOGRAM_KEYS <= set(value):
+            yield path, value
+        for key, nested in value.items():
+            yield from histograms(nested, f"{path}.{key}" if path else key)
+    elif isinstance(value, list):
+        for i, nested in enumerate(value):
+            yield from histograms(nested, f"{path}[{i}]")
+
+
+def lookup(value, path):
+    """Resolves `a.b[1].c` inside nested dicts/lists."""
+    for step in re.findall(r"[^.\[\]]+|\[\d+\]", path):
+        if step.startswith("["):
+            value = value[int(step[1:-1])]
+        else:
+            value = value[step]
+    return value
+
+
+def main():
+    expects = []
+    args = sys.argv[1:]
+    while args:
+        if args[0] == "--expect" and len(args) >= 2:
+            path, _, raw = args[1].partition("=")
+            expects.append((path, int(raw)))
+            args = args[2:]
+        else:
+            sys.exit(f"unknown argument {args[0]!r} (usage: --expect path=N ...)")
+
+    line = sys.stdin.readline().strip()
+    doc = json.loads(line)
+    if "ok" not in doc:
+        sys.exit(f"not an ok envelope: {line[:200]}")
+    payload = doc["ok"]
+
+    checked = 0
+    for path, hist in histograms(payload):
+        checked += 1
+        p50, p90, p99 = hist["p50_ns"], hist["p90_ns"], hist["p99_ns"]
+        if not p50 <= p90 <= p99 <= hist["max_ns"]:
+            sys.exit(f"{path}: quantiles out of order: {hist}")
+        total = sum(count for _, count in hist["buckets"])
+        if total != hist["count"]:
+            sys.exit(f"{path}: bucket total {total} != count {hist['count']}")
+    if checked < 4:
+        sys.exit(f"expected several histograms, found {checked}")
+
+    for path, want in expects:
+        got = lookup(payload, path)
+        if got != want:
+            sys.exit(f"{path}: expected {want}, got {got}")
+
+    print(f"metrics ok: {checked} histograms, {len(expects)} exact counts")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@
 //!               [--max-line-bytes N] [--write-timeout-secs N]
 //!               [--cache-mb N] [--cache-shards N]
 //!               [--data-dir DIR] [--wal-sync always|batch|off] [--spill-rows N]
+//!               [--trace-log PATH|stderr] [--slow-query-ms N]
 //!               [--buckets M] [--min-support P] [--min-confidence P]
 //!               [--threads T] [--seed S]
 //! optrules coord --shards H:P,H:P[,…] [--addr HOST:PORT] [--workers N]
@@ -26,6 +27,7 @@
 //!               [--cache-mb N] [--cache-shards N]
 //!               [--connect-timeout-ms N] [--rpc-timeout-ms N]
 //!               [--retries N] [--retry-backoff-ms N]
+//!               [--trace-log PATH|stderr] [--slow-query-ms N]
 //!               [--buckets M] [--min-support P] [--min-confidence P]
 //!               [--threads T] [--seed S]
 //! optrules slice <src> <dst> [--start N] [--end N]
@@ -99,6 +101,7 @@
 use optrules::core::json;
 use optrules::core::report::{render_rule_sets, sort_rule_sets, SortBy};
 use optrules::core::server;
+use optrules::obs::TraceSink;
 use optrules::prelude::*;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -137,20 +140,24 @@ const USAGE: &str = "usage:
                 [--max-line-bytes N] [--write-timeout-secs N]
                 [--cache-mb N] [--cache-shards N]
                 [--data-dir DIR] [--wal-sync always|batch|off] [--spill-rows N]
+                [--trace-log PATH|stderr] [--slow-query-ms N]
                 [--buckets M] [--min-support P] [--min-confidence P]
                 [--threads T] [--seed S]
-                (NDJSON specs + stats/shutdown/flush/append frames per
-                 TCP connection; --cache-mb sizes the shared cache in
-                 MiB, 0 disables it; --cache-shards sets lock
+                (NDJSON specs + stats/metrics/shutdown/flush/append
+                 frames per TCP connection; --cache-mb sizes the shared
+                 cache in MiB, 0 disables it; --cache-shards sets lock
                  granularity; --write-timeout-secs drops clients that
                  stop reading, both at least 1; --data-dir makes
                  appends durable: WAL + segment spill + crash
-                 recovery)
+                 recovery; --trace-log emits one NDJSON span per
+                 request phase, --slow-query-ms only spans at least
+                 that long)
   optrules coord --shards H:P,H:P[,…] [--addr HOST:PORT] [--workers N]
                 [--max-inflight N] [--max-line-bytes N] [--write-timeout-secs N]
                 [--cache-mb N] [--cache-shards N]
                 [--connect-timeout-ms N] [--rpc-timeout-ms N]
                 [--retries N] [--retry-backoff-ms N]
+                [--trace-log PATH|stderr] [--slow-query-ms N]
                 [--buckets M] [--min-support P] [--min-confidence P]
                 [--threads T] [--seed S]
                 (scatter-gather front end over `optrules serve` shards:
@@ -279,6 +286,8 @@ const SERVE_FLAGS: &[&str] = &[
     "data-dir",
     "wal-sync",
     "spill-rows",
+    "trace-log",
+    "slow-query-ms",
     "buckets",
     "min-support",
     "min-confidence",
@@ -298,6 +307,8 @@ const COORD_FLAGS: &[&str] = &[
     "rpc-timeout-ms",
     "retries",
     "retry-backoff-ms",
+    "trace-log",
+    "slow-query-ms",
     "buckets",
     "min-support",
     "min-confidence",
@@ -503,7 +514,9 @@ fn durability_from_flags(
 }
 
 /// Opens the durable store and reports the recovery outcome on stderr
-/// (stdout stays protocol-clean for `batch`/`serve`).
+/// as one NDJSON event (stdout stays protocol-clean for
+/// `batch`/`serve`, and stderr stays machine-parseable alongside
+/// `--trace-log stderr` span lines).
 fn recover_durable(
     path: &str,
     dir: &str,
@@ -512,7 +525,8 @@ fn recover_durable(
     let recovered = DurableRelation::open(path, dir, config)
         .map_err(|e| format!("opening data dir {dir}: {e}"))?;
     eprintln!(
-        "recovered {dir}: {} rows ({} replayed from {} WAL frames), resuming at generation {}",
+        "{{\"event\":\"recover\",\"dir\":\"{}\",\"rows\":{},\"replayed_rows\":{},\"replayed_frames\":{},\"generation\":{}}}",
+        optrules::obs::json_escape(dir),
         recovered.relation.len(),
         recovered.replayed_rows,
         recovered.replayed_frames,
@@ -706,6 +720,9 @@ where
                 "\"shutdown\" stops `optrules serve`; batch mode has no server to stop",
             )
         },
+        // Batch mode has no server: `{"cmd":"metrics"}` answers the
+        // engine section only, and no gauges ride `{"cmd":"stats"}`.
+        None,
     );
 
     let stdout = std::io::stdout();
@@ -726,6 +743,7 @@ fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
     let cache = cache_from_flags(flags)?;
     let engine_config = config_from_flags(flags, 1)?;
     let server_config = server_config_from_flags(flags)?;
+    let trace = trace_from_flags(flags)?;
     match durability_from_flags(flags)? {
         // Durable mode: recover base + segments + WAL tail, resume at
         // the recovered generation; the server's shutdown drain
@@ -738,7 +756,7 @@ fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
                 engine_config,
                 cache,
             ));
-            run_server(engine, addr, server_config)
+            run_server(engine, addr, server_config, trace)
         }
         None => {
             let rel = FileRelation::open(path).map_err(|e| e.to_string())?;
@@ -750,24 +768,49 @@ fn serve(path: &str, flags: &HashMap<&str, &str>) -> CliResult {
                 engine_config,
                 cache,
             ));
-            run_server(engine, addr, server_config)
+            run_server(engine, addr, server_config, trace)
         }
     }
 }
 
 /// Binds, announces, and blocks on the server until a graceful
 /// shutdown drains (which checkpoints a durable engine).
-fn run_server<R>(engine: Arc<SharedEngine<R>>, addr: &str, config: ServerConfig) -> CliResult
+fn run_server<R>(
+    engine: Arc<SharedEngine<R>>,
+    addr: &str,
+    config: ServerConfig,
+    trace: Option<Arc<TraceSink>>,
+) -> CliResult
 where
     R: RandomAccess + AppendRows + Durability + Send + Sync + 'static,
 {
-    let handle = server::serve(engine, addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    let handle = server::serve_traced(engine, addr, config, trace)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
     // Parsed by scripts and tests; stdout is line-buffered, so this is
     // visible before the first connection.
     println!("listening on {}", handle.addr());
     handle.join();
     println!("server stopped");
     Ok(())
+}
+
+/// Builds the span sink behind `--trace-log PATH|stderr`. The
+/// `--slow-query-ms N` threshold drops spans shorter than N
+/// milliseconds (default 0: log everything); it is meaningless
+/// without a destination, so alone it is a usage error.
+fn trace_from_flags(flags: &HashMap<&str, &str>) -> Result<Option<Arc<TraceSink>>, String> {
+    let slow_ms: u64 = flag_num(flags, "slow-query-ms", 0)?;
+    let slow_ns = slow_ms.saturating_mul(1_000_000);
+    match flags.get("trace-log").copied() {
+        Some("stderr") => Ok(Some(Arc::new(TraceSink::stderr(slow_ns)))),
+        Some(path) => Ok(Some(Arc::new(
+            TraceSink::file(path, slow_ns).map_err(|e| format!("opening trace log {path}: {e}"))?,
+        ))),
+        None if flags.contains_key("slow-query-ms") => {
+            Err("--slow-query-ms requires --trace-log (there is nowhere to log to)".into())
+        }
+        None => Ok(None),
+    }
 }
 
 /// The TCP front-end flags shared by `serve` and `coord`.
@@ -842,7 +885,8 @@ fn coord(flags: &HashMap<&str, &str>) -> CliResult {
         cache_from_flags(flags)?,
         net,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| e.to_string())?
+    .with_trace(trace_from_flags(flags)?);
     let handle = server::serve_service(Arc::new(coordinator), addr, server_config)
         .map_err(|e| format!("binding {addr}: {e}"))?;
     println!("listening on {}", handle.addr());

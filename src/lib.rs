@@ -112,7 +112,14 @@
 //!   `optrules serve` shards over the same NDJSON protocol, merging
 //!   per-shard partial bucket counts — answers byte-identical to a
 //!   single node over the concatenated rows, with structured
-//!   `{"error":{"shard":i,…}}` envelopes when a backend fails.
+//!   `{"error":{"shard":i,…}}` envelopes when a backend fails;
+//! * [`obs`] — dependency-free observability: lock-free log-bucketed
+//!   latency [`obs::Histogram`]s (per-shard snapshots merge exactly,
+//!   so a coordinator's view composes from its shards'), phase
+//!   [`obs::Timer`]s, server gauges, and the NDJSON
+//!   [`obs::TraceSink`] behind `--trace-log`/`--slow-query-ms`. Every
+//!   layer above records into it; the `{"cmd":"metrics"}` control
+//!   frame ([`core::json`]) renders the result.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -121,6 +128,7 @@ pub use optrules_bucketing as bucketing;
 pub use optrules_coord as coord;
 pub use optrules_core as core;
 pub use optrules_geometry as geometry;
+pub use optrules_obs as obs;
 pub use optrules_relation as relation;
 pub use optrules_stats as stats;
 
