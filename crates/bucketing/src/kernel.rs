@@ -107,6 +107,43 @@ fn zone_rejects(tests: &[ColTest], zones: &[(f64, f64)]) -> bool {
     })
 }
 
+/// A [`Condition`] conjunction compiled to flat column tests — the
+/// reusable face of the kernel's condition machinery, for other
+/// columnar counting loops (the 2-D grid scan of `optrules-core`).
+/// Evaluation is exactly [`Condition::eval`]; block rejection uses the
+/// zone maps and is sound (it only proves rows absent, never present).
+#[derive(Debug, Clone)]
+pub struct CompiledCond {
+    tests: Vec<ColTest>,
+}
+
+impl CompiledCond {
+    /// Compiles a condition; total for every condition shape.
+    pub fn compile(cond: &Condition) -> Self {
+        Self {
+            tests: compile(cond),
+        }
+    }
+
+    /// Whether the condition is vacuously true (no tests).
+    pub fn is_trivial(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// Evaluates the condition on row `i` of a block — identical to
+    /// [`Condition::eval`] on that row's values.
+    #[inline]
+    pub fn eval(&self, block: &ColumnBlock<'_>, i: usize) -> bool {
+        eval_tests(&self.tests, block, i)
+    }
+
+    /// Whether `zones` prove the condition false for every row of the
+    /// block (the whole-block skip).
+    pub fn rejects_block(&self, zones: &[(f64, f64)]) -> bool {
+        !self.tests.is_empty() && zone_rejects(&self.tests, zones)
+    }
+}
+
 /// Grid-accelerated bucket assignment, exactly equal to
 /// `BucketSpec::bucket_of` (`cuts.partition_point(|&c| c < x)`).
 ///

@@ -63,6 +63,7 @@ pub use equidepth::{equi_depth_cuts, EquiDepthConfig, SamplingMethod};
 pub use equiwidth::equi_width_cuts;
 pub use error::BucketingError;
 pub use finest::{finest_cuts, finest_cuts_for_integer_domain};
+pub use kernel::CompiledCond;
 pub use naive::{exact_equi_depth_cuts, naive_sort_cuts};
 pub use parallel::count_buckets_parallel;
 pub use sampling::sample_indices;

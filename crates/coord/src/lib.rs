@@ -79,12 +79,12 @@ use optrules_core::json::{self, Json, Num, Request, ServerProbe};
 use optrules_core::plan::{self, Plan};
 use optrules_core::server::{ExecuteCtx, Gate, Service};
 use optrules_core::shared::{
-    attr_seed, counts_cost, fan_out, spec_cost, AppendOutcome, BucketKey, CacheKey, CacheValue,
-    ScanKey, ScanWhat,
+    attr_seed, counts_cost, fan_out, grid_cost, spec_cost, AppendOutcome, BucketKey, CacheKey,
+    CacheValue, GridKey, ScanKey, ScanWhat,
 };
-use optrules_core::{CoreError, EngineConfig, QuerySpec, RuleSet};
+use optrules_core::{CoreError, EngineConfig, GridCounts, QuerySpec, RuleSet};
 use optrules_obs::{Gauges, Histogram, Span, Timer, TraceSink};
-use optrules_relation::Schema;
+use optrules_relation::{Condition, Schema};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -508,7 +508,7 @@ impl Coordinator {
         )?;
         match value {
             CacheValue::Spec(spec) => Ok(spec),
-            CacheValue::Counts(_) => unreachable!("bucket key holds a spec"),
+            _ => unreachable!("bucket key holds a spec"),
         }
     }
 
@@ -601,7 +601,98 @@ impl Coordinator {
         )?;
         match value {
             CacheValue::Counts(counts) => Ok(counts),
-            CacheValue::Spec(_) => unreachable!("scan key holds counts"),
+            _ => unreachable!("scan key holds counts"),
+        }
+    }
+
+    /// Cached, coalesced grid scan for one 2-D plan node: broadcast
+    /// the count2d frame to every non-empty shard, verify each **raw**
+    /// partial against the pin, merge in shard order (every grid field
+    /// is an integer sum or a min/max fold, so the merged grid is
+    /// partition-independent), and cache the merged grid. Shards never
+    /// optimize — rectangle sweeps happen centrally, over the merged
+    /// grid only.
+    fn grid_for(
+        &self,
+        key: &GridKey,
+        presumptive: &Condition,
+        objective: &Condition,
+        pin: &ShardView,
+        trace: Option<&str>,
+    ) -> Result<Arc<GridCounts>> {
+        let value = self.cached_or_compute(
+            CacheKey::Grid(key.clone()),
+            &self.scan_cache_hits,
+            &self.scans,
+            || {
+                let x_cuts = self.spec_for(key.x, pin, trace)?;
+                let y_cuts = self.spec_for(key.y, pin, trace)?;
+                let frame = json::count2d_frame_to_value(
+                    &self.schema,
+                    key.x.attr,
+                    key.y.attr,
+                    &x_cuts,
+                    &y_cuts,
+                    presumptive,
+                    objective,
+                    trace,
+                )
+                .encode();
+                let results = self.shards.fan_timed(
+                    |i| {
+                        if pin.rows[i] == 0 {
+                            // An empty shard's partial is all zeros —
+                            // skip the RPC (and the EmptyRelation
+                            // error its scan would raise).
+                            None
+                        } else {
+                            Some(vec![frame.clone()])
+                        }
+                    },
+                    true,
+                    RpcKind::Count,
+                );
+                self.emit_shard_spans("rpc_count2d", trace, &results, |shard| pin.rows[shard] == 0);
+                let merge_timer = Timer::start();
+                let mut merged: Option<GridCounts> = None;
+                let mut counted = 0u64;
+                for (shard, (result, _, _)) in results.into_iter().enumerate() {
+                    if pin.rows[shard] == 0 {
+                        continue;
+                    }
+                    let lines = result?;
+                    let payload = parse_ok(shard, &lines[0])?;
+                    let (grid, generation) = json::grid_from_value(&payload)
+                        .map_err(|e| CoordError::shard(shard, format!("bad grid reply: {e}")))?;
+                    if generation != pin.gens[shard] {
+                        return Err(self.stale_pin(shard, pin.gens[shard], generation));
+                    }
+                    if grid.total_rows != pin.rows[shard] {
+                        return Err(self.stale_pin(shard, pin.rows[shard], grid.total_rows));
+                    }
+                    if (grid.nx(), grid.ny()) != (x_cuts.bucket_count(), y_cuts.bucket_count()) {
+                        return Err(CoordError::shard(
+                            shard,
+                            "grid reply disagrees on grid dimensions",
+                        ));
+                    }
+                    counted += 1;
+                    match &mut merged {
+                        None => merged = Some(grid),
+                        Some(m) => m.merge(&grid),
+                    }
+                }
+                let merged = merged.expect("a non-empty relation has a non-empty shard");
+                self.merged_nodes.fetch_add(counted, Ordering::Relaxed);
+                merge_timer.stop(&self.obs.merge);
+                let grid = Arc::new(merged);
+                let cost = grid_cost(&grid);
+                Ok((CacheValue::Grid(grid), cost))
+            },
+        )?;
+        match value {
+            CacheValue::Grid(grid) => Ok(grid),
+            _ => unreachable!("grid key holds a grid"),
         }
     }
 
@@ -628,11 +719,23 @@ impl Coordinator {
                 trace,
             );
         });
+        fan_out(&plan.grids, threads, |node| {
+            let _ = self.grid_for(&node.key, &node.presumptive, &node.objective, &pin, trace);
+        });
         let responses = plan
             .queries
             .into_iter()
             .map(|resolved| {
                 let outcome: Result<RuleSet> = resolved.map_err(CoordError::from).and_then(|r| {
+                    if let Some(part) = &r.grid {
+                        let key = r.grid_key().expect("grid part implies grid key");
+                        let grid =
+                            self.grid_for(&key, &part.presumptive, &part.objective, &pin, trace)?;
+                        let timer = Timer::start();
+                        let rules = plan::assemble_rect(&r, &grid).map_err(CoordError::from);
+                        timer.stop(&self.obs.optimize);
+                        return rules;
+                    }
                     let counts = self.counts_for(
                         r.key,
                         r.threads,
@@ -890,6 +993,10 @@ impl json::FrameHandler for CoordFrames<'_> {
 
     fn count(&mut self, _frame: &Json) -> Json {
         json::error_envelope("bad request: \"count\" is a shard-internal frame")
+    }
+
+    fn count2d(&mut self, _frame: &Json) -> Json {
+        json::error_envelope("bad request: \"count2d\" is a shard-internal frame")
     }
 
     fn shutdown_ack(&mut self) -> Json {

@@ -256,7 +256,8 @@ use crate::cache::ShardStats;
 use crate::error::CoreError;
 use crate::query::{AvgRule, Rule, RuleSet, Task};
 use crate::ratio::Ratio;
-use crate::rule::{RangeRule, RuleKind};
+use crate::region2d::GridCounts;
+use crate::rule::{RangeRule, RectRule, RuleKind};
 use crate::shared::{AppendOutcome, SharedEngine, StatsSnapshot};
 use crate::spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
 use optrules_bucketing::{BucketCounts, BucketSpec, CountSpec};
@@ -985,10 +986,11 @@ fn ratio_from_value(value: &Json) -> JsonResult<Ratio> {
 /// Converts a spec to its canonical [`Json`] value (defaulted fields
 /// omitted).
 pub fn spec_to_value(spec: &QuerySpec) -> Json {
-    let mut fields = vec![
-        ("attr".to_string(), Json::Str(spec.attr.clone())),
-        ("objective".to_string(), objective_to_value(&spec.objective)),
-    ];
+    let mut fields = vec![("attr".to_string(), Json::Str(spec.attr.clone()))];
+    if let Some(attr2) = &spec.attr2 {
+        fields.push(("attr2".to_string(), Json::Str(attr2.clone())));
+    }
+    fields.push(("objective".to_string(), objective_to_value(&spec.objective)));
     if !spec.given.is_empty() {
         fields.push((
             "given".into(),
@@ -1042,6 +1044,9 @@ pub fn spec_from_value(value: &Json) -> JsonResult<QuerySpec> {
         obj.required("attr")?.as_str()?.to_string(),
         objective_from_value(obj.required("objective")?)?,
     );
+    if let Some(attr2) = obj.optional("attr2") {
+        spec.attr2 = Some(attr2.as_str()?.to_string());
+    }
     if let Some(given) = obj.optional("given") {
         spec.given = given
             .as_arr()?
@@ -1115,6 +1120,8 @@ fn kind_name(kind: RuleKind) -> &'static str {
         RuleKind::OptimizedConfidence => "optimized_confidence",
         RuleKind::MaximumAverage => "maximum_average",
         RuleKind::MaximumSupportAverage => "maximum_support_average",
+        RuleKind::RectSupport => "rect_support",
+        RuleKind::RectConfidence => "rect_confidence",
     }
 }
 
@@ -1124,14 +1131,40 @@ fn kind_from_name(name: &str) -> JsonResult<RuleKind> {
         "optimized_confidence" => Ok(RuleKind::OptimizedConfidence),
         "maximum_average" => Ok(RuleKind::MaximumAverage),
         "maximum_support_average" => Ok(RuleKind::MaximumSupportAverage),
+        "rect_support" => Ok(RuleKind::RectSupport),
+        "rect_confidence" => Ok(RuleKind::RectConfidence),
         other => Err(JsonError::decode(format!("unknown rule kind {other:?}"))),
     }
 }
 
+fn bucket_pair(range: (usize, usize)) -> Json {
+    Json::Arr(vec![
+        Json::Num(Num::UInt(range.0 as u64)),
+        Json::Num(Num::UInt(range.1 as u64)),
+    ])
+}
+
+fn value_pair(range: (f64, f64)) -> Json {
+    Json::Arr(vec![enc_f64(range.0), enc_f64(range.1)])
+}
+
 fn rule_to_value(rule: &Rule) -> Json {
+    if let Rule::Rect(r) = rule {
+        return Json::Obj(vec![
+            ("kind".into(), Json::Str(kind_name(r.kind).into())),
+            ("x_buckets".into(), bucket_pair(r.x_bucket_range)),
+            ("y_buckets".into(), bucket_pair(r.y_bucket_range)),
+            ("x_values".into(), value_pair(r.x_value_range)),
+            ("y_values".into(), value_pair(r.y_value_range)),
+            ("count".into(), Json::Num(Num::UInt(r.sup_count))),
+            ("hits".into(), Json::Num(Num::UInt(r.hits))),
+            ("rows".into(), Json::Num(Num::UInt(r.total_rows))),
+        ]);
+    }
     let (kind, bucket_range, value_range) = match rule {
         Rule::Range(r) => (r.kind, r.bucket_range, r.value_range),
         Rule::Average(r) => (r.kind, r.bucket_range, r.value_range),
+        Rule::Rect(_) => unreachable!("handled above"),
     };
     let mut fields = vec![
         ("kind".to_string(), Json::Str(kind_name(kind).into())),
@@ -1158,23 +1191,44 @@ fn rule_to_value(rule: &Rule) -> Json {
             fields.push(("sum".into(), enc_f64(r.sum)));
             fields.push(("rows".into(), Json::Num(Num::UInt(r.total_rows))));
         }
+        Rule::Rect(_) => unreachable!("handled above"),
     }
     Json::Obj(fields)
+}
+
+fn pair_usize(value: &Json, what: &str) -> JsonResult<(usize, usize)> {
+    let [a, b] = value.as_arr()? else {
+        return Err(JsonError::decode(format!("{what:?} expects [s, t]")));
+    };
+    Ok((a.as_u64()? as usize, b.as_u64()? as usize))
+}
+
+fn pair_f64(value: &Json, what: &str) -> JsonResult<(f64, f64)> {
+    let [lo, hi] = value.as_arr()? else {
+        return Err(JsonError::decode(format!("{what:?} expects [lo, hi]")));
+    };
+    Ok((lo.as_f64()?, hi.as_f64()?))
 }
 
 fn rule_from_value(value: &Json) -> JsonResult<Rule> {
     let mut obj = ObjReader::new("a rule", value)?;
     let kind = kind_from_name(obj.required("kind")?.as_str()?)?;
-    let buckets = obj.required("buckets")?.as_arr()?;
-    let [s, t] = buckets else {
-        return Err(JsonError::decode("\"buckets\" expects [s, t]"));
-    };
-    let bucket_range = (s.as_u64()? as usize, t.as_u64()? as usize);
-    let values = obj.required("values")?.as_arr()?;
-    let [lo, hi] = values else {
-        return Err(JsonError::decode("\"values\" expects [lo, hi]"));
-    };
-    let value_range = (lo.as_f64()?, hi.as_f64()?);
+    if matches!(kind, RuleKind::RectSupport | RuleKind::RectConfidence) {
+        let rule = Rule::Rect(RectRule {
+            kind,
+            x_bucket_range: pair_usize(obj.required("x_buckets")?, "x_buckets")?,
+            y_bucket_range: pair_usize(obj.required("y_buckets")?, "y_buckets")?,
+            x_value_range: pair_f64(obj.required("x_values")?, "x_values")?,
+            y_value_range: pair_f64(obj.required("y_values")?, "y_values")?,
+            sup_count: obj.required("count")?.as_u64()?,
+            hits: obj.required("hits")?.as_u64()?,
+            total_rows: obj.required("rows")?.as_u64()?,
+        });
+        obj.finish()?;
+        return Ok(rule);
+    }
+    let bucket_range = pair_usize(obj.required("buckets")?, "buckets")?;
+    let value_range = pair_f64(obj.required("values")?, "values")?;
     let sup_count = obj.required("count")?.as_u64()?;
     let rule = match kind {
         RuleKind::OptimizedSupport | RuleKind::OptimizedConfidence => Rule::Range(RangeRule {
@@ -1193,15 +1247,22 @@ fn rule_from_value(value: &Json) -> JsonResult<Rule> {
             sum: obj.required("sum")?.as_f64()?,
             total_rows: obj.required("rows")?.as_u64()?,
         }),
+        RuleKind::RectSupport | RuleKind::RectConfidence => unreachable!("handled above"),
     };
     obj.finish()?;
     Ok(rule)
 }
 
-/// Converts a mined result to its canonical [`Json`] value.
+/// Converts a mined result to its canonical [`Json`] value. A
+/// two-attribute (rectangle) result carries its second attribute as
+/// `attr2`, emitted right after `attr`; one-dimensional results omit
+/// the key entirely, so their bytes are unchanged.
 pub fn rule_set_to_value(rules: &RuleSet) -> Json {
-    Json::Obj(vec![
-        ("attr".into(), Json::Str(rules.attr_name.clone())),
+    let mut fields = vec![("attr".into(), Json::Str(rules.attr_name.clone()))];
+    if let Some(attr2) = &rules.attr2 {
+        fields.push(("attr2".into(), Json::Str(attr2.clone())));
+    }
+    fields.extend([
         ("objective".into(), Json::Str(rules.objective_desc.clone())),
         (
             "buckets_used".into(),
@@ -1212,7 +1273,8 @@ pub fn rule_set_to_value(rules: &RuleSet) -> Json {
             "rules".into(),
             Json::Arr(rules.rules.iter().map(rule_to_value).collect()),
         ),
-    ])
+    ]);
+    Json::Obj(fields)
 }
 
 /// Decodes a mined result from a [`Json`] value.
@@ -1222,8 +1284,14 @@ pub fn rule_set_to_value(rules: &RuleSet) -> Json {
 /// Fails on missing/unknown keys or wrong value shapes.
 pub fn rule_set_from_value(value: &Json) -> JsonResult<RuleSet> {
     let mut obj = ObjReader::new("a rule set", value)?;
+    let attr_name = obj.required("attr")?.as_str()?.to_string();
+    let attr2 = match obj.optional("attr2") {
+        Some(a) => Some(a.as_str()?.to_string()),
+        None => None,
+    };
     let rules = RuleSet {
-        attr_name: obj.required("attr")?.as_str()?.to_string(),
+        attr_name,
+        attr2,
         objective_desc: obj.required("objective")?.as_str()?.to_string(),
         buckets_used: obj.required("buckets_used")?.as_u64()? as usize,
         total_rows: obj.required("total_rows")?.as_u64()?,
@@ -1470,8 +1538,8 @@ pub const MAX_APPEND_ROWS: usize = 1024;
 /// server alone).
 #[derive(Debug)]
 pub enum Request {
-    /// A mining spec.
-    Spec(QuerySpec),
+    /// A mining spec (boxed: much larger than the control frames).
+    Spec(Box<QuerySpec>),
     /// `{"cmd":"stats"}` — answer with the engine snapshot.
     Stats,
     /// `{"cmd":"metrics"}` — answer with the latency-histogram
@@ -1498,6 +1566,10 @@ pub enum Request {
     /// decode against the serving schema with
     /// [`count_frame_from_value`] when executing.
     Count(Json),
+    /// `{"cmd":"count2d",…}` — the raw (still unvalidated) frame body
+    /// of a two-attribute grid scan; decode against the serving schema
+    /// with [`count2d_frame_from_value`] when executing.
+    Count2D(Json),
     /// Unparseable or invalid; answer with `{"error": …}`.
     Bad(String),
 }
@@ -1514,7 +1586,7 @@ pub fn parse_request(line: &str) -> Request {
     match value {
         Json::Obj(fields) if fields.iter().any(|(key, _)| key == "cmd") => parse_control(fields),
         value => match spec_from_value(&value) {
-            Ok(spec) => Request::Spec(spec),
+            Ok(spec) => Request::Spec(Box::new(spec)),
             Err(e) => Request::Bad(format!("bad request: {e}")),
         },
     }
@@ -1530,7 +1602,7 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
     const SHAPE: &str = "bad request: a control frame is \
                          {\"cmd\": \"stats\"|\"metrics\"|\"shutdown\"|\"flush\"|\"schema\"}, \
                          {\"cmd\": \"append\", \"rows\": [[…], …]}, \
-                         or an internal \"values\"/\"count\" frame";
+                         or an internal \"values\"/\"count\"/\"count2d\" frame";
     enum Cmd {
         Stats,
         Metrics,
@@ -1540,6 +1612,7 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
         Schema,
         Values,
         Count,
+        Count2D,
         Unknown(String),
     }
     let cmd_pos = fields
@@ -1555,6 +1628,7 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
         Json::Str(cmd) if cmd == "schema" => Cmd::Schema,
         Json::Str(cmd) if cmd == "values" => Cmd::Values,
         Json::Str(cmd) if cmd == "count" => Cmd::Count,
+        Json::Str(cmd) if cmd == "count2d" => Cmd::Count2D,
         other => Cmd::Unknown(other.encode()),
     };
     match cmd {
@@ -1580,20 +1654,21 @@ fn parse_control(mut fields: Vec<(String, Json)>) -> Request {
             }
             Request::Append(fields.swap_remove(rows_pos).1)
         }
-        Cmd::Values | Cmd::Count => {
+        Cmd::Values | Cmd::Count | Cmd::Count2D => {
             // The frame body keeps its shape and is decoded strictly
             // against the serving schema at execution time (like an
             // append's rows); only the `cmd` key is consumed here.
             fields.remove(cmd_pos);
             match cmd {
                 Cmd::Values => Request::Values(Json::Obj(fields)),
-                _ => Request::Count(Json::Obj(fields)),
+                Cmd::Count => Request::Count(Json::Obj(fields)),
+                _ => Request::Count2D(Json::Obj(fields)),
             }
         }
         Cmd::Unknown(encoded) => Request::Bad(format!(
             "bad request: unknown cmd {encoded} \
              (expected \"stats\", \"metrics\", \"shutdown\", \"flush\", \
-             \"append\", \"schema\", \"values\", or \"count\")"
+             \"append\", \"schema\", \"values\", \"count\", or \"count2d\")"
         )),
     }
 }
@@ -1630,6 +1705,9 @@ pub trait FrameHandler {
     /// Answers `{"cmd":"count",…}`; `frame` is the raw body minus its
     /// `cmd` key.
     fn count(&mut self, frame: &Json) -> Json;
+    /// Answers `{"cmd":"count2d",…}`; `frame` is the raw body minus
+    /// its `cmd` key.
+    fn count2d(&mut self, frame: &Json) -> Json;
     /// The acknowledgment for `{"cmd":"shutdown"}` — transports that
     /// cannot shut down (batch mode) answer an error envelope here.
     fn shutdown_ack(&mut self) -> Json;
@@ -1671,7 +1749,7 @@ pub fn execute_frames<H: FrameHandler + ?Sized>(
     for (index, request) in requests.into_iter().enumerate() {
         let response = match request {
             Request::Spec(spec) => {
-                pending.push((index, spec));
+                pending.push((index, *spec));
                 continue;
             }
             Request::Bad(msg) => error_envelope(msg),
@@ -1707,6 +1785,10 @@ pub fn execute_frames<H: FrameHandler + ?Sized>(
             Request::Count(frame) => {
                 flush(handler, &mut pending, &mut responses);
                 handler.count(&frame)
+            }
+            Request::Count2D(frame) => {
+                flush(handler, &mut pending, &mut responses);
+                handler.count2d(&frame)
             }
         };
         responses[index] = Some(response);
@@ -1890,6 +1972,29 @@ where
                 Err(e) => error_envelope(e.to_string()),
             };
         self.emit_span("shard_count", trace.as_deref(), &timer);
+        response
+    }
+
+    fn count2d(&mut self, frame: &Json) -> Json {
+        let frame = match count2d_frame_from_value(frame, self.engine.schema()) {
+            Ok(decoded) => decoded,
+            Err(e) => return error_envelope(format!("bad request: {e}")),
+        };
+        let timer = Timer::start();
+        let pinned = self.engine.pin();
+        let response = match self.engine.count_grid_raw(
+            frame.x_attr,
+            frame.y_attr,
+            &frame.x_cuts,
+            &frame.y_cuts,
+            &frame.presumptive,
+            &frame.objective,
+            pinned.relation().as_ref(),
+        ) {
+            Ok(grid) => ok_envelope(grid_to_value(&grid, pinned.generation())),
+            Err(e) => error_envelope(e.to_string()),
+        };
+        self.emit_span("shard_count2d", frame.trace.as_deref(), &timer);
         response
     }
 
@@ -2372,6 +2477,191 @@ pub fn count_frame_from_value(
     };
     obj.finish()?;
     Ok((BucketSpec::from_cuts(cuts), spec, threads, trace))
+}
+
+/// A decoded `{"cmd":"count2d"}` frame body: which two-attribute grid
+/// to scan. Unlike the 1-D count frame there is **no `threads` key** —
+/// a grid partial holds only integer cell counts and min/max range
+/// folds, so the scan runs sequentially on the shard and the artifact
+/// is identical at every worker count.
+pub struct Count2dFrame {
+    /// The x-axis (first) attribute.
+    pub x_attr: NumAttr,
+    /// The y-axis (second) attribute.
+    pub y_attr: NumAttr,
+    /// X-axis bucket boundaries.
+    pub x_cuts: BucketSpec,
+    /// Y-axis bucket boundaries.
+    pub y_cuts: BucketSpec,
+    /// The resolved presumptive condition (the rule's `given`).
+    pub presumptive: Condition,
+    /// The resolved objective condition.
+    pub objective: Condition,
+    /// The coordinator's propagated trace id, if any.
+    pub trace: Option<String>,
+}
+
+/// Builds one complete `{"cmd":"count2d"}` request object for a grid
+/// work unit (see [`Count2dFrame`] for the shape).
+#[allow(clippy::too_many_arguments)]
+pub fn count2d_frame_to_value(
+    schema: &Schema,
+    x_attr: NumAttr,
+    y_attr: NumAttr,
+    x_cuts: &BucketSpec,
+    y_cuts: &BucketSpec,
+    presumptive: &Condition,
+    objective: &Condition,
+    trace: Option<&str>,
+) -> Json {
+    let cuts = |spec: &BucketSpec| Json::Arr(spec.cuts().iter().map(|&c| enc_f64(c)).collect());
+    let mut fields = vec![
+        ("cmd".into(), Json::Str("count2d".into())),
+        (
+            "attr".into(),
+            Json::Str(schema.numeric_name(x_attr).to_string()),
+        ),
+        (
+            "attr2".into(),
+            Json::Str(schema.numeric_name(y_attr).to_string()),
+        ),
+        ("x_cuts".into(), cuts(x_cuts)),
+        ("y_cuts".into(), cuts(y_cuts)),
+        ("given".into(), condition_to_value(presumptive, schema)),
+        ("objective".into(), condition_to_value(objective, schema)),
+    ];
+    if let Some(trace) = trace {
+        fields.push(("trace".into(), Json::Str(trace.into())));
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes a count2d frame body (the request minus its `cmd` key)
+/// against the serving schema.
+///
+/// # Errors
+///
+/// Fails on unknown attributes, non-finite cuts, or shape violations.
+pub fn count2d_frame_from_value(value: &Json, schema: &Schema) -> JsonResult<Count2dFrame> {
+    let mut obj = ObjReader::new("a count2d frame", value)?;
+    let x_attr = schema
+        .numeric(obj.required("attr")?.as_str()?)
+        .map_err(|e| JsonError::decode(e.to_string()))?;
+    let y_attr = schema
+        .numeric(obj.required("attr2")?.as_str()?)
+        .map_err(|e| JsonError::decode(e.to_string()))?;
+    let mut cuts_of = |key: &'static str| -> JsonResult<BucketSpec> {
+        let cuts = obj
+            .required(key)?
+            .as_arr()?
+            .iter()
+            .map(Json::as_f64)
+            .collect::<JsonResult<Vec<f64>>>()?;
+        // `BucketSpec::from_cuts` sorts with a NaN-unaware comparator;
+        // reject non-finite cuts before they can reach it.
+        if cuts.iter().any(|c| !c.is_finite()) {
+            return Err(JsonError::decode(format!("{key:?} must be finite")));
+        }
+        Ok(BucketSpec::from_cuts(cuts))
+    };
+    let x_cuts = cuts_of("x_cuts")?;
+    let y_cuts = cuts_of("y_cuts")?;
+    let presumptive = condition_from_value(obj.required("given")?, schema)?;
+    let objective = condition_from_value(obj.required("objective")?, schema)?;
+    let trace = match obj.optional("trace") {
+        Some(t) => Some(t.as_str()?.to_string()),
+        None => None,
+    };
+    obj.finish()?;
+    Ok(Count2dFrame {
+        x_attr,
+        y_attr,
+        x_cuts,
+        y_cuts,
+        presumptive,
+        objective,
+        trace,
+    })
+}
+
+/// The `{"ok": …}` payload answering a count2d frame: the **raw,
+/// unmerged** grid partial plus the generation it was scanned at.
+///
+/// Empty buckets hold the `(∞, −∞)` min/max fold identity in memory;
+/// on the wire they travel as `null`, **never** through the
+/// string-encoded non-finite channel the 1-D reply uses — every number
+/// in the 2-D wire schema is finite by construction.
+pub fn grid_to_value(grid: &GridCounts, generation: u64) -> Json {
+    let ranges = |ranges: &[(f64, f64)]| {
+        Json::Arr(
+            ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    if lo > hi {
+                        Json::Null
+                    } else {
+                        Json::Arr(vec![enc_f64(lo), enc_f64(hi)])
+                    }
+                })
+                .collect(),
+        )
+    };
+    let cells = |cells: &[u64]| Json::Arr(cells.iter().map(|&n| Json::Num(Num::UInt(n))).collect());
+    Json::Obj(vec![
+        ("generation".into(), Json::Num(Num::UInt(generation))),
+        ("rows".into(), Json::Num(Num::UInt(grid.total_rows))),
+        ("nx".into(), Json::Num(Num::UInt(grid.nx() as u64))),
+        ("ny".into(), Json::Num(Num::UInt(grid.ny() as u64))),
+        ("u".into(), cells(grid.u_cells())),
+        ("v".into(), cells(grid.v_cells())),
+        ("x_ranges".into(), ranges(&grid.x_ranges)),
+        ("y_ranges".into(), ranges(&grid.y_ranges)),
+    ])
+}
+
+/// Decodes a grid reply payload into `(grid, generation)`, restoring
+/// the `(∞, −∞)` empty-bucket sentinel from each `null` range so
+/// merges fold correctly.
+///
+/// # Errors
+///
+/// Fails on shape violations, non-finite range bounds (empty buckets
+/// must travel as `null`), or mismatched cell/range arities.
+pub fn grid_from_value(value: &Json) -> JsonResult<(GridCounts, u64)> {
+    let mut obj = ObjReader::new("a grid reply", value)?;
+    let generation = obj.required("generation")?.as_u64()?;
+    let total_rows = obj.required("rows")?.as_u64()?;
+    let nx = obj.required("nx")?.as_u64()? as usize;
+    let ny = obj.required("ny")?.as_u64()? as usize;
+    let cells = |value: &Json| -> JsonResult<Vec<u64>> {
+        value.as_arr()?.iter().map(Json::as_u64).collect()
+    };
+    let u = cells(obj.required("u")?)?;
+    let v = cells(obj.required("v")?)?;
+    let ranges = |value: &Json, axis: &str| -> JsonResult<Vec<(f64, f64)>> {
+        value
+            .as_arr()?
+            .iter()
+            .map(|entry| match entry {
+                Json::Null => Ok((f64::INFINITY, f64::NEG_INFINITY)),
+                pair => {
+                    let (lo, hi) = pair_f64(pair, axis)?;
+                    if !lo.is_finite() || !hi.is_finite() {
+                        return Err(JsonError::decode(format!(
+                            "{axis} bounds must be finite (empty buckets travel as null)"
+                        )));
+                    }
+                    Ok((lo, hi))
+                }
+            })
+            .collect()
+    };
+    let x_ranges = ranges(obj.required("x_ranges")?, "x_ranges")?;
+    let y_ranges = ranges(obj.required("y_ranges")?, "y_ranges")?;
+    obj.finish()?;
+    GridCounts::from_parts(nx, ny, u, v, x_ranges, y_ranges, total_rows)
+        .map(|grid| (grid, generation))
+        .map_err(|e| JsonError::decode(e.to_string()))
 }
 
 /// The `{"ok": …}` payload answering a count frame: the **raw,
@@ -2931,6 +3221,7 @@ mod tests {
     fn rule_set_round_trips() {
         let rules = RuleSet {
             attr_name: "Balance".into(),
+            attr2: None,
             objective_desc: "(CardLoan = yes)".into(),
             rules: vec![
                 Rule::Range(RangeRule {
@@ -2955,6 +3246,175 @@ mod tests {
         };
         let text = encode_rule_set(&rules);
         assert_eq!(decode_rule_set(&text).unwrap(), rules, "{text}");
+    }
+
+    #[test]
+    fn rect_rule_set_round_trips() {
+        let rules = RuleSet {
+            attr_name: "Age".into(),
+            attr2: Some("Balance".into()),
+            objective_desc: "(CardLoan = yes)".into(),
+            rules: vec![
+                Rule::Rect(RectRule {
+                    kind: RuleKind::RectSupport,
+                    x_bucket_range: (1, 3),
+                    y_bucket_range: (0, 2),
+                    x_value_range: (20.0, 35.0),
+                    y_value_range: (3000.0, 8000.0),
+                    sup_count: 1_200,
+                    hits: 950,
+                    total_rows: 10_000,
+                }),
+                Rule::Rect(RectRule {
+                    kind: RuleKind::RectConfidence,
+                    x_bucket_range: (2, 2),
+                    y_bucket_range: (1, 4),
+                    x_value_range: (25.0, 27.5),
+                    y_value_range: (4000.0, 9_500.25),
+                    sup_count: 800,
+                    hits: 700,
+                    total_rows: 10_000,
+                }),
+            ],
+            buckets_used: 25,
+            total_rows: 10_000,
+        };
+        let text = encode_rule_set(&rules);
+        assert_eq!(decode_rule_set(&text).unwrap(), rules, "{text}");
+        // `attr2` sits right after `attr` so the 1-D layout (which
+        // omits it) is a strict prefix-compatible subset.
+        assert!(
+            text.starts_with(r#"{"attr":"Age","attr2":"Balance","#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn spec_attr2_round_trips_and_defaults_off() {
+        let mut spec = QuerySpec::boolean("Age", "CardLoan");
+        spec.attr2 = Some("Balance".into());
+        let text = encode_spec(&spec);
+        assert!(
+            text.starts_with(r#"{"attr":"Age","attr2":"Balance","#),
+            "{text}"
+        );
+        assert_eq!(decode_spec(&text).unwrap(), spec);
+        // A spec without attr2 keeps its exact 1-D bytes.
+        let plain = QuerySpec::boolean("Age", "CardLoan");
+        assert!(!encode_spec(&plain).contains("attr2"));
+        assert_eq!(decode_spec(&encode_spec(&plain)).unwrap(), plain);
+    }
+
+    /// The 2-D reply schema is a byte contract like the 1-D one — and
+    /// it pins the satellite bugfix: an empty bucket's `(∞, −∞)`
+    /// sentinel travels as `null`, never as string-encoded non-finite
+    /// floats.
+    #[test]
+    fn grid_reply_encoding_golden_empty_bucket_is_null() {
+        let grid = GridCounts::from_parts(
+            2,
+            1,
+            vec![3, 0],
+            vec![2, 0],
+            vec![(1.0, 2.5), (f64::INFINITY, f64::NEG_INFINITY)],
+            vec![(5.0, 9.0)],
+            3,
+        )
+        .unwrap();
+        let reply = ok_envelope(grid_to_value(&grid, 7));
+        assert_eq!(
+            reply.encode(),
+            r#"{"ok":{"generation":7,"rows":3,"nx":2,"ny":1,"u":[3,0],"v":[2,0],"x_ranges":[[1,2.5],null],"y_ranges":[[5,9]]}}"#
+        );
+    }
+
+    #[test]
+    fn grid_reply_round_trips_restoring_sentinels() {
+        let grid = GridCounts::from_parts(
+            2,
+            2,
+            vec![3, 0, 1, 2],
+            vec![2, 0, 0, 1],
+            vec![(1.0, 2.5), (f64::INFINITY, f64::NEG_INFINITY)],
+            vec![(5.0, 9.0), (-1.5, 4.0)],
+            6,
+        )
+        .unwrap();
+        let (decoded, generation) = grid_from_value(&grid_to_value(&grid, 9)).unwrap();
+        assert_eq!(generation, 9);
+        assert_eq!(decoded.u_cells(), grid.u_cells());
+        assert_eq!(decoded.v_cells(), grid.v_cells());
+        assert_eq!(decoded.x_ranges, grid.x_ranges);
+        assert_eq!(decoded.y_ranges, grid.y_ranges);
+        assert_eq!(decoded.total_rows, 6);
+        // Sentinels restored from null merge as the neutral element.
+        let mut merged = decoded;
+        merged.merge(&grid);
+        assert_eq!(merged.x_ranges[1], (f64::INFINITY, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn grid_reply_rejects_non_finite_range_bounds() {
+        // A hand-built reply smuggling the 1-D string channel into a
+        // range must be rejected — empty buckets travel as null.
+        let reply = Json::parse(
+            r#"{"generation":1,"rows":0,"nx":1,"ny":1,"u":[0],"v":[0],"x_ranges":[["Infinity","-Infinity"]],"y_ranges":[null]}"#,
+        )
+        .unwrap();
+        let err = grid_from_value(&reply).unwrap_err();
+        assert!(err.msg.contains("must be finite"), "{err}");
+    }
+
+    #[test]
+    fn count2d_frame_round_trips() {
+        let schema = Schema::builder()
+            .numeric("X")
+            .numeric("Y")
+            .boolean("B")
+            .build();
+        let x_cuts = BucketSpec::from_cuts(vec![1.0, 2.5]);
+        let y_cuts = BucketSpec::from_cuts(vec![-3.0]);
+        let presumptive = Condition::True;
+        let objective = Condition::And(vec![
+            Condition::BoolIs(optrules_relation::BoolAttr(0), true),
+            Condition::NumInRange(NumAttr(1), 0.5, 9.5),
+        ]);
+        let frame = count2d_frame_to_value(
+            &schema,
+            NumAttr(0),
+            NumAttr(1),
+            &x_cuts,
+            &y_cuts,
+            &presumptive,
+            &objective,
+            Some("t9"),
+        );
+        let Json::Obj(mut fields) = frame else {
+            panic!()
+        };
+        // The server strips the cmd key before handing the body over.
+        fields.retain(|(k, _)| k != "cmd");
+        let decoded = count2d_frame_from_value(&Json::Obj(fields), &schema).unwrap();
+        assert_eq!(decoded.x_attr, NumAttr(0));
+        assert_eq!(decoded.y_attr, NumAttr(1));
+        assert_eq!(decoded.x_cuts, x_cuts);
+        assert_eq!(decoded.y_cuts, y_cuts);
+        assert_eq!(decoded.trace.as_deref(), Some("t9"));
+        assert_eq!(
+            format!("{:?}", decoded.presumptive),
+            format!("{presumptive:?}")
+        );
+        assert_eq!(format!("{:?}", decoded.objective), format!("{objective:?}"));
+    }
+
+    #[test]
+    fn count2d_frame_rejects_non_finite_cuts() {
+        let schema = Schema::builder().numeric("X").numeric("Y").build();
+        let frame = Json::parse(
+            r#"{"attr":"X","attr2":"Y","x_cuts":[1.0,"Infinity"],"y_cuts":[0.0],"given":true,"objective":{"num":"Y","in":[0,1]}}"#,
+        )
+        .unwrap();
+        assert!(count2d_frame_from_value(&frame, &schema).is_err());
     }
 
     #[test]
@@ -3121,6 +3581,12 @@ mod tests {
         match parse_request(r#"{"cmd":"count","attr":"X","cuts":[],"threads":1}"#) {
             Request::Count(_) => {}
             other => panic!("expected Count, got {other:?}"),
+        }
+        match parse_request(r#"{"cmd":"count2d","attr":"X","attr2":"Y","x_cuts":[],"y_cuts":[]}"#) {
+            Request::Count2D(body) => {
+                assert!(matches!(&body, Json::Obj(fields) if fields.len() == 4));
+            }
+            other => panic!("expected Count2D, got {other:?}"),
         }
     }
 }

@@ -89,7 +89,8 @@ pub use miner::{MinedAverage, MinedPair, MinerConfig};
 pub use plan::Plan;
 pub use query::{AvgRule, Objective, Query, Rule, RuleSet, Task};
 pub use ratio::Ratio;
-pub use rule::{OptRange, RangeRule, RuleKind};
+pub use region2d::GridCounts;
+pub use rule::{OptRange, RangeRule, RectRule, RuleKind};
 pub use server::{ServerConfig, ServerHandle};
 pub use shared::{AppendOutcome, Pinned, SharedEngine, StatsSnapshot};
 pub use spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};

@@ -32,8 +32,9 @@ use crate::engine::EngineConfig;
 use crate::error::{CoreError, Result};
 use crate::query::{AvgRule, Rule, RuleSet, Task};
 use crate::ratio::Ratio;
-use crate::rule::{AvgRange, RangeRule, RuleKind};
-use crate::shared::{spec_fingerprint, BucketKey, ScanKey, ScanWhat};
+use crate::region2d::{self, GridCounts, Rect};
+use crate::rule::{AvgRange, RangeRule, RectRule, RuleKind};
+use crate::shared::{grid_fingerprint, spec_fingerprint, BucketKey, GridKey, ScanKey, ScanWhat};
 use crate::spec::{resolve_conjunction, ObjectiveSpec, QuerySpec};
 use crate::{average, confidence, support};
 use optrules_bucketing::{BucketCounts, CountSpec};
@@ -50,6 +51,25 @@ pub enum Assemble {
     },
     /// Section 5 average objective: optimize over `sums[0]`.
     Average,
+    /// Section 1.4 two-attribute objective: optimize rectangles over a
+    /// [`GridCounts`] (assembled via [`assemble_rect`], not
+    /// [`assemble`]).
+    Rect,
+}
+
+/// The grid half of a §1.4 rectangle query's resolution: the y-axis
+/// bucketization (the x-axis key is [`ResolvedQuery::key`]) and the
+/// resolved conditions the grid scan counts with.
+#[derive(Debug, Clone)]
+pub struct GridPart {
+    /// The y-axis bucketization this query reads.
+    pub y_key: BucketKey,
+    /// Display name of the y-axis attribute.
+    pub y_attr_name: String,
+    /// Resolved presumptive condition (`u` counts rows matching it).
+    pub presumptive: Condition,
+    /// Resolved objective condition (`v` counts rows also matching it).
+    pub objective: Condition,
 }
 
 /// One spec resolved against a schema and engine defaults: the cache
@@ -80,6 +100,8 @@ pub struct ResolvedQuery {
     pub min_average: f64,
     /// Which optimizations to run.
     pub task: Task,
+    /// The grid half of a §1.4 rectangle query; `None` for 1-D queries.
+    pub grid: Option<GridPart>,
 }
 
 impl ResolvedQuery {
@@ -91,6 +113,35 @@ impl ResolvedQuery {
             what: self.what.clone(),
         }
     }
+
+    /// The grid-cache key this query reads (§1.4 rectangle queries
+    /// only). Unlike [`ScanKey`] there is no `threads` component: the
+    /// grid scan is sequential and its artifact holds only integer
+    /// counts and min/max folds, so it is identical at every worker
+    /// count.
+    pub fn grid_key(&self) -> Option<GridKey> {
+        self.grid.as_ref().map(|part| GridKey {
+            x: self.key,
+            y: part.y_key,
+            what: self.what.clone(),
+        })
+    }
+}
+
+/// Integer square root (floor), for splitting a 1-D cell budget evenly
+/// across the two grid axes.
+fn isqrt(n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut r = (n as f64).sqrt() as usize;
+    while r.saturating_mul(r) > n {
+        r -= 1;
+    }
+    while (r + 1).saturating_mul(r + 1) <= n {
+        r += 1;
+    }
+    r
 }
 
 /// Resolves one spec against a schema and engine defaults: names →
@@ -138,6 +189,66 @@ pub fn resolve(
             ));
         }
         _ => {}
+    }
+
+    // Two-attribute (§1.4) rectangle queries bucketize both axes and
+    // count into a shared grid instead of a 1-D counting scan.
+    if let Some(attr2) = &spec.attr2 {
+        let y_attr = schema.numeric(attr2)?;
+        let objective = match objective {
+            Objective::Condition(c) => c,
+            Objective::Average(_) => {
+                return Err(CoreError::BadThreshold(
+                    "average_of objectives are one-dimensional; two-attribute \
+                     (attr2) queries take a boolean or conjunction objective"
+                        .into(),
+                ));
+            }
+        };
+        // Per-axis bucket budget: an explicit `buckets` applies to each
+        // axis directly; the engine default is a 1-D cell budget, so
+        // each axis gets its integer square root (min 1) and the grid
+        // holds about as many cells as a 1-D scan has buckets.
+        let per_axis = spec.buckets.unwrap_or_else(|| isqrt(config.buckets)).max(1);
+        let samples_per_bucket = spec.samples_per_bucket.unwrap_or(config.samples_per_bucket);
+        let seed = spec.seed.unwrap_or(config.seed);
+        let key = BucketKey {
+            attr,
+            buckets: per_axis,
+            samples_per_bucket,
+            seed,
+            generation,
+        };
+        let y_key = BucketKey {
+            attr: y_attr,
+            buckets: per_axis,
+            samples_per_bucket,
+            seed,
+            generation,
+        };
+        let objective_desc = match &presumptive {
+            Condition::True => objective.display(schema),
+            p => format!("{} | {}", objective.display(schema), p.display(schema)),
+        };
+        return Ok(ResolvedQuery {
+            key,
+            threads: spec.threads.unwrap_or(config.threads),
+            what: grid_fingerprint(&presumptive, &objective),
+            count_spec: None,
+            assemble: Assemble::Rect,
+            attr_name,
+            objective_desc,
+            min_support: spec.min_support.unwrap_or(config.min_support),
+            min_confidence: spec.min_confidence.unwrap_or(config.min_confidence),
+            min_average: 0.0,
+            task: spec.task,
+            grid: Some(GridPart {
+                y_key,
+                y_attr_name: schema.numeric_name(y_attr).to_string(),
+                presumptive,
+                objective,
+            }),
+        });
     }
 
     let key = BucketKey {
@@ -227,6 +338,7 @@ pub fn resolve(
         min_confidence,
         min_average,
         task: spec.task,
+        grid: None,
     })
 }
 
@@ -296,15 +408,92 @@ pub fn assemble(resolved: &ResolvedQuery, counts: &BucketCounts) -> Result<RuleS
                     }
                 }
             }
+            Assemble::Rect => {
+                unreachable!("rectangle queries assemble from grids via assemble_rect")
+            }
         }
     }
     Ok(RuleSet {
         attr_name: resolved.attr_name.clone(),
+        attr2: None,
         objective_desc: resolved.objective_desc.clone(),
         rules,
         buckets_used: counts.bucket_count(),
         total_rows,
     })
+}
+
+/// Turns a grid's counts into a §1.4 rectangle query's [`RuleSet`] —
+/// O(nx²·ny) optimizer work, no relation access. The counterpart of
+/// [`assemble`] for queries whose [`ResolvedQuery::grid`] is set.
+///
+/// # Errors
+///
+/// Propagates optimizer errors (cannot occur for well-formed grids).
+///
+/// # Panics
+///
+/// Panics if called on a one-dimensional query.
+pub fn assemble_rect(resolved: &ResolvedQuery, grid: &GridCounts) -> Result<RuleSet> {
+    let part = resolved
+        .grid
+        .as_ref()
+        .expect("assemble_rect called on a one-dimensional query");
+    let total_rows = grid.total_rows;
+    let mut rules = Vec::new();
+    if matches!(resolved.task, Task::OptimizeSupport | Task::Both) {
+        if let Some(r) = region2d::optimize_support_rectangle(grid, resolved.min_confidence)? {
+            rules.push(Rule::Rect(instantiate_rect(
+                RuleKind::RectSupport,
+                r,
+                grid,
+                total_rows,
+            )));
+        }
+    }
+    if matches!(resolved.task, Task::OptimizeConfidence | Task::Both) {
+        let w = resolved.min_support.min_count(total_rows);
+        if let Some(r) = region2d::optimize_confidence_rectangle(grid, w)? {
+            rules.push(Rule::Rect(instantiate_rect(
+                RuleKind::RectConfidence,
+                r,
+                grid,
+                total_rows,
+            )));
+        }
+    }
+    Ok(RuleSet {
+        attr_name: resolved.attr_name.clone(),
+        attr2: Some(part.y_attr_name.clone()),
+        objective_desc: resolved.objective_desc.clone(),
+        rules,
+        buckets_used: grid.nx() * grid.ny(),
+        total_rows,
+    })
+}
+
+/// Maps a [`Rect`]'s bucket spans back to observed attribute values by
+/// folding the per-bucket ranges over each span. The fold treats the
+/// empty-bucket `(∞, −∞)` sentinel as neutral, and a reported rectangle
+/// always holds at least one tuple, so the result is always finite.
+fn instantiate_rect(kind: RuleKind, r: Rect, grid: &GridCounts, total_rows: u64) -> RectRule {
+    let fold = |ranges: &[(f64, f64)], a: usize, b: usize| {
+        ranges[a..=b]
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(l, h)| {
+                (lo.min(l), hi.max(h))
+            })
+    };
+    RectRule {
+        kind,
+        x_bucket_range: (r.x1, r.x2),
+        y_bucket_range: (r.y1, r.y2),
+        x_value_range: fold(&grid.x_ranges, r.x1, r.x2),
+        y_value_range: fold(&grid.y_ranges, r.y1, r.y2),
+        sup_count: r.sup_count,
+        hits: r.hits,
+        total_rows,
+    }
 }
 
 fn instantiate(
@@ -350,6 +539,20 @@ impl ScanNode {
     }
 }
 
+/// One deduplicated §1.4 grid-counting work unit of a [`Plan`]: a
+/// single sequential scan filling an `nx × ny` cell grid that every
+/// rectangle query over the same axes and conditions shares.
+#[derive(Debug, Clone)]
+pub struct GridNode {
+    /// The grid-cache key this node fills (both axis bucketizations
+    /// plus the condition fingerprint).
+    pub key: GridKey,
+    /// Resolved presumptive condition (`u` counts rows matching it).
+    pub presumptive: Condition,
+    /// Resolved objective condition (`v` counts rows also matching it).
+    pub objective: Condition,
+}
+
 /// A compiled batch: the deduplicated work units of many specs, plus
 /// one assembly recipe (or resolution error) per input spec, in input
 /// order.
@@ -367,6 +570,8 @@ pub struct Plan {
     pub buckets: Vec<BucketKey>,
     /// Deduplicated counting-scan work units.
     pub scans: Vec<ScanNode>,
+    /// Deduplicated §1.4 grid-counting work units.
+    pub grids: Vec<GridNode>,
     /// One assembly recipe (or resolution error) per input spec, in
     /// input order.
     pub queries: Vec<Result<ResolvedQuery>>,
@@ -386,6 +591,8 @@ impl Plan {
         let mut seen_buckets = HashSet::new();
         let mut scans: Vec<ScanNode> = Vec::new();
         let mut seen_scans = HashSet::new();
+        let mut grids: Vec<GridNode> = Vec::new();
+        let mut seen_grids = HashSet::new();
         let queries: Vec<Result<ResolvedQuery>> = specs
             .iter()
             .map(|spec| {
@@ -393,7 +600,22 @@ impl Plan {
                 if seen_buckets.insert(resolved.key) {
                     buckets.push(resolved.key);
                 }
-                if seen_scans.insert(resolved.scan_key()) {
+                if let Some(part) = &resolved.grid {
+                    // Rectangle queries need both axis bucketizations
+                    // (shareable with 1-D queries over the same attr)
+                    // plus one grid scan instead of a counting scan.
+                    if seen_buckets.insert(part.y_key) {
+                        buckets.push(part.y_key);
+                    }
+                    let key = resolved.grid_key().expect("grid part implies grid key");
+                    if seen_grids.insert(key.clone()) {
+                        grids.push(GridNode {
+                            key,
+                            presumptive: part.presumptive.clone(),
+                            objective: part.objective.clone(),
+                        });
+                    }
+                } else if seen_scans.insert(resolved.scan_key()) {
                     scans.push(ScanNode {
                         key: resolved.key,
                         threads: resolved.threads,
@@ -407,6 +629,7 @@ impl Plan {
         Plan {
             buckets,
             scans,
+            grids,
             queries,
         }
     }
@@ -419,6 +642,11 @@ impl Plan {
     /// Number of distinct counting-scan work units.
     pub fn scan_nodes(&self) -> usize {
         self.scans.len()
+    }
+
+    /// Number of distinct §1.4 grid-counting work units.
+    pub fn grid_nodes(&self) -> usize {
+        self.grids.len()
     }
 
     /// Number of input specs (queries to assemble), including ones

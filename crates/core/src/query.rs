@@ -26,7 +26,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::ratio::Ratio;
-use crate::rule::{RangeRule, RuleKind};
+use crate::rule::{RangeRule, RectRule, RuleKind};
 use crate::shared::SharedEngine;
 use crate::spec::{CondSpec, ObjectiveSpec, QuerySpec, Real};
 use optrules_relation::{BoolAttr, Condition, NumAttr, RandomAccess};
@@ -69,6 +69,9 @@ pub enum Rule {
     Range(RangeRule),
     /// An optimized range for `avg(B)` over `A`.
     Average(AvgRule),
+    /// `((A1, A2) ∈ X) [∧ C1] ⇒ C2` with an optimized rectangle
+    /// (the §1.4 two-attribute extension).
+    Rect(RectRule),
 }
 
 impl Rule {
@@ -77,14 +80,18 @@ impl Rule {
         match self {
             Rule::Range(r) => r.kind,
             Rule::Average(r) => r.kind,
+            Rule::Rect(r) => r.kind,
         }
     }
 
-    /// The instantiated attribute-value interval `[v1, v2]`.
+    /// The instantiated attribute-value interval `[v1, v2]` — the
+    /// x-axis interval for rectangle rules (see
+    /// [`RectRule::y_value_range`] for the other axis).
     pub fn value_range(&self) -> (f64, f64) {
         match self {
             Rule::Range(r) => r.value_range,
             Rule::Average(r) => r.value_range,
+            Rule::Rect(r) => r.x_value_range,
         }
     }
 
@@ -93,6 +100,7 @@ impl Rule {
         match self {
             Rule::Range(r) => r.support(),
             Rule::Average(r) => r.support(),
+            Rule::Rect(r) => r.support(),
         }
     }
 }
@@ -156,6 +164,9 @@ impl AvgRule {
 pub struct RuleSet {
     /// Name of the bucketed numeric attribute.
     pub attr_name: String,
+    /// Second bucketed attribute for §1.4 rectangle queries; `None`
+    /// for 1-D queries.
+    pub attr2: Option<String>,
     /// Human-readable objective (and presumptive, if any) description;
     /// `avg(Target)` for average queries.
     pub objective_desc: String,
@@ -183,6 +194,13 @@ impl RuleSet {
         })
     }
 
+    fn rect_rule(&self, kind: RuleKind) -> Option<&RectRule> {
+        self.rules.iter().find_map(|r| match r {
+            Rule::Rect(rr) if rr.kind == kind => Some(rr),
+            _ => None,
+        })
+    }
+
     /// The optimized-support rule, if any range was confident enough.
     pub fn optimized_support(&self) -> Option<&RangeRule> {
         self.range_rule(RuleKind::OptimizedSupport)
@@ -203,6 +221,18 @@ impl RuleSet {
     /// any range cleared it.
     pub fn max_support_average(&self) -> Option<&AvgRule> {
         self.avg_rule(RuleKind::MaximumSupportAverage)
+    }
+
+    /// The support-maximizing rectangle (§1.4), if any rectangle was
+    /// confident enough.
+    pub fn rect_support(&self) -> Option<&RectRule> {
+        self.rect_rule(RuleKind::RectSupport)
+    }
+
+    /// The confidence-maximizing rectangle (§1.4), if any rectangle
+    /// was ample enough.
+    pub fn rect_confidence(&self) -> Option<&RectRule> {
+        self.rect_rule(RuleKind::RectConfidence)
     }
 
     /// Whether no optimization produced a rule.
@@ -228,6 +258,11 @@ impl RuleSet {
                     self.objective_desc,
                     r.average(),
                     100.0 * r.support(),
+                ),
+                Rule::Rect(r) => r.describe(
+                    &self.attr_name,
+                    self.attr2.as_deref().unwrap_or("?"),
+                    &self.objective_desc,
                 ),
             };
             out.push_str(&line);
@@ -255,6 +290,7 @@ impl RuleSet {
 pub struct Query<'e, R: RandomAccess> {
     engine: &'e SharedEngine<R>,
     attr: String,
+    attr2: Option<String>,
     given: Vec<CondSpec>,
     objective: Option<ObjectiveSpec>,
     min_support: Option<Ratio>,
@@ -281,6 +317,7 @@ impl<'e, R: RandomAccess> Query<'e, R> {
         Self {
             engine,
             attr,
+            attr2: None,
             given: Vec::new(),
             objective: None,
             min_support: None,
@@ -292,6 +329,18 @@ impl<'e, R: RandomAccess> Query<'e, R> {
             threads: None,
             scan_all_booleans: true,
         }
+    }
+
+    /// Pairs a second numeric attribute with the queried one, turning
+    /// the query into the §1.4 two-attribute **rectangle** form
+    /// `((A1, A2) ∈ X) ⇒ C2` over an equi-depth grid. Only
+    /// Boolean/conjunction objectives are valid (not
+    /// [`Query::average_of`]); the per-axis bucket count comes from
+    /// [`Query::buckets`] when set, else the integer square root of
+    /// the engine's default bucket count.
+    pub fn and_attr(mut self, attr2: impl Into<String>) -> Self {
+        self.attr2 = Some(attr2.into());
+        self
     }
 
     /// Adds a presumptive condition `C1` (§4.3): the rule becomes
@@ -465,6 +514,7 @@ impl<'e, R: RandomAccess> Query<'e, R> {
         };
         Ok(QuerySpec {
             attr: self.attr,
+            attr2: self.attr2,
             given: self.given,
             objective,
             task: Task::Both,

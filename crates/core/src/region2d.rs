@@ -21,7 +21,7 @@ use crate::confidence::optimize_confidence;
 use crate::error::{CoreError, Result};
 use crate::ratio::{cmp_fractions, Ratio};
 use crate::support::optimize_support;
-use optrules_bucketing::BucketSpec;
+use optrules_bucketing::{BucketSpec, CompiledCond};
 use optrules_relation::{Condition, NumAttr, TupleScan};
 use std::cmp::Ordering;
 
@@ -44,6 +44,20 @@ impl GridCounts {
     /// One counting scan: assigns every tuple to its (x, y) cell and
     /// counts `u` (tuples meeting `presumptive`) and `v` (also meeting
     /// `objective`).
+    ///
+    /// Dispatches to a columnar block loop when the storage exposes
+    /// [`ColumnarScan`](optrules_relation::columnar::ColumnarScan)
+    /// (compiled condition tests, zone-map block skipping for the
+    /// presumptive filter), falling back to the row visitor otherwise.
+    /// Both paths fold in row order with identical operation pairing,
+    /// so the result is bit-identical either way.
+    ///
+    /// Cell assignment clamps by construction, matching the 1-D
+    /// scan-clamp contract: `bucket_of` is `partition_point`, whose
+    /// result is always in `[0, cuts.len()]` — exactly the bucket
+    /// count per axis — so values beyond the outermost cuts land in
+    /// the first/last bucket and can never index out of range
+    /// (pinned in `crates/core/tests/grid_clamp.rs`).
     ///
     /// # Errors
     ///
@@ -68,25 +82,60 @@ impl GridCounts {
             y_ranges: vec![(f64::INFINITY, f64::NEG_INFINITY); ny],
             total_rows: 0,
         };
-        rel.for_each_row(&mut |_, nums, bools| {
-            grid.total_rows += 1;
-            if !presumptive.eval(nums, bools) {
-                return;
-            }
-            let (x, y) = (nums[x_attr.0], nums[y_attr.0]);
-            let (i, j) = (x_spec.bucket_of(x), y_spec.bucket_of(y));
-            grid.u[i * ny + j] += 1;
-            if objective.eval(nums, bools) {
-                grid.v[i * ny + j] += 1;
-            }
-            let rx = &mut grid.x_ranges[i];
-            rx.0 = rx.0.min(x);
-            rx.1 = rx.1.max(x);
-            let ry = &mut grid.y_ranges[j];
-            ry.0 = ry.0.min(y);
-            ry.1 = ry.1.max(y);
-        })?;
+        if let Some(cols) = rel.as_columnar() {
+            let pres = CompiledCond::compile(presumptive);
+            let obj = CompiledCond::compile(objective);
+            cols.for_each_block_in(0..rel.len(), &mut |block| {
+                grid.total_rows += block.rows as u64;
+                if pres.rejects_block(&block.zones) {
+                    // Every row fails the presumptive filter: only the
+                    // row total moves, exactly as the visitor would.
+                    return;
+                }
+                let xs = block.numeric[x_attr.0];
+                let ys = block.numeric[y_attr.0];
+                for i in 0..block.rows {
+                    if !pres.eval(block, i) {
+                        continue;
+                    }
+                    grid.tally(xs[i], ys[i], x_spec, y_spec, obj.eval(block, i));
+                }
+            })?;
+        } else {
+            rel.for_each_row(&mut |_, nums, bools| {
+                grid.total_rows += 1;
+                if !presumptive.eval(nums, bools) {
+                    return;
+                }
+                let (x, y) = (nums[x_attr.0], nums[y_attr.0]);
+                grid.tally(x, y, x_spec, y_spec, objective.eval(nums, bools));
+            })?;
+        }
         Ok(grid)
+    }
+
+    /// One row's cell update, shared by both scan paths.
+    #[inline]
+    fn tally(&mut self, x: f64, y: f64, x_spec: &BucketSpec, y_spec: &BucketSpec, hit: bool) {
+        debug_assert!(
+            x.is_finite(),
+            "non-finite value {x} reached the grid counting scan"
+        );
+        debug_assert!(
+            y.is_finite(),
+            "non-finite value {y} reached the grid counting scan"
+        );
+        let (i, j) = (x_spec.bucket_of(x), y_spec.bucket_of(y));
+        self.u[i * self.ny + j] += 1;
+        if hit {
+            self.v[i * self.ny + j] += 1;
+        }
+        let rx = &mut self.x_ranges[i];
+        rx.0 = rx.0.min(x);
+        rx.1 = rx.1.max(x);
+        let ry = &mut self.y_ranges[j];
+        ry.0 = ry.0.min(y);
+        ry.1 = ry.1.max(y);
     }
 
     /// Grid width (x buckets).
@@ -102,6 +151,21 @@ impl GridCounts {
     /// Cell counts `(u, v)` at `(i, j)`.
     pub fn at(&self, i: usize, j: usize) -> (u64, u64) {
         (self.u[i * self.ny + j], self.v[i * self.ny + j])
+    }
+
+    /// The `u` cells, row-major in x (`u[i * ny + j]`).
+    pub fn u_cells(&self) -> &[u64] {
+        &self.u
+    }
+
+    /// The `v` cells, row-major in x.
+    pub fn v_cells(&self) -> &[u64] {
+        &self.v
+    }
+
+    /// Tuples counted into the grid (`Σ u`).
+    pub fn counted(&self) -> u64 {
+        self.u.iter().sum()
     }
 
     /// Builds the grid directly from cell arrays (row-major in x) —
@@ -127,6 +191,83 @@ impl GridCounts {
             y_ranges: vec![(0.0, 0.0); ny],
             total_rows: total,
         })
+    }
+
+    /// Rebuilds a grid from all of its parts — the decode side of the
+    /// 2-D wire schema, where a coordinator reassembles per-shard
+    /// partials (empty buckets hold the `(∞, −∞)` sentinel, restored
+    /// from `null` on the wire).
+    ///
+    /// # Errors
+    ///
+    /// Fails if cell array lengths do not equal `nx · ny` or range
+    /// array lengths do not equal `nx` / `ny`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        nx: usize,
+        ny: usize,
+        u: Vec<u64>,
+        v: Vec<u64>,
+        x_ranges: Vec<(f64, f64)>,
+        y_ranges: Vec<(f64, f64)>,
+        total_rows: u64,
+    ) -> Result<Self> {
+        if u.len() != nx * ny || v.len() != nx * ny {
+            return Err(CoreError::LengthMismatch {
+                u: u.len(),
+                v: v.len(),
+            });
+        }
+        if x_ranges.len() != nx || y_ranges.len() != ny {
+            return Err(CoreError::LengthMismatch {
+                u: x_ranges.len(),
+                v: y_ranges.len(),
+            });
+        }
+        Ok(Self {
+            nx,
+            ny,
+            u,
+            v,
+            x_ranges,
+            y_ranges,
+            total_rows,
+        })
+    }
+
+    /// Merges another grid into this one — Algorithm 3.2's coordinator
+    /// step in two dimensions. Shard partitions are disjoint, so cell
+    /// counts and the row total just add, and observed ranges fold by
+    /// min/max (with the `(∞, −∞)` sentinel as the neutral element).
+    /// Every field is either an integer sum or a min/max fold, so the
+    /// merged grid is **identical however the relation was
+    /// partitioned** — the basis of the coordinator's byte-identity
+    /// with a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on grid dimension mismatch.
+    pub fn merge(&mut self, other: &GridCounts) {
+        assert_eq!(
+            (self.nx, self.ny),
+            (other.nx, other.ny),
+            "grid dimension mismatch"
+        );
+        for (a, b) in self.u.iter_mut().zip(&other.u) {
+            *a += b;
+        }
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a += b;
+        }
+        for (ra, rb) in self.x_ranges.iter_mut().zip(&other.x_ranges) {
+            ra.0 = ra.0.min(rb.0);
+            ra.1 = ra.1.max(rb.1);
+        }
+        for (ra, rb) in self.y_ranges.iter_mut().zip(&other.y_ranges) {
+            ra.0 = ra.0.min(rb.0);
+            ra.1 = ra.1.max(rb.1);
+        }
+        self.total_rows += other.total_rows;
     }
 }
 
@@ -186,6 +327,21 @@ fn collapse(
 
 /// Runs `opt` over every x-span, feeding collapsed 1-D series, and
 /// keeps the best rectangle under `better`.
+///
+/// # Determinism and tie-breaking
+///
+/// The sweep is strictly sequential over the grid in `(x1, x2)` order,
+/// and an incumbent is replaced only when the candidate is *strictly*
+/// greater under `better` — so among equal candidates the **first in
+/// `(x1, x2, y1)` order wins**, at any thread count (the grid itself
+/// is the only input, and per-query assembly never runs the sweep
+/// concurrently with itself). `better` compares with
+/// [`cmp_fractions`], i.e. exact integer cross-multiplication, so
+/// "equal confidence" is decided exactly, never through float
+/// rounding. A coordinator therefore cannot change the reported
+/// rectangle by merging shard partials in a different order: the
+/// merged grid is order-independent (see [`GridCounts::merge`]) and
+/// the sweep is a deterministic function of the merged grid.
 fn sweep_spans(
     grid: &GridCounts,
     mut opt: impl FnMut(&[u64], &[u64]) -> Option<(usize, usize, u64, u64)>,

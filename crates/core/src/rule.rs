@@ -13,6 +13,12 @@ pub enum RuleKind {
     /// Maximizes support subject to a minimum target-attribute average
     /// (§5).
     MaximumSupportAverage,
+    /// Maximizes a rectangle's support subject to a minimum confidence
+    /// (§1.4 two-attribute extension).
+    RectSupport,
+    /// Maximizes a rectangle's confidence subject to a minimum support
+    /// (§1.4 two-attribute extension).
+    RectConfidence,
 }
 
 /// An optimal bucket range with integer hit counts — the output of the
@@ -145,6 +151,67 @@ impl RangeRule {
     }
 }
 
+/// A fully instantiated §1.4 rectangle rule: bucket spans on both
+/// axes mapped back to attribute values, with counts for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RectRule {
+    /// Which optimization produced this rule
+    /// ([`RuleKind::RectSupport`] or [`RuleKind::RectConfidence`]).
+    pub kind: RuleKind,
+    /// X-axis bucket span (0-based, inclusive) in the full grid.
+    pub x_bucket_range: (usize, usize),
+    /// Y-axis bucket span (0-based, inclusive) in the full grid.
+    pub y_bucket_range: (usize, usize),
+    /// Observed x-attribute interval `[v1, v2]` covered by the span
+    /// (folded over the span's non-empty buckets).
+    pub x_value_range: (f64, f64),
+    /// Observed y-attribute interval `[v1, v2]` covered by the span.
+    pub y_value_range: (f64, f64),
+    /// Tuples inside the rectangle.
+    pub sup_count: u64,
+    /// Tuples inside also meeting the objective.
+    pub hits: u64,
+    /// Relation size the support is measured against.
+    pub total_rows: u64,
+}
+
+impl RectRule {
+    /// Support of the rectangle (fraction of all rows).
+    pub fn support(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.sup_count as f64 / self.total_rows as f64
+        }
+    }
+
+    /// Confidence of the rule.
+    pub fn confidence(&self) -> f64 {
+        if self.sup_count == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.sup_count as f64
+        }
+    }
+
+    /// Renders the rule in the paper's §1.4 notation, e.g.
+    /// `((Age, Balance) in [20, 35]x[3000, 8000]) => (CardLoan = yes)  [support 12.00%, confidence 81.00%]`.
+    pub fn describe(&self, x_attr: &str, y_attr: &str, objective: &str) -> String {
+        format!(
+            "(({}, {}) in [{:.4}, {:.4}]x[{:.4}, {:.4}]) => {}  [support {:.2}%, confidence {:.2}%]",
+            x_attr,
+            y_attr,
+            self.x_value_range.0,
+            self.x_value_range.1,
+            self.y_value_range.0,
+            self.y_value_range.1,
+            objective,
+            100.0 * self.support(),
+            100.0 * self.confidence(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +267,28 @@ mod tests {
         assert!(text.contains("Balance in [1000.0000, 2000.0000]"), "{text}");
         assert!(text.contains("support 25.00%"), "{text}");
         assert!(text.contains("confidence 80.00%"), "{text}");
+    }
+
+    #[test]
+    fn rect_describe_format() {
+        let rule = RectRule {
+            kind: RuleKind::RectConfidence,
+            x_bucket_range: (1, 3),
+            y_bucket_range: (0, 2),
+            x_value_range: (20.0, 35.0),
+            y_value_range: (3000.0, 8000.0),
+            sup_count: 12,
+            hits: 9,
+            total_rows: 100,
+        };
+        assert_eq!(rule.support(), 0.12);
+        assert_eq!(rule.confidence(), 0.75);
+        let text = rule.describe("Age", "Balance", "(CardLoan = yes)");
+        assert!(
+            text.contains("((Age, Balance) in [20.0000, 35.0000]x[3000.0000, 8000.0000])"),
+            "{text}"
+        );
+        assert!(text.contains("support 12.00%"), "{text}");
+        assert!(text.contains("confidence 75.00%"), "{text}");
     }
 }

@@ -84,8 +84,9 @@
 use crate::cache::{CacheConfig, FlightRole, ShardStats, ShardedCache};
 use crate::engine::{EngineConfig, EngineStats};
 use crate::error::Result;
-use crate::plan::{self, Plan, ResolvedQuery, ScanNode};
+use crate::plan::{self, GridNode, Plan, ResolvedQuery, ScanNode};
 use crate::query::{AllPairs, Query, RuleSet};
+use crate::region2d::GridCounts;
 use crate::spec::QuerySpec;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -166,6 +167,30 @@ pub fn spec_fingerprint(what: &CountSpec) -> ScanWhat {
     ))
 }
 
+/// Cache key for one §1.4 grid-counting scan: both axis
+/// bucketizations plus what was counted — an `nx × ny` grid is a
+/// shareable work unit exactly like a 1-D scan, and both
+/// [`BucketKey`]s carry the generation tag, so snapshot pinning and
+/// LRU aging work unchanged. Unlike [`ScanKey`] there is no `threads`
+/// component: a grid holds only integer counts and min/max range
+/// folds, and the scan itself always runs sequentially over blocks,
+/// so the artifact is identical at every worker count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GridKey {
+    /// The x-axis bucketization.
+    pub x: BucketKey,
+    /// The y-axis bucketization.
+    pub y: BucketKey,
+    /// What was counted (presumptive/objective fingerprint).
+    pub what: ScanWhat,
+}
+
+/// Canonical [`ScanWhat`] fingerprint of a grid-counting scan's
+/// conditions (the grid's axes live in [`GridKey`] itself).
+pub fn grid_fingerprint(presumptive: &Condition, objective: &Condition) -> ScanWhat {
+    ScanWhat::Spec(format!("grid|{presumptive:?}|{objective:?}"))
+}
+
 /// Both artifact kinds share one sharded cache (and hence one cost
 /// budget), keyed by this enum. Public so a coordinator can run the
 /// same caching discipline over artifacts it assembles from remote
@@ -176,6 +201,8 @@ pub enum CacheKey {
     Bucket(BucketKey),
     /// A counting-scan artifact.
     Scan(ScanKey),
+    /// A §1.4 grid-counting artifact.
+    Grid(GridKey),
 }
 
 /// The artifact stored under a [`CacheKey`].
@@ -185,6 +212,8 @@ pub enum CacheValue {
     Spec(Arc<BucketSpec>),
     /// (Compacted) per-bucket counts.
     Counts(Arc<BucketCounts>),
+    /// Per-cell grid counts (§1.4).
+    Grid(Arc<GridCounts>),
 }
 
 /// Cost of a cached bucketization, in cells: the cut points held.
@@ -197,6 +226,13 @@ pub fn spec_cost(spec: &BucketSpec) -> u64 {
 pub fn counts_cost(counts: &BucketCounts) -> u64 {
     let per_bucket = 3 + counts.bool_v.len() as u64 + counts.sums.len() as u64;
     (counts.bucket_count() as u64 * per_bucket).max(1)
+}
+
+/// Cost of a cached grid scan, in cells: `u` and `v` per cell plus
+/// the per-axis observed ranges (2 cells each).
+pub fn grid_cost(grid: &GridCounts) -> u64 {
+    let cells = (grid.nx() * grid.ny()) as u64;
+    (2 * cells + 2 * (grid.nx() + grid.ny()) as u64).max(1)
 }
 
 /// Engine-level work counters (the cache tracks lookups/evictions
@@ -685,9 +721,24 @@ impl<R: RandomAccess> SharedEngine<R> {
     pub fn run_spec(&self, spec: &QuerySpec) -> Result<RuleSet> {
         let pinned = self.pin();
         let resolved = plan::resolve(&self.schema, &self.config, pinned.generation(), spec)?;
-        let counts = self.counts_for_resolved(&resolved, &pinned.rel)?;
+        self.assemble_resolved(&resolved, &pinned.rel)
+    }
+
+    /// Fetch-and-assemble for one resolved query: grid queries read
+    /// their grid and run the rectangle optimizers, 1-D queries read
+    /// their counts and run the range optimizers. Either way the
+    /// optimization step lands in the `optimize` histogram.
+    fn assemble_resolved(&self, resolved: &ResolvedQuery, rel: &R) -> Result<RuleSet> {
+        if resolved.grid.is_some() {
+            let grid = self.grid_for_resolved(resolved, rel)?;
+            let timer = Timer::start();
+            let rules = plan::assemble_rect(resolved, &grid);
+            timer.stop(&self.obs.optimize);
+            return rules;
+        }
+        let counts = self.counts_for_resolved(resolved, rel)?;
         let timer = Timer::start();
-        let rules = plan::assemble(&resolved, &counts);
+        let rules = plan::assemble(resolved, &counts);
         timer.stop(&self.obs.optimize);
         rules
     }
@@ -734,18 +785,17 @@ impl<R: RandomAccess> SharedEngine<R> {
         fan_out(&plan.scans, threads, |node| {
             let _ = self.counts_for_node(node, rel);
         });
+        // Phase 2b: distinct §1.4 grid scans, once each — each grid
+        // fills sequentially (its artifact is worker-count-free), the
+        // fan-out parallelizes across distinct grids.
+        fan_out(&plan.grids, threads, |node| {
+            let _ = self.grid_for_node(node, rel);
+        });
         // Phase 3: per-query assembly from the warm cache, in input
-        // order — O(M) optimizer work per query, no relation access.
+        // order — optimizer work only, no relation access.
         plan.queries
             .into_iter()
-            .map(|resolved| {
-                let resolved = resolved?;
-                let counts = self.counts_for_resolved(&resolved, rel)?;
-                let timer = Timer::start();
-                let rules = plan::assemble(&resolved, &counts);
-                timer.stop(&self.obs.optimize);
-                rules
-            })
+            .map(|resolved| self.assemble_resolved(&resolved?, rel))
             .collect()
     }
 
@@ -838,7 +888,7 @@ impl<R: RandomAccess> SharedEngine<R> {
         )?;
         match value {
             CacheValue::Spec(spec) => Ok(spec),
-            CacheValue::Counts(_) => unreachable!("bucket key holds a spec"),
+            _ => unreachable!("bucket key holds a spec"),
         }
     }
 
@@ -916,7 +966,7 @@ impl<R: RandomAccess> SharedEngine<R> {
         )?;
         match value {
             CacheValue::Counts(counts) => Ok(counts),
-            CacheValue::Spec(_) => unreachable!("scan key holds counts"),
+            _ => unreachable!("scan key holds counts"),
         }
     }
 
@@ -982,6 +1032,107 @@ impl<R: RandomAccess> SharedEngine<R> {
                 rel,
             ),
         }
+    }
+
+    /// The §1.4 grid-counting scan (cached, coalesced): bucketizes
+    /// both axes, then one sequential scan filling the cell grid.
+    /// Grid scans share the 1-D scan counters (`scans` /
+    /// `scan_cache_hits`, the kernel/fallback split, and the scan
+    /// histograms) — a grid is "a counting scan over two axes", and
+    /// keeping the tallies unified leaves the stats wire schema
+    /// unchanged. The conditions are only consulted on a cold miss;
+    /// warm lookups touch just the key.
+    fn grid_for_key(
+        &self,
+        key: &GridKey,
+        presumptive: &Condition,
+        objective: &Condition,
+        rel: &R,
+    ) -> Result<Arc<GridCounts>> {
+        let value = self.cached_or_compute(
+            CacheKey::Grid(key.clone()),
+            &self.counters.scan_cache_hits,
+            &self.counters.scans,
+            || {
+                let x_spec = self.spec_for(key.x, rel)?;
+                let y_spec = self.spec_for(key.y, rel)?;
+                let (path_counter, path_histogram) = if rel.as_columnar().is_some() {
+                    (&self.counters.kernel_scans, &self.obs.kernel_scan)
+                } else {
+                    (&self.counters.fallback_scans, &self.obs.fallback_scan)
+                };
+                path_counter.fetch_add(1, Ordering::Relaxed);
+                let timer = Timer::start();
+                let grid = GridCounts::count(
+                    rel,
+                    key.x.attr,
+                    key.y.attr,
+                    &x_spec,
+                    &y_spec,
+                    presumptive,
+                    objective,
+                )?;
+                timer.stop(path_histogram);
+                let grid = Arc::new(grid);
+                let cost = grid_cost(&grid);
+                Ok((CacheValue::Grid(grid), cost))
+            },
+        )?;
+        match value {
+            CacheValue::Grid(grid) => Ok(grid),
+            _ => unreachable!("grid key holds a grid"),
+        }
+    }
+
+    /// Executes one deduplicated grid node of a [`Plan`].
+    fn grid_for_node(&self, node: &GridNode, rel: &R) -> Result<Arc<GridCounts>> {
+        self.grid_for_key(&node.key, &node.presumptive, &node.objective, rel)
+    }
+
+    /// The grid a resolved §1.4 rectangle query reads. `rel` must be
+    /// the pinned generation the query resolved against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a one-dimensional query.
+    pub(crate) fn grid_for_resolved(
+        &self,
+        resolved: &ResolvedQuery,
+        rel: &R,
+    ) -> Result<Arc<GridCounts>> {
+        let part = resolved
+            .grid
+            .as_ref()
+            .expect("grid_for_resolved called on a one-dimensional query");
+        let key = resolved.grid_key().expect("grid part implies grid key");
+        self.grid_for_key(&key, &part.presumptive, &part.objective, rel)
+    }
+
+    /// Runs one **raw, uncached** §1.4 grid-counting scan over `rel`
+    /// with the given axis boundaries — the building block of a
+    /// shard's `{"cmd":"count2d"}` frame. No cache is consulted or
+    /// filled and no counters are bumped: the coordinator owns
+    /// caching, deduplication, and observability for this work.
+    /// Unlike [`count_raw`](Self::count_raw) there is no compaction
+    /// concern — shard grids stay cell-aligned by construction and
+    /// merge via [`GridCounts::merge`], and optimization always runs
+    /// centrally, never on shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates counting/storage errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn count_grid_raw(
+        &self,
+        x_attr: NumAttr,
+        y_attr: NumAttr,
+        x_spec: &BucketSpec,
+        y_spec: &BucketSpec,
+        presumptive: &Condition,
+        objective: &Condition,
+        rel: &R,
+    ) -> Result<GridCounts> {
+        GridCounts::count(rel, x_attr, y_attr, x_spec, y_spec, presumptive, objective)
     }
 }
 

@@ -192,6 +192,14 @@ pub enum ObjectiveSpec {
 pub struct QuerySpec {
     /// Name of the bucketed numeric attribute `A`.
     pub attr: String,
+    /// Second bucketed numeric attribute for the §1.4 two-attribute
+    /// extension: when set, the query mines an optimized **rectangle**
+    /// `((attr, attr2) ∈ X) ⇒ C` over an equi-depth grid instead of a
+    /// 1-D range. Only Boolean/conjunction objectives are valid; the
+    /// per-axis bucket count is `buckets` when set, else the integer
+    /// square root of the engine default (so the grid's cell count
+    /// matches the session's 1-D bucket budget).
+    pub attr2: Option<String>,
     /// Presumptive conjunction `C1` (§4.3); empty for plain rules.
     pub given: Vec<CondSpec>,
     /// The objective.
@@ -227,6 +235,7 @@ impl QuerySpec {
     pub fn new(attr: impl Into<String>, objective: ObjectiveSpec) -> Self {
         Self {
             attr: attr.into(),
+            attr2: None,
             given: Vec::new(),
             objective,
             task: Task::Both,
@@ -250,6 +259,18 @@ impl QuerySpec {
                 target: target.into(),
             },
         )
+    }
+
+    /// Shorthand for the §1.4 two-attribute rectangle spec
+    /// `((attr, attr2) ∈ X) ⇒ (target = yes)`.
+    pub fn region2d(
+        attr: impl Into<String>,
+        attr2: impl Into<String>,
+        target: impl Into<String>,
+    ) -> Self {
+        let mut spec = Self::boolean(attr, target);
+        spec.attr2 = Some(attr2.into());
+        spec
     }
 
     /// Shorthand for the §5 average spec: optimize ranges of `attr` by

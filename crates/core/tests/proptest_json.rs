@@ -81,6 +81,10 @@ fn specs() -> impl Strategy<Value = QuerySpec> {
     (
         (
             names(),
+            // The 2-D extension: an optional second attribute turns the
+            // spec into a rectangle query; its name needs the same
+            // escaping guarantees as the first.
+            prop::option::of(names()),
             prop::collection::vec(conds(), 0..4),
             objectives(),
             tasks(),
@@ -100,11 +104,12 @@ fn specs() -> impl Strategy<Value = QuerySpec> {
     )
         .prop_map(
             |(
-                (attr, given, objective, task),
+                (attr, attr2, given, objective, task),
                 (min_support, min_confidence, min_average, buckets),
                 (samples_per_bucket, seed, threads, scan_all_booleans),
             )| {
                 let mut spec = QuerySpec::new(attr, objective);
+                spec.attr2 = attr2;
                 spec.given = given;
                 spec.task = task;
                 spec.min_support = min_support;

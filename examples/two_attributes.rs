@@ -3,17 +3,20 @@
 //! the rule shape `(Age, Balance) ∈ X ⇒ (CardLoan = yes)` the paper
 //! points to its SIGMOD 1996 companion for.
 //!
+//! Rectangle mining is a first-class workload: pair a second attribute
+//! onto the fluent query with [`Query::and_attr`] and the engine
+//! bucketizes both axes (Algorithm 3.1 per axis), fills the grid in
+//! one counting scan, caches it, and runs the O(nx²·ny) rectangle
+//! sweeps centrally. The same spec works through `optrules batch`,
+//! `optrules serve`, and the scatter-gather coordinator.
+//!
 //! Data has a planted 0.4 × 0.4 block at 80 % confidence (10 % outside);
-//! the O(nx²·ny) rectangle sweep over an equi-depth grid recovers it.
+//! the sweep over the equi-depth grid recovers it.
 //!
 //! ```sh
 //! cargo run --release --example two_attributes
 //! ```
 
-use optrules::bucketing::{equi_depth_cuts, EquiDepthConfig};
-use optrules::core::region2d::{
-    optimize_confidence_rectangle, optimize_support_rectangle, GridCounts,
-};
 use optrules::prelude::*;
 use optrules::relation::gen::PlantedRectGenerator;
 
@@ -30,39 +33,55 @@ fn main() {
         100.0 * generator.conf_out,
     );
 
-    let x = rel.schema().numeric("X").expect("attr");
-    let y = rel.schema().numeric("Y").expect("attr");
-    let c = Condition::BoolIs(rel.schema().boolean("C").expect("attr"), true);
-
-    // Equi-depth grid: 48 × 48 buckets via Algorithm 3.1 per axis.
-    let x_spec = equi_depth_cuts(&rel, x, &EquiDepthConfig::paper(48, 1)).expect("ok");
-    let y_spec = equi_depth_cuts(&rel, y, &EquiDepthConfig::paper(48, 2)).expect("ok");
-    let grid = GridCounts::count(&rel, x, y, &x_spec, &y_spec, &Condition::True, &c).expect("ok");
-    let n = grid.total_rows;
-
-    let conf = optimize_confidence_rectangle(&grid, n / 10)
-        .expect("valid grid")
-        .expect("ample rectangle exists");
-    println!(
-        "\noptimized-confidence rectangle (support >= 10%):\n  X in [{:.3}, {:.3}] x Y in [{:.3}, {:.3}]  support {:.1}%, confidence {:.1}%",
-        grid.x_ranges[conf.x1].0,
-        grid.x_ranges[conf.x2].1,
-        grid.y_ranges[conf.y1].0,
-        grid.y_ranges[conf.y2].1,
-        100.0 * conf.support(n),
-        100.0 * conf.confidence(),
+    let mut engine = Engine::with_config(
+        rel,
+        EngineConfig {
+            // 48 × 48 grid: `buckets` caps the *cell* budget for 2-D
+            // queries, so 2304 cells ≈ the 1-D default budget. An
+            // explicit per-query `.buckets(48)` would do the same.
+            buckets: 48 * 48,
+            seed: 1,
+            ..EngineConfig::default()
+        },
     );
 
-    let sup = optimize_support_rectangle(&grid, Ratio::percent(70))
-        .expect("valid grid")
-        .expect("confident rectangle exists");
+    // The §1.4 rectangle query, first-class: both optimizations in one
+    // pass over one cached grid.
+    let rules = engine
+        .query("X")
+        .and_attr("Y")
+        .objective_is("C")
+        .min_support_pct(10)
+        .min_confidence_pct(70)
+        .run()
+        .expect("rectangle query runs");
+
+    let conf = rules.rect_confidence().expect("ample rectangle exists");
     println!(
-        "\noptimized-support rectangle (confidence >= 70%):\n  X in [{:.3}, {:.3}] x Y in [{:.3}, {:.3}]  support {:.1}%, confidence {:.1}%",
-        grid.x_ranges[sup.x1].0,
-        grid.x_ranges[sup.x2].1,
-        grid.y_ranges[sup.y1].0,
-        grid.y_ranges[sup.y2].1,
-        100.0 * sup.support(n),
-        100.0 * sup.confidence(),
+        "\noptimized-confidence rectangle (support >= 10%):\n  {}",
+        conf.describe("X", "Y", &rules.objective_desc)
+    );
+
+    let sup = rules.rect_support().expect("confident rectangle exists");
+    println!(
+        "\noptimized-support rectangle (confidence >= 70%):\n  {}",
+        sup.describe("X", "Y", &rules.objective_desc)
+    );
+
+    // A follow-up rectangle query on the same pair reuses the cached
+    // grid — no second counting scan.
+    let again = engine
+        .query("X")
+        .and_attr("Y")
+        .objective_is("C")
+        .min_support_pct(20)
+        .min_confidence_pct(70)
+        .run()
+        .expect("rectangle query runs");
+    assert!(again.rect_confidence().is_some());
+    let stats = engine.stats();
+    println!(
+        "\nscans {} (grid shared across both queries), scan cache hits {}",
+        stats.scans, stats.scan_cache_hits
     );
 }

@@ -5,10 +5,10 @@
 #
 #   scripts/bench.sh [kick-tires|full] [output.json]
 #
-# kick-tires (default) runs the three benches that gate the hot paths
-# touched most often — the engine cache, the live append path, and the
-# sharded scatter-gather coordinator — in a couple of minutes; full
-# runs the entire suite.
+# kick-tires (default) runs the four benches that gate the hot paths
+# touched most often — the engine cache, the live append path, the
+# sharded scatter-gather coordinator, and the §1.4 rectangle grid —
+# in a couple of minutes; full runs the entire suite.
 #
 # Every tier also runs serve_throughput twice — once with metrics
 # recording on (the always-on default) and once with
@@ -19,16 +19,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tier="${1:-kick-tires}"
-out="${2:-BENCH_PR9.json}"
+out="${2:-BENCH_PR10.json}"
 
 case "$tier" in
   kick-tires)
-    benches=(engine_cache append_throughput coord_scatter_gather)
+    benches=(engine_cache append_throughput coord_scatter_gather region2d)
     ;;
   full)
     benches=(miner confidence support hull bucketing sample_size parallel
              engine_cache concurrent_engine batch_plan serve_throughput
-             append_throughput durability coord_scatter_gather)
+             append_throughput durability coord_scatter_gather region2d)
     ;;
   *)
     echo "usage: $0 [kick-tires|full] [output.json]" >&2

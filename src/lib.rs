@@ -141,10 +141,10 @@ pub mod prelude {
     pub use crate::core::Miner;
     pub use crate::core::{
         optimize_confidence, optimize_support, AppendOutcome, AvgRule, CacheConfig, CondSpec,
-        Engine, EngineConfig, EngineStats, MinedAverage, MinedPair, MinerConfig, Objective,
-        ObjectiveSpec, OptRange, Pinned, Plan, Query, QuerySpec, RangeRule, Ratio, Real, Rule,
-        RuleKind, RuleSet, ServerConfig, ServerHandle, ShardStats, SharedEngine, StatsSnapshot,
-        Task,
+        Engine, EngineConfig, EngineStats, GridCounts, MinedAverage, MinedPair, MinerConfig,
+        Objective, ObjectiveSpec, OptRange, Pinned, Plan, Query, QuerySpec, RangeRule, Ratio, Real,
+        RectRule, Rule, RuleKind, RuleSet, ServerConfig, ServerHandle, ShardStats, SharedEngine,
+        StatsSnapshot, Task,
     };
     pub use crate::relation::gen::{
         BankGenerator, DataGenerator, PlantedRangeGenerator, RetailGenerator, UniformWorkload,

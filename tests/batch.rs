@@ -178,6 +178,7 @@ fn fluent_query_spec_and_run_spec_agree() {
 fn rule_set_encoding_golden() {
     let rules = RuleSet {
         attr_name: "Balance".into(),
+        attr2: None,
         objective_desc: "(CardLoan = yes)".into(),
         rules: vec![
             Rule::Range(RangeRule {
@@ -207,6 +208,7 @@ fn rule_set_encoding_golden() {
 
     let empty = RuleSet {
         attr_name: "A \"quoted\"".into(),
+        attr2: None,
         objective_desc: "avg(B)".into(),
         rules: vec![],
         buckets_used: 0,

@@ -1,0 +1,406 @@
+//! §1.4 rectangle mining end-to-end: the engine's grid path against a
+//! cache-free direct pipeline and the exhaustive O(nx²·ny²) oracle,
+//! invariance across storage layouts (memory / chunked / durable), the
+//! two-shard coordinator against the flat-relation oracle, and grid
+//! dedup through both `EngineStats` and the coordinator's `shard_rpcs`.
+//!
+//! Grid cells are integer counts and the observed ranges are min/max
+//! folds — no float sums — so unlike the average operator, rectangle
+//! answers are byte-identical across *any* shard partitioning, even on
+//! arbitrary-float bank data.
+
+use optrules::bucketing::{equi_depth_cuts, EquiDepthConfig};
+use optrules::core::json;
+use optrules::core::region2d::{
+    optimize_confidence_rectangle, optimize_rectangle_naive, optimize_support_rectangle, Rect,
+};
+use optrules::core::server::{serve, serve_service, ServerConfig};
+use optrules::core::shared::attr_seed;
+use optrules::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        buckets: 100, // 1-D cell budget → 10 × 10 default grid
+        seed: 7,
+        min_support: Ratio::percent(5),
+        min_confidence: Ratio::percent(60),
+        ..EngineConfig::default()
+    }
+}
+
+fn rect_spec(x: &str, y: &str, target: &str) -> QuerySpec {
+    let mut spec = QuerySpec::boolean(x, target);
+    spec.attr2 = Some(y.to_string());
+    spec
+}
+
+/// The cache-free direct pipeline: per-axis Algorithm 3.1 cuts with the
+/// engine's per-attribute seed mix, then one grid counting scan.
+/// Shares no code with the engine's plan/cache machinery.
+fn direct_grid(
+    rel: &Relation,
+    x: NumAttr,
+    y: NumAttr,
+    per_axis: usize,
+    seed: u64,
+    presumptive: &Condition,
+    objective: &Condition,
+) -> GridCounts {
+    let cuts = |attr: NumAttr| {
+        let cfg = EquiDepthConfig {
+            buckets: per_axis,
+            samples_per_bucket: 40,
+            seed: attr_seed(seed, attr),
+            method: SamplingMethod::WithReplacement,
+        };
+        equi_depth_cuts(rel, attr, &cfg).unwrap()
+    };
+    GridCounts::count(rel, x, y, &cuts(x), &cuts(y), presumptive, objective).unwrap()
+}
+
+/// Folds a rectangle's bucket spans back to value ranges, exactly as
+/// the engine instantiates its `RectRule`s.
+fn instantiate(kind: RuleKind, r: Rect, grid: &GridCounts) -> RectRule {
+    let fold = |ranges: &[(f64, f64)], a: usize, b: usize| {
+        ranges[a..=b]
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(l, h)| {
+                (lo.min(l), hi.max(h))
+            })
+    };
+    RectRule {
+        kind,
+        x_bucket_range: (r.x1, r.x2),
+        y_bucket_range: (r.y1, r.y2),
+        x_value_range: fold(&grid.x_ranges, r.x1, r.x2),
+        y_value_range: fold(&grid.y_ranges, r.y1, r.y2),
+        sup_count: r.sup_count,
+        hits: r.hits,
+        total_rows: grid.total_rows,
+    }
+}
+
+/// The engine's rectangle answers equal the direct pipeline run through
+/// the fast sweep, and the fast sweep scores exactly like the
+/// exhaustive oracle — across seeds, cold and warm.
+#[test]
+fn engine_matches_direct_pipeline_and_naive_oracle() {
+    for seed in [0u64, 7, 42, 0xdead_beef] {
+        let rel = BankGenerator::default().to_relation(12_000, seed ^ 0x55);
+        let schema = rel.schema().clone();
+        let (x, y) = (
+            schema.numeric("Age").unwrap(),
+            schema.numeric("Balance").unwrap(),
+        );
+        let loan = Condition::BoolIs(schema.boolean("CardLoan").unwrap(), true);
+        let mut cfg = config();
+        cfg.seed = seed;
+
+        let grid = direct_grid(&rel, x, y, 10, seed, &Condition::True, &loan);
+        let w = cfg.min_support.min_count(grid.total_rows);
+        let fast_conf = optimize_confidence_rectangle(&grid, w).unwrap().unwrap();
+        let fast_sup = optimize_support_rectangle(&grid, cfg.min_confidence)
+            .unwrap()
+            .unwrap();
+
+        // The exhaustive prefix-sum oracle agrees with the sweep on the
+        // exact (integer) score, with identical tie-breaking.
+        let naive_conf = optimize_rectangle_naive(&grid, Some(w), None, false).unwrap();
+        assert_eq!(
+            (fast_conf.hits, fast_conf.sup_count),
+            (naive_conf.hits, naive_conf.sup_count),
+            "seed {seed}: confidence sweep vs naive"
+        );
+        let naive_sup =
+            optimize_rectangle_naive(&grid, None, Some(cfg.min_confidence), true).unwrap();
+        assert_eq!(
+            (fast_sup.sup_count, fast_sup.hits),
+            (naive_sup.sup_count, naive_sup.hits),
+            "seed {seed}: support sweep vs naive"
+        );
+
+        let engine = SharedEngine::with_config(&rel, cfg);
+        let spec = rect_spec("Age", "Balance", "CardLoan");
+        // Run twice: cold, then entirely from the grid cache.
+        for round in 0..2 {
+            let rules = engine.run_spec(&spec).unwrap();
+            assert_eq!(rules.attr2.as_deref(), Some("Balance"));
+            assert_eq!(rules.total_rows, grid.total_rows);
+            assert_eq!(rules.buckets_used, grid.nx() * grid.ny());
+            assert_eq!(
+                rules.rect_confidence(),
+                Some(&instantiate(RuleKind::RectConfidence, fast_conf, &grid)),
+                "seed {seed} round {round}: confidence rectangle diverged"
+            );
+            assert_eq!(
+                rules.rect_support(),
+                Some(&instantiate(RuleKind::RectSupport, fast_sup, &grid)),
+                "seed {seed} round {round}: support rectangle diverged"
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.scans, 1, "seed {seed}: warm round must not rescan");
+        assert_eq!(stats.bucketizations, 2, "seed {seed}: one per axis");
+    }
+}
+
+/// Deterministic integer-valued rows (same shape as `tests/coord.rs`).
+fn integer_rows(rows: u64) -> Vec<(f64, f64, bool)> {
+    (0..rows)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+            (
+                (h % 1_000) as f64,
+                ((h >> 10) % 500) as f64,
+                (h >> 20) % 10 < 4,
+            )
+        })
+        .collect()
+}
+
+fn xyc_schema() -> Schema {
+    Schema::builder()
+        .numeric("X")
+        .numeric("Y")
+        .boolean("C")
+        .build()
+}
+
+fn memory_rel(rows: &[(f64, f64, bool)]) -> Relation {
+    let mut rel = Relation::with_capacity(xyc_schema(), rows.len());
+    for &(x, y, c) in rows {
+        rel.push_row(&[x, y], &[c]).unwrap();
+    }
+    rel
+}
+
+fn frames(rows: &[(f64, f64, bool)]) -> Vec<RowFrame> {
+    rows.iter()
+        .map(|&(x, y, c)| RowFrame {
+            numeric: vec![x, y],
+            boolean: vec![c],
+        })
+        .collect()
+}
+
+/// The same logical rows through every storage layout give identical
+/// `RuleSet`s: sampling is by row index and the grid scan folds in row
+/// order, so segment boundaries must be invisible.
+#[test]
+fn rectangle_rules_are_identical_across_storage_layouts() {
+    let rows = integer_rows(6_000);
+    let mut spec = rect_spec("X", "Y", "C");
+    // The hash-driven objective holds on ~40 % of rows, so a support
+    // rectangle exists below that and the confidence sweep has room.
+    spec.min_confidence = Some(Ratio::percent(35));
+
+    let flat = memory_rel(&rows);
+    let expected = SharedEngine::with_config(&flat, config())
+        .run_spec(&spec)
+        .unwrap();
+    assert!(expected.rect_confidence().is_some());
+    assert!(expected.rect_support().is_some());
+
+    // Chunked: base + two appended segments.
+    let chunked = ChunkedRelation::new(memory_rel(&rows[..2_000]))
+        .with_rows(&frames(&rows[2_000..4_500]))
+        .unwrap()
+        .with_rows(&frames(&rows[4_500..]))
+        .unwrap();
+    let got = SharedEngine::with_config(chunked, config())
+        .run_spec(&spec)
+        .unwrap();
+    assert_eq!(got, expected, "ChunkedRelation diverged");
+
+    // Durable: file-backed base + WAL-backed appends that spill.
+    let dir = std::env::temp_dir().join(format!("optrules-region2d-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.rel");
+    let mut w = FileRelationWriter::create(&base, xyc_schema()).unwrap();
+    for &(x, y, c) in &rows[..2_000] {
+        w.push_row(&[x, y], &[c]).unwrap();
+    }
+    w.finish().unwrap();
+    let durable_cfg = DurabilityConfig {
+        spill_rows: 1_000,
+        sync: WalSync::Off,
+    };
+    let mut durable = DurableRelation::open(&base, dir.join("data"), durable_cfg)
+        .unwrap()
+        .relation;
+    for chunk in [&rows[2_000..4_500], &rows[4_500..]] {
+        durable = durable.with_rows(&frames(chunk)).unwrap();
+    }
+    let got = SharedEngine::with_config(durable, config())
+        .run_spec(&spec)
+        .unwrap();
+    assert_eq!(got, expected, "DurableRelation diverged");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Two rectangle specs over the same attribute pair share one grid:
+/// one counting scan, every query assembled warm.
+#[test]
+fn batch_dedups_the_grid_across_specs() {
+    let rows = integer_rows(4_000);
+    let rel = memory_rel(&rows);
+    let mut tighter = rect_spec("X", "Y", "C");
+    tighter.min_support = Some(Ratio::percent(20));
+    let mut conf_only = rect_spec("X", "Y", "C");
+    conf_only.task = Task::OptimizeConfidence;
+    let specs = vec![rect_spec("X", "Y", "C"), tighter, conf_only];
+
+    for threads in [1usize, 4] {
+        let engine = SharedEngine::with_config(&rel, config());
+        let results = engine.run_batch(&specs, threads);
+        assert!(results.iter().all(|r| r.is_ok()), "threads={threads}");
+        let stats = engine.stats();
+        assert_eq!(stats.scans, 1, "threads={threads}: one shared grid scan");
+        assert_eq!(stats.bucketizations, 2, "threads={threads}: one per axis");
+        assert_eq!(
+            stats.scan_cache_hits,
+            specs.len() as u64,
+            "threads={threads}: every spec assembled warm"
+        );
+    }
+}
+
+/// Copies rows `range` of `rel` into a fresh in-memory relation.
+fn slice_rel(rel: &Relation, range: std::ops::Range<u64>) -> Relation {
+    let mut part = Relation::new(TupleScan::schema(rel).clone());
+    rel.for_each_row_in(range, &mut |_, nums, bools| {
+        part.push_row(nums, bools).expect("same schema");
+    })
+    .expect("in-memory scan cannot fail");
+    part
+}
+
+/// One-shot client: write, half-close, read to EOF.
+fn rt(addr: SocketAddr, input: &str) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(input.as_bytes()).expect("send");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    BufReader::new(stream)
+        .lines()
+        .map(|line| line.expect("read"))
+        .collect()
+}
+
+/// Pulls a `u64` field out of a `{"ok": {...}}` response line.
+fn ok_field(line: &str, field: &str) -> u64 {
+    use optrules::core::json::{Json, Num};
+    let Ok(Json::Obj(envelope)) = Json::parse(line) else {
+        panic!("unparseable response {line:?}");
+    };
+    let Some((_, Json::Obj(body))) = envelope.iter().find(|(key, _)| key == "ok") else {
+        panic!("response is not ok: {line:?}");
+    };
+    match body.iter().find(|(key, _)| key == field) {
+        Some((_, Json::Num(Num::UInt(value)))) => *value,
+        other => panic!("field {field:?} missing or non-integer: {other:?}"),
+    }
+}
+
+/// Rectangle specs through the two-shard coordinator are byte-identical
+/// to the single-node server over the concatenated rows — cold and
+/// warm, at 1 and 4 workers — and the warm repeat adds zero shard RPCs
+/// (the merged grid is cached at the coordinator).
+#[test]
+fn coordinator_matches_flat_oracle_on_rectangles() {
+    let rows = integer_rows(5_000);
+    let full = memory_rel(&rows);
+    let mut with_given = rect_spec("X", "Y", "C");
+    with_given.given = vec![CondSpec::NumInRange {
+        attr: "X".into(),
+        lo: Real(100.0),
+        hi: Real(800.0),
+    }];
+    let mut rebucketed = rect_spec("Y", "X", "C");
+    rebucketed.buckets = Some(8);
+    let specs = [
+        rect_spec("X", "Y", "C"),
+        rect_spec("X", "Y", "C"), // duplicate: pure grid-cache hit
+        with_given,
+        rebucketed,
+        QuerySpec::boolean("X", "C"),  // 1-D spec interleaved
+        rect_spec("X", "NoSuch", "C"), // unknown attr2 fails identically
+    ];
+    let requests: String = specs.iter().map(|s| json::encode_spec(s) + "\n").collect();
+
+    for (workers, batch_threads) in [(1, 1), (4, 4)] {
+        let server_config = ServerConfig {
+            workers,
+            batch_threads,
+            ..ServerConfig::default()
+        };
+        let single = serve(
+            Arc::new(SharedEngine::with_config(
+                slice_rel(&full, 0..full.len()),
+                config(),
+            )),
+            "127.0.0.1:0",
+            server_config,
+        )
+        .expect("bind single-node server");
+        let reference = rt(single.addr(), &requests);
+        assert!(reference[0].contains("\"kind\":\"rect_"), "{reference:?}");
+        assert!(reference[5].starts_with("{\"error\":"), "{reference:?}");
+
+        let shard_a = serve(
+            Arc::new(SharedEngine::with_config(
+                slice_rel(&full, 0..2_000),
+                config(),
+            )),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind shard");
+        let shard_b = serve(
+            Arc::new(SharedEngine::with_config(
+                slice_rel(&full, 2_000..full.len()),
+                config(),
+            )),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind shard");
+        let coordinator = Coordinator::connect(
+            &[shard_a.addr().to_string(), shard_b.addr().to_string()],
+            config(),
+            CacheConfig::default(),
+            CoordConfig::default(),
+        )
+        .expect("connect to shards");
+        let coord = serve_service(Arc::new(coordinator), "127.0.0.1:0", server_config)
+            .expect("bind coordinator");
+
+        let cold = rt(coord.addr(), &requests);
+        assert_eq!(cold, reference, "workers={workers} cold != single-node");
+
+        let stats_cold = rt(coord.addr(), "{\"cmd\":\"stats\"}\n");
+        let rpcs_cold = ok_field(&stats_cold[0], "shard_rpcs");
+        assert!(rpcs_cold > 0);
+        assert!(ok_field(&stats_cold[0], "merged_nodes") > 0);
+
+        let warm = rt(coord.addr(), &requests);
+        assert_eq!(warm, reference, "workers={workers} warm != single-node");
+        let stats_warm = rt(coord.addr(), "{\"cmd\":\"stats\"}\n");
+        assert_eq!(
+            ok_field(&stats_warm[0], "shard_rpcs"),
+            rpcs_cold,
+            "a fully warm rectangle batch must not touch the shards"
+        );
+
+        coord.shutdown();
+        coord.join();
+        for shard in [shard_a, shard_b] {
+            shard.join();
+        }
+        single.shutdown();
+        single.join();
+    }
+}
